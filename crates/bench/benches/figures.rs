@@ -1,0 +1,23 @@
+//! One Criterion bench per paper artifact: times the full regeneration of
+//! each table and figure (the complete pipeline behind it — presets,
+//! model evaluations, sweeps — not just string formatting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_bench::ReportId;
+use std::hint::black_box;
+
+fn bench_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reports");
+    // The sensitivity figures run ~230 model evaluations each; keep the
+    // sample count modest so the full suite stays quick.
+    group.sample_size(10);
+    for id in ReportId::ALL {
+        group.bench_function(id.command(), |b| {
+            b.iter(|| black_box(id.generate()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reports);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches of the model machinery itself: build, current
+//! report, pattern evaluation, description parsing, and the sensitivity
+//! sweep. These quantify the paper's practicality claim — the model sits
+//! between datasheet arithmetic and transistor-level simulation, and a
+//! full device evaluation must stay interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_core::{Dram, Pattern};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let desc = ddr3_1g_x16_55nm();
+
+    c.bench_function("dram_build", |b| {
+        b.iter(|| Dram::new(black_box(desc.clone())).expect("valid"));
+    });
+
+    let dram = Dram::new(desc.clone()).expect("valid");
+    c.bench_function("idd_report", |b| {
+        b.iter(|| black_box(dram.idd()));
+    });
+
+    let pattern = Pattern::paper_example();
+    c.bench_function("pattern_power", |b| {
+        b.iter(|| black_box(dram.pattern_power(black_box(&pattern))));
+    });
+
+    let text = dram_dsl::write(&desc, Some(&pattern));
+    c.bench_function("dsl_parse", |b| {
+        b.iter(|| dram_dsl::parse(black_box(&text)).expect("parses"));
+    });
+
+    c.bench_function("dsl_write", |b| {
+        b.iter(|| black_box(dram_dsl::write(black_box(&desc), Some(&pattern))));
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let desc = ddr3_1g_x16_55nm();
+    let mut group = c.benchmark_group("analyses");
+    group.sample_size(10);
+
+    group.bench_function("sensitivity_sweep", |b| {
+        b.iter(|| dram_sensitivity::sweep(black_box(&desc), 0.2).expect("runs"));
+    });
+
+    group.bench_function("scheme_evaluation", |b| {
+        b.iter(|| dram_schemes::evaluate_all(black_box(&desc)).expect("runs"));
+    });
+
+    group.bench_function("roadmap_energy_trends", |b| {
+        b.iter(|| black_box(dram_scaling::trends::energy_trends()));
+    });
+
+    let dram = dram_core::Dram::new(desc.clone()).expect("valid");
+    group.bench_function("workload_generate_1k", |b| {
+        b.iter(|| {
+            dram_workload::generate(
+                black_box(&dram),
+                &dram_workload::WorkloadSpec::random(1000, 42),
+            )
+            .expect("generates")
+        });
+    });
+
+    let trace = dram_workload::generate(&dram, &dram_workload::WorkloadSpec::random(1000, 42))
+        .expect("generates")
+        .trace;
+    group.bench_function("trace_simulate_1k", |b| {
+        b.iter(|| {
+            dram_workload::simulate(
+                black_box(&dram),
+                black_box(&trace),
+                dram_workload::PowerDownPolicy::AGGRESSIVE,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model, bench_analyses);
+criterion_main!(benches);

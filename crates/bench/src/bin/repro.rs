@@ -1,0 +1,69 @@
+//! `repro` — regenerates every table and figure of Vogelsang (MICRO
+//! 2010) from the model.
+//!
+//! Usage: `repro <report>...` where `<report>` is one of the commands
+//! listed by `repro --list`, or `all`.
+
+use dram_bench::ReportId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = args
+            .get(pos + 1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("repro_csv"));
+        match dram_bench::csv::export(&dir) {
+            Ok(files) => {
+                for f in files {
+                    println!("wrote {}", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("csv export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for r in ReportId::ALL {
+            println!("{:10} {}", r.command(), r.title());
+        }
+        return;
+    }
+    let mut selected: Vec<ReportId> = Vec::new();
+    for a in &args {
+        if a == "all" {
+            selected.extend(ReportId::ALL);
+        } else if let Some(r) = ReportId::parse(a) {
+            selected.push(r);
+        } else {
+            eprintln!("unknown report `{a}` (try `repro --list`)");
+            std::process::exit(2);
+        }
+    }
+    for (i, r) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{}", r.generate());
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repro — regenerate the tables and figures of\n\
+         \"Understanding the Energy Consumption of Dynamic Random Access Memories\"\n\
+         (Vogelsang, MICRO 2010)\n\n\
+         usage: repro <report>... | all | --list | --csv [dir]\n\n\
+         reports:"
+    );
+    for r in ReportId::ALL {
+        println!("  {:10} {}", r.command(), r.title());
+    }
+}

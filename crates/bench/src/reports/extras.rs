@@ -1,0 +1,359 @@
+//! Reports beyond the paper's figures: ablation studies of the settled
+//! design choices (§II), a trace-driven power-down study (the systems
+//! context of §V), and a comparison of the model against the datasheet-
+//! calculator baseline (the §I motivation).
+
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_core::Dram;
+use dram_datasheet::corpus::DDR3_1GB;
+use dram_datasheet::{Calculator, Vendor, Workload};
+use dram_schemes::ablations;
+use dram_units::Seconds;
+use dram_workload::{
+    generate_validated, row_energy_share, simulate, PowerDownPolicy, WorkloadSpec,
+};
+
+use crate::Table;
+
+fn ablation_table(title: &str, rows: &[ablations::AblationRow]) -> String {
+    let mut out = format!("{title}\n");
+    let mut tbl = Table::new([
+        "variant",
+        "act+pre (nJ)",
+        "pJ/bit rand",
+        "die (mm²)",
+        "detail",
+    ]);
+    for r in rows {
+        tbl.row([
+            r.name.clone(),
+            format!("{:.2}", r.row_energy.joules() * 1e9),
+            format!("{:.1}", r.energy_per_bit.picojoules()),
+            format!("{:.1}", r.die_area.square_millimeters()),
+            r.detail.clone(),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push('\n');
+    out
+}
+
+/// Ablations of the §II design choices on the reference device.
+#[must_use]
+pub fn generate_ablations() -> String {
+    let base = ddr3_1g_x16_55nm();
+    let mut out = String::new();
+    out.push_str(&ablation_table(
+        "wordline hierarchy (refs [5],[6] made this universal in the 1990s):",
+        &ablations::wordline_hierarchy(&base).expect("runs"),
+    ));
+    out.push_str(&ablation_table(
+        "cells per bitline (Table II: 110nm -> 90nm raised it):",
+        &ablations::bitline_length(&base).expect("runs"),
+    ));
+    out.push_str(&ablation_table(
+        "page size at constant density (the §V lever):",
+        &ablations::page_size(&base).expect("runs"),
+    ));
+    out.push_str(&ablation_table(
+        "cell architecture (Table II structural transitions):",
+        &ablations::cell_architecture(&base).expect("runs"),
+    ));
+    out
+}
+
+/// §II architecture comparison: commodity vs high-performance vs mobile
+/// at the 55 nm node.
+#[must_use]
+pub fn generate_variants() -> String {
+    use dram_scaling::presets::{build, PresetSpec};
+    use dram_scaling::variants::{high_performance, mobile};
+    use dram_scaling::TechNode;
+
+    let node = TechNode::by_feature(55.0).expect("roadmap node");
+    let devices = [
+        build(&PresetSpec::for_node(node)),
+        high_performance(node),
+        mobile(node),
+    ];
+    let mut tbl = Table::new([
+        "architecture",
+        "banks",
+        "page",
+        "GB/s",
+        "IDD4R (mA)",
+        "standby (mW)",
+        "pJ/bit strm",
+        "array eff",
+    ]);
+    for desc in devices {
+        let dram = Dram::new(desc).expect("variant builds");
+        let d = dram.description();
+        tbl.row([
+            d.name.clone(),
+            d.spec.banks().to_string(),
+            format!("{} B", d.spec.page_bits() / 8),
+            format!("{:.1}", d.spec.peak_bandwidth().gbps() / 8.0),
+            format!("{:.0}", dram.idd().idd4r.milliamperes()),
+            format!(
+                "{:.1}",
+                dram.state_power(dram_core::PowerState::PrechargedStandby)
+                    .milliwatts()
+            ),
+            format!("{:.1}", dram.energy_per_bit_streaming().picojoules()),
+            format!("{:.0}%", dram.area().array_efficiency() * 100.0),
+        ]);
+    }
+    let mut out = tbl.render();
+    out.push_str(
+        "
+§II: the graphics part buys total data rate with partitioning and
+         interface power; the mobile part buys standby current with edge pads
+         and a DLL-less interface; both cost array efficiency (cost per bit).
+",
+    );
+    out
+}
+
+/// Trace-driven power-down study: three workload intensities under two
+/// controller policies.
+#[must_use]
+pub fn generate_powerdown() -> String {
+    let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let mut out = format!(
+        "device: {}; open-page controller, seeded traces\n\n",
+        dram.description().name
+    );
+    let mut tbl = Table::new([
+        "workload",
+        "row-energy share",
+        "pJ/bit standby-idle",
+        "pJ/bit power-down",
+        "saving",
+        "PD cycles",
+    ]);
+    for (name, spec) in [
+        ("streaming (95% row hits)", WorkloadSpec::streaming(2000, 7)),
+        ("random (0% row hits)", WorkloadSpec::random(2000, 7)),
+        ("sparse (long idle gaps)", WorkloadSpec::sparse(300, 7)),
+    ] {
+        let w = generate_validated(&dram, &spec).expect("generates");
+        let never = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let aggressive = simulate(&dram, &w.trace, PowerDownPolicy::AGGRESSIVE);
+        let saving = 1.0 - aggressive.energy.joules() / never.energy.joules();
+        tbl.row([
+            name.to_string(),
+            format!("{:.0}%", row_energy_share(&dram, &w.trace) * 100.0),
+            format!("{:.1}", never.energy_per_bit.picojoules()),
+            format!("{:.1}", aggressive.energy_per_bit.picojoules()),
+            format!("{:+.0}%", saving * 100.0),
+            aggressive.power_down_cycles.to_string(),
+        ]);
+    }
+    let mut text = tbl.render();
+    text.push_str(
+        "\npower-down pays only when the bus idles (Hur & Lin [11]); on random\n\
+         traffic the row operations dominate and need the §V architectural\n\
+         schemes instead — the co-design argument of the paper's conclusion.\n",
+    );
+    out.push_str(&text);
+    out
+}
+
+/// Model vs the Micron-style datasheet calculator on the same workload:
+/// they agree on the current device, but only the model can predict a
+/// device that has no datasheet yet (§I).
+#[must_use]
+pub fn generate_calculator() -> String {
+    let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let micron = *DDR3_1GB
+        .iter()
+        .find(|e| e.vendor == Vendor::Micron && e.io_width == 16)
+        .expect("corpus entry");
+    let calc = Calculator::new(micron, Seconds::from_ns(49.0));
+
+    let mut out = String::new();
+    let mut tbl = Table::new(["quantity", "charge model", "datasheet calculator"]);
+    // Saturated random-access workload, half reads / half writes.
+    let model_power = dram.mixed_workload_power().power;
+    let calc_power = calc
+        .power(&Workload::saturated(Seconds::from_ns(49.0), 0.5))
+        .total();
+    tbl.row([
+        "saturated mixed power".to_string(),
+        format!("{:.0} mW", model_power.milliwatts()),
+        format!("{:.0} mW", calc_power.milliwatts()),
+    ]);
+    tbl.row([
+        "idle (standby) power".to_string(),
+        format!("{:.0} mW", dram.background_power().milliwatts()),
+        format!(
+            "{:.0} mW",
+            calc.power(&Workload::idle()).total().milliwatts()
+        ),
+    ]);
+    tbl.row([
+        "energy per bit (saturated)".to_string(),
+        format!("{:.1} pJ", dram.energy_per_bit_random().picojoules()),
+        format!("{:.1} pJ", calc.energy_per_bit_saturated(0.5).picojoules()),
+    ]);
+    out.push_str(&tbl.render());
+    out.push_str(
+        "\nboth methods agree on an existing part — but the calculator needs a\n\
+         shipping datasheet, while the model extrapolates to unbuilt devices,\n\
+         future nodes, and modified architectures (§I, the paper's motivation).\n",
+    );
+    out
+}
+
+/// §II cost economics: wafer cost, yield, dies per wafer and cost per
+/// gigabit over the roadmap.
+#[must_use]
+pub fn generate_cost() -> String {
+    use dram_scaling::cost::cost_report;
+    use dram_scaling::presets::preset;
+    use dram_scaling::ROADMAP;
+
+    let mut tbl = Table::new([
+        "node (nm)",
+        "density",
+        "die (mm²)",
+        "wafer cost (rel)",
+        "gross dies",
+        "yield",
+        "cost/Gbit (rel)",
+    ]);
+    for node in &ROADMAP {
+        let dram = Dram::new(preset(node)).expect("valid");
+        let r = cost_report(node, dram.area().die);
+        tbl.row([
+            format!("{}", node.feature_nm),
+            format!("{}Mb", node.density_mbit),
+            format!("{:.1}", dram.area().die.square_millimeters()),
+            format!("{:.2}", r.wafer_cost),
+            format!("{:.0}", r.gross_dies),
+            format!("{:.0}%", r.yield_fraction * 100.0),
+            format!("{:.4}", r.cost_per_gbit),
+        ]);
+    }
+    let mut out = tbl.render();
+    out.push_str(
+        "\n§II: wafer cost rises every node yet cost per bit collapses — the\n\
+         economics that force maximum array efficiency, few metal levels, and\n\
+         every other constraint the power model encodes.\n",
+    );
+    out
+}
+
+/// §IV.B power breakdown by contributor group across three generations —
+/// the prose behind Table III's ranking shift.
+#[must_use]
+pub fn generate_breakdown() -> String {
+    use dram_core::charges::ContributorGroup;
+    use dram_core::Operation;
+    use dram_scaling::presets::{ddr3_2g_55nm, ddr5_16g_18nm, sdr_128m_170nm};
+
+    let devices = [sdr_128m_170nm(), ddr3_2g_55nm(), ddr5_16g_18nm()];
+    let drams: Vec<Dram> = devices
+        .into_iter()
+        .map(|d| Dram::new(d).expect("valid"))
+        .collect();
+
+    let mut header = vec!["contributor group".to_string()];
+    header.extend(drams.iter().map(|d| d.description().name.clone()));
+    let mut tbl = Table::new(header);
+
+    // Share of the command energy per group, equal-weight mix of one
+    // activate, precharge, read and write (the §IV.B comparison mix).
+    let share = |dram: &Dram, group: ContributorGroup| -> f64 {
+        let mut group_e = 0.0;
+        let mut total = 0.0;
+        for op in [
+            Operation::Activate,
+            Operation::Precharge,
+            Operation::Read,
+            Operation::Write,
+        ] {
+            let e = dram.operation_energy(op);
+            group_e += e.group_external(group).joules();
+            total += e.external().joules();
+        }
+        group_e / total
+    };
+    for group in ContributorGroup::ALL {
+        let mut row = vec![group.to_string()];
+        for dram in &drams {
+            row.push(format!("{:.1}%", share(dram, group) * 100.0));
+        }
+        tbl.row(row);
+    }
+    let mut out = tbl.render();
+    out.push_str(
+        "\n§IV.B: \"a shift from direct array related power consumption to signal\n\
+         wiring and logic circuitry\" — the array-side rows shrink left to right\n\
+         while data path and peripheral logic grow.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_report_covers_all_studies() {
+        let text = super::generate_ablations();
+        for needle in [
+            "wordline hierarchy",
+            "cells per bitline",
+            "page size",
+            "cell architecture",
+            "flat wordline",
+            "1024 cells per bitline",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn powerdown_report_shows_the_tradeoff() {
+        let text = super::generate_powerdown();
+        assert!(text.contains("streaming"));
+        assert!(text.contains("sparse"));
+        assert!(text.contains("power-down pays only when the bus idles"));
+    }
+
+    #[test]
+    fn calculator_report_compares_both_methods() {
+        let text = super::generate_calculator();
+        assert!(text.contains("charge model"));
+        assert!(text.contains("datasheet calculator"));
+        assert!(text.contains("energy per bit"));
+    }
+
+    /// The two methods must land within a factor of two of each other on
+    /// the saturated workload — the model's §IV.A credibility check from
+    /// the calculator side.
+    #[test]
+    fn model_and_calculator_agree_within_a_factor() {
+        use dram_core::reference::ddr3_1g_x16_55nm;
+        use dram_core::Dram;
+        use dram_datasheet::corpus::DDR3_1GB;
+        use dram_datasheet::{Calculator, Vendor, Workload};
+        use dram_units::Seconds;
+        let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+        let micron = *DDR3_1GB
+            .iter()
+            .find(|e| e.vendor == Vendor::Micron && e.io_width == 16)
+            .expect("entry");
+        let calc = Calculator::new(micron, Seconds::from_ns(49.0));
+        let model = dram.mixed_workload_power().power.watts();
+        let sheet = calc
+            .power(&Workload::saturated(Seconds::from_ns(49.0), 0.5))
+            .total()
+            .watts();
+        let ratio = model / sheet;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "model/calculator ratio {ratio}"
+        );
+    }
+}

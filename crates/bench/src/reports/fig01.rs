@@ -1,0 +1,118 @@
+//! Fig. 1 — the physical floorplan, rendered as ASCII art with block
+//! coordinates and the hierarchical array-block breakdown.
+
+use dram_core::geometry::Geometry;
+use dram_core::params::{BlockCoord, PhysicalFloorplan};
+use dram_core::reference::ddr3_1g_x16_55nm;
+
+use crate::Table;
+
+/// Generates the floorplan report for the reference device.
+#[must_use]
+pub fn generate() -> String {
+    let desc = ddr3_1g_x16_55nm();
+    let geom = Geometry::new(&desc).expect("reference is valid");
+    let fp = &desc.floorplan;
+
+    let mut out = String::new();
+    out.push_str(&format!("device: {}\n\n", desc.name));
+
+    // --- ASCII floorplan (rows top to bottom) ---------------------------
+    let (gx, gy) = geom.grid();
+    for y in (0..gy).rev() {
+        let vname = &fp.vertical_blocks[y];
+        let mut line = String::new();
+        for x in 0..gx {
+            let hname = &fp.horizontal_blocks[x];
+            let cell = if PhysicalFloorplan::is_array_type(hname)
+                && PhysicalFloorplan::is_array_type(vname)
+            {
+                "[ BANK ]"
+            } else if PhysicalFloorplan::is_array_type(hname) {
+                if vname == "P2" {
+                    "[center ]"
+                } else {
+                    "[collog ]"
+                }
+            } else if PhysicalFloorplan::is_array_type(vname) {
+                "[rowlog ]"
+            } else {
+                "[ peri  ]"
+            };
+            line.push_str(cell);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push('\n');
+
+    // --- block coordinate table ------------------------------------------
+    let mut tbl = Table::new([
+        "block",
+        "center x (µm)",
+        "center y (µm)",
+        "w (µm)",
+        "h (µm)",
+    ]);
+    for y in 0..gy {
+        for x in 0..gx {
+            let c = BlockCoord::new(x, y);
+            let (cx, cy) = geom.block_center(c);
+            tbl.row([
+                format!(
+                    "{c} ({}/{})",
+                    fp.horizontal_blocks[x], fp.vertical_blocks[y]
+                ),
+                format!("{:.0}", cx.micrometers()),
+                format!("{:.0}", cy.micrometers()),
+                format!(
+                    "{:.0}",
+                    geom.block_extent(c, dram_core::params::Axis::Horizontal)
+                        .micrometers()
+                ),
+                format!(
+                    "{:.0}",
+                    geom.block_extent(c, dram_core::params::Axis::Vertical)
+                        .micrometers()
+                ),
+            ]);
+        }
+    }
+    out.push_str(&tbl.render());
+
+    // --- hierarchy summary --------------------------------------------------
+    out.push_str(&format!(
+        "\nhierarchy: {} banks, {} x {} sub-arrays per bank, sub-array {:.1} x {:.1} µm\n",
+        geom.banks.len(),
+        geom.sub_rows,
+        geom.sub_cols,
+        geom.subarray_along_wl.micrometers(),
+        geom.subarray_along_bl.micrometers(),
+    ));
+    out.push_str(&format!(
+        "master wordline {:.0} µm, local wordline {:.1} µm, bitline {:.1} µm, CSL {:.0} µm\n",
+        geom.master_wordline_length().micrometers(),
+        geom.local_wordline_length().micrometers(),
+        geom.bitline_length().micrometers(),
+        geom.column_select_length(fp.blocks_per_csl).micrometers(),
+    ));
+    out.push_str(&format!(
+        "die: {:.2} x {:.2} mm = {:.1} mm²\n",
+        geom.die_width.millimeters(),
+        geom.die_height.millimeters(),
+        geom.die_area().square_millimeters(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floorplan_shows_banks_and_center_stripe() {
+        let text = super::generate();
+        assert!(text.contains("[ BANK ]"));
+        assert!(text.contains("[center ]"));
+        assert!(text.contains("hierarchy: 8 banks"));
+        assert!(text.contains("3_2")); // the paper's coordinate notation
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 4 — the program flow, traced end to end on the sample input
+//! file: parse → syntax check → capacitances → charges → currents →
+//! operation power → pattern power.
+
+use dram_core::{Dram, Operation};
+
+/// Generates the pipeline trace.
+#[must_use]
+pub fn generate() -> String {
+    let mut out = String::new();
+    let text = include_str!("../../../dsl/descriptions/ddr3_1gb_x16_55nm.dram");
+
+    out.push_str("step 1  parse input file .................. ");
+    let parsed = match dram_dsl::parse(text) {
+        Ok(p) => {
+            out.push_str(&format!(
+                "ok ({} lines, device `{}`)\n",
+                text.lines().count(),
+                p.description.name
+            ));
+            p
+        }
+        Err(e) => {
+            out.push_str(&format!("FAILED: {e}\n"));
+            return out;
+        }
+    };
+
+    out.push_str(
+        "step 2  syntax check ...................... ok (all required parameters present)\n",
+    );
+
+    out.push_str("step 3  wire and device capacitances ...... ");
+    let dram = match Dram::new(parsed.description) {
+        Ok(d) => d,
+        Err(e) => {
+            out.push_str(&format!("FAILED: {e}\n"));
+            return out;
+        }
+    };
+    let geom = dram.geometry();
+    out.push_str(&format!(
+        "ok (grid {}x{}, die {:.1} mm²)\n",
+        geom.grid().0,
+        geom.grid().1,
+        geom.die_area().square_millimeters()
+    ));
+
+    out.push_str("step 4  charge per operation .............. ok\n");
+    for op in Operation::ALL {
+        let e = dram.operation_energy(op);
+        out.push_str(&format!(
+            "          {:<12} {:>8.1} pJ external ({} contributors)\n",
+            op.to_string(),
+            e.external().picojoules(),
+            e.items.len()
+        ));
+    }
+
+    out.push_str("step 5  currents of each operation ........ ok\n");
+    let idd = dram.idd();
+    out.push_str(&format!(
+        "          IDD0 {:.1} mA, IDD2N {:.1} mA, IDD4R {:.1} mA, IDD4W {:.1} mA, IDD7 {:.1} mA\n",
+        idd.idd0.milliamperes(),
+        idd.idd2n.milliamperes(),
+        idd.idd4r.milliamperes(),
+        idd.idd4w.milliamperes(),
+        idd.idd7.milliamperes()
+    ));
+
+    out.push_str("step 6  power of specified pattern ........ ");
+    match parsed.pattern {
+        Some(pattern) => {
+            let p = dram.pattern_power(&pattern);
+            out.push_str(&format!(
+                "ok\n          pattern `{pattern}`\n          power {:.1} mW (background {:.1} mW), supply current {:.1} mA\n",
+                p.power.milliwatts(),
+                p.background.milliwatts(),
+                p.current.milliamperes()
+            ));
+        }
+        None => out.push_str("skipped (no Pattern directive)\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pipeline_completes_all_steps() {
+        let text = super::generate();
+        for step in ["step 1", "step 2", "step 3", "step 4", "step 5", "step 6"] {
+            assert!(text.contains(step), "missing {step}");
+        }
+        assert!(!text.contains("FAILED"), "{text}");
+        assert!(text.contains("act nop wrt nop rd nop pre nop"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Figs. 5–7 — per-parameter technology scaling curves: shrink factor
+//! (normalized to 1.0 at the 170 nm node) per roadmap node, with the pure
+//! feature-size shrink as the reference series.
+
+use dram_scaling::curves::{f_shrink, ScalingParam};
+use dram_scaling::ROADMAP;
+
+use crate::Table;
+
+/// Generates the scaling-curve table for one of the three figures
+/// (`figure` must be 5, 6 or 7).
+///
+/// # Panics
+///
+/// Panics if `figure` is not 5, 6 or 7.
+#[must_use]
+pub fn generate(figure: u8) -> String {
+    assert!(matches!(figure, 5..=7), "figure must be 5, 6 or 7");
+    let params: Vec<ScalingParam> = ScalingParam::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.figure() == figure)
+        .collect();
+
+    let mut header: Vec<String> = vec!["node (nm)".into(), "f-shrink".into()];
+    header.extend(params.iter().map(|p| p.name().to_string()));
+    let mut tbl = Table::new(header);
+
+    for node in &ROADMAP {
+        let mut row: Vec<String> = vec![
+            format!("{}", node.feature_nm),
+            format!("{:.3}", f_shrink(node)),
+        ];
+        row.extend(
+            params
+                .iter()
+                .map(|p| format!("{:.3}", p.shrink_from_first(node))),
+        );
+        tbl.row(row);
+    }
+
+    let mut out = tbl.render();
+    out.push_str(
+        "\nall parameter curves sit at or above the f-shrink line: technology\n\
+         parameters shrink more slowly than the feature size (§III.C).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn each_figure_has_its_parameters() {
+        let f5 = super::generate(5);
+        assert!(f5.contains("gate oxide logic"));
+        assert!(f5.contains("junction capacitance"));
+        let f6 = super::generate(6);
+        assert!(f6.contains("bitline capacitance"));
+        assert!(f6.contains("SA stripe width"));
+        let f7 = super::generate(7);
+        assert!(f7.contains("sense amp device width"));
+        assert!(f7.contains("row circuit device length"));
+    }
+
+    #[test]
+    #[should_panic(expected = "figure must be 5, 6 or 7")]
+    fn bad_figure_panics() {
+        let _ = super::generate(8);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figs. 11 & 12 — voltage trends and data-rate/row-timing trends over
+//! the technology roadmap.
+
+use dram_scaling::trends::{timing_trends, voltage_trends};
+
+use crate::Table;
+
+/// Fig. 11: the four voltage-domain trends.
+#[must_use]
+pub fn generate_voltages() -> String {
+    let mut tbl = Table::new([
+        "node (nm)",
+        "year",
+        "interface",
+        "Vdd",
+        "Vint",
+        "Vbl",
+        "Vpp",
+    ]);
+    for row in voltage_trends() {
+        tbl.row([
+            format!("{}", row.node.feature_nm),
+            row.node.year.to_string(),
+            row.node.interface.to_string(),
+            format!("{:.2} V", row.vdd),
+            format!("{:.2} V", row.vint),
+            format!("{:.2} V", row.vbl),
+            format!("{:.2} V", row.vpp),
+        ]);
+    }
+    let mut out = tbl.render();
+    out.push_str(
+        "\nvoltage scaling slows toward the right edge — the main reason the\n\
+         energy-per-bit reduction flattens in Fig. 13 (§IV.C).\n",
+    );
+    out
+}
+
+/// Fig. 12: per-pin data rate and row timings.
+#[must_use]
+pub fn generate_timing() -> String {
+    let mut tbl = Table::new([
+        "node (nm)",
+        "year",
+        "datarate (Mb/s/pin)",
+        "tRC (ns)",
+        "tRCD (ns)",
+        "tRP (ns)",
+    ]);
+    for row in timing_trends() {
+        tbl.row([
+            format!("{}", row.node.feature_nm),
+            row.node.year.to_string(),
+            format!("{:.0}", row.datarate_mbps),
+            format!("{:.0}", row.trc_ns),
+            format!("{:.0}", row.trcd_ns),
+            format!("{:.0}", row.trp_ns),
+        ]);
+    }
+    let mut out = tbl.render();
+    let t = timing_trends();
+    let rate_gain = t.last().unwrap().datarate_mbps / t.first().unwrap().datarate_mbps;
+    let trc_gain = t.first().unwrap().trc_ns / t.last().unwrap().trc_ns;
+    out.push_str(&format!(
+        "\ndata rate grows {rate_gain:.0}x while tRC improves only {trc_gain:.1}x —\n\
+         the bandwidth-versus-row-timing divergence that shifts power from the\n\
+         array to the column path and periphery (§IV.B).\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn voltage_table_covers_sdr_to_ddr5() {
+        let text = super::generate_voltages();
+        assert!(text.contains("SDR"));
+        assert!(text.contains("DDR5"));
+        assert!(text.contains("3.30 V")); // SDR Vdd
+        assert!(text.contains("1.10 V")); // DDR5 Vdd
+    }
+
+    #[test]
+    fn timing_table_shows_divergence() {
+        let text = super::generate_timing();
+        assert!(text.contains("133")); // SDR datarate
+        assert!(text.contains("6400")); // DDR5 datarate
+        assert!(text.contains("data rate grows"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Report generators, one module per paper artifact.
+
+pub mod extras;
+pub mod fig01;
+pub mod fig02_03;
+pub mod fig04;
+pub mod fig05_07;
+pub mod fig08_09;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig13;
+pub mod section5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod verify;

@@ -1,0 +1,294 @@
+//! Table I — the DRAM description parameter census.
+//!
+//! Prints every model input grouped as the paper groups them and the
+//! value each takes in the reference device, demonstrating that the
+//! implementation covers the full Table I parameter set.
+
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_units::eng::format_eng;
+
+use crate::Table;
+
+/// Generates the Table I census for the reference device.
+#[must_use]
+pub fn generate() -> String {
+    let d = ddr3_1g_x16_55nm();
+    let fp = &d.floorplan;
+    let t = &d.technology;
+    let e = &d.electrical;
+    let s = &d.spec;
+
+    let mut out = String::new();
+    let mut tbl = Table::new(["group", "parameter", "reference value"]);
+    let dev = |g: dram_core::params::DeviceGeometry| {
+        format!("{}x{}um", g.width.micrometers(), g.length.micrometers())
+    };
+
+    // --- physical floorplan ---
+    let rows: Vec<(&str, String)> = vec![
+        ("Bitline direction", format!("{:?}", fp.bitline_direction)),
+        ("Bits per bitline", fp.bits_per_bitline.to_string()),
+        (
+            "Bits per sub-wordline",
+            fp.bits_per_local_wordline.to_string(),
+        ),
+        (
+            "Folded or open bitline architecture",
+            format!("{:?}", fp.bitline_architecture),
+        ),
+        (
+            "Array blocks sharing a column select line",
+            fp.blocks_per_csl.to_string(),
+        ),
+        (
+            "Wordline pitch",
+            format_eng(fp.wordline_pitch.meters(), "m"),
+        ),
+        ("Bitline pitch", format_eng(fp.bitline_pitch.meters(), "m")),
+        (
+            "Width of bitline sense-amplifier stripe",
+            format_eng(fp.sa_stripe_width.meters(), "m"),
+        ),
+        (
+            "Width of sub-wordline driver stripe",
+            format_eng(fp.lwd_stripe_width.meters(), "m"),
+        ),
+        ("Horizontal block sequence", fp.horizontal_blocks.join(" ")),
+        ("Vertical block sequence", fp.vertical_blocks.join(" ")),
+    ];
+    for (name, value) in rows {
+        tbl.row(["Physical floorplan", name, &value]);
+    }
+
+    // --- signaling floorplan ---
+    for sig in &d.signaling.signals {
+        tbl.row([
+            "Signaling floorplan",
+            &format!("signal `{}` ({:?})", sig.name, sig.class),
+            &format!(
+                "{} segments, toggle {}",
+                sig.segments.len(),
+                sig.toggle_rate
+            ),
+        ]);
+    }
+
+    // --- specification ---
+    let rows: Vec<(&str, String)> = vec![
+        ("Number of DQ pins", s.io_width.to_string()),
+        (
+            "Data rate per DQ pin",
+            format_eng(s.datarate_per_pin.bits_per_second(), "b/s"),
+        ),
+        ("Number of clock wires on die", s.clock_wires.to_string()),
+        (
+            "Data clock frequency",
+            format_eng(s.data_clock.hertz(), "Hz"),
+        ),
+        (
+            "Control clock frequency",
+            format_eng(s.control_clock.hertz(), "Hz"),
+        ),
+        ("Number of bank addresses", s.bank_address_bits.to_string()),
+        ("Number of row addresses", s.row_address_bits.to_string()),
+        (
+            "Number of column addresses",
+            s.column_address_bits.to_string(),
+        ),
+        (
+            "Number of misc control signals",
+            s.control_signals.to_string(),
+        ),
+        ("Prefetch", s.prefetch.to_string()),
+        ("Burst length", s.burst_length.to_string()),
+    ];
+    for (name, value) in rows {
+        tbl.row(["Specification", name, &value]);
+    }
+
+    // --- electrical ---
+    let rows: Vec<(&str, String)> = vec![
+        ("External supply voltage", format!("{}", e.vdd)),
+        ("Voltage used for general logic", format!("{}", e.vint)),
+        ("Bitline voltage", format!("{}", e.vbl)),
+        ("Wordline voltage", format!("{}", e.vpp)),
+        (
+            "Generator efficiency voltage for general logic",
+            e.eff_vint.to_string(),
+        ),
+        (
+            "Generator efficiency bitline voltage",
+            e.eff_vbl.to_string(),
+        ),
+        (
+            "Generator efficiency wordline voltage",
+            e.eff_vpp.to_string(),
+        ),
+        (
+            "Constant current sink from Vcc",
+            format!("{}", e.constant_current),
+        ),
+    ];
+    for (name, value) in rows {
+        tbl.row(["Basic electrical", name, &value]);
+    }
+
+    // --- technology (the 39 parameters of Table I) ---
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "Gate oxide thickness general logic transistors",
+            format_eng(t.tox_logic.meters(), "m"),
+        ),
+        (
+            "Gate oxide thickness high voltage transistors",
+            format_eng(t.tox_high_voltage.meters(), "m"),
+        ),
+        (
+            "Gate oxide thickness cell access transistor",
+            format_eng(t.tox_cell.meters(), "m"),
+        ),
+        (
+            "Minimum gate length general logic transistors",
+            format_eng(t.lmin_logic.meters(), "m"),
+        ),
+        (
+            "Junction capacitance general logic transistors",
+            format_eng(t.junction_cap_logic.farads_per_meter(), "F/m"),
+        ),
+        (
+            "Minimum gate length high voltage transistors",
+            format_eng(t.lmin_high_voltage.meters(), "m"),
+        ),
+        (
+            "Junction capacitance high voltage transistors",
+            format_eng(t.junction_cap_high_voltage.farads_per_meter(), "F/m"),
+        ),
+        (
+            "Gate length cell access transistor",
+            format_eng(t.cell_access_length.meters(), "m"),
+        ),
+        (
+            "Gate width cell access transistor",
+            format_eng(t.cell_access_width.meters(), "m"),
+        ),
+        ("Bitline capacitance", format!("{}", t.bitline_cap)),
+        ("Cell capacitance", format!("{}", t.cell_cap)),
+        (
+            "Share of bitline to wordline capacitance",
+            t.bl_to_wl_cap_share.to_string(),
+        ),
+        (
+            "Bits accessed per column select line",
+            t.bits_per_csl_per_subarray.to_string(),
+        ),
+        (
+            "Specific wire capacitance master wordline",
+            format_eng(t.c_wire_mwl.farads_per_meter(), "F/m"),
+        ),
+        (
+            "Pre-decode ratio master wordline",
+            t.mwl_predecode_ratio.to_string(),
+        ),
+        (
+            "Gate width master wordline decoder NMOS",
+            format_eng(t.mwl_decoder_nmos_width.meters(), "m"),
+        ),
+        (
+            "Gate width master wordline decoder PMOS",
+            format_eng(t.mwl_decoder_pmos_width.meters(), "m"),
+        ),
+        (
+            "Average switching of master wordline decoder",
+            t.mwl_decoder_switching.to_string(),
+        ),
+        (
+            "Gate width load NMOS wordline controller",
+            format_eng(t.wl_controller_nmos_width.meters(), "m"),
+        ),
+        (
+            "Gate width load PMOS wordline controller",
+            format_eng(t.wl_controller_pmos_width.meters(), "m"),
+        ),
+        (
+            "Gate width sub-wordline driver NMOS",
+            format_eng(t.swd_nmos_width.meters(), "m"),
+        ),
+        (
+            "Gate width sub-wordline driver PMOS",
+            format_eng(t.swd_pmos_width.meters(), "m"),
+        ),
+        (
+            "Gate width sub-wordline driver restore NMOS",
+            format_eng(t.swd_restore_nmos_width.meters(), "m"),
+        ),
+        (
+            "Specific wire capacitance sub-wordline",
+            format_eng(t.c_wire_lwl.farads_per_meter(), "F/m"),
+        ),
+        ("Bitline SA NMOS sense pair (W x L)", dev(t.sa_nmos_sense)),
+        ("Bitline SA PMOS sense pair (W x L)", dev(t.sa_pmos_sense)),
+        ("Bitline SA equalize devices (W x L)", dev(t.sa_equalize)),
+        (
+            "Bitline SA bit switch devices (W x L)",
+            dev(t.sa_bit_switch),
+        ),
+        (
+            "Bitline SA bitline multiplexer devices (W x L)",
+            dev(t.sa_bitline_mux),
+        ),
+        ("Bitline SA NMOS set devices (W x L)", dev(t.sa_nset)),
+        ("Bitline SA PMOS set devices (W x L)", dev(t.sa_pset)),
+        (
+            "Specific wire capacitance signaling wires",
+            format_eng(t.c_wire_signal.farads_per_meter(), "F/m"),
+        ),
+    ];
+    for (name, value) in rows {
+        tbl.row(["Technology", name, &value]);
+    }
+
+    // --- logic blocks ---
+    for b in &d.logic_blocks {
+        tbl.row([
+            "Logic block",
+            &format!("`{}`", b.name),
+            &format!(
+                "{} gates, tpg {}, density {}, toggle {}",
+                b.gates, b.transistors_per_gate, b.gate_density, b.toggle_rate
+            ),
+        ]);
+    }
+
+    out.push_str(&tbl.render());
+    out.push_str(&format!("\ntotal parameters listed: {}\n", tbl.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn census_covers_the_table() {
+        let text = super::generate();
+        // All five groups present.
+        for group in [
+            "Physical floorplan",
+            "Signaling floorplan",
+            "Specification",
+            "Basic electrical",
+            "Technology",
+            "Logic block",
+        ] {
+            assert!(text.contains(group), "missing group {group}");
+        }
+        // Spot-check signature parameters of Table I.
+        for p in [
+            "Bits per bitline",
+            "Pre-decode ratio master wordline",
+            "Bitline SA NMOS sense pair",
+            "Constant current sink from Vcc",
+            "Specific wire capacitance signaling wires",
+        ] {
+            assert!(text.contains(p), "missing parameter {p}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table II — the disruptive DRAM technology changes and how the model
+//! realizes each.
+
+use dram_scaling::disruptions::{all, ModelEffect};
+
+use crate::Table;
+
+/// Generates the disruption table.
+#[must_use]
+pub fn generate() -> String {
+    let mut tbl = Table::new([
+        "transition",
+        "disruptive change",
+        "background",
+        "model effect",
+    ]);
+    for d in all() {
+        let effect = match d.effect {
+            ModelEffect::Structural => "structural (preset generation)",
+            ModelEffect::CurveStep => "discrete step in scaling curve",
+            ModelEffect::Trend => "covered by smooth trend",
+        };
+        tbl.row([
+            format!("{}nm to {}nm", d.from_nm, d.to_nm),
+            d.change.to_string(),
+            d.background.to_string(),
+            effect.to_string(),
+        ]);
+    }
+    tbl.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_lists_the_known_transitions() {
+        let text = super::generate();
+        for needle in [
+            "segmented wordline",
+            "dual gate oxide",
+            "3-dimensional access transistor",
+            "8F² folded bitline to 6F² open bitline",
+            "Cu metallization",
+            "4F²",
+            "high-k",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

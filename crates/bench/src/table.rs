@@ -1,0 +1,123 @@
+//! Minimal plain-text table formatter for the report generators.
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = w - cell.chars().count();
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                    .unwrap_or(false);
+                if numeric {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&render_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1.5"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("alpha"));
+        // numeric cells right-aligned: the 1.5 ends at the same column as
+        // 12345
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Developer tool: prints the full IDD report and per-operation energy
+//! itemization of the reference device (used during calibration).
+//!
+//! Run with: `cargo run -p dram-core --example debug_report`
+
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_core::{Dram, Operation};
+
+fn main() {
+    let m = Dram::new(ddr3_1g_x16_55nm()).unwrap();
+    let idd = m.idd();
+    println!("IDD0  {}", idd.idd0);
+    println!("IDD2N {}", idd.idd2n);
+    println!("IDD4R {}", idd.idd4r);
+    println!("IDD4W {}", idd.idd4w);
+    println!("IDD5  {}", idd.idd5);
+    println!("IDD7  {}", idd.idd7);
+    println!("bg {}", m.background_power());
+    for op in Operation::ALL {
+        let e = m.operation_energy(op);
+        println!(
+            "== {} total {} (array share {:.2})",
+            op,
+            e.external(),
+            e.array_share()
+        );
+        for i in &e.items {
+            println!(
+                "   {:38} {:>6} {:>12}",
+                i.label,
+                i.domain.to_string(),
+                format!("{}", i.external)
+            );
+        }
+    }
+    println!("epb stream {}", m.energy_per_bit_streaming());
+    println!("epb random {}", m.energy_per_bit_random());
+    let a = m.area();
+    println!(
+        "die {:.1} mm2, eff {:.2}, sa {:.3}, lwd {:.3}",
+        a.die.square_millimeters(),
+        a.array_efficiency(),
+        a.sa_share(),
+        a.lwd_share()
+    );
+}

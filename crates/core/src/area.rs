@@ -1,0 +1,153 @@
+//! Die area accounting: array efficiency and the area shares of the
+//! on-pitch stripes.
+//!
+//! §II: "The share of bitline sense-amplifier area to total die area in a
+//! typical commodity DRAM is between 8% and 15%, the share of local
+//! wordline driver area is between 5% and 10%." The §V scheme evaluation
+//! uses these shares to quantify the cost of proposals that widen or
+//! multiply the stripes.
+
+use dram_units::SquareMeters;
+
+use crate::geometry::Geometry;
+use crate::params::DramDescription;
+
+/// Area breakdown of one die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Total die area.
+    pub die: SquareMeters,
+    /// Area of the storage cells proper.
+    pub cells: SquareMeters,
+    /// Area of all bitline sense-amplifier stripes.
+    pub sa_stripes: SquareMeters,
+    /// Area of all local wordline driver stripes.
+    pub lwd_stripes: SquareMeters,
+}
+
+impl AreaReport {
+    /// Computes the area report for a description with resolved geometry.
+    #[must_use]
+    pub fn new(desc: &DramDescription, geom: &Geometry) -> Self {
+        let fp = &desc.floorplan;
+        let die = geom.die_area();
+
+        let cell_area = fp.wordline_pitch
+            * (fp.bitline_pitch * f64::from(fp.bitline_architecture.bitline_pitches_per_cell()));
+        let cells = cell_area * desc.spec.density_bits() as f64;
+
+        let banks = geom.banks.len() as f64;
+        let sa_stripes =
+            (geom.block_along_wl * fp.sa_stripe_width) * (f64::from(geom.sub_rows + 1) * banks);
+        let lwd_stripes =
+            (geom.block_along_bl * fp.lwd_stripe_width) * (f64::from(geom.sub_cols + 1) * banks);
+
+        Self {
+            die,
+            cells,
+            sa_stripes,
+            lwd_stripes,
+        }
+    }
+
+    /// Array efficiency: cell area over die area (the quantity DRAM cost
+    /// optimization maximizes, §II).
+    #[must_use]
+    pub fn array_efficiency(&self) -> f64 {
+        self.cells.square_meters() / self.die.square_meters()
+    }
+
+    /// Sense-amplifier stripe share of the die.
+    #[must_use]
+    pub fn sa_share(&self) -> f64 {
+        self.sa_stripes.square_meters() / self.die.square_meters()
+    }
+
+    /// Local wordline driver stripe share of the die.
+    #[must_use]
+    pub fn lwd_share(&self) -> f64 {
+        self.lwd_stripes.square_meters() / self.die.square_meters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn reference_die_matches_commodity_ranges() {
+        let desc = ddr3_1g_x16_55nm();
+        let geom = Geometry::new(&desc).expect("valid");
+        let a = AreaReport::new(&desc, &geom);
+        // §IV.C: commodity dies are chosen around 40–60 mm²; our 1 Gb 55 nm
+        // reference lands in the broader commodity window.
+        let mm2 = a.die.square_millimeters();
+        assert!(mm2 > 25.0 && mm2 < 70.0, "die {mm2} mm²");
+        // Array efficiency around 50-65 %.
+        let eff = a.array_efficiency();
+        assert!(eff > 0.45 && eff < 0.70, "array efficiency {eff}");
+        // Paper stripe-share windows.
+        let sa = a.sa_share();
+        assert!(sa > 0.06 && sa < 0.16, "SA share {sa}");
+        let lwd = a.lwd_share();
+        assert!(lwd > 0.03 && lwd < 0.11, "LWD share {lwd}");
+    }
+
+    #[test]
+    fn folded_cell_is_larger() {
+        let open = ddr3_1g_x16_55nm();
+        let mut folded = ddr3_1g_x16_55nm();
+        folded.floorplan.bitline_architecture = crate::params::BitlineArchitecture::Folded;
+        let go = Geometry::new(&open).expect("valid");
+        let gf = Geometry::new(&folded).expect("valid");
+        let ao = AreaReport::new(&open, &go);
+        let af = AreaReport::new(&folded, &gf);
+        assert!(af.cells > ao.cells);
+        assert!(af.die > ao.die);
+    }
+
+    #[test]
+    fn stripe_area_scales_with_stripe_width() {
+        let desc = ddr3_1g_x16_55nm();
+        let geom = Geometry::new(&desc).expect("valid");
+        let base = AreaReport::new(&desc, &geom);
+
+        let mut wide = ddr3_1g_x16_55nm();
+        wide.floorplan.sa_stripe_width = wide.floorplan.sa_stripe_width * 2.0;
+        let geom2 = Geometry::new(&wide).expect("valid");
+        let doubled = AreaReport::new(&wide, &geom2);
+        // Stripe area doubles (same count, double width), die grows less.
+        let ratio = doubled.sa_stripes.square_meters() / base.sa_stripes.square_meters();
+        assert!((ratio - 2.0).abs() < 1e-9);
+        assert!(doubled.die > base.die);
+        assert!(doubled.die.square_meters() < base.die.square_meters() * 1.3);
+    }
+
+    #[test]
+    fn cell_area_matches_f_squared() {
+        // 1 Gb at 6F², F = 55 nm: 2^30 x 6 x 55² nm² = 19.5 mm².
+        let desc = ddr3_1g_x16_55nm();
+        let geom = Geometry::new(&desc).expect("valid");
+        let a = AreaReport::new(&desc, &geom);
+        let expected_mm2 = (1u64 << 30) as f64 * 6.0 * 55.0e-9 * 55.0e-9 * 1e6;
+        assert!(
+            (a.cells.square_millimeters() - expected_mm2).abs() / expected_mm2 < 1e-6,
+            "{} vs {expected_mm2}",
+            a.cells.square_millimeters()
+        );
+    }
+
+    #[test]
+    fn shares_are_disjoint_fractions() {
+        let desc = ddr3_1g_x16_55nm();
+        let geom = Geometry::new(&desc).expect("valid");
+        let a = AreaReport::new(&desc, &geom);
+        let total_share = a.array_efficiency() + a.sa_share() + a.lwd_share();
+        assert!(
+            total_share < 1.0,
+            "cell+stripe shares {total_share} exceed die"
+        );
+    }
+}

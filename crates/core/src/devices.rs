@@ -1,0 +1,288 @@
+//! Device capacitance models (§III.B.2–3).
+//!
+//! The paper computes device loads as "the sum of gate and junction
+//! capacitance", with gate capacitance "calculated from gate area and
+//! equivalent dielectric thickness" and junction capacitance "calculated
+//! from junction width and specific junction capacitance per width". This
+//! module implements exactly those two formulas plus the composite loads of
+//! the bitline sense-amplifier (Fig. 2) and the local wordline driver
+//! (Fig. 3).
+
+use dram_units::{Farads, FaradsPerMeter, FaradsPerSquareMeter, Meters};
+
+use crate::params::{BufferDevice, DeviceGeometry, Technology};
+
+/// Permittivity of SiO₂ (3.9 · ε₀) in F/m; oxide thicknesses in the
+/// description are SiO₂-equivalent, so this one constant covers high-k
+/// stacks too.
+pub const EPS_SIO2: f64 = 3.45e-11;
+
+/// Fringe/overlap allowance applied to plate gate capacitance. Thin-oxide
+/// MOS gates carry roughly 20 % extra capacitance from overlap and fringing
+/// fields beyond the parallel-plate term.
+pub const GATE_FRINGE_FACTOR: f64 = 1.2;
+
+/// Areal gate capacitance of an oxide of the given equivalent thickness.
+///
+/// # Examples
+///
+/// ```
+/// use dram_core::devices::oxide_capacitance;
+/// use dram_units::Meters;
+/// let cox = oxide_capacitance(Meters::from_nm(4.0));
+/// assert!((cox.ff_per_um2() - 8.625).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn oxide_capacitance(tox: Meters) -> FaradsPerSquareMeter {
+    debug_assert!(tox.meters() > 0.0, "oxide thickness must be positive");
+    FaradsPerSquareMeter::new(EPS_SIO2 / tox.meters())
+}
+
+/// Gate capacitance of a device: plate capacitance `ε/t_ox · W · L` with
+/// the fringe allowance of [`GATE_FRINGE_FACTOR`].
+#[must_use]
+pub fn gate_capacitance(device: DeviceGeometry, tox: Meters) -> Farads {
+    oxide_capacitance(tox) * device.gate_area() * GATE_FRINGE_FACTOR
+}
+
+/// Junction (source/drain) capacitance of a device of the given gate
+/// width, using the technology's specific junction capacitance per width.
+#[must_use]
+pub fn junction_capacitance(width: Meters, cj_per_width: FaradsPerMeter) -> Farads {
+    cj_per_width * width
+}
+
+/// Capacitive loads of one bitline sense-amplifier (Fig. 2).
+///
+/// The paper's typical stripe has 11 transistors per bitline pair: the
+/// NMOS and PMOS sense pairs (2+2), three equalize devices, two bit
+/// switches, and — folded bitline only — two bitline multiplexers; the
+/// NSET/PSET set drivers are shared per stripe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmpLoads {
+    /// Gate load of the equalize signal per sense-amplifier (three
+    /// devices). The equalize line swings the full wordline voltage.
+    pub equalize_gate: Farads,
+    /// Junction load contributed per sense-amplifier to the common NSET
+    /// node (two NMOS sense-pair junctions).
+    pub nset_junction: Farads,
+    /// Junction load contributed per sense-amplifier to the common PSET
+    /// node (two PMOS sense-pair junctions).
+    pub pset_junction: Farads,
+    /// Gate load of the column-select (bit switch) input per
+    /// sense-amplifier (two devices).
+    pub bit_switch_gate: Farads,
+    /// Gate load of the bitline multiplexer select per sense-amplifier
+    /// (two devices; zero for open-bitline architectures).
+    pub bitline_mux_gate: Farads,
+    /// Junction load each sense-amplifier adds to its bitline pair
+    /// (sense pairs, equalize, bit switch) — part of the bitline
+    /// capacitance budget; reported for breakdown purposes.
+    pub bitline_junction: Farads,
+    /// Gate capacitance of one set driver pair (NSET + PSET device),
+    /// shared per stripe.
+    pub set_driver_gate: Farads,
+}
+
+impl SenseAmpLoads {
+    /// Computes the sense-amplifier loads from the technology description.
+    #[must_use]
+    pub fn new(tech: &Technology, folded: bool) -> Self {
+        let cj = tech.junction_cap_logic;
+        let equalize_gate = gate_capacitance(tech.sa_equalize, tech.tox_high_voltage) * 3.0;
+        let nset_junction = junction_capacitance(tech.sa_nmos_sense.width, cj) * 2.0;
+        let pset_junction = junction_capacitance(tech.sa_pmos_sense.width, cj) * 2.0;
+        let bit_switch_gate = gate_capacitance(tech.sa_bit_switch, tech.tox_logic) * 2.0;
+        let bitline_mux_gate = if folded {
+            gate_capacitance(tech.sa_bitline_mux, tech.tox_high_voltage) * 2.0
+        } else {
+            Farads::ZERO
+        };
+        let bitline_junction = junction_capacitance(tech.sa_nmos_sense.width, cj)
+            + junction_capacitance(tech.sa_pmos_sense.width, cj)
+            + junction_capacitance(tech.sa_equalize.width, cj)
+            + junction_capacitance(tech.sa_bit_switch.width, cj);
+        let set_driver_gate = gate_capacitance(tech.sa_nset, tech.tox_logic)
+            + gate_capacitance(tech.sa_pset, tech.tox_logic);
+        Self {
+            equalize_gate,
+            nset_junction,
+            pset_junction,
+            bit_switch_gate,
+            bitline_mux_gate,
+            bitline_junction,
+            set_driver_gate,
+        }
+    }
+}
+
+/// Capacitive loads of one local (sub-)wordline driver (Fig. 3): a CMOS
+/// driver with a restore (keeper) NMOS, three transistors per local
+/// wordline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordlineDriverLoads {
+    /// Gate load the driver presents to the master wordline (PMOS + NMOS +
+    /// restore gates, all high-voltage devices).
+    pub input_gate: Farads,
+    /// Junction load the driver adds to the local wordline it drives.
+    pub output_junction: Farads,
+}
+
+impl WordlineDriverLoads {
+    /// Computes the local wordline driver loads from the technology.
+    #[must_use]
+    pub fn new(tech: &Technology) -> Self {
+        let l = tech.lmin_high_voltage;
+        let gate = |w: Meters| {
+            gate_capacitance(
+                DeviceGeometry {
+                    width: w,
+                    length: l,
+                },
+                tech.tox_high_voltage,
+            )
+        };
+        let input_gate = gate(tech.swd_nmos_width)
+            + gate(tech.swd_pmos_width)
+            + gate(tech.swd_restore_nmos_width);
+        let cj = tech.junction_cap_high_voltage;
+        let output_junction = junction_capacitance(tech.swd_nmos_width, cj)
+            + junction_capacitance(tech.swd_pmos_width, cj)
+            + junction_capacitance(tech.swd_restore_nmos_width, cj);
+        Self {
+            input_gate,
+            output_junction,
+        }
+    }
+}
+
+/// Input and output load of a signal re-driver (buffer) in a wire segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferLoads {
+    /// Gate capacitance seen by the upstream segment.
+    pub input_gate: Farads,
+    /// Junction capacitance added to the downstream segment.
+    pub output_junction: Farads,
+}
+
+impl BufferLoads {
+    /// Computes buffer loads using logic devices at minimum length.
+    #[must_use]
+    pub fn new(buffer: BufferDevice, tech: &Technology) -> Self {
+        let l = tech.lmin_logic;
+        let gate = |w: Meters| {
+            gate_capacitance(
+                DeviceGeometry {
+                    width: w,
+                    length: l,
+                },
+                tech.tox_logic,
+            )
+        };
+        let input_gate = gate(buffer.nmos_width) + gate(buffer.pmos_width);
+        let output_junction = junction_capacitance(buffer.nmos_width, tech.junction_cap_logic)
+            + junction_capacitance(buffer.pmos_width, tech.junction_cap_logic);
+        Self {
+            input_gate,
+            output_junction,
+        }
+    }
+
+    /// Total load a buffer contributes to a bus (input + output side).
+    #[must_use]
+    pub fn total(self) -> Farads {
+        self.input_gate + self.output_junction
+    }
+}
+
+/// Gate capacitance of one DRAM cell access transistor, the dominant
+/// device load on a local wordline.
+#[must_use]
+pub fn cell_access_gate(tech: &Technology) -> Farads {
+    gate_capacitance(
+        DeviceGeometry {
+            width: tech.cell_access_width,
+            length: tech.cell_access_length,
+        },
+        tech.tox_cell,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn oxide_capacitance_is_inverse_in_thickness() {
+        let thin = oxide_capacitance(Meters::from_nm(4.0));
+        let thick = oxide_capacitance(Meters::from_nm(8.0));
+        assert!((thin.ff_per_um2() / thick.ff_per_um2() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_capacitance_scales_with_area() {
+        let tox = Meters::from_nm(5.0);
+        let small = gate_capacitance(DeviceGeometry::from_um(0.5, 0.1), tox);
+        let big = gate_capacitance(DeviceGeometry::from_um(1.0, 0.1), tox);
+        assert!((big.femtofarads() / small.femtofarads() - 2.0).abs() < 1e-9);
+        // Order of magnitude: ~0.4 fF for a 0.5/0.1 µm device at 5 nm.
+        assert!(small.femtofarads() > 0.2 && small.femtofarads() < 0.8);
+    }
+
+    #[test]
+    fn junction_capacitance_is_linear_in_width() {
+        let cj = FaradsPerMeter::from_ff_per_um(1.0);
+        let c = junction_capacitance(Meters::from_um(0.7), cj);
+        assert!((c.femtofarads() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sense_amp_loads_are_positive_and_small() {
+        let desc = ddr3_1g_x16_55nm();
+        let sa = SenseAmpLoads::new(&desc.technology, false);
+        assert!(sa.equalize_gate.femtofarads() > 0.05);
+        assert!(sa.equalize_gate.femtofarads() < 2.0);
+        assert!(sa.nset_junction.femtofarads() > 0.1);
+        assert!(sa.bit_switch_gate.femtofarads() > 0.05);
+        assert_eq!(sa.bitline_mux_gate, Farads::ZERO);
+        let folded = SenseAmpLoads::new(&desc.technology, true);
+        assert!(folded.bitline_mux_gate.femtofarads() > 0.0);
+    }
+
+    #[test]
+    fn wordline_driver_load_is_about_a_femtofarad() {
+        let desc = ddr3_1g_x16_55nm();
+        let lwd = WordlineDriverLoads::new(&desc.technology);
+        let ff = lwd.input_gate.femtofarads();
+        assert!(ff > 0.3 && ff < 5.0, "LWD input gate {ff} fF out of range");
+        assert!(lwd.output_junction.femtofarads() > 0.3);
+    }
+
+    #[test]
+    fn cell_access_gate_is_tens_of_attofarads() {
+        let desc = ddr3_1g_x16_55nm();
+        let c = cell_access_gate(&desc.technology);
+        let ff = c.femtofarads();
+        assert!(ff > 0.01 && ff < 0.2, "cell gate {ff} fF out of range");
+    }
+
+    #[test]
+    fn buffer_loads() {
+        let desc = ddr3_1g_x16_55nm();
+        let buf = BufferDevice {
+            nmos_width: Meters::from_um(9.6),
+            pmos_width: Meters::from_um(19.2),
+        };
+        let loads = BufferLoads::new(buf, &desc.technology);
+        assert!(loads.input_gate > Farads::ZERO);
+        assert!(loads.output_junction > Farads::ZERO);
+        assert_eq!(
+            loads.total().femtofarads(),
+            (loads.input_gate + loads.output_junction).femtofarads()
+        );
+        // A 19.2/9.6 µm buffer pair presents tens of fF.
+        assert!(loads.total().femtofarads() > 10.0);
+        assert!(loads.total().femtofarads() < 100.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type for model construction and validation.
+
+use crate::params::{Axis, BlockCoord};
+
+/// Error building a [`crate::Dram`] model from a
+/// [`crate::DramDescription`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A peripheral block type appears in the floorplan sequence but has no
+    /// size entry.
+    MissingBlockSize {
+        /// Block type name.
+        name: String,
+        /// Axis on which the size is missing.
+        axis: Axis,
+    },
+    /// The floorplan has no array blocks on one of the axes.
+    NoArrayBlocks,
+    /// The number of banks implied by the floorplan grid does not match
+    /// `2^bank_address_bits` from the specification.
+    BankCountMismatch {
+        /// Banks in the floorplan grid.
+        floorplan: u32,
+        /// Banks per the specification.
+        spec: u32,
+    },
+    /// Page bits are not divisible by bits per local wordline (the page
+    /// must map onto an integer number of sub-arrays).
+    PageNotDivisible {
+        /// Page size in bits.
+        page_bits: u64,
+        /// Cells per local wordline.
+        bits_per_lwl: u32,
+    },
+    /// Rows per bank are not divisible by bits per bitline.
+    RowsNotDivisible {
+        /// Rows per bank.
+        rows: u64,
+        /// Cells per bitline.
+        bits_per_bitline: u32,
+    },
+    /// The floorplan stores fewer or more bits than the specification
+    /// addresses.
+    CapacityMismatch {
+        /// Bits implied by floorplan (banks × sub-arrays × cells).
+        floorplan_bits: u64,
+        /// Bits addressed by the specification.
+        spec_bits: u64,
+    },
+    /// A parameter is out of its physical range.
+    BadParameter {
+        /// Dotted parameter path, e.g. `"electrical.vdd"`.
+        name: &'static str,
+        /// What is wrong.
+        reason: String,
+    },
+    /// A signal segment references a block coordinate outside the floorplan
+    /// grid.
+    CoordOutOfRange {
+        /// The offending coordinate.
+        coord: BlockCoord,
+        /// Grid extent (columns, rows).
+        grid: (usize, usize),
+    },
+    /// A pattern is empty or otherwise unusable.
+    EmptyPattern,
+    /// A pattern violates a timing constraint.
+    TimingViolation {
+        /// Description of the violated constraint.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::MissingBlockSize { name, axis } => {
+                let axis = match axis {
+                    Axis::Horizontal => "horizontal",
+                    Axis::Vertical => "vertical",
+                };
+                write!(f, "no {axis} size given for peripheral block type `{name}`")
+            }
+            ModelError::NoArrayBlocks => {
+                write!(f, "floorplan contains no array blocks on at least one axis")
+            }
+            ModelError::BankCountMismatch { floorplan, spec } => write!(
+                f,
+                "floorplan grid has {floorplan} banks but the specification addresses {spec}"
+            ),
+            ModelError::PageNotDivisible { page_bits, bits_per_lwl } => write!(
+                f,
+                "page of {page_bits} bits does not divide into local wordlines of {bits_per_lwl} cells"
+            ),
+            ModelError::RowsNotDivisible { rows, bits_per_bitline } => write!(
+                f,
+                "{rows} rows per bank do not divide into bitlines of {bits_per_bitline} cells"
+            ),
+            ModelError::CapacityMismatch { floorplan_bits, spec_bits } => write!(
+                f,
+                "floorplan stores {floorplan_bits} bits but the specification addresses {spec_bits}"
+            ),
+            ModelError::BadParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ModelError::CoordOutOfRange { coord, grid } => write!(
+                f,
+                "block coordinate {coord} outside the {}x{} floorplan grid",
+                grid.0, grid.1
+            ),
+            ModelError::EmptyPattern => write!(f, "operation pattern is empty"),
+            ModelError::TimingViolation { message } => {
+                write!(f, "pattern violates timing: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::MissingBlockSize {
+            name: "P2".into(),
+            axis: Axis::Vertical,
+        };
+        assert_eq!(
+            e.to_string(),
+            "no vertical size given for peripheral block type `P2`"
+        );
+        let e = ModelError::BankCountMismatch {
+            floorplan: 4,
+            spec: 8,
+        };
+        assert!(e.to_string().contains("4 banks"));
+        assert!(e.to_string().contains("addresses 8"));
+        let e = ModelError::CoordOutOfRange {
+            coord: BlockCoord::new(9, 9),
+            grid: (7, 5),
+        };
+        assert!(e.to_string().contains("9_9"));
+        assert!(e.to_string().contains("7x5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ModelError>();
+    }
+}

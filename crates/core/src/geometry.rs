@@ -1,0 +1,498 @@
+//! Floorplan geometry: the coordinate system of §III.B.1 and Fig. 1.
+//!
+//! The die is a grid formed by crossing a horizontal sequence of block
+//! types with a vertical sequence. Array block extents are *computed* from
+//! cell pitches, stripe widths and the address organization ("The model
+//! calculates the size of the array blocks from the bitline pitch, wordline
+//! pitch and the width of bitline sense-amplifier and local wordline driver
+//! stripes"); peripheral block extents come from the description.
+//!
+//! All wire lengths used by the charge model — master wordlines, column
+//! select lines, master array datalines, and the signaling-floorplan
+//! segments — are resolved here.
+
+use dram_units::Meters;
+
+use crate::error::ModelError;
+use crate::params::{Axis, BlockCoord, DramDescription, PhysicalFloorplan, SegmentSpec};
+
+/// Resolved die geometry for one DRAM description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Geometry {
+    /// Sub-array rows per bank (stacked along the bitline direction).
+    pub sub_rows: u32,
+    /// Sub-array columns per bank (side by side along the wordline; the
+    /// span of one master wordline).
+    pub sub_cols: u32,
+    /// Sub-array extent along the wordline direction.
+    pub subarray_along_wl: Meters,
+    /// Sub-array extent along the bitline direction.
+    pub subarray_along_bl: Meters,
+    /// Array block (bank) extent along the wordline direction, including
+    /// local wordline driver stripes.
+    pub block_along_wl: Meters,
+    /// Array block extent along the bitline direction, including
+    /// sense-amplifier stripes.
+    pub block_along_bl: Meters,
+    /// Extent of each block column (x axis).
+    pub h_extents: Vec<Meters>,
+    /// Extent of each block row (y axis).
+    pub v_extents: Vec<Meters>,
+    /// Center x coordinate of each block column.
+    pub h_centers: Vec<Meters>,
+    /// Center y coordinate of each block row.
+    pub v_centers: Vec<Meters>,
+    /// Total die width.
+    pub die_width: Meters,
+    /// Total die height.
+    pub die_height: Meters,
+    /// Grid coordinates of the banks (array×array cells).
+    pub banks: Vec<BlockCoord>,
+    /// Direction bitlines run on the die.
+    pub bitline_direction: Axis,
+}
+
+impl Geometry {
+    /// Computes the geometry for a description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the floorplan is inconsistent with the
+    /// specification (bank count, capacity, divisibility) or a peripheral
+    /// block size is missing.
+    pub fn new(desc: &DramDescription) -> Result<Self, ModelError> {
+        let fp = &desc.floorplan;
+        let spec = &desc.spec;
+
+        // --- sub-array organization -----------------------------------
+        let page_bits = spec.page_bits();
+        let bits_per_lwl = u64::from(fp.bits_per_local_wordline);
+        if bits_per_lwl == 0 || !page_bits.is_multiple_of(bits_per_lwl) {
+            return Err(ModelError::PageNotDivisible {
+                page_bits,
+                bits_per_lwl: fp.bits_per_local_wordline,
+            });
+        }
+        let sub_cols =
+            u32::try_from(page_bits / bits_per_lwl).map_err(|_| ModelError::PageNotDivisible {
+                page_bits,
+                bits_per_lwl: fp.bits_per_local_wordline,
+            })?;
+
+        let rows = spec.rows_per_bank();
+        let bits_per_bl = u64::from(fp.bits_per_bitline);
+        if bits_per_bl == 0 || !rows.is_multiple_of(bits_per_bl) {
+            return Err(ModelError::RowsNotDivisible {
+                rows,
+                bits_per_bitline: fp.bits_per_bitline,
+            });
+        }
+        let sub_rows =
+            u32::try_from(rows / bits_per_bl).map_err(|_| ModelError::RowsNotDivisible {
+                rows,
+                bits_per_bitline: fp.bits_per_bitline,
+            })?;
+
+        // --- array block extents ---------------------------------------
+        let pitches_per_cell = f64::from(fp.bitline_architecture.bitline_pitches_per_cell());
+        let subarray_along_wl =
+            fp.bitline_pitch * (f64::from(fp.bits_per_local_wordline) * pitches_per_cell);
+        let subarray_along_bl = fp.wordline_pitch * f64::from(fp.bits_per_bitline);
+        let block_along_wl =
+            subarray_along_wl * f64::from(sub_cols) + fp.lwd_stripe_width * f64::from(sub_cols + 1);
+        let block_along_bl =
+            subarray_along_bl * f64::from(sub_rows) + fp.sa_stripe_width * f64::from(sub_rows + 1);
+
+        // Map array extents onto die axes.
+        let (array_w, array_h) = match fp.bitline_direction {
+            // Bitlines vertical: wordlines run horizontally, so the
+            // along-wordline extent is the block width.
+            Axis::Vertical => (block_along_wl, block_along_bl),
+            Axis::Horizontal => (block_along_bl, block_along_wl),
+        };
+
+        // --- grid ------------------------------------------------------
+        let h_extents = resolve_extents(
+            &fp.horizontal_blocks,
+            &fp.horizontal_sizes,
+            array_w,
+            Axis::Horizontal,
+        )?;
+        let v_extents = resolve_extents(
+            &fp.vertical_blocks,
+            &fp.vertical_sizes,
+            array_h,
+            Axis::Vertical,
+        )?;
+        let h_centers = centers(&h_extents);
+        let v_centers = centers(&v_extents);
+        let die_width: Meters = h_extents.iter().copied().sum();
+        let die_height: Meters = v_extents.iter().copied().sum();
+
+        let mut banks = Vec::new();
+        for (x, hname) in fp.horizontal_blocks.iter().enumerate() {
+            if !PhysicalFloorplan::is_array_type(hname) {
+                continue;
+            }
+            for (y, vname) in fp.vertical_blocks.iter().enumerate() {
+                if PhysicalFloorplan::is_array_type(vname) {
+                    banks.push(BlockCoord::new(x, y));
+                }
+            }
+        }
+        if banks.is_empty() {
+            return Err(ModelError::NoArrayBlocks);
+        }
+        let n_banks = u32::try_from(banks.len()).unwrap_or(u32::MAX);
+        if n_banks != spec.banks() {
+            return Err(ModelError::BankCountMismatch {
+                floorplan: n_banks,
+                spec: spec.banks(),
+            });
+        }
+
+        // --- capacity cross-check --------------------------------------
+        let floorplan_bits = u64::from(n_banks)
+            * u64::from(sub_rows)
+            * u64::from(sub_cols)
+            * bits_per_bl
+            * bits_per_lwl;
+        if floorplan_bits != spec.density_bits() {
+            return Err(ModelError::CapacityMismatch {
+                floorplan_bits,
+                spec_bits: spec.density_bits(),
+            });
+        }
+
+        let geom = Self {
+            sub_rows,
+            sub_cols,
+            subarray_along_wl,
+            subarray_along_bl,
+            block_along_wl,
+            block_along_bl,
+            h_extents,
+            v_extents,
+            h_centers,
+            v_centers,
+            die_width,
+            die_height,
+            banks,
+            bitline_direction: fp.bitline_direction,
+        };
+
+        // --- signaling floorplan coordinates must be on the grid --------
+        for sig in &desc.signaling.signals {
+            for seg in &sig.segments {
+                match seg {
+                    SegmentSpec::Between { from, to, .. } => {
+                        geom.check_coord(*from)?;
+                        geom.check_coord(*to)?;
+                    }
+                    SegmentSpec::Inside { at, fraction, .. } => {
+                        geom.check_coord(*at)?;
+                        if !(0.0..=1.0).contains(fraction) {
+                            return Err(ModelError::BadParameter {
+                                name: "signaling.fraction",
+                                reason: format!(
+                                    "segment fraction {fraction} of signal `{}` not in 0..=1",
+                                    sig.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(geom)
+    }
+
+    /// Grid extent as (columns, rows).
+    #[must_use]
+    pub fn grid(&self) -> (usize, usize) {
+        (self.h_extents.len(), self.v_extents.len())
+    }
+
+    fn check_coord(&self, c: BlockCoord) -> Result<(), ModelError> {
+        let (gx, gy) = self.grid();
+        if c.x >= gx || c.y >= gy {
+            return Err(ModelError::CoordOutOfRange {
+                coord: c,
+                grid: (gx, gy),
+            });
+        }
+        Ok(())
+    }
+
+    /// Center position of a block, `(x, y)` from the die's lower-left
+    /// corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid; coordinates coming
+    /// from a validated description are always in range.
+    #[must_use]
+    pub fn block_center(&self, c: BlockCoord) -> (Meters, Meters) {
+        (self.h_centers[c.x], self.v_centers[c.y])
+    }
+
+    /// Extent of a block along one axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    #[must_use]
+    pub fn block_extent(&self, c: BlockCoord, axis: Axis) -> Meters {
+        match axis {
+            Axis::Horizontal => self.h_extents[c.x],
+            Axis::Vertical => self.v_extents[c.y],
+        }
+    }
+
+    /// Manhattan distance between two block centers — the length of a
+    /// center-to-center signal segment ("Signal segments from one block to
+    /// another are assumed to extend from block center to block center").
+    #[must_use]
+    pub fn center_to_center(&self, from: BlockCoord, to: BlockCoord) -> Meters {
+        let (x0, y0) = self.block_center(from);
+        let (x1, y1) = self.block_center(to);
+        (x1 - x0).abs() + (y1 - y0).abs()
+    }
+
+    /// Resolved length of one signaling segment.
+    #[must_use]
+    pub fn segment_length(&self, seg: &SegmentSpec) -> Meters {
+        match seg {
+            SegmentSpec::Between { from, to, .. } => self.center_to_center(*from, *to),
+            SegmentSpec::Inside {
+                at, fraction, dir, ..
+            } => self.block_extent(*at, *dir) * *fraction,
+        }
+    }
+
+    /// Length of one master wordline: it spans the array block along the
+    /// wordline direction.
+    #[must_use]
+    pub fn master_wordline_length(&self) -> Meters {
+        self.block_along_wl
+    }
+
+    /// Length of one local wordline: it spans one sub-array along the
+    /// wordline direction.
+    #[must_use]
+    pub fn local_wordline_length(&self) -> Meters {
+        self.subarray_along_wl
+    }
+
+    /// Length of one bitline: it spans one sub-array along the bitline
+    /// direction.
+    #[must_use]
+    pub fn bitline_length(&self) -> Meters {
+        self.subarray_along_bl
+    }
+
+    /// Length of one column select line, possibly continuing across
+    /// several array blocks (`blocks_per_csl`).
+    #[must_use]
+    pub fn column_select_length(&self, blocks_per_csl: u32) -> Meters {
+        self.block_along_bl * f64::from(blocks_per_csl.max(1))
+    }
+
+    /// Average length of a master array dataline run: from the middle of
+    /// the array block to its column-logic edge, i.e. half the block extent
+    /// along the bitline direction on average over row positions.
+    #[must_use]
+    pub fn master_dataline_length(&self) -> Meters {
+        self.block_along_bl * 0.5
+    }
+
+    /// Length of a local array dataline: it runs in the sense-amplifier
+    /// stripe across one sub-array along the wordline direction.
+    #[must_use]
+    pub fn local_dataline_length(&self) -> Meters {
+        self.subarray_along_wl
+    }
+
+    /// Die area.
+    #[must_use]
+    pub fn die_area(&self) -> dram_units::SquareMeters {
+        self.die_width * self.die_height
+    }
+}
+
+/// Resolves the per-column (or per-row) extents of the block grid.
+fn resolve_extents(
+    names: &[String],
+    sizes: &std::collections::BTreeMap<String, Meters>,
+    array_extent: Meters,
+    axis: Axis,
+) -> Result<Vec<Meters>, ModelError> {
+    if !names.iter().any(|n| PhysicalFloorplan::is_array_type(n)) {
+        return Err(ModelError::NoArrayBlocks);
+    }
+    names
+        .iter()
+        .map(|name| {
+            if PhysicalFloorplan::is_array_type(name) {
+                Ok(array_extent)
+            } else {
+                sizes
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ModelError::MissingBlockSize {
+                        name: name.clone(),
+                        axis,
+                    })
+            }
+        })
+        .collect()
+}
+
+/// Converts per-slot extents into center coordinates.
+fn centers(extents: &[Meters]) -> Vec<Meters> {
+    let mut out = Vec::with_capacity(extents.len());
+    let mut cursor = Meters::ZERO;
+    for &e in extents {
+        out.push(cursor + e * 0.5);
+        cursor += e;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm as test_ddr3_like;
+
+    #[test]
+    fn ddr3_geometry_is_consistent() {
+        let desc = test_ddr3_like();
+        let g = Geometry::new(&desc).expect("valid description");
+        // 1 Gb x16: page 16 Kb over 512-cell LWLs -> 32 sub-array columns;
+        // 8192 rows over 512-cell bitlines -> 16 sub-array rows.
+        assert_eq!(g.sub_cols, 32);
+        assert_eq!(g.sub_rows, 16);
+        assert_eq!(g.banks.len(), 8);
+        // Open bitline: sub-array width = 512 cells * 110 nm.
+        assert!((g.subarray_along_wl.micrometers() - 512.0 * 0.110).abs() < 1e-6);
+        assert!((g.subarray_along_bl.micrometers() - 512.0 * 0.165).abs() < 1e-6);
+        // Die must be bigger than the 8 banks it contains.
+        let bank_area = g.block_along_wl.meters() * g.block_along_bl.meters() * 8.0;
+        assert!(g.die_area().square_meters() > bank_area);
+        // Commodity die: tens of mm².
+        let mm2 = g.die_area().square_millimeters();
+        assert!(mm2 > 20.0 && mm2 < 200.0, "die area {mm2} mm² out of range");
+    }
+
+    #[test]
+    fn centers_are_monotonic_and_inside_die() {
+        let desc = test_ddr3_like();
+        let g = Geometry::new(&desc).expect("valid description");
+        for w in g.h_centers.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        for &c in &g.h_centers {
+            assert!(c > Meters::ZERO && c < g.die_width);
+        }
+        for &c in &g.v_centers {
+            assert!(c > Meters::ZERO && c < g.die_height);
+        }
+    }
+
+    #[test]
+    fn center_to_center_is_symmetric() {
+        let desc = test_ddr3_like();
+        let g = Geometry::new(&desc).expect("valid description");
+        let a = BlockCoord::new(0, 0);
+        let b = BlockCoord::new(2, 2);
+        assert_eq!(g.center_to_center(a, b), g.center_to_center(b, a));
+        assert_eq!(g.center_to_center(a, a), Meters::ZERO);
+    }
+
+    #[test]
+    fn wire_lengths_have_expected_relations() {
+        let desc = test_ddr3_like();
+        let g = Geometry::new(&desc).expect("valid description");
+        // The master wordline spans all sub-array columns, so it is longer
+        // than a local wordline.
+        assert!(g.master_wordline_length() > g.local_wordline_length() * 31.9);
+        // CSL spans the block along the bitline direction.
+        assert!(g.column_select_length(1) > g.bitline_length() * 15.9);
+        // Average MDQ run is half the CSL.
+        assert!(
+            (g.master_dataline_length().meters() - g.column_select_length(1).meters() / 2.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn bank_count_mismatch_is_detected() {
+        let mut desc = test_ddr3_like();
+        desc.spec.bank_address_bits = 2; // 4 banks, floorplan has 8
+                                         // Density changes too; fix rows to keep capacity consistent so the
+                                         // bank check fires first.
+        let err = Geometry::new(&desc).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::BankCountMismatch {
+                floorplan: 8,
+                spec: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_block_size_is_detected() {
+        let mut desc = test_ddr3_like();
+        desc.floorplan.horizontal_sizes.clear();
+        let err = Geometry::new(&desc).unwrap_err();
+        assert!(matches!(err, ModelError::MissingBlockSize { .. }));
+    }
+
+    #[test]
+    fn page_divisibility_is_checked() {
+        let mut desc = test_ddr3_like();
+        desc.floorplan.bits_per_local_wordline = 500; // 16384 % 500 != 0
+        let err = Geometry::new(&desc).unwrap_err();
+        assert!(matches!(err, ModelError::PageNotDivisible { .. }));
+    }
+
+    #[test]
+    fn rows_divisibility_is_checked() {
+        let mut desc = test_ddr3_like();
+        desc.floorplan.bits_per_bitline = 500;
+        let err = Geometry::new(&desc).unwrap_err();
+        assert!(matches!(err, ModelError::RowsNotDivisible { .. }));
+    }
+
+    #[test]
+    fn out_of_range_signal_coord_is_detected() {
+        use crate::params::{SegmentSpec, SignalClass, SignalSpec, WireCount};
+        let mut desc = test_ddr3_like();
+        desc.signaling.signals.push(SignalSpec {
+            name: "bogus".into(),
+            class: SignalClass::Control,
+            wires: WireCount::Explicit(1),
+            toggle_rate: 0.5,
+            segments: vec![SegmentSpec::Between {
+                from: BlockCoord::new(99, 0),
+                to: BlockCoord::new(0, 0),
+                buffer: None,
+            }],
+        });
+        let err = Geometry::new(&desc).unwrap_err();
+        assert!(matches!(err, ModelError::CoordOutOfRange { .. }));
+    }
+
+    #[test]
+    fn folded_architecture_doubles_subarray_width() {
+        let mut desc = test_ddr3_like();
+        desc.floorplan.bitline_architecture = crate::params::BitlineArchitecture::Folded;
+        let g = Geometry::new(&desc).expect("valid description");
+        let open = Geometry::new(&test_ddr3_like()).expect("valid");
+        assert!(
+            (g.subarray_along_wl.meters() - 2.0 * open.subarray_along_wl.meters()).abs() < 1e-12
+        );
+    }
+}

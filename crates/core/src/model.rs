@@ -1,0 +1,863 @@
+//! The top-level model: validation, the Fig. 4 pipeline, datasheet
+//! currents, pattern power, and energy metrics.
+//!
+//! [`Dram::new`] runs the whole flow of Fig. 4 up to the per-operation
+//! power: parse/validate the description, resolve geometry, extract wire
+//! and device capacitances, book per-operation charges, and convert them
+//! to energies. Pattern power and IDD currents are then cheap queries.
+
+use dram_units::{Amperes, Hertz, Joules, Watts};
+
+use crate::area::AreaReport;
+use crate::charges::ChargeModel;
+use crate::error::ModelError;
+use crate::geometry::Geometry;
+use crate::params::DramDescription;
+use crate::pattern::{Command, Pattern};
+use crate::power::{static_power, Operation, OperationEnergy};
+use crate::timing::{TimedCommand, TimedPattern};
+
+/// Number of refresh commands that cover the whole device (JEDEC: 8192
+/// per refresh window).
+pub const REFRESH_COMMANDS_PER_WINDOW: u64 = 8192;
+
+/// A validated DRAM power model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    desc: DramDescription,
+    geom: Geometry,
+    activate: OperationEnergy,
+    precharge: OperationEnergy,
+    read: OperationEnergy,
+    write: OperationEnergy,
+    clock_cycle: OperationEnergy,
+}
+
+/// Average power, supply current and background share of one pattern run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSummary {
+    /// Average external power.
+    pub power: Watts,
+    /// Average external supply current (`power / Vdd`), the quantity
+    /// datasheets specify.
+    pub current: Amperes,
+    /// Background (clock + static) share of the power.
+    pub background: Watts,
+}
+
+/// The datasheet current report (Fig. 8/9 compare IDD0, IDD4R, IDD4W).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddReport {
+    /// One-bank activate/precharge loop at tRC.
+    pub idd0: Amperes,
+    /// One-bank activate/read/precharge loop at tRC.
+    pub idd1: Amperes,
+    /// Precharged standby, clock running.
+    pub idd2n: Amperes,
+    /// Precharge power-down (CKE low, banks closed).
+    pub idd2p: Amperes,
+    /// Active standby (approximated as IDD2N; the model books no DC
+    /// difference between open and closed banks).
+    pub idd3n: Amperes,
+    /// Active power-down (CKE low, bank open).
+    pub idd3p: Amperes,
+    /// Seamless read bursts.
+    pub idd4r: Amperes,
+    /// Seamless write bursts.
+    pub idd4w: Amperes,
+    /// Burst refresh at tRFC.
+    pub idd5: Amperes,
+    /// Self-refresh.
+    pub idd6: Amperes,
+    /// Bank-interleaved activate/read/precharge at maximum rate.
+    pub idd7: Amperes,
+}
+
+/// Names one datasheet current of an [`IddReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IddKind {
+    /// Activate/precharge loop current.
+    Idd0,
+    /// Activate/read/precharge loop current.
+    Idd1,
+    /// Precharged standby current.
+    Idd2n,
+    /// Precharge power-down current.
+    Idd2p,
+    /// Active standby current.
+    Idd3n,
+    /// Active power-down current.
+    Idd3p,
+    /// Burst read current.
+    Idd4r,
+    /// Burst write current.
+    Idd4w,
+    /// Burst refresh current.
+    Idd5,
+    /// Self-refresh current.
+    Idd6,
+    /// Interleaved activate/read/precharge current.
+    Idd7,
+}
+
+impl IddKind {
+    /// All kinds in datasheet order.
+    pub const ALL: [IddKind; 11] = [
+        IddKind::Idd0,
+        IddKind::Idd1,
+        IddKind::Idd2n,
+        IddKind::Idd2p,
+        IddKind::Idd3n,
+        IddKind::Idd3p,
+        IddKind::Idd4r,
+        IddKind::Idd4w,
+        IddKind::Idd5,
+        IddKind::Idd6,
+        IddKind::Idd7,
+    ];
+
+    /// The datasheet symbol.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            IddKind::Idd0 => "IDD0",
+            IddKind::Idd1 => "IDD1",
+            IddKind::Idd2n => "IDD2N",
+            IddKind::Idd2p => "IDD2P",
+            IddKind::Idd3n => "IDD3N",
+            IddKind::Idd3p => "IDD3P",
+            IddKind::Idd4r => "IDD4R",
+            IddKind::Idd4w => "IDD4W",
+            IddKind::Idd5 => "IDD5",
+            IddKind::Idd6 => "IDD6",
+            IddKind::Idd7 => "IDD7",
+        }
+    }
+}
+
+impl core::fmt::Display for IddKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl IddReport {
+    /// Looks up one current by kind.
+    #[must_use]
+    pub fn get(&self, kind: IddKind) -> Amperes {
+        match kind {
+            IddKind::Idd0 => self.idd0,
+            IddKind::Idd1 => self.idd1,
+            IddKind::Idd2n => self.idd2n,
+            IddKind::Idd2p => self.idd2p,
+            IddKind::Idd3n => self.idd3n,
+            IddKind::Idd3p => self.idd3p,
+            IddKind::Idd4r => self.idd4r,
+            IddKind::Idd4w => self.idd4w,
+            IddKind::Idd5 => self.idd5,
+            IddKind::Idd6 => self.idd6,
+            IddKind::Idd7 => self.idd7,
+        }
+    }
+}
+
+impl core::fmt::Display for IddReport {
+    /// Renders the datasheet-style current table, one symbol per line.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for kind in IddKind::ALL {
+            writeln!(
+                f,
+                "{:<6} {:>8.1} mA",
+                kind.symbol(),
+                self.get(kind).milliamperes()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Dram {
+    /// Builds and validates the model (Fig. 4 pipeline through
+    /// "calculate power of each operation").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any parameter is out of range or the
+    /// floorplan, specification and signaling are mutually inconsistent.
+    pub fn new(desc: DramDescription) -> Result<Self, ModelError> {
+        validate(&desc)?;
+        let geom = Geometry::new(&desc)?;
+        let (activate, precharge, read, write, clock_cycle) = {
+            let m = ChargeModel::new(&desc, &geom);
+            let e = &desc.electrical;
+            (
+                OperationEnergy::from_charges(Operation::Activate, &m.activate(), e),
+                OperationEnergy::from_charges(Operation::Precharge, &m.precharge(), e),
+                OperationEnergy::from_charges(Operation::Read, &m.read(), e),
+                OperationEnergy::from_charges(Operation::Write, &m.write(), e),
+                OperationEnergy::from_charges(Operation::ClockCycle, &m.clock_cycle(), e),
+            )
+        };
+        Ok(Self {
+            desc,
+            geom,
+            activate,
+            precharge,
+            read,
+            write,
+            clock_cycle,
+        })
+    }
+
+    /// The validated description.
+    #[must_use]
+    pub fn description(&self) -> &DramDescription {
+        &self.desc
+    }
+
+    /// The resolved geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Consumes the model, returning the description (e.g. to mutate and
+    /// rebuild).
+    #[must_use]
+    pub fn into_description(self) -> DramDescription {
+        self.desc
+    }
+
+    /// Itemized energy of one basic operation.
+    #[must_use]
+    pub fn operation_energy(&self, op: Operation) -> &OperationEnergy {
+        match op {
+            Operation::Activate => &self.activate,
+            Operation::Precharge => &self.precharge,
+            Operation::Read => &self.read,
+            Operation::Write => &self.write,
+            Operation::ClockCycle => &self.clock_cycle,
+        }
+    }
+
+    /// External energy of one command occurrence (nop costs only the
+    /// background cycle, which is accounted separately).
+    #[must_use]
+    pub fn command_energy(&self, cmd: Command) -> Joules {
+        match cmd {
+            Command::Activate => self.activate.external(),
+            Command::Precharge => self.precharge.external(),
+            Command::Read => self.read.external(),
+            Command::Write => self.write.external(),
+            Command::Nop => Joules::ZERO,
+        }
+    }
+
+    /// Continuous background power: clock/control/always-on logic at the
+    /// control clock plus the constant current sink.
+    #[must_use]
+    pub fn background_power(&self) -> Watts {
+        self.clock_cycle.external() * self.desc.spec.control_clock
+            + static_power(&self.desc.electrical)
+    }
+
+    /// Column command rate when streaming seamlessly: one command per
+    /// tCCD.
+    #[must_use]
+    pub fn cas_rate(&self) -> Hertz {
+        self.desc.spec.control_clock / f64::from(self.desc.timing.tccd_cycles.max(1))
+    }
+
+    /// Average power of a simple command loop (§III.B.4): each slot takes
+    /// one control-clock cycle; command energies are spread over the loop
+    /// and the background runs throughout.
+    #[must_use]
+    pub fn pattern_power(&self, pattern: &Pattern) -> PowerSummary {
+        let f = self.desc.spec.control_clock;
+        let n = pattern.len() as f64;
+        let command_energy: Joules = pattern
+            .slots()
+            .iter()
+            .map(|&c| self.command_energy(c))
+            .sum();
+        let background = self.background_power();
+        let power = background + command_energy * f / n;
+        self.summarize(power, background)
+    }
+
+    /// Like [`Self::pattern_power`], but first checks that the loop is
+    /// timing-legal when issued to a single bank at the device's control
+    /// clock.
+    ///
+    /// The paper's example `act nop wrt nop rd nop pre nop` is legal on
+    /// the SDR-era devices it illustrates but much too fast for one bank
+    /// at a DDR3 clock — this variant catches such mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TimingViolation`] naming the violated
+    /// constraint.
+    pub fn pattern_power_checked(&self, pattern: &Pattern) -> Result<PowerSummary, ModelError> {
+        let commands: Vec<TimedCommand> = pattern
+            .slots()
+            .iter()
+            .enumerate()
+            .map(|(cycle, &command)| TimedCommand {
+                cycle: cycle as u64,
+                bank: 0,
+                command,
+            })
+            .collect();
+        let timed = TimedPattern::new(commands, pattern.len() as u64)?;
+        timed.validate(
+            &self.desc.timing,
+            self.desc.spec.control_clock,
+            self.desc.spec.banks(),
+            self.desc.timing.tccd_cycles,
+            crate::timing::InitialBankState::AllClosed,
+        )?;
+        Ok(self.pattern_power(pattern))
+    }
+
+    /// Average power of a bank-annotated timed loop.
+    #[must_use]
+    pub fn timed_pattern_power(&self, pattern: &TimedPattern) -> PowerSummary {
+        let f = self.desc.spec.control_clock;
+        let loop_time = pattern.loop_cycles() as f64 / f.hertz();
+        let command_energy: Joules = pattern
+            .commands()
+            .iter()
+            .map(|c| self.command_energy(c.command))
+            .sum();
+        let background = self.background_power();
+        let power = background + command_energy * dram_units::Seconds::new(loop_time).to_hertz();
+        self.summarize(power, background)
+    }
+
+    fn summarize(&self, power: Watts, background: Watts) -> PowerSummary {
+        PowerSummary {
+            power,
+            current: power / self.desc.electrical.vdd,
+            background,
+        }
+    }
+
+    /// The standard datasheet current report.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated model: the standard loops are always
+    /// constructible from validated timing.
+    #[must_use]
+    pub fn idd(&self) -> IddReport {
+        let spec = &self.desc.spec;
+        let timing = &self.desc.timing;
+        let f = spec.control_clock;
+        let vdd = self.desc.electrical.vdd;
+        let background = self.background_power();
+        let idd2n = background / vdd;
+
+        let idd0 = {
+            let p = TimedPattern::idd0(timing, f).expect("validated timing builds IDD0");
+            self.timed_pattern_power(&p).current
+        };
+        let idd1 = {
+            let p = TimedPattern::idd1(timing, f).expect("validated timing builds IDD1");
+            self.timed_pattern_power(&p).current
+        };
+        let idd4r = {
+            let p = TimedPattern::idd4(Command::Read, timing.tccd_cycles, spec.banks())
+                .expect("validated timing builds IDD4R");
+            self.timed_pattern_power(&p).current
+        };
+        let idd4w = {
+            let p = TimedPattern::idd4(Command::Write, timing.tccd_cycles, spec.banks())
+                .expect("validated timing builds IDD4W");
+            self.timed_pattern_power(&p).current
+        };
+        let idd5 = {
+            let total_rows = u64::from(spec.banks()) * spec.rows_per_bank();
+            let rows_per_refresh = (total_rows / REFRESH_COMMANDS_PER_WINDOW).max(1) as f64;
+            let refresh_energy =
+                (self.activate.external() + self.precharge.external()) * rows_per_refresh;
+            let p = background + Watts::new(refresh_energy.joules() / timing.trfc.seconds());
+            p / vdd
+        };
+        let idd7 = {
+            let p = TimedPattern::idd7(timing, f, spec.banks(), timing.tccd_cycles)
+                .expect("validated timing builds IDD7");
+            self.timed_pattern_power(&p).current
+        };
+
+        let idd2p = self.state_power(crate::lowpower::PowerState::PrechargePowerDown) / vdd;
+        let idd6 = self.state_power(crate::lowpower::PowerState::SelfRefresh) / vdd;
+
+        IddReport {
+            idd0,
+            idd1,
+            idd2n,
+            idd2p,
+            idd3n: idd2n,
+            idd3p: idd2p,
+            idd4r,
+            idd4w,
+            idd5,
+            idd6,
+            idd7,
+        }
+    }
+
+    /// The paper's sensitivity workload: an IDD7-style interleaved loop
+    /// "but with half of the read operations replaced by write operations"
+    /// (§IV.B).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated model.
+    #[must_use]
+    pub fn mixed_workload(&self) -> TimedPattern {
+        let spec = &self.desc.spec;
+        let timing = &self.desc.timing;
+        let base = TimedPattern::idd7(timing, spec.control_clock, spec.banks(), timing.tccd_cycles)
+            .expect("validated timing builds IDD7");
+        let commands: Vec<TimedCommand> = base
+            .commands()
+            .iter()
+            .map(|c| {
+                if c.command == Command::Read && c.bank % 2 == 1 {
+                    TimedCommand {
+                        command: Command::Write,
+                        ..*c
+                    }
+                } else {
+                    *c
+                }
+            })
+            .collect();
+        TimedPattern::new(commands, base.loop_cycles()).expect("same loop stays valid")
+    }
+
+    /// Power of the mixed activate/read/write/precharge workload used for
+    /// the sensitivity Pareto (Fig. 10, Table III).
+    #[must_use]
+    pub fn mixed_workload_power(&self) -> PowerSummary {
+        self.timed_pattern_power(&self.mixed_workload())
+    }
+
+    /// Energy per transferred bit while streaming column accesses with the
+    /// row already open (the paper's IDD4-style metric: "only the energy
+    /// of the read and write in the DRAM logic and data wiring").
+    #[must_use]
+    pub fn energy_per_bit_streaming(&self) -> Joules {
+        let e_per_access = (self.read.external() + self.write.external()) * 0.5;
+        e_per_access / f64::from(self.desc.spec.bits_per_column_access())
+    }
+
+    /// Energy per transferred bit under the random-access IDD7-style
+    /// workload (activate/precharge interleaved with the column stream,
+    /// "to more closely replicate power consumption in a system").
+    /// Includes the background power share.
+    #[must_use]
+    pub fn energy_per_bit_random(&self) -> Joules {
+        let spec = &self.desc.spec;
+        let timing = &self.desc.timing;
+        let pattern =
+            TimedPattern::idd7(timing, spec.control_clock, spec.banks(), timing.tccd_cycles)
+                .expect("validated timing builds IDD7");
+        let summary = self.timed_pattern_power(&pattern);
+        let bits_per_loop =
+            pattern.count(Command::Read) as f64 * f64::from(spec.bits_per_column_access());
+        let loop_time = pattern.loop_cycles() as f64 / spec.control_clock.hertz();
+        let rate = dram_units::BitsPerSecond::new(bits_per_loop / loop_time);
+        summary.power / rate
+    }
+
+    /// Die area breakdown.
+    #[must_use]
+    pub fn area(&self) -> AreaReport {
+        AreaReport::new(&self.desc, &self.geom)
+    }
+}
+
+/// Validates parameter ranges that the geometry pass does not cover.
+fn validate(desc: &DramDescription) -> Result<(), ModelError> {
+    let e = &desc.electrical;
+    let bad = |name: &'static str, reason: String| ModelError::BadParameter { name, reason };
+
+    for (name, v) in [
+        ("electrical.vdd", e.vdd),
+        ("electrical.vint", e.vint),
+        ("electrical.vbl", e.vbl),
+        ("electrical.vpp", e.vpp),
+    ] {
+        if !(v.volts() > 0.0 && v.is_finite()) {
+            return Err(bad(name, format!("voltage {v} must be positive")));
+        }
+    }
+    if e.vpp <= e.vbl {
+        return Err(bad(
+            "electrical.vpp",
+            format!(
+                "wordline boost {} must exceed the bitline voltage {} for full write-back",
+                e.vpp, e.vbl
+            ),
+        ));
+    }
+    for (name, eff) in [
+        ("electrical.eff_vint", e.eff_vint),
+        ("electrical.eff_vbl", e.eff_vbl),
+        ("electrical.eff_vpp", e.eff_vpp),
+    ] {
+        if !(eff > 0.0 && eff <= 1.0) {
+            return Err(bad(name, format!("efficiency {eff} must be in (0, 1]")));
+        }
+    }
+    if e.constant_current.amperes() < 0.0 {
+        return Err(bad(
+            "electrical.constant_current",
+            "must be non-negative".into(),
+        ));
+    }
+
+    let s = &desc.spec;
+    if s.io_width == 0 || s.prefetch == 0 || s.burst_length == 0 {
+        return Err(bad(
+            "spec",
+            "io_width, prefetch and burst_length must be positive".into(),
+        ));
+    }
+    if s.control_clock.hertz() <= 0.0 || s.data_clock.hertz() <= 0.0 {
+        return Err(bad(
+            "spec.clock",
+            "clock frequencies must be positive".into(),
+        ));
+    }
+    if s.datarate_per_pin.bits_per_second() <= 0.0 {
+        return Err(bad("spec.datarate_per_pin", "must be positive".into()));
+    }
+
+    let t = &desc.timing;
+    for (name, v) in [
+        ("timing.trc", t.trc),
+        ("timing.tras", t.tras),
+        ("timing.trp", t.trp),
+        ("timing.trcd", t.trcd),
+        ("timing.trrd", t.trrd),
+        ("timing.tfaw", t.tfaw),
+        ("timing.trfc", t.trfc),
+        ("timing.trefi", t.trefi),
+    ] {
+        if v.seconds() <= 0.0 {
+            return Err(bad(name, "must be positive".into()));
+        }
+    }
+    if t.trc < t.tras {
+        return Err(bad("timing.trc", "row cycle must cover tRAS".into()));
+    }
+    if t.tfaw < t.trrd {
+        return Err(bad(
+            "timing.tfaw",
+            "four-activate window cannot be shorter than tRRD".into(),
+        ));
+    }
+    if t.tccd_cycles == 0 {
+        return Err(bad("timing.tccd_cycles", "must be positive".into()));
+    }
+
+    let tech = &desc.technology;
+    if tech.bitline_cap.farads() <= 0.0 || tech.cell_cap.farads() <= 0.0 {
+        return Err(bad(
+            "technology",
+            "bitline and cell capacitance must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&tech.bl_to_wl_cap_share) {
+        return Err(bad(
+            "technology.bl_to_wl_cap_share",
+            "must be in 0..=1".into(),
+        ));
+    }
+    if tech.bits_per_csl_per_subarray == 0 {
+        return Err(bad(
+            "technology.bits_per_csl_per_subarray",
+            "must be positive".into(),
+        ));
+    }
+    for (name, m) in [
+        ("technology.tox_logic", tech.tox_logic),
+        ("technology.tox_high_voltage", tech.tox_high_voltage),
+        ("technology.tox_cell", tech.tox_cell),
+        ("technology.lmin_logic", tech.lmin_logic),
+        ("technology.lmin_high_voltage", tech.lmin_high_voltage),
+        ("floorplan.wordline_pitch", desc.floorplan.wordline_pitch),
+        ("floorplan.bitline_pitch", desc.floorplan.bitline_pitch),
+    ] {
+        if m.meters() <= 0.0 {
+            return Err(bad(name, "must be positive".into()));
+        }
+    }
+
+    for b in &desc.logic_blocks {
+        if !(b.gate_density > 0.0 && b.gate_density <= 1.0) {
+            return Err(bad(
+                "logic_block.gate_density",
+                format!("`{}` out of (0,1]", b.name),
+            ));
+        }
+        if b.toggle_rate < 0.0 {
+            return Err(bad(
+                "logic_block.toggle_rate",
+                format!("`{}` negative", b.name),
+            ));
+        }
+    }
+    for sig in &desc.signaling.signals {
+        if sig.toggle_rate < 0.0 {
+            return Err(bad(
+                "signaling.toggle_rate",
+                format!("`{}` negative", sig.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    fn model() -> Dram {
+        Dram::new(ddr3_1g_x16_55nm()).expect("reference builds")
+    }
+
+    #[test]
+    fn idd_report_has_datasheet_shape() {
+        let m = model();
+        let idd = m.idd();
+        // Ordering constraints every real datasheet satisfies.
+        assert!(
+            idd.idd0 > idd.idd2n,
+            "IDD0 {} vs IDD2N {}",
+            idd.idd0,
+            idd.idd2n
+        );
+        assert!(idd.idd4r > idd.idd0);
+        assert!(idd.idd4w > idd.idd0);
+        assert!(idd.idd7 > idd.idd0);
+        assert!(idd.idd5 > idd.idd2n);
+        // Magnitudes: DDR3 x16 class (broad guards; the datasheet crate
+        // compares against the vendor corpus).
+        let ma = |a: Amperes| a.milliamperes();
+        assert!(
+            ma(idd.idd2n) > 5.0 && ma(idd.idd2n) < 60.0,
+            "IDD2N {}",
+            idd.idd2n
+        );
+        assert!(
+            ma(idd.idd0) > 25.0 && ma(idd.idd0) < 120.0,
+            "IDD0 {}",
+            idd.idd0
+        );
+        assert!(
+            ma(idd.idd4r) > 60.0 && ma(idd.idd4r) < 300.0,
+            "IDD4R {}",
+            idd.idd4r
+        );
+        assert!(
+            ma(idd.idd4w) > 60.0 && ma(idd.idd4w) < 300.0,
+            "IDD4W {}",
+            idd.idd4w
+        );
+    }
+
+    #[test]
+    fn pattern_power_matches_manual_mix() {
+        let m = model();
+        let p = Pattern::paper_example();
+        let summary = m.pattern_power(&p);
+        let f = m.description().spec.control_clock;
+        let manual = m.background_power()
+            + (m.command_energy(Command::Activate)
+                + m.command_energy(Command::Write)
+                + m.command_energy(Command::Read)
+                + m.command_energy(Command::Precharge))
+                * f
+                / 8.0;
+        assert!((summary.power.watts() - manual.watts()).abs() < 1e-12);
+        assert!(summary.power > summary.background);
+    }
+
+    #[test]
+    fn idd_kind_lookup_and_display() {
+        let m = model();
+        let idd = m.idd();
+        for kind in IddKind::ALL {
+            assert!(idd.get(kind).amperes() > 0.0, "{kind}");
+        }
+        assert_eq!(idd.get(IddKind::Idd0), idd.idd0);
+        assert_eq!(idd.get(IddKind::Idd7), idd.idd7);
+        let table = idd.to_string();
+        assert!(table.contains("IDD4R"));
+        assert!(table.contains("IDD6"));
+        assert_eq!(table.lines().count(), IddKind::ALL.len());
+    }
+
+    #[test]
+    fn checked_pattern_rejects_too_fast_loops() {
+        // The paper's 8-slot example at a DDR3-1600 clock squeezes a full
+        // row cycle into 10 ns — physically impossible for one bank.
+        let m = model();
+        let p = Pattern::paper_example();
+        let err = m.pattern_power_checked(&p).unwrap_err();
+        assert!(matches!(err, ModelError::TimingViolation { .. }), "{err}");
+
+        // At an SDR-era clock (and burst occupancy) the same loop is
+        // legal — the configuration the paper's example illustrates.
+        let mut desc = ddr3_1g_x16_55nm();
+        desc.spec.control_clock = dram_units::Hertz::from_mhz(100.0);
+        desc.spec.data_clock = desc.spec.control_clock;
+        desc.spec.prefetch = 4;
+        desc.spec.burst_length = 4;
+        desc.timing.tccd_cycles = 2;
+        let slow = Dram::new(desc).expect("valid");
+        let summary = slow.pattern_power_checked(&p).expect("legal at 100 MHz");
+        assert!(summary.power > summary.background);
+    }
+
+    #[test]
+    fn all_nop_pattern_is_background_only() {
+        let m = model();
+        let p = Pattern::parse("nop nop nop nop").expect("parses");
+        let s = m.pattern_power(&p);
+        assert!((s.power.watts() - m.background_power().watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_per_bit_ordering_and_magnitude() {
+        let m = model();
+        let streaming = m.energy_per_bit_streaming();
+        let random = m.energy_per_bit_random();
+        // Random access pays activate/precharge on top of the stream.
+        assert!(random > streaming);
+        // DDR3-class core energy: a few pJ/bit streaming, tens random.
+        let pj = streaming.picojoules();
+        assert!(pj > 0.5 && pj < 20.0, "streaming {pj} pJ/bit");
+        let pj = random.picojoules();
+        assert!(pj > 2.0 && pj < 100.0, "random {pj} pJ/bit");
+    }
+
+    #[test]
+    fn mixed_workload_has_reads_and_writes() {
+        let m = model();
+        let p = m.mixed_workload();
+        assert!(p.count(Command::Read) > 0);
+        assert!(p.count(Command::Write) > 0);
+        assert_eq!(
+            p.count(Command::Read) + p.count(Command::Write),
+            p.count(Command::Activate)
+        );
+        let s = m.mixed_workload_power();
+        assert!(s.power > m.background_power());
+    }
+
+    #[test]
+    fn validation_rejects_bad_electrical() {
+        let mut d = ddr3_1g_x16_55nm();
+        d.electrical.eff_vpp = 0.0;
+        assert!(matches!(Dram::new(d), Err(ModelError::BadParameter { .. })));
+
+        let mut d = ddr3_1g_x16_55nm();
+        d.electrical.vpp = dram_units::Volts::new(1.0); // below Vbl
+        assert!(Dram::new(d).is_err());
+
+        let mut d = ddr3_1g_x16_55nm();
+        d.timing.trc = dram_units::Seconds::from_ns(10.0); // < tRAS
+        assert!(Dram::new(d).is_err());
+    }
+
+    #[test]
+    fn background_power_is_tens_of_milliwatts() {
+        let m = model();
+        let mw = m.background_power().milliwatts();
+        assert!(mw > 10.0 && mw < 100.0, "background {mw} mW");
+    }
+
+    #[test]
+    fn higher_voltage_means_more_power() {
+        let m = model();
+        let base = m.mixed_workload_power().power;
+        let mut d = ddr3_1g_x16_55nm();
+        d.electrical.vint = dram_units::Volts::new(d.electrical.vint.volts() * 1.2);
+        let m2 = Dram::new(d).expect("builds");
+        assert!(m2.mixed_workload_power().power > base);
+    }
+}
+
+/// Summary of the key extracted capacitances (Fig. 4, step "Calculate
+/// wire and device capacitances") — the intermediate artifact between
+/// the description and the charge ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitanceReport {
+    /// One local wordline (cell gates + poly wire + driver junctions +
+    /// coupling share).
+    pub local_wordline: dram_units::Farads,
+    /// One master wordline (metal wire + driver-stripe input gates +
+    /// decoder junctions).
+    pub master_wordline: dram_units::Farads,
+    /// One column select line across its shared blocks.
+    pub column_select: dram_units::Farads,
+    /// One bitline (description input, echoed for completeness).
+    pub bitline: dram_units::Farads,
+    /// One storage cell (description input).
+    pub cell: dram_units::Farads,
+    /// Per-wire capacitance of each signaling path, `(name, capacitance)`.
+    pub signal_paths: Vec<(String, dram_units::Farads)>,
+}
+
+impl Dram {
+    /// Extracts the capacitance summary for this device.
+    #[must_use]
+    pub fn capacitances(&self) -> CapacitanceReport {
+        let m = ChargeModel::new(&self.desc, &self.geom);
+        CapacitanceReport {
+            local_wordline: m.local_wordline_capacitance(),
+            master_wordline: m.master_wordline_capacitance(),
+            column_select: m.column_select_capacitance(),
+            bitline: self.desc.technology.bitline_cap,
+            cell: self.desc.technology.cell_cap,
+            signal_paths: self
+                .desc
+                .signaling
+                .signals
+                .iter()
+                .map(|s| (s.name.clone(), m.path_capacitance_per_wire(s)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod capacitance_tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn capacitance_report_is_consistent() {
+        let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+        let c = dram.capacitances();
+        // Hierarchy: cell < LWL < MWL; CSL in the MWL class.
+        assert!(c.cell < c.local_wordline);
+        assert!(c.local_wordline < c.master_wordline);
+        assert!(c.column_select.femtofarads() > 100.0);
+        assert_eq!(c.bitline, dram.description().technology.bitline_cap);
+        // Every declared signal has a path capacitance.
+        assert_eq!(
+            c.signal_paths.len(),
+            dram.description().signaling.signals.len()
+        );
+        for (name, cap) in &c.signal_paths {
+            assert!(cap.femtofarads() > 1.0, "{name}: {cap}");
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! The DRAM description: every parameter of Table I of the paper, grouped
+//! exactly as the paper groups them — physical floorplan, signaling
+//! floorplan, specification, basic electrical information, technology, and
+//! miscellaneous logic blocks.
+//!
+//! A [`DramDescription`] is pure data. Validation and all derived geometry
+//! live in [`crate::geometry`] and [`crate::Dram`]; the description can
+//! therefore be freely mutated (the sensitivity crate perturbs individual
+//! fields) and only re-validated when a model is built from it.
+
+use std::collections::BTreeMap;
+
+use dram_units::{Amperes, BitsPerSecond, Farads, FaradsPerMeter, Hertz, Meters, Seconds, Volts};
+
+/// Complete description of one DRAM device: the input of the power model
+/// (the paper's §III.B input file, Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramDescription {
+    /// Human-readable device name, e.g. `"1Gb DDR3 x16 55nm"`.
+    pub name: String,
+    /// Physical device floorplan (§III.B.1).
+    pub floorplan: PhysicalFloorplan,
+    /// Signaling floorplan: the long buses and their re-drivers (§III.B.2).
+    pub signaling: SignalingFloorplan,
+    /// Process technology parameters (§III.B.3).
+    pub technology: Technology,
+    /// Basic electrical information: voltage domains and generator
+    /// efficiencies.
+    pub electrical: Electrical,
+    /// Interface specification (§III.B.4).
+    pub spec: Specification,
+    /// Row/column timing used to build operation patterns.
+    pub timing: Timing,
+    /// Miscellaneous peripheral logic blocks (§III.B.5) — the model's fit
+    /// parameters.
+    pub logic_blocks: Vec<LogicBlock>,
+}
+
+/// Axis of a wire or block arrangement on the die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Horizontal: parallel to the center pad row.
+    Horizontal,
+    /// Vertical: perpendicular to the center pad row.
+    Vertical,
+}
+
+impl Axis {
+    /// The other axis.
+    #[must_use]
+    pub fn perpendicular(self) -> Self {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+}
+
+/// Bitline/cell architecture of the array (Table II transitions move
+/// devices from folded 8F² to open 6F² and onward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitlineArchitecture {
+    /// Folded bitline, 8F² cell: true and complement bitline run side by
+    /// side in the same sub-array; cells sit at every other
+    /// bitline/wordline crossing; the sense-amplifier carries bitline
+    /// multiplexer devices.
+    Folded,
+    /// Open bitline, 6F² cell: the complement (reference) bitline lies in
+    /// the adjacent sub-array; cells sit at every crossing.
+    Open,
+    /// Vertical-access-transistor 4F² cell with open bitlines (the
+    /// 40 nm → 36 nm disruption of Table II).
+    Vertical4F2,
+}
+
+impl BitlineArchitecture {
+    /// Cell area in units of F² (squared feature size).
+    #[must_use]
+    pub fn cell_area_f2(self) -> f64 {
+        match self {
+            BitlineArchitecture::Folded => 8.0,
+            BitlineArchitecture::Open => 6.0,
+            BitlineArchitecture::Vertical4F2 => 4.0,
+        }
+    }
+
+    /// Number of bitline pitches occupied by one cell along the wordline.
+    #[must_use]
+    pub fn bitline_pitches_per_cell(self) -> u32 {
+        match self {
+            BitlineArchitecture::Folded => 2,
+            BitlineArchitecture::Open | BitlineArchitecture::Vertical4F2 => 1,
+        }
+    }
+
+    /// Whether the sense-amplifier stripe carries bitline multiplexer
+    /// devices (folded-bitline only, see Table I).
+    #[must_use]
+    pub fn has_bitline_mux(self) -> bool {
+        matches!(self, BitlineArchitecture::Folded)
+    }
+}
+
+/// §III.B.1 — physical floorplan.
+///
+/// The die is a grid: a sequence of block columns (left→right) crossed with
+/// a sequence of block rows (bottom→top), exactly the coordinate system the
+/// paper establishes ("blocks are numbered 0 to 6 in horizontal direction
+/// and 0 to 4 in vertical direction"). Block types whose name starts with
+/// `A` are array blocks; grid cells that are array-typed on **both** axes
+/// are banks. Array block dimensions are *computed* from the cell pitches,
+/// stripe widths and the address organization; peripheral block dimensions
+/// are given here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalFloorplan {
+    /// Direction in which bitlines run. `Vertical` matches Fig. 1 (pad row
+    /// horizontal through the center stripe).
+    pub bitline_direction: Axis,
+    /// Cells per bitline (256–512 in commodity parts).
+    pub bits_per_bitline: u32,
+    /// Cells per local wordline (sub-wordline).
+    pub bits_per_local_wordline: u32,
+    /// Folded or open bitline architecture.
+    pub bitline_architecture: BitlineArchitecture,
+    /// Number of array blocks sharing one column select line (CSL wiring
+    /// continues across this many blocks).
+    pub blocks_per_csl: u32,
+    /// Wordline pitch (spacing of adjacent wordlines, i.e. cell pitch along
+    /// the bitline).
+    pub wordline_pitch: Meters,
+    /// Bitline pitch (spacing of adjacent bitlines).
+    pub bitline_pitch: Meters,
+    /// Width of the bitline sense-amplifier stripe.
+    pub sa_stripe_width: Meters,
+    /// Width of the local (sub-)wordline driver stripe.
+    pub lwd_stripe_width: Meters,
+    /// Block-type sequence along the horizontal axis, e.g.
+    /// `["A1", "P1", "A1", "P1", "A1", "P1", "A1"]`.
+    pub horizontal_blocks: Vec<String>,
+    /// Block-type sequence along the vertical axis, e.g.
+    /// `["A1", "P1", "P2", "P1", "A1"]`.
+    pub vertical_blocks: Vec<String>,
+    /// Widths of peripheral block types appearing in
+    /// [`Self::horizontal_blocks`]. Array block widths are computed.
+    pub horizontal_sizes: BTreeMap<String, Meters>,
+    /// Heights of peripheral block types appearing in
+    /// [`Self::vertical_blocks`]. Array block heights are computed.
+    pub vertical_sizes: BTreeMap<String, Meters>,
+}
+
+impl PhysicalFloorplan {
+    /// Returns `true` if the named block type is an array block.
+    ///
+    /// By convention (and matching the paper's `A1` notation) array block
+    /// type names start with `A`.
+    #[must_use]
+    pub fn is_array_type(name: &str) -> bool {
+        name.starts_with('A')
+    }
+}
+
+/// Identifies one bus in the signaling floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalClass {
+    /// Write data from the interface to the banks.
+    WriteData,
+    /// Read data from the banks to the interface.
+    ReadData,
+    /// Row address from the control logic to the row decoders.
+    RowAddress,
+    /// Column address to the column decoders.
+    ColumnAddress,
+    /// Bank address.
+    BankAddress,
+    /// Miscellaneous control signals.
+    Control,
+    /// Clock distribution.
+    Clock,
+}
+
+impl SignalClass {
+    /// All signal classes, for iteration/coverage checks.
+    pub const ALL: [SignalClass; 7] = [
+        SignalClass::WriteData,
+        SignalClass::ReadData,
+        SignalClass::RowAddress,
+        SignalClass::ColumnAddress,
+        SignalClass::BankAddress,
+        SignalClass::Control,
+        SignalClass::Clock,
+    ];
+}
+
+/// Grid coordinate of a block in the physical floorplan: `(x, y)` indices
+/// into the horizontal and vertical block sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockCoord {
+    /// Index into [`PhysicalFloorplan::horizontal_blocks`].
+    pub x: usize,
+    /// Index into [`PhysicalFloorplan::vertical_blocks`].
+    pub y: usize,
+}
+
+impl BlockCoord {
+    /// Creates a coordinate; mirrors the paper's `0_2` notation.
+    #[must_use]
+    pub fn new(x: usize, y: usize) -> Self {
+        Self { x, y }
+    }
+}
+
+impl core::fmt::Display for BlockCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}_{}", self.x, self.y)
+    }
+}
+
+/// A re-driver (buffer) inserted into a signal wire segment, described by
+/// the widths of its output devices (Table I: "Width of NMOS/PMOS of buffer
+/// in signal wire segment").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferDevice {
+    /// Gate width of the NMOS pull-down.
+    pub nmos_width: Meters,
+    /// Gate width of the PMOS pull-up.
+    pub pmos_width: Meters,
+}
+
+/// One wire segment of a signal path (§III.B.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentSpec {
+    /// A segment running from the center of one block to the center of
+    /// another ("Signal segments from one block to another are assumed to
+    /// extend from block center to block center").
+    Between {
+        /// Source block.
+        from: BlockCoord,
+        /// Destination block.
+        to: BlockCoord,
+        /// Optional re-driver at the head of the segment.
+        buffer: Option<BufferDevice>,
+    },
+    /// A segment inside a single block, with length given as a fraction of
+    /// the block extent along `dir` ("segments inside one block need to
+    /// have their relative length with respect to the block and their
+    /// direction defined").
+    Inside {
+        /// The containing block.
+        at: BlockCoord,
+        /// Fraction (0..=1) of the block extent along `dir`.
+        fraction: f64,
+        /// Direction of the wire run.
+        dir: Axis,
+        /// Optional re-driver at the head of the segment.
+        buffer: Option<BufferDevice>,
+        /// Optional serialization/deserialization ratio realized at this
+        /// segment (the `mux=1:8` of the paper's example). The wire count
+        /// downstream of this segment is multiplied by the ratio.
+        mux: Option<u32>,
+    },
+}
+
+/// Number of parallel wires carried by a signal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireCount {
+    /// Explicit wire count.
+    Explicit(u32),
+    /// One wire per DQ pin (resolved from the specification).
+    PerIo,
+    /// One wire per row address bit.
+    RowAddressBits,
+    /// One wire per column address bit.
+    ColumnAddressBits,
+    /// One wire per bank address bit.
+    BankAddressBits,
+    /// One wire per miscellaneous control signal.
+    ControlSignals,
+    /// One wire per clock wire on die.
+    ClockWires,
+}
+
+/// A named signal path: an ordered run of wire segments from source to
+/// destination, with a toggle rate relative to the path's base event rate
+/// (Table I: "Rate of toggling of signal wire segment").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSpec {
+    /// Path name, e.g. `"DataW"` in the paper's example.
+    pub name: String,
+    /// Which bus this is; determines when it toggles and at what frequency.
+    pub class: SignalClass,
+    /// Number of parallel wires.
+    pub wires: WireCount,
+    /// Activity factor: average fraction of wires toggling per event.
+    pub toggle_rate: f64,
+    /// The wire segments, in signal-flow order.
+    pub segments: Vec<SegmentSpec>,
+}
+
+/// §III.B.2 — the signaling floorplan: all modeled long-wire buses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SignalingFloorplan {
+    /// The signal paths.
+    pub signals: Vec<SignalSpec>,
+}
+
+impl SignalingFloorplan {
+    /// Returns all paths of a given class.
+    pub fn of_class(&self, class: SignalClass) -> impl Iterator<Item = &SignalSpec> {
+        self.signals.iter().filter(move |s| s.class == class)
+    }
+}
+
+/// A transistor described by gate width and length (the form every device
+/// parameter of Table I takes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceGeometry {
+    /// Gate width.
+    pub width: Meters,
+    /// Gate length.
+    pub length: Meters,
+}
+
+impl DeviceGeometry {
+    /// Creates a device geometry from width and length in micrometers.
+    #[must_use]
+    pub fn from_um(width_um: f64, length_um: f64) -> Self {
+        Self {
+            width: Meters::from_um(width_um),
+            length: Meters::from_um(length_um),
+        }
+    }
+
+    /// Gate area `W × L`.
+    #[must_use]
+    pub fn gate_area(&self) -> dram_units::SquareMeters {
+        self.width * self.length
+    }
+}
+
+/// §III.B.3 — the 39 technology parameters of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    // --- oxides ---
+    /// Gate oxide thickness of general logic transistors (equivalent SiO₂).
+    pub tox_logic: Meters,
+    /// Gate oxide thickness of high-voltage (Vpp domain) transistors.
+    pub tox_high_voltage: Meters,
+    /// Gate oxide thickness of the cell access transistor.
+    pub tox_cell: Meters,
+    // --- logic devices ---
+    /// Minimum gate length of general logic transistors.
+    pub lmin_logic: Meters,
+    /// Junction capacitance per gate width of general logic transistors.
+    pub junction_cap_logic: FaradsPerMeter,
+    /// Minimum gate length of high-voltage transistors.
+    pub lmin_high_voltage: Meters,
+    /// Junction capacitance per gate width of high-voltage transistors.
+    pub junction_cap_high_voltage: FaradsPerMeter,
+    // --- cell ---
+    /// Gate length of the cell access transistor.
+    pub cell_access_length: Meters,
+    /// Gate width of the cell access transistor.
+    pub cell_access_width: Meters,
+    /// Total bitline capacitance.
+    pub bitline_cap: Farads,
+    /// Storage cell capacitance.
+    pub cell_cap: Farads,
+    /// Share of the bitline capacitance that couples to the wordline
+    /// (charged to Vpp as the wordline rises).
+    pub bl_to_wl_cap_share: f64,
+    /// Bits (sense-amplifiers) connected per column select line in each
+    /// sub-array.
+    pub bits_per_csl_per_subarray: u32,
+    // --- row path ---
+    /// Specific wire capacitance of the master wordline.
+    pub c_wire_mwl: FaradsPerMeter,
+    /// Pre-decode ratio of the master wordline (fraction of decoder nodes
+    /// toggling per row access; Table I "Pre-decode ratio master wordline").
+    pub mwl_predecode_ratio: f64,
+    /// Master wordline decoder pull-down NMOS width.
+    pub mwl_decoder_nmos_width: Meters,
+    /// Master wordline decoder PMOS width.
+    pub mwl_decoder_pmos_width: Meters,
+    /// Average amount of switching of the master wordline decoder per row
+    /// operation (Table I).
+    pub mwl_decoder_switching: f64,
+    /// Wordline controller load NMOS gate width.
+    pub wl_controller_nmos_width: Meters,
+    /// Wordline controller load PMOS gate width.
+    pub wl_controller_pmos_width: Meters,
+    /// Sub-wordline (local wordline) driver NMOS width.
+    pub swd_nmos_width: Meters,
+    /// Sub-wordline driver PMOS width.
+    pub swd_pmos_width: Meters,
+    /// Sub-wordline driver restore (keeper) NMOS width.
+    pub swd_restore_nmos_width: Meters,
+    /// Specific wire capacitance of the sub-wordline (gate poly plus strap).
+    pub c_wire_lwl: FaradsPerMeter,
+    // --- sense amplifier devices (Fig. 2) ---
+    /// NMOS sense pair device.
+    pub sa_nmos_sense: DeviceGeometry,
+    /// PMOS sense pair device.
+    pub sa_pmos_sense: DeviceGeometry,
+    /// Equalize devices (three per sense amplifier).
+    pub sa_equalize: DeviceGeometry,
+    /// Bit switch (column select) devices.
+    pub sa_bit_switch: DeviceGeometry,
+    /// Bitline multiplexer devices (folded bitline only).
+    pub sa_bitline_mux: DeviceGeometry,
+    /// NMOS set (NSET driver) devices, per stripe.
+    pub sa_nset: DeviceGeometry,
+    /// PMOS set (PSET driver) devices, per stripe.
+    pub sa_pset: DeviceGeometry,
+    // --- wiring ---
+    /// Specific wire capacitance of general signaling wires.
+    pub c_wire_signal: FaradsPerMeter,
+}
+
+/// Basic electrical information: the four voltage domains of §III.A and the
+/// generator/pump efficiencies converting them to external supply power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Electrical {
+    /// External supply voltage Vdd.
+    pub vdd: Volts,
+    /// Voltage used for general logic (Vint), regulated from or tied to Vdd.
+    pub vint: Volts,
+    /// Bitline (cell array) voltage Vbl.
+    pub vbl: Volts,
+    /// Boosted wordline voltage Vpp.
+    pub vpp: Volts,
+    /// Charge-transfer efficiency of the Vint regulator: output charge
+    /// over input charge drawn from Vdd. `1.0` means Vint is directly
+    /// connected to Vdd.
+    pub eff_vint: f64,
+    /// Charge-transfer efficiency of the Vbl supply.
+    pub eff_vbl: f64,
+    /// Charge-transfer efficiency of the Vpp charge pump (a lossless
+    /// n-stage pump has 1/n; typical realized values are 0.15–0.25).
+    pub eff_vpp: f64,
+    /// Constant current sink from Vdd (reference currents, power system;
+    /// Table I).
+    pub constant_current: Amperes,
+}
+
+/// §III.B.4 — the interface specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Specification {
+    /// Number of DQ pins (I/O width).
+    pub io_width: u32,
+    /// Data rate per DQ pin.
+    pub datarate_per_pin: BitsPerSecond,
+    /// Number of clock wires on die.
+    pub clock_wires: u32,
+    /// Data clock frequency.
+    pub data_clock: Hertz,
+    /// Control (command/address) clock frequency.
+    pub control_clock: Hertz,
+    /// Number of bank address bits.
+    pub bank_address_bits: u32,
+    /// Number of row address bits.
+    pub row_address_bits: u32,
+    /// Number of column address bits.
+    pub column_address_bits: u32,
+    /// Number of miscellaneous control signals.
+    pub control_signals: u32,
+    /// Prefetch: internal bits transferred per DQ per column access
+    /// (1 for SDR, 2 for DDR, 4 for DDR2, 8 for DDR3, …).
+    pub prefetch: u32,
+    /// Burst length in beats on the interface.
+    pub burst_length: u32,
+}
+
+impl Specification {
+    /// Number of banks, `2^bank_address_bits`.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        1 << self.bank_address_bits
+    }
+
+    /// Rows per bank, `2^row_address_bits`.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> u64 {
+        1 << self.row_address_bits
+    }
+
+    /// Page size in bits: `2^column_address_bits × io_width`.
+    #[must_use]
+    pub fn page_bits(&self) -> u64 {
+        (1u64 << self.column_address_bits) * u64::from(self.io_width)
+    }
+
+    /// Total device density in bits.
+    #[must_use]
+    pub fn density_bits(&self) -> u64 {
+        u64::from(self.banks()) * self.rows_per_bank() * self.page_bits()
+    }
+
+    /// Bits moved through the core per column command (`io_width ×
+    /// prefetch`).
+    #[must_use]
+    pub fn bits_per_column_access(&self) -> u32 {
+        self.io_width * self.prefetch
+    }
+
+    /// Peak interface bandwidth, all DQ pins together.
+    #[must_use]
+    pub fn peak_bandwidth(&self) -> BitsPerSecond {
+        self.datarate_per_pin * f64::from(self.io_width)
+    }
+}
+
+/// Row/column timing parameters used to construct operation patterns and
+/// refresh behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timing {
+    /// Row cycle time tRC (activate-to-activate, same bank).
+    pub trc: Seconds,
+    /// Activate-to-precharge tRAS.
+    pub tras: Seconds,
+    /// Precharge time tRP.
+    pub trp: Seconds,
+    /// Activate-to-column tRCD.
+    pub trcd: Seconds,
+    /// Activate-to-activate, different banks, tRRD.
+    pub trrd: Seconds,
+    /// Four-activate window tFAW: at most four activates within it
+    /// (limits how hard interleaving can drive the shared row machinery
+    /// and the Vpp pump).
+    pub tfaw: Seconds,
+    /// Refresh cycle time tRFC.
+    pub trfc: Seconds,
+    /// Average periodic refresh interval tREFI.
+    pub trefi: Seconds,
+    /// Column-to-column delay in control-clock cycles (tCCD).
+    pub tccd_cycles: u32,
+}
+
+/// Operations during which a logic block is active (Table I: "Operation(s)
+/// during which logic block is active").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActiveDuring {
+    /// Toggles continuously whenever the clock runs (background power).
+    pub always: bool,
+    /// Toggles during an activate command.
+    pub activate: bool,
+    /// Toggles during a precharge command.
+    pub precharge: bool,
+    /// Toggles during a read command.
+    pub read: bool,
+    /// Toggles during a write command.
+    pub write: bool,
+}
+
+impl ActiveDuring {
+    /// Active only as continuous background.
+    pub const ALWAYS: Self = Self {
+        always: true,
+        activate: false,
+        precharge: false,
+        read: false,
+        write: false,
+    };
+
+    /// Active during row operations (activate and precharge).
+    pub const ROW_OPS: Self = Self {
+        always: false,
+        activate: true,
+        precharge: true,
+        read: false,
+        write: false,
+    };
+
+    /// Active during column operations (read and write).
+    pub const COLUMN_OPS: Self = Self {
+        always: false,
+        activate: false,
+        precharge: false,
+        read: true,
+        write: true,
+    };
+}
+
+/// §III.B.5 — a miscellaneous peripheral logic block. The gate counts are
+/// the model's fit parameters against datasheet power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicBlock {
+    /// Block name, e.g. `"command decode"`.
+    pub name: String,
+    /// Number of gates in the block.
+    pub gates: u32,
+    /// Average NMOS gate width in the block.
+    pub avg_nmos_width: Meters,
+    /// Average PMOS gate width in the block.
+    pub avg_pmos_width: Meters,
+    /// Average number of transistors per gate.
+    pub transistors_per_gate: f64,
+    /// Layout density: fraction of block area covered with transistor
+    /// gates.
+    pub gate_density: f64,
+    /// Wiring density: fraction of block area covered with local wiring.
+    pub wiring_density: f64,
+    /// When the block is active.
+    pub active_during: ActiveDuring,
+    /// Rate of toggling relative to the control clock (activity factor).
+    pub toggle_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specification_derived_quantities() {
+        // 1 Gb DDR3 x16: 3 bank bits, 13 row bits, 10 column bits.
+        let spec = Specification {
+            io_width: 16,
+            datarate_per_pin: BitsPerSecond::from_gbps(1.6),
+            clock_wires: 1,
+            data_clock: Hertz::from_mhz(800.0),
+            control_clock: Hertz::from_mhz(800.0),
+            bank_address_bits: 3,
+            row_address_bits: 13,
+            column_address_bits: 10,
+            control_signals: 10,
+            prefetch: 8,
+            burst_length: 8,
+        };
+        assert_eq!(spec.banks(), 8);
+        assert_eq!(spec.rows_per_bank(), 8192);
+        assert_eq!(spec.page_bits(), 16 * 1024);
+        assert_eq!(spec.density_bits(), 1 << 30);
+        assert_eq!(spec.bits_per_column_access(), 128);
+        assert!((spec.peak_bandwidth().gbps() - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitline_architecture_properties() {
+        assert_eq!(BitlineArchitecture::Folded.cell_area_f2(), 8.0);
+        assert_eq!(BitlineArchitecture::Open.cell_area_f2(), 6.0);
+        assert_eq!(BitlineArchitecture::Vertical4F2.cell_area_f2(), 4.0);
+        assert!(BitlineArchitecture::Folded.has_bitline_mux());
+        assert!(!BitlineArchitecture::Open.has_bitline_mux());
+        assert_eq!(BitlineArchitecture::Folded.bitline_pitches_per_cell(), 2);
+        assert_eq!(BitlineArchitecture::Open.bitline_pitches_per_cell(), 1);
+    }
+
+    #[test]
+    fn block_coord_display_matches_paper_notation() {
+        assert_eq!(BlockCoord::new(0, 2).to_string(), "0_2");
+        assert_eq!(BlockCoord::new(3, 2).to_string(), "3_2");
+    }
+
+    #[test]
+    fn axis_perpendicular() {
+        assert_eq!(Axis::Horizontal.perpendicular(), Axis::Vertical);
+        assert_eq!(Axis::Vertical.perpendicular(), Axis::Horizontal);
+    }
+
+    #[test]
+    fn array_type_naming_convention() {
+        assert!(PhysicalFloorplan::is_array_type("A1"));
+        assert!(PhysicalFloorplan::is_array_type("A2"));
+        assert!(!PhysicalFloorplan::is_array_type("P1"));
+    }
+
+    #[test]
+    fn device_geometry_area() {
+        let d = DeviceGeometry::from_um(1.0, 0.1);
+        assert!((d.gate_area().square_micrometers() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn active_during_presets() {
+        assert!(ActiveDuring::ALWAYS.always);
+        assert!(!ActiveDuring::ALWAYS.read);
+        assert!(ActiveDuring::ROW_OPS.activate && ActiveDuring::ROW_OPS.precharge);
+        assert!(ActiveDuring::COLUMN_OPS.read && ActiveDuring::COLUMN_OPS.write);
+        assert!(!ActiveDuring::COLUMN_OPS.activate);
+    }
+}

@@ -1,0 +1,617 @@
+//! Bank-level timing validation and standard datasheet patterns.
+//!
+//! "Concurrent operation of banks is ... limited to that portion of an
+//! operation that takes place inside a bank" (§II): interleaved patterns
+//! like IDD7 are only legal if the per-bank row timings (tRC, tRAS, tRP,
+//! tRCD) and the shared-resource timings (tRRD on the row logic, tCCD on
+//! the shared data bus) hold. This module provides a cycle-accurate
+//! checker for bank-annotated command loops and constructors for the
+//! standard datasheet loops (IDD0, IDD4R/W, IDD7).
+
+use dram_units::Hertz;
+
+use crate::error::ModelError;
+use crate::params::Timing;
+use crate::pattern::Command;
+
+/// Converts a timing parameter to clock cycles, rounding up but tolerating
+/// floating-point noise (35 ns at 800 MHz is 28 cycles, not 29).
+fn to_cycles(s: dram_units::Seconds, clock: Hertz) -> u64 {
+    (s.seconds() * clock.hertz() - 1e-6).ceil().max(0.0) as u64
+}
+
+/// A command scheduled at a clock cycle on a specific bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedCommand {
+    /// Cycle within the loop (0-based, strictly less than the loop
+    /// length).
+    pub cycle: u64,
+    /// Bank index.
+    pub bank: u32,
+    /// The command.
+    pub command: Command,
+}
+
+/// Initial bank state assumed when checking a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialBankState {
+    /// All banks precharged (IDD0-style loops).
+    AllClosed,
+    /// All banks open (IDD4-style loops, rows activated beforehand).
+    AllOpen,
+}
+
+/// A repeating, bank-annotated command loop at the control clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedPattern {
+    commands: Vec<TimedCommand>,
+    loop_cycles: u64,
+}
+
+impl TimedPattern {
+    /// Creates a timed pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPattern`] if the loop has no cycles, and
+    /// [`ModelError::BadParameter`] if a command lies outside the loop or
+    /// the commands are not sorted by cycle.
+    pub fn new(mut commands: Vec<TimedCommand>, loop_cycles: u64) -> Result<Self, ModelError> {
+        if loop_cycles == 0 {
+            return Err(ModelError::EmptyPattern);
+        }
+        commands.retain(|c| c.command != Command::Nop);
+        for c in &commands {
+            if c.cycle >= loop_cycles {
+                return Err(ModelError::BadParameter {
+                    name: "timed_pattern",
+                    reason: format!(
+                        "command {} at cycle {} outside loop of {loop_cycles} cycles",
+                        c.command, c.cycle
+                    ),
+                });
+            }
+        }
+        commands.sort_by_key(|c| c.cycle);
+        Ok(Self {
+            commands,
+            loop_cycles,
+        })
+    }
+
+    /// The scheduled commands (nops removed), sorted by cycle.
+    #[must_use]
+    pub fn commands(&self) -> &[TimedCommand] {
+        &self.commands
+    }
+
+    /// Loop length in control-clock cycles.
+    #[must_use]
+    pub fn loop_cycles(&self) -> u64 {
+        self.loop_cycles
+    }
+
+    /// Count of a given command per loop.
+    #[must_use]
+    pub fn count(&self, cmd: Command) -> usize {
+        self.commands.iter().filter(|c| c.command == cmd).count()
+    }
+
+    /// Rate of a given command: occurrences per second at clock `f`.
+    #[must_use]
+    pub fn rate(&self, cmd: Command, clock: Hertz) -> Hertz {
+        clock * (self.count(cmd) as f64 / self.loop_cycles as f64)
+    }
+
+    /// The IDD0 loop: one activate and one precharge on bank 0, repeating
+    /// every tRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the timing rounds to a zero-length loop.
+    pub fn idd0(timing: &Timing, clock: Hertz) -> Result<Self, ModelError> {
+        let cycles = |s: dram_units::Seconds| -> u64 { to_cycles(s, clock) };
+        // Rounding tRAS and tRP up independently can exceed the rounded
+        // tRC; the loop must cover both.
+        let loop_cycles = cycles(timing.trc)
+            .max(cycles(timing.tras) + cycles(timing.trp))
+            .max(2);
+        let pre_at = cycles(timing.tras).min(loop_cycles - 1).max(1);
+        Self::new(
+            vec![
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TimedCommand {
+                    cycle: pre_at,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+            ],
+            loop_cycles,
+        )
+    }
+
+    /// The IDD1 loop: one activate, one read and one precharge on bank
+    /// 0, repeating every tRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the timing rounds to a zero-length loop.
+    pub fn idd1(timing: &Timing, clock: Hertz) -> Result<Self, ModelError> {
+        let cycles = |s: dram_units::Seconds| -> u64 { to_cycles(s, clock) };
+        let loop_cycles = cycles(timing.trc)
+            .max(cycles(timing.tras) + cycles(timing.trp))
+            .max(3);
+        let rd_at = cycles(timing.trcd).clamp(1, loop_cycles - 2);
+        let pre_at = cycles(timing.tras).clamp(rd_at + 1, loop_cycles - 1);
+        Self::new(
+            vec![
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TimedCommand {
+                    cycle: rd_at,
+                    bank: 0,
+                    command: Command::Read,
+                },
+                TimedCommand {
+                    cycle: pre_at,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+            ],
+            loop_cycles,
+        )
+    }
+
+    /// The IDD4 loop: seamless column bursts every `tccd_cycles` on
+    /// rotating banks (rows already open). `cmd` selects read (IDD4R) or
+    /// write (IDD4W).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero tCCD or bank count.
+    pub fn idd4(cmd: Command, tccd_cycles: u32, banks: u32) -> Result<Self, ModelError> {
+        if tccd_cycles == 0 || banks == 0 {
+            return Err(ModelError::BadParameter {
+                name: "idd4",
+                reason: "tCCD and bank count must be positive".into(),
+            });
+        }
+        let slots = banks.min(4);
+        let commands = (0..slots)
+            .map(|i| TimedCommand {
+                cycle: u64::from(i * tccd_cycles),
+                bank: i % banks,
+                command: cmd,
+            })
+            .collect();
+        Self::new(commands, u64::from(slots * tccd_cycles))
+    }
+
+    /// An IDD7-style loop: bank-interleaved activates at tRRD with a
+    /// column burst per activate, precharging each bank before its next
+    /// activate. With enough banks this saturates both the row and the
+    /// column machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the timing produces an empty loop.
+    pub fn idd7(
+        timing: &Timing,
+        clock: Hertz,
+        banks: u32,
+        tccd_cycles: u32,
+    ) -> Result<Self, ModelError> {
+        let cycles = |s: dram_units::Seconds| -> u64 { to_cycles(s, clock) };
+        let banks = banks.max(1);
+        // Activate spacing: limited by tRRD between banks, and by tRC/banks
+        // for re-visiting the same bank; also cannot outrun the data bus.
+        let spacing = cycles(timing.trrd)
+            .max(
+                (cycles(timing.trc).max(cycles(timing.tras) + cycles(timing.trp)))
+                    .div_ceil(u64::from(banks)),
+            )
+            // At most four activates per tFAW window.
+            .max(cycles(timing.tfaw).div_ceil(4))
+            .max(u64::from(tccd_cycles))
+            .max(1);
+        let trcd = cycles(timing.trcd).max(1);
+        let tras = cycles(timing.tras).max(trcd + 1);
+        let loop_cycles = spacing * u64::from(banks);
+        let mut commands = Vec::new();
+        for b in 0..banks {
+            let base = spacing * u64::from(b);
+            commands.push(TimedCommand {
+                cycle: base,
+                bank: b,
+                command: Command::Activate,
+            });
+            commands.push(TimedCommand {
+                cycle: (base + trcd) % loop_cycles,
+                bank: b,
+                command: Command::Read,
+            });
+            commands.push(TimedCommand {
+                cycle: (base + tras) % loop_cycles,
+                bank: b,
+                command: Command::Precharge,
+            });
+        }
+        Self::new(commands, loop_cycles)
+    }
+
+    /// Validates the loop against the per-bank and shared-resource timing
+    /// constraints, simulating three unrolled iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TimingViolation`] describing the first
+    /// violated constraint.
+    pub fn validate(
+        &self,
+        timing: &Timing,
+        clock: Hertz,
+        banks: u32,
+        tccd_cycles: u32,
+        initial: InitialBankState,
+    ) -> Result<(), ModelError> {
+        let cycles = |s: dram_units::Seconds| -> u64 { to_cycles(s, clock) };
+        let trc = cycles(timing.trc);
+        let tras = cycles(timing.tras);
+        let trp = cycles(timing.trp);
+        let trcd = cycles(timing.trcd);
+        let trrd = cycles(timing.trrd);
+        let tfaw = cycles(timing.tfaw);
+        let tccd = u64::from(tccd_cycles);
+
+        const FAR_PAST: i64 = -1_000_000;
+        #[derive(Clone, Copy)]
+        struct BankState {
+            open: bool,
+            last_act: i64,
+            last_pre: i64,
+        }
+        let open0 = matches!(initial, InitialBankState::AllOpen);
+        let mut state = vec![
+            BankState {
+                open: open0,
+                last_act: FAR_PAST,
+                last_pre: FAR_PAST
+            };
+            banks as usize
+        ];
+        let mut last_any_act: i64 = FAR_PAST;
+        let mut last_column: i64 = FAR_PAST;
+        // Issue times of the last four activates, oldest first.
+        let mut recent_acts: std::collections::VecDeque<i64> = std::collections::VecDeque::new();
+
+        let fail = |msg: String| Err(ModelError::TimingViolation { message: msg });
+
+        // Iteration 0 is a warm-up: a loop may schedule a wrapped command
+        // (e.g. the read of the last bank's activate) that only makes sense
+        // in steady state. Constraints are enforced from iteration 1 on.
+        for iteration in 0..3i64 {
+            let strict = iteration >= 1;
+            for c in &self.commands {
+                let t = iteration * self.loop_cycles as i64 + c.cycle as i64;
+                if c.bank >= banks {
+                    return fail(format!("command addresses bank {} of {banks}", c.bank));
+                }
+                let b = &mut state[c.bank as usize];
+                match c.command {
+                    Command::Activate => {
+                        if strict {
+                            if b.open {
+                                return fail(format!(
+                                    "activate to open bank {} at cycle {t}",
+                                    c.bank
+                                ));
+                            }
+                            if t - b.last_act < trc as i64 {
+                                return fail(format!(
+                                    "tRC violated on bank {} at cycle {t}",
+                                    c.bank
+                                ));
+                            }
+                            if t - b.last_pre < trp as i64 {
+                                return fail(format!(
+                                    "tRP violated on bank {} at cycle {t}",
+                                    c.bank
+                                ));
+                            }
+                            if t - last_any_act < trrd as i64 {
+                                return fail(format!("tRRD violated at cycle {t}"));
+                            }
+                            if recent_acts.len() == 4 && t - recent_acts[0] < tfaw as i64 {
+                                return fail(format!("tFAW violated at cycle {t}"));
+                            }
+                        }
+                        b.open = true;
+                        b.last_act = t;
+                        last_any_act = t;
+                        recent_acts.push_back(t);
+                        if recent_acts.len() > 4 {
+                            recent_acts.pop_front();
+                        }
+                    }
+                    Command::Precharge => {
+                        // Precharging a precharged bank is a legal no-op.
+                        if strict && b.open && t - b.last_act < tras as i64 {
+                            return fail(format!("tRAS violated on bank {} at cycle {t}", c.bank));
+                        }
+                        b.open = false;
+                        b.last_pre = t;
+                    }
+                    Command::Read | Command::Write => {
+                        if strict {
+                            if !b.open {
+                                return fail(format!(
+                                    "column access to closed bank {} at cycle {t}",
+                                    c.bank
+                                ));
+                            }
+                            if t - b.last_act < trcd as i64 && b.last_act != FAR_PAST {
+                                return fail(format!(
+                                    "tRCD violated on bank {} at cycle {t}",
+                                    c.bank
+                                ));
+                            }
+                            if t - last_column < tccd as i64 {
+                                return fail(format!("tCCD violated at cycle {t}"));
+                            }
+                        }
+                        last_column = t;
+                    }
+                    Command::Nop => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    fn fixture() -> (Timing, Hertz) {
+        let d = ddr3_1g_x16_55nm();
+        (d.timing, d.spec.control_clock)
+    }
+
+    #[test]
+    fn idd0_loop_is_valid_and_trc_long() {
+        let (t, f) = fixture();
+        let p = TimedPattern::idd0(&t, f).expect("builds");
+        // 49 ns at 800 MHz = 40 cycles.
+        assert_eq!(p.loop_cycles(), 40);
+        assert_eq!(p.count(Command::Activate), 1);
+        assert_eq!(p.count(Command::Precharge), 1);
+        p.validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .expect("IDD0 loop is legal");
+        // Activate rate is 1/tRC.
+        let rate = p.rate(Command::Activate, f);
+        assert!((rate.megahertz() - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn idd4_loop_is_seamless_and_valid() {
+        let (t, f) = fixture();
+        let p = TimedPattern::idd4(Command::Read, 4, 8).expect("builds");
+        assert_eq!(p.loop_cycles(), 16);
+        assert_eq!(p.count(Command::Read), 4);
+        p.validate(&t, f, 8, 4, InitialBankState::AllOpen)
+            .expect("IDD4R loop is legal");
+        // One read per tCCD: rate = clock/4.
+        let rate = p.rate(Command::Read, f);
+        assert!((rate.megahertz() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idd4_on_closed_banks_is_rejected() {
+        let (t, f) = fixture();
+        let p = TimedPattern::idd4(Command::Read, 4, 8).expect("builds");
+        let err = p
+            .validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .unwrap_err();
+        assert!(err.to_string().contains("closed bank"));
+    }
+
+    #[test]
+    fn idd7_loop_is_valid() {
+        let (t, f) = fixture();
+        let p = TimedPattern::idd7(&t, f, 8, 4).expect("builds");
+        p.validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .expect("IDD7 loop is legal");
+        assert_eq!(p.count(Command::Activate), 8);
+        assert_eq!(p.count(Command::Read), 8);
+        assert_eq!(p.count(Command::Precharge), 8);
+        // Activates are spaced at least tRC/8 apart, so all eight fit.
+        assert!(p.loop_cycles() >= 40);
+    }
+
+    #[test]
+    fn trc_violation_is_detected() {
+        let (t, f) = fixture();
+        // Activate + precharge squeezed into half a tRC.
+        let p = TimedPattern::new(
+            vec![
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TimedCommand {
+                    cycle: 28,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+            ],
+            20, // loop shorter than tRC=40 cycles -> impossible
+        );
+        // cycle 28 outside loop of 20 -> construction error
+        assert!(p.is_err());
+        let p = TimedPattern::new(
+            vec![
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TimedCommand {
+                    cycle: 15,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+            ],
+            20,
+        )
+        .expect("builds");
+        let err = p
+            .validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("tRC") || msg.contains("tRAS") || msg.contains("tRP"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn tccd_violation_is_detected() {
+        let (t, f) = fixture();
+        let p = TimedPattern::new(
+            vec![
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Read,
+                },
+                TimedCommand {
+                    cycle: 1,
+                    bank: 1,
+                    command: Command::Read,
+                },
+            ],
+            8,
+        )
+        .expect("builds");
+        let err = p
+            .validate(&t, f, 8, 4, InitialBankState::AllOpen)
+            .unwrap_err();
+        assert!(err.to_string().contains("tCCD"));
+    }
+
+    #[test]
+    fn tfaw_violation_is_detected() {
+        let (t, f) = fixture();
+        // Five activates on different banks at tRRD spacing (6 cycles):
+        // the fifth lands 24 cycles after the first, inside the 32-cycle
+        // tFAW window. Each bank precharges after tRAS so the loop is
+        // otherwise legal.
+        let mut cmds: Vec<TimedCommand> = Vec::new();
+        for i in 0..5u32 {
+            let base = u64::from(i) * 6;
+            cmds.push(TimedCommand {
+                cycle: base,
+                bank: i,
+                command: Command::Activate,
+            });
+            cmds.push(TimedCommand {
+                cycle: base + 30,
+                bank: i,
+                command: Command::Precharge,
+            });
+        }
+        let p = TimedPattern::new(cmds, 128).expect("builds");
+        let err = p
+            .validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .unwrap_err();
+        assert!(err.to_string().contains("tFAW"), "{err}");
+    }
+
+    #[test]
+    fn four_activates_within_the_window_are_legal() {
+        let (t, f) = fixture();
+        // Exactly four activates at tRRD spacing, next group a full tFAW
+        // later: legal.
+        let mut cmds = Vec::new();
+        for group in 0..2u64 {
+            for i in 0..4u64 {
+                let base = group * 40 + i * 6;
+                let bank = u32::try_from(group * 4 + i).expect("bank");
+                cmds.push(TimedCommand {
+                    cycle: base,
+                    bank,
+                    command: Command::Activate,
+                });
+                cmds.push(TimedCommand {
+                    cycle: base + 30,
+                    bank,
+                    command: Command::Precharge,
+                });
+            }
+        }
+        let p = TimedPattern::new(cmds, 128).expect("builds");
+        p.validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .expect("four per window is legal");
+    }
+
+    #[test]
+    fn activate_to_open_bank_is_detected() {
+        let (t, f) = fixture();
+        let p = TimedPattern::new(
+            vec![TimedCommand {
+                cycle: 0,
+                bank: 0,
+                command: Command::Activate,
+            }],
+            60,
+        )
+        .expect("builds");
+        // Second iteration activates the still-open bank.
+        let err = p
+            .validate(&t, f, 8, 4, InitialBankState::AllClosed)
+            .unwrap_err();
+        assert!(err.to_string().contains("open bank"));
+    }
+
+    #[test]
+    fn nops_are_dropped_and_commands_sorted() {
+        let p = TimedPattern::new(
+            vec![
+                TimedCommand {
+                    cycle: 5,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+                TimedCommand {
+                    cycle: 2,
+                    bank: 0,
+                    command: Command::Nop,
+                },
+                TimedCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+            ],
+            10,
+        )
+        .expect("builds");
+        assert_eq!(p.commands().len(), 2);
+        assert_eq!(p.commands()[0].command, Command::Activate);
+    }
+
+    #[test]
+    fn zero_loop_is_rejected() {
+        assert!(TimedPattern::new(vec![], 0).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The four voltage domains of a DRAM (§III.A) and conversion of
+//! internally moved charge to external supply power.
+//!
+//! Wordlines are boosted to Vpp above Vdd; the array is written at the
+//! bitline voltage Vbl; most circuitry runs at Vint; the external Vdd
+//! feeds the interface logic and the pumps/generators deriving the other
+//! rails. Each derived rail has a generator efficiency: external input
+//! power is internal power divided by that efficiency.
+
+use dram_units::{Coulombs, Joules, Volts, Watts};
+
+use crate::params::Electrical;
+
+/// One of the four modeled voltage domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoltageDomain {
+    /// Boosted wordline voltage (charge-pumped above Vdd).
+    Vpp,
+    /// Bitline / cell array voltage.
+    Vbl,
+    /// Internal logic voltage (regulated from or tied to Vdd).
+    Vint,
+    /// External supply voltage (interface circuitry, constant sinks).
+    Vdd,
+}
+
+impl VoltageDomain {
+    /// All domains, in display order.
+    pub const ALL: [VoltageDomain; 4] = [
+        VoltageDomain::Vpp,
+        VoltageDomain::Vbl,
+        VoltageDomain::Vint,
+        VoltageDomain::Vdd,
+    ];
+
+    /// The rail voltage of this domain.
+    #[must_use]
+    pub fn voltage(self, e: &Electrical) -> Volts {
+        match self {
+            VoltageDomain::Vpp => e.vpp,
+            VoltageDomain::Vbl => e.vbl,
+            VoltageDomain::Vint => e.vint,
+            VoltageDomain::Vdd => e.vdd,
+        }
+    }
+
+    /// Generator/pump efficiency converting external power into this rail
+    /// (1.0 for the external rail itself).
+    #[must_use]
+    pub fn efficiency(self, e: &Electrical) -> f64 {
+        match self {
+            VoltageDomain::Vpp => e.eff_vpp,
+            VoltageDomain::Vbl => e.eff_vbl,
+            VoltageDomain::Vint => e.eff_vint,
+            VoltageDomain::Vdd => 1.0,
+        }
+    }
+
+    /// External supply energy needed to deliver charge `q` out of this
+    /// rail.
+    ///
+    /// Following the paper's accounting ("the power of each basic
+    /// operation is calculated by multiplying the current with the
+    /// external supply voltage and in case of derived voltages the
+    /// generator or pump efficiency factor"), generators are
+    /// charge-transfer devices: the efficiency is the ratio of output to
+    /// input *charge*, and all input charge is drawn at Vdd. Hence
+    /// `E = Q·V_dd/η` for derived rails and `E = Q·V_dd` for the external
+    /// rail itself — which makes total power exactly proportional to the
+    /// external voltage, as §IV.B observes.
+    #[must_use]
+    pub fn external_energy(self, q: Coulombs, e: &Electrical) -> Joules {
+        (q * e.vdd) / self.efficiency(e)
+    }
+
+    /// Internal (rail-side) energy for charge `q`: `Q·V`.
+    #[must_use]
+    pub fn internal_energy(self, q: Coulombs, e: &Electrical) -> Joules {
+        q * self.voltage(e)
+    }
+}
+
+impl core::fmt::Display for VoltageDomain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            VoltageDomain::Vpp => "Vpp",
+            VoltageDomain::Vbl => "Vbl",
+            VoltageDomain::Vint => "Vint",
+            VoltageDomain::Vdd => "Vdd",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Converts external power to the external supply current a datasheet
+/// would report (`I = P / Vdd`).
+#[must_use]
+pub fn external_current(p: Watts, e: &Electrical) -> dram_units::Amperes {
+    p / e.vdd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn domain_voltages_and_efficiencies() {
+        let e = ddr3_1g_x16_55nm().electrical;
+        assert_eq!(VoltageDomain::Vpp.voltage(&e).volts(), 2.9);
+        assert_eq!(VoltageDomain::Vbl.voltage(&e).volts(), 1.2);
+        assert_eq!(VoltageDomain::Vint.voltage(&e).volts(), 1.3);
+        assert_eq!(VoltageDomain::Vdd.voltage(&e).volts(), 1.5);
+        assert_eq!(VoltageDomain::Vdd.efficiency(&e), 1.0);
+        assert!(VoltageDomain::Vpp.efficiency(&e) < VoltageDomain::Vint.efficiency(&e));
+    }
+
+    #[test]
+    fn external_energy_includes_pump_loss() {
+        let e = ddr3_1g_x16_55nm().electrical;
+        let q = Coulombs::new(1.0e-12);
+        let internal = VoltageDomain::Vpp.internal_energy(q, &e);
+        let external = VoltageDomain::Vpp.external_energy(q, &e);
+        assert!((internal.picojoules() - 2.9).abs() < 1e-9);
+        // Charge-transfer accounting: input charge Q/η drawn at Vdd.
+        assert!((external.picojoules() - 1.5 / 0.21).abs() < 1e-9);
+        assert!(external > internal);
+        // The external rail has no conversion loss.
+        let ext_dd = VoltageDomain::Vdd.external_energy(q, &e);
+        let int_dd = VoltageDomain::Vdd.internal_energy(q, &e);
+        assert_eq!(ext_dd, int_dd);
+    }
+
+    #[test]
+    fn external_power_is_proportional_to_vdd() {
+        // §IV.B: only Vdd moves total power exactly proportionally.
+        let mut e = ddr3_1g_x16_55nm().electrical;
+        let q = Coulombs::new(1.0e-12);
+        let base: f64 = VoltageDomain::ALL
+            .iter()
+            .map(|d| d.external_energy(q, &e).joules())
+            .sum();
+        e.vdd = e.vdd * 1.2;
+        let scaled: f64 = VoltageDomain::ALL
+            .iter()
+            .map(|d| d.external_energy(q, &e).joules())
+            .sum();
+        assert!((scaled / base - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_from_power() {
+        let e = ddr3_1g_x16_55nm().electrical;
+        let i = external_current(Watts::from_mw(150.0), &e);
+        assert!((i.milliamperes() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(VoltageDomain::Vpp.to_string(), "Vpp");
+        assert_eq!(VoltageDomain::Vdd.to_string(), "Vdd");
+    }
+}

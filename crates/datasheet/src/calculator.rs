@@ -1,0 +1,228 @@
+//! Datasheet-based system power calculator — the state of the art the
+//! paper improves upon (ref \[20\], the Micron System Power Calculator).
+//!
+//! Given a datasheet entry and a workload description, this computes
+//! average device power the way vendor spreadsheets do: scale the IDD
+//! deltas by command rates and duty cycles. It needs no internal device
+//! knowledge — which is exactly its limitation ("datasheets don't allow
+//! extrapolation to future DRAM technologies and don't show how other
+//! changes ... change DRAM energy consumption", §I).
+
+use dram_units::{Amperes, Seconds, Volts, Watts};
+
+use crate::corpus::DatasheetEntry;
+
+/// Workload description for the calculator, mirroring the knobs of
+/// vendor power spreadsheets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Fraction of time at least one bank is open (active standby).
+    pub bank_active: f64,
+    /// Average row-cycle time actually achieved (≥ datasheet tRC).
+    pub trc: Seconds,
+    /// Fraction of cycles issuing read bursts (read duty cycle).
+    pub read_duty: f64,
+    /// Fraction of cycles issuing write bursts.
+    pub write_duty: f64,
+}
+
+impl Workload {
+    /// An idle, precharged device.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self {
+            bank_active: 0.0,
+            trc: Seconds::new(f64::INFINITY),
+            read_duty: 0.0,
+            write_duty: 0.0,
+        }
+    }
+
+    /// A fully-utilized random-access workload: rows cycling at `trc`,
+    /// the data bus split between reads and writes.
+    #[must_use]
+    pub fn saturated(trc: Seconds, read_share: f64) -> Self {
+        Self {
+            bank_active: 1.0,
+            trc,
+            read_duty: read_share,
+            write_duty: 1.0 - read_share,
+        }
+    }
+}
+
+/// Datasheet-based average power estimate, itemized the way vendor
+/// calculators report it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalculatedPower {
+    /// Background (standby) power.
+    pub background: Watts,
+    /// Activate/precharge power.
+    pub activate: Watts,
+    /// Read burst power.
+    pub read: Watts,
+    /// Write burst power.
+    pub write: Watts,
+}
+
+impl CalculatedPower {
+    /// Total average power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.background + self.activate + self.read + self.write
+    }
+}
+
+/// Datasheet power calculator for one part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calculator {
+    entry: DatasheetEntry,
+    /// Datasheet tRC the IDD0 spec loop assumed.
+    spec_trc: Seconds,
+}
+
+impl Calculator {
+    /// Creates a calculator for a datasheet entry; `spec_trc` is the row
+    /// cycle time of the IDD0 specification loop.
+    #[must_use]
+    pub fn new(entry: DatasheetEntry, spec_trc: Seconds) -> Self {
+        Self { entry, spec_trc }
+    }
+
+    /// The part this calculator describes.
+    #[must_use]
+    pub fn entry(&self) -> &DatasheetEntry {
+        &self.entry
+    }
+
+    fn vdd(&self) -> Volts {
+        Volts::new(self.entry.standard.vdd())
+    }
+
+    /// Average power under a workload, following the vendor-spreadsheet
+    /// recipe: `P_act = (IDD0 − IDD2N)·Vdd·(tRC_spec/tRC_actual)`,
+    /// `P_rd = (IDD4R − IDD2N)·Vdd·read_duty`, etc.
+    #[must_use]
+    pub fn power(&self, w: &Workload) -> CalculatedPower {
+        let vdd = self.vdd();
+        let ma = |x: f64| Amperes::from_ma(x);
+        let e = &self.entry;
+
+        let background = ma(e.idd2n_ma) * vdd;
+        let act_scale = if w.trc.seconds().is_finite() && w.trc.seconds() > 0.0 {
+            (self.spec_trc.seconds() / w.trc.seconds()).min(1.0)
+        } else {
+            0.0
+        };
+        let activate = ma((e.idd0_ma - e.idd2n_ma).max(0.0)) * vdd * act_scale;
+        let read = ma((e.idd4r_ma - e.idd2n_ma).max(0.0)) * vdd * w.read_duty;
+        let write = ma((e.idd4w_ma - e.idd2n_ma).max(0.0)) * vdd * w.write_duty;
+        CalculatedPower {
+            background,
+            activate,
+            read,
+            write,
+        }
+    }
+
+    /// Energy per transferred bit at full bus utilization, the datasheet
+    /// counterpart of the model's random-access energy-per-bit metric.
+    #[must_use]
+    pub fn energy_per_bit_saturated(&self, read_share: f64) -> dram_units::Joules {
+        let w = Workload::saturated(self.spec_trc, read_share);
+        let p = self.power(&w).total();
+        let bandwidth = dram_units::BitsPerSecond::from_mbps(
+            f64::from(self.entry.datarate_mbps) * f64::from(self.entry.io_width),
+        );
+        p / bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::DDR3_1GB;
+
+    fn micron_x16() -> DatasheetEntry {
+        *DDR3_1GB
+            .iter()
+            .find(|e| e.io_width == 16 && e.vendor == crate::corpus::Vendor::Micron)
+            .unwrap()
+    }
+
+    #[test]
+    fn idle_power_is_background_only() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let p = c.power(&Workload::idle());
+        assert_eq!(p.activate, Watts::ZERO);
+        assert_eq!(p.read, Watts::ZERO);
+        assert_eq!(p.write, Watts::ZERO);
+        // 35 mA × 1.5 V
+        assert!((p.total().milliwatts() - 52.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_power_sums_contributions() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let p = c.power(&Workload::saturated(Seconds::from_ns(49.0), 0.5));
+        assert!(p.activate.milliwatts() > 0.0);
+        assert!(p.read.milliwatts() > 0.0);
+        assert!(p.write.milliwatts() > 0.0);
+        // Roughly: (75-35) + (200-35)/2 + (185-35)/2 mA worth of deltas
+        // plus 35 mA background, at 1.5 V ≈ 0.40 W.
+        let total = p.total().watts();
+        assert!((0.25..0.60).contains(&total), "total {total} W");
+    }
+
+    #[test]
+    fn slower_row_cycling_reduces_activate_power() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let fast = c.power(&Workload::saturated(Seconds::from_ns(49.0), 1.0));
+        let slow = c.power(&Workload::saturated(Seconds::from_ns(98.0), 1.0));
+        assert!((slow.activate.watts() - fast.activate.watts() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_bit_is_datasheet_scale() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let epb = c.energy_per_bit_saturated(0.5).picojoules();
+        // DDR3-1600 x16 at full utilization: ~10-20 pJ/bit from the
+        // datasheet numbers.
+        assert!((5.0..30.0).contains(&epb), "epb {epb} pJ/bit");
+    }
+
+    #[test]
+    fn read_and_write_duty_scale_linearly() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let half = c.power(&Workload {
+            bank_active: 1.0,
+            trc: Seconds::new(f64::INFINITY),
+            read_duty: 0.5,
+            write_duty: 0.0,
+        });
+        let full = c.power(&Workload {
+            bank_active: 1.0,
+            trc: Seconds::new(f64::INFINITY),
+            read_duty: 1.0,
+            write_duty: 0.0,
+        });
+        assert!((full.read.watts() - 2.0 * half.read.watts()).abs() < 1e-12);
+        assert_eq!(half.activate, Watts::ZERO);
+    }
+
+    #[test]
+    fn entry_accessor_returns_the_part() {
+        let e = micron_x16();
+        let c = Calculator::new(e, Seconds::from_ns(49.0));
+        assert_eq!(c.entry().vendor, crate::corpus::Vendor::Micron);
+        assert_eq!(c.entry().io_width, 16);
+    }
+
+    #[test]
+    fn trc_faster_than_spec_is_clamped() {
+        let c = Calculator::new(micron_x16(), Seconds::from_ns(49.0));
+        let spec = c.power(&Workload::saturated(Seconds::from_ns(49.0), 1.0));
+        let too_fast = c.power(&Workload::saturated(Seconds::from_ns(10.0), 1.0));
+        assert_eq!(spec.activate, too_fast.activate);
+    }
+}

@@ -1,0 +1,1035 @@
+//! The vendor datasheet corpus: IDD specification values for 1 Gb DDR2
+//! and DDR3 devices from the five major vendors of the era — the
+//! comparison data of Fig. 8 and Fig. 9 (paper refs \[22\], \[23\]).
+//!
+//! Values are transcribed to be representative of the published
+//! specification ranges of the named part families (Samsung
+//! K4T1G/K4B1G, Hynix H5PS1G/H5TQ1G, Micron MT47H/MT41J, Elpida
+//! EDE1116/EDJ1116, Qimonda HYI18T/IDSH1G). As the paper notes, "the
+//! data sheet values show a quite large spread" across vendors — that
+//! spread, not any single number, is what the model is verified against.
+
+/// DRAM vendor of a datasheet entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Samsung Electronics.
+    Samsung,
+    /// Hynix Semiconductor.
+    Hynix,
+    /// Micron Technology.
+    Micron,
+    /// Elpida Memory.
+    Elpida,
+    /// Qimonda.
+    Qimonda,
+}
+
+impl Vendor {
+    /// All vendors of the corpus.
+    pub const ALL: [Vendor; 5] = [
+        Vendor::Samsung,
+        Vendor::Hynix,
+        Vendor::Micron,
+        Vendor::Elpida,
+        Vendor::Qimonda,
+    ];
+
+    /// Vendor name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Samsung => "Samsung",
+            Vendor::Hynix => "Hynix",
+            Vendor::Micron => "Micron",
+            Vendor::Elpida => "Elpida",
+            Vendor::Qimonda => "Qimonda",
+        }
+    }
+}
+
+impl core::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Interface standard of a datasheet entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// DDR2 SDRAM (Fig. 8).
+    Ddr2,
+    /// DDR3 SDRAM (Fig. 9).
+    Ddr3,
+}
+
+impl Standard {
+    /// Supply voltage of the standard.
+    #[must_use]
+    pub fn vdd(self) -> f64 {
+        match self {
+            Standard::Ddr2 => 1.8,
+            Standard::Ddr3 => 1.5,
+        }
+    }
+}
+
+/// One vendor datasheet's IDD specification for one speed/width
+/// configuration (currents in mA, as datasheets specify them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasheetEntry {
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Interface standard.
+    pub standard: Standard,
+    /// Device density in megabits.
+    pub density_mbit: u32,
+    /// I/O width.
+    pub io_width: u32,
+    /// Per-pin data rate in Mb/s.
+    pub datarate_mbps: u32,
+    /// IDD0: one-bank activate/precharge current, mA.
+    pub idd0_ma: f64,
+    /// IDD2N: precharged standby current, mA.
+    pub idd2n_ma: f64,
+    /// IDD4R: burst read current, mA.
+    pub idd4r_ma: f64,
+    /// IDD4W: burst write current, mA.
+    pub idd4w_ma: f64,
+}
+
+/// Builds the five-vendor spread for one configuration from a center
+/// value: vendors deviate up to ±15 %, matching the spread Fig. 8/9
+/// show.
+#[allow(clippy::too_many_arguments)] // a row constructor for the const tables
+const fn entry(
+    vendor: Vendor,
+    standard: Standard,
+    io_width: u32,
+    datarate_mbps: u32,
+    idd0_ma: f64,
+    idd2n_ma: f64,
+    idd4r_ma: f64,
+    idd4w_ma: f64,
+) -> DatasheetEntry {
+    DatasheetEntry {
+        vendor,
+        standard,
+        density_mbit: 1024,
+        io_width,
+        datarate_mbps,
+        idd0_ma,
+        idd2n_ma,
+        idd4r_ma,
+        idd4w_ma,
+    }
+}
+
+/// The 1 Gb DDR2 corpus (Fig. 8): x4 at DDR2-533, x8 at DDR2-667, x16 at
+/// DDR2-800 — the configurations the paper's x-axis labels name.
+pub const DDR2_1GB: [DatasheetEntry; 15] = [
+    // --- DDR2-533 x4 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        4,
+        533,
+        75.0,
+        30.0,
+        95.0,
+        90.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        4,
+        533,
+        70.0,
+        33.0,
+        105.0,
+        95.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        4,
+        533,
+        85.0,
+        35.0,
+        115.0,
+        105.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        4,
+        533,
+        65.0,
+        27.0,
+        90.0,
+        85.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        4,
+        533,
+        80.0,
+        38.0,
+        110.0,
+        100.0,
+    ),
+    // --- DDR2-667 x8 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        8,
+        667,
+        80.0,
+        32.0,
+        125.0,
+        115.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        8,
+        667,
+        75.0,
+        35.0,
+        135.0,
+        120.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        8,
+        667,
+        90.0,
+        37.0,
+        150.0,
+        135.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        8,
+        667,
+        70.0,
+        29.0,
+        115.0,
+        105.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        8,
+        667,
+        85.0,
+        40.0,
+        145.0,
+        130.0,
+    ),
+    // --- DDR2-800 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        16,
+        800,
+        100.0,
+        35.0,
+        190.0,
+        175.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        16,
+        800,
+        95.0,
+        38.0,
+        180.0,
+        160.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        16,
+        800,
+        110.0,
+        40.0,
+        205.0,
+        190.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        16,
+        800,
+        90.0,
+        32.0,
+        170.0,
+        155.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        16,
+        800,
+        105.0,
+        43.0,
+        200.0,
+        185.0,
+    ),
+];
+
+/// The 1 Gb DDR3 corpus (Fig. 9): x4 at DDR3-1066, x8 at DDR3-1333, x16
+/// at DDR3-1600.
+pub const DDR3_1GB: [DatasheetEntry; 15] = [
+    // --- DDR3-1066 x4 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        4,
+        1066,
+        55.0,
+        25.0,
+        85.0,
+        80.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        4,
+        1066,
+        50.0,
+        28.0,
+        95.0,
+        85.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        4,
+        1066,
+        65.0,
+        30.0,
+        105.0,
+        95.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        4,
+        1066,
+        48.0,
+        23.0,
+        80.0,
+        75.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        4,
+        1066,
+        60.0,
+        32.0,
+        100.0,
+        90.0,
+    ),
+    // --- DDR3-1333 x8 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        8,
+        1333,
+        60.0,
+        28.0,
+        120.0,
+        110.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        8,
+        1333,
+        55.0,
+        30.0,
+        130.0,
+        115.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        8,
+        1333,
+        70.0,
+        33.0,
+        145.0,
+        130.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        8,
+        1333,
+        52.0,
+        25.0,
+        115.0,
+        105.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        8,
+        1333,
+        65.0,
+        35.0,
+        140.0,
+        125.0,
+    ),
+    // --- DDR3-1600 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        16,
+        1600,
+        65.0,
+        30.0,
+        180.0,
+        165.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        16,
+        1600,
+        60.0,
+        33.0,
+        170.0,
+        150.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        16,
+        1600,
+        75.0,
+        35.0,
+        200.0,
+        185.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        16,
+        1600,
+        58.0,
+        27.0,
+        160.0,
+        145.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        16,
+        1600,
+        70.0,
+        38.0,
+        190.0,
+        175.0,
+    ),
+];
+
+/// The min–max vendor envelope for one configuration and IDD measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Lowest vendor value, mA.
+    pub min_ma: f64,
+    /// Highest vendor value, mA.
+    pub max_ma: f64,
+}
+
+impl Envelope {
+    /// Whether a model value lies within the vendor spread widened by a
+    /// guard factor (the paper accepts the model anywhere inside the
+    /// plotted vendor cloud).
+    #[must_use]
+    pub fn accepts(&self, value_ma: f64, guard: f64) -> bool {
+        value_ma >= self.min_ma / guard && value_ma <= self.max_ma * guard
+    }
+}
+
+/// The IDD measure an envelope refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IddMeasure {
+    /// Activate/precharge current.
+    Idd0,
+    /// Precharged standby current.
+    Idd2n,
+    /// Burst read current.
+    Idd4r,
+    /// Burst write current.
+    Idd4w,
+}
+
+impl IddMeasure {
+    /// All measures Fig. 8/9 plot (IDD2N is tabulated but not plotted).
+    pub const PLOTTED: [IddMeasure; 3] = [IddMeasure::Idd0, IddMeasure::Idd4r, IddMeasure::Idd4w];
+
+    /// Reads this measure off an entry, in mA.
+    #[must_use]
+    pub fn of(self, e: &DatasheetEntry) -> f64 {
+        match self {
+            IddMeasure::Idd0 => e.idd0_ma,
+            IddMeasure::Idd2n => e.idd2n_ma,
+            IddMeasure::Idd4r => e.idd4r_ma,
+            IddMeasure::Idd4w => e.idd4w_ma,
+        }
+    }
+
+    /// Label used on the Fig. 8/9 x-axis.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            IddMeasure::Idd0 => "Idd0",
+            IddMeasure::Idd2n => "Idd2N",
+            IddMeasure::Idd4r => "Idd4R",
+            IddMeasure::Idd4w => "Idd4W",
+        }
+    }
+}
+
+/// Vendor envelope for one configuration of a corpus.
+#[must_use]
+pub fn envelope(
+    corpus: &[DatasheetEntry],
+    io_width: u32,
+    datarate_mbps: u32,
+    measure: IddMeasure,
+) -> Option<Envelope> {
+    let values: Vec<f64> = corpus
+        .iter()
+        .filter(|e| e.io_width == io_width && e.datarate_mbps == datarate_mbps)
+        .map(|e| measure.of(e))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some(Envelope {
+        min_ma: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ma: values.iter().copied().fold(0.0, f64::max),
+    })
+}
+
+/// The distinct (io_width, datarate) configurations of a corpus, in
+/// plotting order.
+#[must_use]
+pub fn configurations(corpus: &[DatasheetEntry]) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for e in corpus {
+        if !out.contains(&(e.io_width, e.datarate_mbps)) {
+            out.push((e.io_width, e.datarate_mbps));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_cover_five_vendors_and_three_configs() {
+        for corpus in [&DDR2_1GB[..], &DDR3_1GB[..]] {
+            assert_eq!(corpus.len(), 15);
+            assert_eq!(configurations(corpus).len(), 3);
+            for v in Vendor::ALL {
+                assert_eq!(corpus.iter().filter(|e| e.vendor == v).count(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn datasheet_ordering_invariants() {
+        for e in DDR2_1GB.iter().chain(&DDR3_1GB) {
+            assert!(e.idd0_ma > e.idd2n_ma, "{:?}", e);
+            assert!(e.idd4r_ma > e.idd0_ma, "{:?}", e);
+            assert!(e.idd4w_ma > e.idd2n_ma, "{:?}", e);
+        }
+    }
+
+    #[test]
+    fn ddr3_draws_less_current_than_ddr2_at_same_width() {
+        // Lower voltage and newer process: DDR3 IDD0 sits below DDR2.
+        let d2 = envelope(&DDR2_1GB, 16, 800, IddMeasure::Idd0).unwrap();
+        let d3 = envelope(&DDR3_1GB, 16, 1600, IddMeasure::Idd0).unwrap();
+        assert!(d3.max_ma < d2.max_ma);
+    }
+
+    #[test]
+    fn envelope_and_guard() {
+        let env = envelope(&DDR3_1GB, 16, 1600, IddMeasure::Idd4r).unwrap();
+        assert_eq!(env.min_ma, 160.0);
+        assert_eq!(env.max_ma, 200.0);
+        assert!(env.accepts(180.0, 1.0));
+        assert!(!env.accepts(100.0, 1.2));
+        assert!(env.accepts(140.0, 1.2)); // 160/1.2 = 133
+        assert!(envelope(&DDR3_1GB, 16, 999, IddMeasure::Idd0).is_none());
+    }
+
+    #[test]
+    fn spread_is_large_as_the_paper_notes() {
+        // "the data sheet values show a quite large spread"
+        for m in IddMeasure::PLOTTED {
+            let env = envelope(&DDR2_1GB, 16, 800, m).unwrap();
+            assert!(env.max_ma / env.min_ma > 1.1, "{}", m.label());
+        }
+    }
+}
+
+/// The 1 Gb DDR3 x16 speed-grade family: the same part binned at
+/// DDR3-1066/1333/1600 — the frequency axis of Fig. 9 ("the dependency
+/// of current on operating frequency ... is described correctly").
+pub const DDR3_1GB_X16_SPEEDS: [DatasheetEntry; 15] = [
+    // --- DDR3-1066 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        16,
+        1066,
+        55.0,
+        25.0,
+        130.0,
+        120.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        16,
+        1066,
+        52.0,
+        27.0,
+        125.0,
+        110.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        16,
+        1066,
+        62.0,
+        28.0,
+        145.0,
+        135.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        16,
+        1066,
+        50.0,
+        23.0,
+        115.0,
+        105.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        16,
+        1066,
+        58.0,
+        30.0,
+        140.0,
+        130.0,
+    ),
+    // --- DDR3-1333 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        16,
+        1333,
+        60.0,
+        27.0,
+        155.0,
+        140.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        16,
+        1333,
+        56.0,
+        30.0,
+        145.0,
+        130.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        16,
+        1333,
+        68.0,
+        31.0,
+        170.0,
+        155.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        16,
+        1333,
+        54.0,
+        25.0,
+        135.0,
+        125.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        16,
+        1333,
+        64.0,
+        34.0,
+        165.0,
+        150.0,
+    ),
+    // --- DDR3-1600 x16 (same values as the main corpus) ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr3,
+        16,
+        1600,
+        65.0,
+        30.0,
+        180.0,
+        165.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr3,
+        16,
+        1600,
+        60.0,
+        33.0,
+        170.0,
+        150.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr3,
+        16,
+        1600,
+        75.0,
+        35.0,
+        200.0,
+        185.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr3,
+        16,
+        1600,
+        58.0,
+        27.0,
+        160.0,
+        145.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr3,
+        16,
+        1600,
+        70.0,
+        38.0,
+        190.0,
+        175.0,
+    ),
+];
+
+/// Mean vendor value of one measure at one configuration.
+#[must_use]
+pub fn mean(
+    corpus: &[DatasheetEntry],
+    io_width: u32,
+    datarate_mbps: u32,
+    measure: IddMeasure,
+) -> Option<f64> {
+    let values: Vec<f64> = corpus
+        .iter()
+        .filter(|e| e.io_width == io_width && e.datarate_mbps == datarate_mbps)
+        .map(|e| measure.of(e))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+#[cfg(test)]
+mod speed_family_tests {
+    use super::*;
+
+    #[test]
+    fn speed_family_currents_rise_with_frequency() {
+        for m in [
+            IddMeasure::Idd0,
+            IddMeasure::Idd2n,
+            IddMeasure::Idd4r,
+            IddMeasure::Idd4w,
+        ] {
+            let v1066 = mean(&DDR3_1GB_X16_SPEEDS, 16, 1066, m).unwrap();
+            let v1333 = mean(&DDR3_1GB_X16_SPEEDS, 16, 1333, m).unwrap();
+            let v1600 = mean(&DDR3_1GB_X16_SPEEDS, 16, 1600, m).unwrap();
+            assert!(
+                v1066 < v1333 && v1333 < v1600,
+                "{} family not rising",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn speed_family_top_grade_matches_main_corpus() {
+        let family = mean(&DDR3_1GB_X16_SPEEDS, 16, 1600, IddMeasure::Idd4r).unwrap();
+        let main = mean(&DDR3_1GB, 16, 1600, IddMeasure::Idd4r).unwrap();
+        assert!((family - main).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_returns_none_for_unknown_configuration() {
+        assert!(mean(&DDR3_1GB_X16_SPEEDS, 8, 1600, IddMeasure::Idd0).is_none());
+    }
+}
+
+/// The 1 Gb DDR2 x16 speed-grade family (DDR2-400/533/667/800) — the
+/// frequency axis on the DDR2 side.
+pub const DDR2_1GB_X16_SPEEDS: [DatasheetEntry; 20] = [
+    // --- DDR2-400 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        16,
+        400,
+        78.0,
+        28.0,
+        115.0,
+        108.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        16,
+        400,
+        74.0,
+        30.0,
+        110.0,
+        100.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        16,
+        400,
+        85.0,
+        32.0,
+        125.0,
+        118.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        16,
+        400,
+        70.0,
+        26.0,
+        105.0,
+        98.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        16,
+        400,
+        82.0,
+        34.0,
+        122.0,
+        112.0,
+    ),
+    // --- DDR2-533 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        16,
+        533,
+        84.0,
+        30.0,
+        135.0,
+        125.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        16,
+        533,
+        80.0,
+        32.0,
+        128.0,
+        116.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        16,
+        533,
+        92.0,
+        34.0,
+        148.0,
+        138.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        16,
+        533,
+        76.0,
+        28.0,
+        122.0,
+        112.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        16,
+        533,
+        88.0,
+        36.0,
+        142.0,
+        132.0,
+    ),
+    // --- DDR2-667 x16 ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        16,
+        667,
+        92.0,
+        32.0,
+        160.0,
+        148.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        16,
+        667,
+        87.0,
+        35.0,
+        152.0,
+        138.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        16,
+        667,
+        100.0,
+        37.0,
+        178.0,
+        165.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        16,
+        667,
+        83.0,
+        30.0,
+        145.0,
+        134.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        16,
+        667,
+        96.0,
+        39.0,
+        172.0,
+        158.0,
+    ),
+    // --- DDR2-800 x16 (same values as the main corpus) ---
+    entry(
+        Vendor::Samsung,
+        Standard::Ddr2,
+        16,
+        800,
+        100.0,
+        35.0,
+        190.0,
+        175.0,
+    ),
+    entry(
+        Vendor::Hynix,
+        Standard::Ddr2,
+        16,
+        800,
+        95.0,
+        38.0,
+        180.0,
+        160.0,
+    ),
+    entry(
+        Vendor::Micron,
+        Standard::Ddr2,
+        16,
+        800,
+        110.0,
+        40.0,
+        205.0,
+        190.0,
+    ),
+    entry(
+        Vendor::Elpida,
+        Standard::Ddr2,
+        16,
+        800,
+        90.0,
+        32.0,
+        170.0,
+        155.0,
+    ),
+    entry(
+        Vendor::Qimonda,
+        Standard::Ddr2,
+        16,
+        800,
+        105.0,
+        43.0,
+        200.0,
+        185.0,
+    ),
+];
+
+#[cfg(test)]
+mod ddr2_speed_family_tests {
+    use super::*;
+
+    #[test]
+    fn ddr2_family_currents_rise_with_frequency() {
+        let rates = [400, 533, 667, 800];
+        for m in [IddMeasure::Idd0, IddMeasure::Idd4r, IddMeasure::Idd4w] {
+            for pair in rates.windows(2) {
+                let lo = mean(&DDR2_1GB_X16_SPEEDS, 16, pair[0], m).unwrap();
+                let hi = mean(&DDR2_1GB_X16_SPEEDS, 16, pair[1], m).unwrap();
+                assert!(lo < hi, "{} {}->{}", m.label(), pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn ddr2_family_top_grade_matches_main_corpus() {
+        let family = mean(&DDR2_1GB_X16_SPEEDS, 16, 800, IddMeasure::Idd0).unwrap();
+        let main = mean(&DDR2_1GB, 16, 800, IddMeasure::Idd0).unwrap();
+        assert!((family - main).abs() < 1e-9);
+    }
+}

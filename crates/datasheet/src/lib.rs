@@ -1,0 +1,23 @@
+//! # dram-datasheet
+//!
+//! The datasheet substrate of the reproduction: the vendor IDD corpus the
+//! paper verifies its model against (Fig. 8: 1 Gb DDR2, Fig. 9: 1 Gb
+//! DDR3; paper refs \[22\], \[23\]), and a datasheet-based system power
+//! calculator in the style of the Micron power calculator (ref \[20\]) —
+//! the baseline methodology the model improves upon.
+//!
+//! ```
+//! use dram_datasheet::corpus::{envelope, IddMeasure, DDR3_1GB};
+//!
+//! let env = envelope(&DDR3_1GB, 16, 1600, IddMeasure::Idd4r).expect("config exists");
+//! assert!(env.max_ma > env.min_ma); // the vendor spread Fig. 9 shows
+//! ```
+#![warn(missing_docs)]
+
+pub mod calculator;
+pub mod corpus;
+
+pub use calculator::{CalculatedPower, Calculator, Workload};
+pub use corpus::{
+    configurations, envelope, mean, DatasheetEntry, Envelope, IddMeasure, Standard, Vendor,
+};

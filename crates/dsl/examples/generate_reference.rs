@@ -1,0 +1,5 @@
+fn main() {
+    let desc = dram_core::reference::ddr3_1g_x16_55nm();
+    let pattern = dram_core::Pattern::paper_example();
+    print!("{}", dram_dsl::write(&desc, Some(&pattern)));
+}

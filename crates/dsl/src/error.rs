@@ -1,0 +1,72 @@
+//! Error type for the description-language parser.
+
+/// Error lexing or parsing a DRAM description file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    line: usize,
+    message: String,
+}
+
+impl DslError {
+    /// Creates an error anchored at a 1-based source line.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a syntax error.
+    #[must_use]
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        Self::new(line, message)
+    }
+
+    /// The 1-based source line the error refers to (0 for file-level
+    /// errors such as missing sections).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl core::fmt::Display for DslError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line == 0 {
+            write!(f, "description error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = DslError::new(12, "unknown key `foo`");
+        assert_eq!(e.to_string(), "line 12: unknown key `foo`");
+        assert_eq!(e.line(), 12);
+        assert_eq!(e.message(), "unknown key `foo`");
+    }
+
+    #[test]
+    fn file_level_errors_have_no_line() {
+        let e = DslError::new(0, "missing section `Technology`");
+        assert_eq!(
+            e.to_string(),
+            "description error: missing section `Technology`"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Line lexer for the DRAM description language.
+//!
+//! The language is line-oriented, matching the paper's §III.B excerpts:
+//!
+//! ```text
+//! FloorplanPhysical
+//! CellArray BL=v BitsPerBL=512 BLtype=open
+//! Vertical blocks = A1 P1 P2 P1 A1
+//! SizeVertical A1=3396um P1=200um P2=530um
+//! ```
+//!
+//! Each non-empty, non-comment line lexes into a head word and a list of
+//! arguments, where an argument is either `key=value` or a bare word.
+//! Values may be double-quoted to contain spaces. `#` and `//` start
+//! comments. A free-standing `=` after a bare word attaches the remaining
+//! words to that key as a list (the paper's `Vertical blocks = A1 P1 ...`
+//! and `Pattern loop= act nop ...` forms).
+
+use crate::error::DslError;
+
+/// One argument of a lexed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// A `key=value` pair.
+    KeyValue {
+        /// The key, verbatim.
+        key: String,
+        /// The value, with quotes stripped.
+        value: String,
+    },
+    /// A `key = w1 w2 w3 …` list assignment (everything after the `=`).
+    KeyList {
+        /// The key, verbatim.
+        key: String,
+        /// The listed words.
+        values: Vec<String>,
+    },
+    /// A bare word.
+    Bare(String),
+}
+
+/// One lexed line of input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based source line number, for diagnostics.
+    pub number: usize,
+    /// The first word of the line.
+    pub head: String,
+    /// The remaining arguments.
+    pub args: Vec<Arg>,
+}
+
+impl Line {
+    /// Looks up the value of a `key=value` argument.
+    #[must_use]
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.args.iter().find_map(|a| match a {
+            Arg::KeyValue { key: k, value } if k.eq_ignore_ascii_case(key) => Some(value.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Looks up the words of a `key = list` argument.
+    #[must_use]
+    pub fn list(&self, key: &str) -> Option<&[String]> {
+        self.args.iter().find_map(|a| match a {
+            Arg::KeyList { key: k, values } if k.eq_ignore_ascii_case(key) => {
+                Some(values.as_slice())
+            }
+            _ => None,
+        })
+    }
+
+    /// All `key=value` pairs of the line, in order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.args.iter().filter_map(|a| match a {
+            Arg::KeyValue { key, value } => Some((key.as_str(), value.as_str())),
+            _ => None,
+        })
+    }
+}
+
+/// Splits one raw line into whitespace-separated words, honoring double
+/// quotes and stripping comments.
+fn split_words(raw: &str, number: usize) -> Result<Vec<String>, DslError> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                in_quotes = false;
+                words.push(std::mem::take(&mut current));
+                // Mark that this word existed even if empty: push sentinel
+                // handled below by checking emptiness — an empty quoted
+                // string is a valid (empty) word.
+                if words.last().map(String::is_empty) == Some(true) {
+                    // keep it; nothing to do
+                }
+            } else {
+                current.push(c);
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                // `key="..."`: splice the quoted text onto the pending word.
+                if !current.is_empty() && !current.ends_with('=') {
+                    return Err(DslError::syntax(
+                        number,
+                        "quote may only start a word or follow `=`",
+                    ));
+                }
+                if current.ends_with('=') {
+                    // Consume the quoted part into the same word.
+                    let mut quoted = String::new();
+                    let mut closed = false;
+                    for qc in chars.by_ref() {
+                        if qc == '"' {
+                            closed = true;
+                            break;
+                        }
+                        quoted.push(qc);
+                    }
+                    if !closed {
+                        return Err(DslError::syntax(number, "unterminated string literal"));
+                    }
+                    current.push_str(&quoted);
+                    words.push(std::mem::take(&mut current));
+                    in_quotes = false;
+                }
+            }
+            '#' => break,
+            '/' if chars.peek() == Some(&'/') => break,
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DslError::syntax(number, "unterminated string literal"));
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    Ok(words)
+}
+
+/// Lexes the full input into lines.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] with the offending line number for malformed
+/// quoting.
+pub fn lex(input: &str) -> Result<Vec<Line>, DslError> {
+    let mut out = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let number = idx + 1;
+        let words = split_words(raw, number)?;
+        if words.is_empty() {
+            continue;
+        }
+        let head = words[0].clone();
+        let mut args = Vec::new();
+        let mut i = 1;
+        while i < words.len() {
+            let w = &words[i];
+            if w == "=" {
+                // `blocks = A1 P1 …`: previous bare word is the key, the
+                // rest of the line is the list.
+                let key = match args.pop() {
+                    Some(Arg::Bare(k)) => k,
+                    _ => return Err(DslError::syntax(number, "`=` must follow a bare key word")),
+                };
+                let values = words[i + 1..].to_vec();
+                args.push(Arg::KeyList { key, values });
+                break;
+            }
+            if let Some(eq) = w.find('=') {
+                let (key, value) = w.split_at(eq);
+                let value = &value[1..];
+                if value.is_empty() {
+                    // `loop= act nop …`: list form with the `=` glued to
+                    // the key.
+                    let values = words[i + 1..].to_vec();
+                    args.push(Arg::KeyList {
+                        key: key.to_string(),
+                        values,
+                    });
+                    break;
+                }
+                args.push(Arg::KeyValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                });
+            } else {
+                args.push(Arg::Bare(w.clone()));
+            }
+            i += 1;
+        }
+        out.push(Line { number, head, args });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_key_values() {
+        let lines = lex("CellArray BL=v BitsPerBL=512 BLtype=open").expect("lexes");
+        assert_eq!(lines.len(), 1);
+        let l = &lines[0];
+        assert_eq!(l.head, "CellArray");
+        assert_eq!(l.value("BL"), Some("v"));
+        assert_eq!(l.value("BitsPerBL"), Some("512"));
+        assert_eq!(l.value("bltype"), Some("open"), "keys are case-insensitive");
+        assert_eq!(l.value("missing"), None);
+    }
+
+    #[test]
+    fn lexes_list_assignment_with_spaced_equals() {
+        let lines = lex("Vertical blocks = A1 P1 P2 P1 A1").expect("lexes");
+        let l = &lines[0];
+        assert_eq!(l.head, "Vertical");
+        assert_eq!(
+            l.list("blocks").expect("list"),
+            &["A1", "P1", "P2", "P1", "A1"]
+        );
+    }
+
+    #[test]
+    fn lexes_glued_list_assignment() {
+        // The paper writes `Pattern loop= act nop wrt nop rd nop pre nop`.
+        let lines = lex("Pattern loop= act nop wrt nop rd nop pre nop").expect("lexes");
+        let l = &lines[0];
+        assert_eq!(l.head, "Pattern");
+        assert_eq!(l.list("loop").expect("list").len(), 8);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = "\n# full comment\nA x=1 # trailing\n// slashes too\nB y=2 // end\n";
+        let lines = lex(input).expect("lexes");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].value("x"), Some("1"));
+        assert_eq!(lines[1].value("y"), Some("2"));
+        assert_eq!(lines[1].number, 5);
+    }
+
+    #[test]
+    fn quoted_values_keep_spaces() {
+        let lines = lex("LogicBlock name=\"clock tree and DLL\" gates=4000").expect("lexes");
+        assert_eq!(lines[0].value("name"), Some("clock tree and DLL"));
+        assert_eq!(lines[0].value("gates"), Some("4000"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = lex("A name=\"oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let lines = lex("first\nsecond").expect("lexes");
+        assert_eq!(lines[0].number, 1);
+        assert_eq!(lines[1].number, 2);
+    }
+
+    #[test]
+    fn pairs_iterates_in_order() {
+        let lines = lex("T a=1 b=2 c=3").expect("lexes");
+        let pairs: Vec<_> = lines[0].pairs().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "2"), ("c", "3")]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Typed value parsers for the description language: numbers with unit
+//! suffixes (`165nm`, `1.6Gbps`, `0.25fF/um`, `50%`), block coordinates
+//! (`3_2`), device geometries (`0.7x0.10um`) and mux ratios (`1:8`).
+//!
+//! All parsers return `Result<T, String>` with a message describing the
+//! expected form; the section parser wraps the message with line and key
+//! context.
+
+use dram_core::params::{ActiveDuring, BlockCoord, DeviceGeometry};
+use dram_units::{Amperes, BitsPerSecond, Farads, FaradsPerMeter, Hertz, Meters, Seconds, Volts};
+
+/// Splits a literal into its numeric prefix and unit suffix.
+fn split_number(s: &str) -> Result<(f64, &str), String> {
+    let s = s.trim();
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        let numeric = c.is_ascii_digit()
+            || c == '.'
+            || (end == 0 && (c == '-' || c == '+'))
+            // exponent: only if followed by a digit or sign+digit
+            || ((c == 'e' || c == 'E')
+                && bytes
+                    .get(end + 1)
+                    .map(|&n| {
+                        (n as char).is_ascii_digit()
+                            || ((n == b'+' || n == b'-')
+                                && bytes
+                                    .get(end + 2)
+                                    .is_some_and(|&m| (m as char).is_ascii_digit()))
+                    })
+                    .unwrap_or(false));
+        if !numeric {
+            break;
+        }
+        // consume the sign of an exponent together with the 'e'
+        if (c == 'e' || c == 'E') && matches!(bytes.get(end + 1), Some(b'+') | Some(b'-')) {
+            end += 1;
+        }
+        end += 1;
+    }
+    let (num, unit) = s.split_at(end);
+    let value: f64 = num
+        .parse()
+        .map_err(|_| format!("`{s}` is not a number with optional unit"))?;
+    Ok((value, unit.trim()))
+}
+
+/// Parses a plain number (no unit allowed).
+pub fn number(s: &str) -> Result<f64, String> {
+    let (v, unit) = split_number(s)?;
+    if unit.is_empty() {
+        Ok(v)
+    } else {
+        Err(format!(
+            "`{s}`: expected a bare number, found unit `{unit}`"
+        ))
+    }
+}
+
+/// Parses a non-negative integer.
+pub fn integer(s: &str) -> Result<u32, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("`{s}` is not a non-negative integer"))
+}
+
+/// Parses a fraction: `50%` or `0.5`.
+pub fn fraction(s: &str) -> Result<f64, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "%" => Ok(v / 100.0),
+        "" => Ok(v),
+        other => Err(format!("`{s}`: unknown fraction unit `{other}`")),
+    }
+}
+
+/// Parses a length: `165nm`, `3396um`, `8mm`, `1m` (µ accepted for u).
+pub fn length(s: &str) -> Result<Meters, String> {
+    let (v, unit) = split_number(s)?;
+    match unit.replace('µ', "u").as_str() {
+        "nm" => Ok(Meters::from_nm(v)),
+        "um" => Ok(Meters::from_um(v)),
+        "mm" => Ok(Meters::from_mm(v)),
+        "m" => Ok(Meters::new(v)),
+        other => Err(format!(
+            "`{s}`: unknown length unit `{other}` (use nm/um/mm/m)"
+        )),
+    }
+}
+
+/// Parses a capacitance: `80fF`, `1.2pF`.
+pub fn capacitance(s: &str) -> Result<Farads, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "fF" => Ok(Farads::from_ff(v)),
+        "pF" => Ok(Farads::from_pf(v)),
+        "F" => Ok(Farads::new(v)),
+        other => Err(format!(
+            "`{s}`: unknown capacitance unit `{other}` (use fF/pF/F)"
+        )),
+    }
+}
+
+/// Parses a specific wire capacitance: `0.25fF/um`.
+pub fn capacitance_per_length(s: &str) -> Result<FaradsPerMeter, String> {
+    let (v, unit) = split_number(s)?;
+    match unit.replace('µ', "u").as_str() {
+        "fF/um" => Ok(FaradsPerMeter::from_ff_per_um(v)),
+        "F/m" => Ok(FaradsPerMeter::new(v)),
+        other => Err(format!("`{s}`: unknown unit `{other}` (use fF/um or F/m)")),
+    }
+}
+
+/// Parses a voltage: `1.5V`, `250mV`.
+pub fn voltage(s: &str) -> Result<Volts, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "V" => Ok(Volts::new(v)),
+        "mV" => Ok(Volts::from_mv(v)),
+        other => Err(format!("`{s}`: unknown voltage unit `{other}` (use V/mV)")),
+    }
+}
+
+/// Parses a current: `10mA`, `0.1A`.
+pub fn current(s: &str) -> Result<Amperes, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "A" => Ok(Amperes::new(v)),
+        "mA" => Ok(Amperes::from_ma(v)),
+        "uA" | "µA" => Ok(Amperes::new(v * 1e-6)),
+        other => Err(format!(
+            "`{s}`: unknown current unit `{other}` (use A/mA/uA)"
+        )),
+    }
+}
+
+/// Parses a frequency: `800MHz`, `1.6GHz`.
+pub fn frequency(s: &str) -> Result<Hertz, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "Hz" => Ok(Hertz::new(v)),
+        "kHz" => Ok(Hertz::new(v * 1e3)),
+        "MHz" => Ok(Hertz::from_mhz(v)),
+        "GHz" => Ok(Hertz::from_ghz(v)),
+        other => Err(format!(
+            "`{s}`: unknown frequency unit `{other}` (use Hz/kHz/MHz/GHz)"
+        )),
+    }
+}
+
+/// Parses a data rate: `1.6Gbps`, `533Mbps`.
+pub fn datarate(s: &str) -> Result<BitsPerSecond, String> {
+    let (v, unit) = split_number(s)?;
+    match unit {
+        "bps" | "b/s" => Ok(BitsPerSecond::new(v)),
+        "Mbps" | "Mb/s" => Ok(BitsPerSecond::from_mbps(v)),
+        "Gbps" | "Gb/s" => Ok(BitsPerSecond::from_gbps(v)),
+        other => Err(format!(
+            "`{s}`: unknown data rate unit `{other}` (use Mbps/Gbps)"
+        )),
+    }
+}
+
+/// Parses a time: `49ns`, `7.8us`, `64ms`.
+pub fn time(s: &str) -> Result<Seconds, String> {
+    let (v, unit) = split_number(s)?;
+    match unit.replace('µ', "u").as_str() {
+        "s" => Ok(Seconds::new(v)),
+        "ms" => Ok(Seconds::new(v * 1e-3)),
+        "us" => Ok(Seconds::new(v * 1e-6)),
+        "ns" => Ok(Seconds::from_ns(v)),
+        "ps" => Ok(Seconds::new(v * 1e-12)),
+        other => Err(format!(
+            "`{s}`: unknown time unit `{other}` (use ns/us/ms/s)"
+        )),
+    }
+}
+
+/// Parses a block coordinate in the paper's `x_y` notation, e.g. `3_2`.
+pub fn coordinate(s: &str) -> Result<BlockCoord, String> {
+    let (x, y) = s
+        .split_once('_')
+        .ok_or_else(|| format!("`{s}` is not a block coordinate (expected `x_y`)"))?;
+    let x = x
+        .parse()
+        .map_err(|_| format!("`{s}`: `{x}` is not a grid index"))?;
+    let y = y
+        .parse()
+        .map_err(|_| format!("`{s}`: `{y}` is not a grid index"))?;
+    Ok(BlockCoord::new(x, y))
+}
+
+/// Parses a device geometry `WxLum` (both dimensions in the trailing
+/// unit), e.g. `0.7x0.10um` — width 0.7 µm, length 0.10 µm.
+pub fn device(s: &str) -> Result<DeviceGeometry, String> {
+    let (w_str, rest) = s
+        .split_once('x')
+        .ok_or_else(|| format!("`{s}` is not a device geometry (expected `WxLum`)"))?;
+    let width_val: f64 = w_str
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{s}`: `{w_str}` is not a number"))?;
+    let l = length(rest)?;
+    // Width uses the same unit the length carried.
+    let unit_scale = l.meters() / split_number(rest).map(|(v, _)| v).unwrap_or(1.0);
+    Ok(DeviceGeometry {
+        width: Meters::new(width_val * unit_scale),
+        length: l,
+    })
+}
+
+/// Parses a serialization ratio `1:8`, returning the factor (8).
+pub fn mux_ratio(s: &str) -> Result<u32, String> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| format!("`{s}` is not a mux ratio (expected `1:n`)"))?;
+    let a: u32 = a.parse().map_err(|_| format!("`{s}`: bad ratio"))?;
+    let b: u32 = b.parse().map_err(|_| format!("`{s}`: bad ratio"))?;
+    if a != 1 || b == 0 {
+        return Err(format!("`{s}`: mux ratio must be `1:n` with n ≥ 1"));
+    }
+    Ok(b)
+}
+
+/// Parses the operations a logic block is active during:
+/// `always` or a comma list of `act,pre,rd,wrt`.
+pub fn active_during(s: &str) -> Result<ActiveDuring, String> {
+    let mut out = ActiveDuring::default();
+    for part in s.split(',') {
+        match part.trim().to_ascii_lowercase().as_str() {
+            "always" => out.always = true,
+            "act" | "activate" => out.activate = true,
+            "pre" | "precharge" => out.precharge = true,
+            "rd" | "read" => out.read = true,
+            "wrt" | "wr" | "write" => out.write = true,
+            other => return Err(format!("unknown operation `{other}` in active set `{s}`")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(length("165nm").unwrap().nanometers().round(), 165.0);
+        assert!((length("3396um").unwrap().millimeters() - 3.396).abs() < 1e-9);
+        assert!((length("8mm").unwrap().meters() - 8.0e-3).abs() < 1e-12);
+        assert!(length("5kg").is_err());
+        assert!(length("abc").is_err());
+    }
+
+    #[test]
+    fn capacitances() {
+        assert!((capacitance("80fF").unwrap().femtofarads() - 80.0).abs() < 1e-9);
+        assert!((capacitance("1.2pF").unwrap().picofarads() - 1.2).abs() < 1e-9);
+        assert!(capacitance("80").is_err());
+        assert!((capacitance_per_length("0.25fF/um").unwrap().ff_per_um() - 0.25).abs() < 1e-9);
+        assert!(capacitance_per_length("0.25fF").is_err());
+    }
+
+    #[test]
+    fn electrical_values() {
+        assert_eq!(voltage("1.5V").unwrap().volts(), 1.5);
+        assert!((voltage("250mV").unwrap().volts() - 0.25).abs() < 1e-12);
+        assert!((current("10mA").unwrap().milliamperes() - 10.0).abs() < 1e-9);
+        assert_eq!(frequency("800MHz").unwrap().megahertz(), 800.0);
+        assert!((datarate("1.6Gbps").unwrap().gbps() - 1.6).abs() < 1e-12);
+        assert!((time("49ns").unwrap().nanoseconds() - 49.0).abs() < 1e-9);
+        assert!((time("7.8us").unwrap().seconds() - 7.8e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fractions() {
+        assert_eq!(fraction("50%").unwrap(), 0.5);
+        assert_eq!(fraction("0.25").unwrap(), 0.25);
+        assert!(fraction("x").is_err());
+    }
+
+    #[test]
+    fn coordinates() {
+        let c = coordinate("3_2").unwrap();
+        assert_eq!((c.x, c.y), (3, 2));
+        assert!(coordinate("32").is_err());
+        assert!(coordinate("a_b").is_err());
+    }
+
+    #[test]
+    fn devices() {
+        let d = device("0.7x0.10um").unwrap();
+        assert!((d.width.micrometers() - 0.7).abs() < 1e-9);
+        assert!((d.length.micrometers() - 0.10).abs() < 1e-9);
+        let d = device("50x0.15um").unwrap();
+        assert!((d.width.micrometers() - 50.0).abs() < 1e-6);
+        assert!(device("0.7um").is_err());
+    }
+
+    #[test]
+    fn mux_ratios() {
+        assert_eq!(mux_ratio("1:8").unwrap(), 8);
+        assert!(mux_ratio("2:8").is_err());
+        assert!(mux_ratio("8").is_err());
+    }
+
+    #[test]
+    fn active_sets() {
+        let a = active_during("act,pre").unwrap();
+        assert!(a.activate && a.precharge && !a.read && !a.always);
+        let a = active_during("always").unwrap();
+        assert!(a.always);
+        let a = active_during("rd,wrt").unwrap();
+        assert!(a.read && a.write);
+        assert!(active_during("act,refresh").is_err());
+    }
+
+    #[test]
+    fn exponent_numbers() {
+        assert_eq!(number("1.5e3").unwrap(), 1500.0);
+        assert_eq!(number("-2e-2").unwrap(), -0.02);
+        // 'e' as unit start must not be eaten: no such unit here, but the
+        // number must still parse.
+        assert!(number("5eggs").is_err());
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(integer("512").unwrap(), 512);
+        assert!(integer("-1").is_err());
+        assert!(integer("1.5").is_err());
+    }
+}

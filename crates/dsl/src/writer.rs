@@ -1,0 +1,354 @@
+//! Pretty-printer: renders a [`DramDescription`] back into description-
+//! language text that [`crate::parse`] accepts (round-trip property).
+
+use std::fmt::Write as _;
+
+use dram_core::params::{
+    ActiveDuring, Axis, BitlineArchitecture, DeviceGeometry, DramDescription, SegmentSpec,
+    SignalClass, WireCount,
+};
+use dram_core::Pattern;
+use dram_units::Meters;
+
+fn um(m: Meters) -> String {
+    format!("{}um", m.micrometers())
+}
+
+fn dev(d: DeviceGeometry) -> String {
+    format!("{}x{}um", d.width.micrometers(), d.length.micrometers())
+}
+
+fn class_name(c: SignalClass) -> &'static str {
+    match c {
+        SignalClass::WriteData => "wdata",
+        SignalClass::ReadData => "rdata",
+        SignalClass::RowAddress => "rowaddr",
+        SignalClass::ColumnAddress => "coladdr",
+        SignalClass::BankAddress => "bankaddr",
+        SignalClass::Control => "control",
+        SignalClass::Clock => "clock",
+    }
+}
+
+fn wires_name(w: WireCount) -> String {
+    match w {
+        WireCount::Explicit(n) => n.to_string(),
+        WireCount::PerIo => "io".into(),
+        WireCount::RowAddressBits => "rowadd".into(),
+        WireCount::ColumnAddressBits => "coladd".into(),
+        WireCount::BankAddressBits => "bankadd".into(),
+        WireCount::ControlSignals => "control".into(),
+        WireCount::ClockWires => "clock".into(),
+    }
+}
+
+fn active_name(a: ActiveDuring) -> String {
+    let mut parts = Vec::new();
+    if a.always {
+        parts.push("always");
+    }
+    if a.activate {
+        parts.push("act");
+    }
+    if a.precharge {
+        parts.push("pre");
+    }
+    if a.read {
+        parts.push("rd");
+    }
+    if a.write {
+        parts.push("wrt");
+    }
+    parts.join(",")
+}
+
+/// Renders a description (and optional pattern) as description-language
+/// text.
+///
+/// # Examples
+///
+/// ```
+/// use dram_core::reference::ddr3_1g_x16_55nm;
+/// let text = dram_dsl::write(&ddr3_1g_x16_55nm(), None);
+/// let parsed = dram_dsl::parse(&text)?;
+/// assert_eq!(parsed.description.spec.io_width, 16);
+/// # Ok::<(), dram_dsl::DslError>(())
+/// ```
+#[must_use]
+pub fn write(desc: &DramDescription, pattern: Option<&Pattern>) -> String {
+    let mut out = String::new();
+    let fp = &desc.floorplan;
+    let t = &desc.technology;
+    let e = &desc.electrical;
+    let s = &desc.spec;
+    let tm = &desc.timing;
+
+    let _ = writeln!(out, "# {}", desc.name);
+    let _ = writeln!(out, "Device name=\"{}\"", desc.name);
+    let _ = writeln!(out);
+
+    // --- physical floorplan ------------------------------------------
+    let _ = writeln!(out, "FloorplanPhysical");
+    let bl = match fp.bitline_direction {
+        Axis::Vertical => "v",
+        Axis::Horizontal => "h",
+    };
+    let bltype = match fp.bitline_architecture {
+        BitlineArchitecture::Open => "open",
+        BitlineArchitecture::Folded => "folded",
+        BitlineArchitecture::Vertical4F2 => "4f2",
+    };
+    let _ = writeln!(
+        out,
+        "CellArray BL={bl} BitsPerBL={} BitsPerLWL={} BLtype={bltype}",
+        fp.bits_per_bitline, fp.bits_per_local_wordline
+    );
+    let _ = writeln!(
+        out,
+        "CellArray WLpitch={} BLpitch={}",
+        um(fp.wordline_pitch),
+        um(fp.bitline_pitch)
+    );
+    let _ = writeln!(
+        out,
+        "CellArray SAStripe={} LWDStripe={} BlocksPerCSL={}",
+        um(fp.sa_stripe_width),
+        um(fp.lwd_stripe_width),
+        fp.blocks_per_csl
+    );
+    let _ = writeln!(
+        out,
+        "Horizontal blocks = {}",
+        fp.horizontal_blocks.join(" ")
+    );
+    let _ = writeln!(out, "Vertical blocks = {}", fp.vertical_blocks.join(" "));
+    if !fp.horizontal_sizes.is_empty() {
+        let sizes: Vec<String> = fp
+            .horizontal_sizes
+            .iter()
+            .map(|(k, v)| format!("{k}={}", um(*v)))
+            .collect();
+        let _ = writeln!(out, "SizeHorizontal {}", sizes.join(" "));
+    }
+    if !fp.vertical_sizes.is_empty() {
+        let sizes: Vec<String> = fp
+            .vertical_sizes
+            .iter()
+            .map(|(k, v)| format!("{k}={}", um(*v)))
+            .collect();
+        let _ = writeln!(out, "SizeVertical {}", sizes.join(" "));
+    }
+    let _ = writeln!(out);
+
+    // --- signaling ----------------------------------------------------
+    let _ = writeln!(out, "FloorplanSignaling");
+    for sig in &desc.signaling.signals {
+        let _ = writeln!(
+            out,
+            "Signal {} class={} wires={} toggle={}",
+            sig.name,
+            class_name(sig.class),
+            wires_name(sig.wires),
+            sig.toggle_rate
+        );
+        for (i, seg) in sig.segments.iter().enumerate() {
+            let _ = write!(out, "{}{i} ", sig.name);
+            match seg {
+                SegmentSpec::Inside {
+                    at,
+                    fraction,
+                    dir,
+                    buffer,
+                    mux,
+                } => {
+                    let dir = match dir {
+                        Axis::Horizontal => "h",
+                        Axis::Vertical => "v",
+                    };
+                    let _ = write!(out, "inside={at} fraction={fraction} dir={dir}");
+                    if let Some(m) = mux {
+                        let _ = write!(out, " mux=1:{m}");
+                    }
+                    if let Some(b) = buffer {
+                        let _ = write!(
+                            out,
+                            " NchW={} PchW={}",
+                            b.nmos_width.micrometers(),
+                            b.pmos_width.micrometers()
+                        );
+                    }
+                }
+                SegmentSpec::Between { from, to, buffer } => {
+                    let _ = write!(out, "start={from} end={to}");
+                    if let Some(b) = buffer {
+                        let _ = write!(
+                            out,
+                            " NchW={} PchW={}",
+                            b.nmos_width.micrometers(),
+                            b.pmos_width.micrometers()
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(out);
+
+    // --- technology ----------------------------------------------------
+    let _ = writeln!(out, "Technology");
+    let cpl = |c: dram_units::FaradsPerMeter| format!("{}fF/um", c.ff_per_um());
+    let cap = |c: dram_units::Farads| format!("{}fF", c.femtofarads());
+    let _ = writeln!(
+        out,
+        "Oxides ToxLogic={} ToxHV={} ToxCell={}",
+        um(t.tox_logic),
+        um(t.tox_high_voltage),
+        um(t.tox_cell)
+    );
+    let _ = writeln!(
+        out,
+        "Devices LminLogic={} CjLogic={} LminHV={} CjHV={}",
+        um(t.lmin_logic),
+        cpl(t.junction_cap_logic),
+        um(t.lmin_high_voltage),
+        cpl(t.junction_cap_high_voltage)
+    );
+    let _ = writeln!(
+        out,
+        "Cell CellL={} CellW={} CBitline={} CCell={} BLtoWLShare={}",
+        um(t.cell_access_length),
+        um(t.cell_access_width),
+        cap(t.bitline_cap),
+        cap(t.cell_cap),
+        t.bl_to_wl_cap_share
+    );
+    let _ = writeln!(
+        out,
+        "RowPath CWireMWL={} PredecodeRatio={} MWLDecN={} MWLDecP={} MWLDecSwitch={}",
+        cpl(t.c_wire_mwl),
+        t.mwl_predecode_ratio,
+        um(t.mwl_decoder_nmos_width),
+        um(t.mwl_decoder_pmos_width),
+        t.mwl_decoder_switching
+    );
+    let _ = writeln!(
+        out,
+        "RowPath WLCtrlN={} WLCtrlP={} SWDN={} SWDP={} SWDRestore={} CWireLWL={}",
+        um(t.wl_controller_nmos_width),
+        um(t.wl_controller_pmos_width),
+        um(t.swd_nmos_width),
+        um(t.swd_pmos_width),
+        um(t.swd_restore_nmos_width),
+        cpl(t.c_wire_lwl)
+    );
+    let _ = writeln!(
+        out,
+        "SenseAmp SANSense={} SAPSense={} SAEq={} SABitSwitch={} SABLMux={}",
+        dev(t.sa_nmos_sense),
+        dev(t.sa_pmos_sense),
+        dev(t.sa_equalize),
+        dev(t.sa_bit_switch),
+        dev(t.sa_bitline_mux)
+    );
+    let _ = writeln!(
+        out,
+        "SenseAmp SANSet={} SAPSet={} BitsPerCSL={}",
+        dev(t.sa_nset),
+        dev(t.sa_pset),
+        t.bits_per_csl_per_subarray
+    );
+    let _ = writeln!(out, "Wiring CWireSignal={}", cpl(t.c_wire_signal));
+    let _ = writeln!(out);
+
+    // --- electrical ------------------------------------------------------
+    let _ = writeln!(out, "Electrical");
+    let _ = writeln!(
+        out,
+        "Supply Vdd={}V Vint={}V Vbl={}V Vpp={}V",
+        e.vdd.volts(),
+        e.vint.volts(),
+        e.vbl.volts(),
+        e.vpp.volts()
+    );
+    let _ = writeln!(
+        out,
+        "Generator EffVint={} EffVbl={} EffVpp={} ConstCurrent={}mA",
+        e.eff_vint,
+        e.eff_vbl,
+        e.eff_vpp,
+        e.constant_current.milliamperes()
+    );
+    let _ = writeln!(out);
+
+    // --- specification ----------------------------------------------------
+    let _ = writeln!(out, "Specification");
+    let _ = writeln!(
+        out,
+        "IO width={} datarate={}Gbps",
+        s.io_width,
+        s.datarate_per_pin.gbps()
+    );
+    let _ = writeln!(
+        out,
+        "Clock number={} frequency={}MHz",
+        s.clock_wires,
+        s.data_clock.megahertz()
+    );
+    let _ = writeln!(
+        out,
+        "Control frequency={}MHz bankadd={} rowadd={} coladd={} misc={}",
+        s.control_clock.megahertz(),
+        s.bank_address_bits,
+        s.row_address_bits,
+        s.column_address_bits,
+        s.control_signals
+    );
+    let _ = writeln!(
+        out,
+        "Access prefetch={} burst={}",
+        s.prefetch, s.burst_length
+    );
+    let _ = writeln!(out);
+
+    // --- timing --------------------------------------------------------
+    let ns = |x: dram_units::Seconds| format!("{}ns", x.nanoseconds());
+    let _ = writeln!(out, "Timing");
+    let _ = writeln!(
+        out,
+        "Row tRC={} tRAS={} tRP={} tRCD={} tRRD={} tFAW={}",
+        ns(tm.trc),
+        ns(tm.tras),
+        ns(tm.trp),
+        ns(tm.trcd),
+        ns(tm.trrd),
+        ns(tm.tfaw)
+    );
+    let _ = writeln!(out, "Column tCCD={}", tm.tccd_cycles);
+    let _ = writeln!(out, "Refresh tRFC={} tREFI={}", ns(tm.trfc), ns(tm.trefi));
+    let _ = writeln!(out);
+
+    // --- logic blocks ---------------------------------------------------
+    for b in &desc.logic_blocks {
+        let _ = writeln!(
+            out,
+            "LogicBlock name=\"{}\" gates={} Wn={} Wp={} tpg={} gatedensity={} \
+             wiredensity={} active={} toggle={}",
+            b.name,
+            b.gates,
+            um(b.avg_nmos_width),
+            um(b.avg_pmos_width),
+            b.transistors_per_gate,
+            b.gate_density,
+            b.wiring_density,
+            active_name(b.active_during),
+            b.toggle_rate
+        );
+    }
+
+    if let Some(p) = pattern {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Pattern loop= {p}");
+    }
+    out
+}

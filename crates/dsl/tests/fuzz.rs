@@ -1,0 +1,116 @@
+//! Robustness properties of the description-language front end: the
+//! lexer and parser must never panic, whatever bytes arrive, and the
+//! value parsers must reject garbage cleanly.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the lexer or parser.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in "\\PC{0,400}") {
+        let _ = dram_dsl::parse(&input);
+    }
+
+    /// Arbitrary lines appended to a valid file never panic, and either
+    /// parse or produce an error naming a line.
+    #[test]
+    fn valid_prefix_with_garbage_suffix(suffix in "[ -~]{0,80}") {
+        let mut text = include_str!("../descriptions/ddr3_1gb_x16_55nm.dram").to_string();
+        text.push('\n');
+        text.push_str(&suffix);
+        match dram_dsl::parse(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                // Errors carry a usable location or are file-level.
+                prop_assert!(e.line() <= text.lines().count() + 1);
+                prop_assert!(!e.message().is_empty());
+            }
+        }
+    }
+
+    /// Value parsers reject non-numeric garbage without panicking.
+    #[test]
+    fn value_parsers_reject_garbage(s in "[a-zA-Z%/:_.]{0,16}") {
+        let _ = dram_dsl::value::number(&s);
+        let _ = dram_dsl::value::length(&s);
+        let _ = dram_dsl::value::capacitance(&s);
+        let _ = dram_dsl::value::voltage(&s);
+        let _ = dram_dsl::value::frequency(&s);
+        let _ = dram_dsl::value::time(&s);
+        let _ = dram_dsl::value::coordinate(&s);
+        let _ = dram_dsl::value::device(&s);
+        let _ = dram_dsl::value::mux_ratio(&s);
+        let _ = dram_dsl::value::active_during(&s);
+    }
+
+    /// Numeric literals with units round-trip through the length parser.
+    #[test]
+    fn length_parses_generated_literals(v in 0.001f64..10000.0) {
+        let nm = dram_dsl::value::length(&format!("{v}nm")).expect("nm parses");
+        prop_assert!((nm.nanometers() - v).abs() < 1e-6 * v.max(1.0));
+        let um = dram_dsl::value::length(&format!("{v}um")).expect("um parses");
+        prop_assert!((um.micrometers() - v).abs() < 1e-6 * v.max(1.0));
+    }
+
+    /// The lexer preserves key/value structure for generated identifiers.
+    #[test]
+    fn lexer_roundtrips_key_values(
+        key in "[A-Za-z][A-Za-z0-9]{0,10}",
+        value in "[A-Za-z0-9.]{1,10}",
+    ) {
+        let line = format!("Head {key}={value}");
+        let lines = dram_dsl::lexer::lex(&line).expect("lexes");
+        prop_assert_eq!(lines.len(), 1);
+        prop_assert_eq!(lines[0].value(&key), Some(value.as_str()));
+    }
+}
+
+/// Dropping any single required parameter from the shipped sample must
+/// produce a "missing required parameters" error that names it — the
+/// §III.B syntax-check completeness property.
+#[test]
+fn every_required_parameter_is_individually_enforced() {
+    let sample = include_str!("../descriptions/ddr3_1gb_x16_55nm.dram");
+    // Map of required-key suffix -> a space-prefixed key=value token to
+    // strip (the space disambiguates e.g. `Vpp=` from `EffVpp=` and
+    // `tRC=` from a hypothetical suffix match).
+    let removable = [
+        ("CellArray.BitsPerBL", " BitsPerBL="),
+        ("CellArray.WLpitch", " WLpitch="),
+        ("Technology.CBitline", " CBitline="),
+        ("Technology.SANSense", " SANSense="),
+        ("Electrical.Vpp", " Vpp="),
+        ("IO.datarate", " datarate="),
+        ("Control.rowadd", " rowadd="),
+        ("Access.prefetch", " prefetch="),
+        ("Timing.tRC", " tRC="),
+        ("Timing.tFAW", " tFAW="),
+    ];
+    for (required_key, token) in removable {
+        let mutated: String = sample
+            .lines()
+            .map(|line| {
+                let padded = format!("{line} ");
+                if let Some(pos) = padded.find(token) {
+                    // Strip just this key=value pair from the line.
+                    let rest = &padded[pos + 1..];
+                    let end = rest.find(' ').map(|i| pos + 1 + i).unwrap_or(padded.len());
+                    format!("{}{}", &padded[..pos], &padded[end..])
+                        .trim_end()
+                        .to_string()
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = dram_dsl::parse(&mutated).expect_err(&format!("removing {token} should fail"));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("missing required parameters") && msg.contains(required_key),
+            "{token}: unexpected error `{msg}`"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Developer tool: prints the model's DDR2/DDR3 currents next to the
+//! vendor envelopes used by Fig. 8/9 (calibration aid).
+//!
+//! Run with: `cargo run -p dram-scaling --example fig89_check`
+
+use dram_core::Dram;
+use dram_scaling::presets::{build, with_datarate, PresetSpec};
+use dram_scaling::{Interface, TechNode};
+use dram_units::BitsPerSecond;
+
+fn report(label: &str, feature: f64, iface: Interface, io: u32, mbps: f64) {
+    let desc = build(&PresetSpec {
+        feature_nm: feature,
+        interface: iface,
+        density_mbit: 1024,
+        io_width: io,
+    });
+    let desc = with_datarate(desc, BitsPerSecond::from_mbps(mbps));
+    let dram = Dram::new(desc).unwrap();
+    let idd = dram.idd();
+    println!(
+        "{label:28} IDD0 {:6.1}  IDD2N {:6.1}  IDD4R {:6.1}  IDD4W {:6.1}",
+        idd.idd0.milliamperes(),
+        idd.idd2n.milliamperes(),
+        idd.idd4r.milliamperes(),
+        idd.idd4w.milliamperes()
+    );
+}
+
+fn main() {
+    let _ = TechNode::by_feature(75.0);
+    println!("--- DDR2 1Gb (fig 8): vendor envelopes IDD0/IDD4R/IDD4W:");
+    println!("   533 x4: 65-85 / 90-115 / 85-105 ; 667 x8: 70-90 / 115-150 / 105-135 ; 800 x16: 90-110 / 170-205 / 155-190");
+    for f in [75.0, 65.0] {
+        report(&format!("DDR2-533 x4 {f}nm"), f, Interface::Ddr2, 4, 533.0);
+        report(&format!("DDR2-667 x8 {f}nm"), f, Interface::Ddr2, 8, 667.0);
+        report(
+            &format!("DDR2-800 x16 {f}nm"),
+            f,
+            Interface::Ddr2,
+            16,
+            800.0,
+        );
+    }
+    println!("--- DDR3 1Gb (fig 9): 1066 x4: 48-65 / 80-105 / 75-95 ; 1333 x8: 52-70 / 115-145 / 105-130 ; 1600 x16: 58-75 / 160-200 / 145-185");
+    for f in [65.0, 55.0] {
+        report(
+            &format!("DDR3-1066 x4 {f}nm"),
+            f,
+            Interface::Ddr3,
+            4,
+            1066.0,
+        );
+        report(
+            &format!("DDR3-1333 x8 {f}nm"),
+            f,
+            Interface::Ddr3,
+            8,
+            1333.0,
+        );
+        report(
+            &format!("DDR3-1600 x16 {f}nm"),
+            f,
+            Interface::Ddr3,
+            16,
+            1600.0,
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The disruptive technology changes of Table II.
+//!
+//! "Nearly every transition of technology generations has had one major
+//! change" (§III.C). Each entry records the transition, the change, its
+//! background, and how the model realizes it (either as a discrete
+//! multiplier in [`crate::curves`] or as a structural change in
+//! [`crate::presets`]).
+
+/// How a disruption is realized in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelEffect {
+    /// Structural change applied when building generation presets (e.g.
+    /// cell architecture, cells per bitline).
+    Structural,
+    /// Discrete multiplier applied in the scaling curves.
+    CurveStep,
+    /// Captured by the smooth scaling trend; no special handling.
+    Trend,
+}
+
+/// One disruptive transition (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disruption {
+    /// Feature size before the transition, in nm.
+    pub from_nm: f64,
+    /// Feature size after the transition, in nm.
+    pub to_nm: f64,
+    /// The disruptive change.
+    pub change: &'static str,
+    /// The paper's stated background.
+    pub background: &'static str,
+    /// How this crate realizes the change.
+    pub effect: ModelEffect,
+}
+
+/// Table II, in transition order. The first row of the paper's table
+/// (stitched → segmented wordline, spread over 250–110 nm) predates the
+/// modeled roadmap and is recorded at its latest typical node.
+pub const TABLE_II: [Disruption; 8] = [
+    Disruption {
+        from_nm: 140.0,
+        to_nm: 110.0,
+        change: "stitched wordline to segmented wordline",
+        background: "minimum feature size of aluminum wiring no longer feasible",
+        effect: ModelEffect::Trend,
+    },
+    Disruption {
+        from_nm: 110.0,
+        to_nm: 90.0,
+        change: "increase in number of cells per bitline and/or local wordline",
+        background: "leads to smaller die size; better technology control makes it possible",
+        effect: ModelEffect::Structural,
+    },
+    Disruption {
+        from_nm: 110.0,
+        to_nm: 90.0,
+        change: "introduction of dual gate oxide",
+        background: "allows lower voltage operation and better logic transistor performance",
+        effect: ModelEffect::CurveStep,
+    },
+    Disruption {
+        from_nm: 90.0,
+        to_nm: 75.0,
+        change: "p+ gate doping of PMOS transistors",
+        background: "buried channel pfet performance insufficient for high data rate DRAMs",
+        effect: ModelEffect::Trend,
+    },
+    Disruption {
+        from_nm: 90.0,
+        to_nm: 75.0,
+        change: "introduction of 3-dimensional access transistor",
+        background: "planar device length too short for threshold voltage control",
+        effect: ModelEffect::CurveStep,
+    },
+    Disruption {
+        from_nm: 75.0,
+        to_nm: 65.0,
+        change: "cell architecture 8F² folded bitline to 6F² open bitline",
+        background: "leads to smaller die size",
+        effect: ModelEffect::Structural,
+    },
+    Disruption {
+        from_nm: 55.0,
+        to_nm: 44.0,
+        change: "Cu metallization",
+        background: "lower resistance and/or capacitance in wiring",
+        effect: ModelEffect::CurveStep,
+    },
+    Disruption {
+        from_nm: 40.0,
+        to_nm: 36.0,
+        change: "cell architecture 6F² to 4F² with vertical access transistor",
+        background: "leads to smaller die size (ITRS forecast)",
+        effect: ModelEffect::Structural,
+    },
+];
+
+/// The additional high-k transition (36 nm → 31 nm) of Table II.
+pub const HIGH_K: Disruption = Disruption {
+    from_nm: 36.0,
+    to_nm: 31.0,
+    change: "high-k dielectric gate oxide",
+    background: "better subthreshold behavior and reduced gate leakage",
+    effect: ModelEffect::CurveStep,
+};
+
+/// All disruptions including the high-k transition.
+#[must_use]
+pub fn all() -> Vec<Disruption> {
+    let mut v = TABLE_II.to_vec();
+    v.push(HIGH_K);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_ordered_and_shrinking() {
+        for d in all() {
+            assert!(d.to_nm < d.from_nm, "{}", d.change);
+        }
+        // Table order is non-increasing in from_nm.
+        for pair in TABLE_II.windows(2) {
+            assert!(pair[1].from_nm <= pair[0].from_nm);
+        }
+    }
+
+    #[test]
+    fn structural_changes_cover_architecture_transitions() {
+        let structural: Vec<_> = all()
+            .into_iter()
+            .filter(|d| d.effect == ModelEffect::Structural)
+            .collect();
+        assert!(structural.iter().any(|d| d.change.contains("6F²")));
+        assert!(structural.iter().any(|d| d.change.contains("4F²")));
+        assert!(structural
+            .iter()
+            .any(|d| d.change.contains("cells per bitline")));
+    }
+
+    #[test]
+    fn nine_disruptions_total() {
+        assert_eq!(all().len(), 9);
+    }
+}

@@ -1,0 +1,385 @@
+//! DRAM interface generations (SDR → DDR5) and their electrical and
+//! timing envelopes.
+//!
+//! §IV.C fixes the evaluation methodology: x16 devices, the mainstream
+//! interface at each node's time of peak usage, data rate per pin doubling
+//! at each interface transition while the core column rate stays constant
+//! (higher prefetch), and supply voltages following the ITRS roadmap.
+
+use dram_core::params::Timing;
+use dram_units::{BitsPerSecond, Hertz, Seconds, Volts};
+
+/// A DRAM interface standard generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Interface {
+    /// Single data rate SDRAM (~2000).
+    Sdr,
+    /// DDR SDRAM.
+    Ddr,
+    /// DDR2 SDRAM.
+    Ddr2,
+    /// DDR3 SDRAM.
+    Ddr3,
+    /// DDR4 SDRAM (forecast at publication time).
+    Ddr4,
+    /// DDR5 SDRAM (the paper's hypothetical 2017 generation).
+    Ddr5,
+}
+
+impl Interface {
+    /// All generations in chronological order.
+    pub const ALL: [Interface; 6] = [
+        Interface::Sdr,
+        Interface::Ddr,
+        Interface::Ddr2,
+        Interface::Ddr3,
+        Interface::Ddr4,
+        Interface::Ddr5,
+    ];
+
+    /// Interface name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Interface::Sdr => "SDR",
+            Interface::Ddr => "DDR",
+            Interface::Ddr2 => "DDR2",
+            Interface::Ddr3 => "DDR3",
+            Interface::Ddr4 => "DDR4",
+            Interface::Ddr5 => "DDR5",
+        }
+    }
+
+    /// Prefetch: internal bits per DQ per column access. Doubles per
+    /// generation past DDR3 (constant core frequency, §IV.C).
+    #[must_use]
+    pub fn prefetch(self) -> u32 {
+        match self {
+            Interface::Sdr => 1,
+            Interface::Ddr => 2,
+            Interface::Ddr2 => 4,
+            Interface::Ddr3 => 8,
+            Interface::Ddr4 => 16,
+            Interface::Ddr5 => 32,
+        }
+    }
+
+    /// High-end per-pin data rate at peak usage of the generation
+    /// (Fig. 12; doubling per transition).
+    #[must_use]
+    pub fn datarate(self) -> BitsPerSecond {
+        match self {
+            Interface::Sdr => BitsPerSecond::from_mbps(133.0),
+            Interface::Ddr => BitsPerSecond::from_mbps(400.0),
+            Interface::Ddr2 => BitsPerSecond::from_mbps(800.0),
+            Interface::Ddr3 => BitsPerSecond::from_gbps(1.6),
+            Interface::Ddr4 => BitsPerSecond::from_gbps(3.2),
+            Interface::Ddr5 => BitsPerSecond::from_gbps(6.4),
+        }
+    }
+
+    /// Command/address (bus) clock: data rate over beats per clock.
+    #[must_use]
+    pub fn control_clock(self) -> Hertz {
+        let beats = if self == Interface::Sdr { 1.0 } else { 2.0 };
+        Hertz::new(self.datarate().bits_per_second() / beats)
+    }
+
+    /// Interface burst length in beats.
+    #[must_use]
+    pub fn burst_length(self) -> u32 {
+        self.prefetch().max(1)
+    }
+
+    /// Column-to-column spacing in control-clock cycles: a seamless burst
+    /// occupies `burst / beats-per-clock` cycles.
+    #[must_use]
+    pub fn tccd_cycles(self) -> u32 {
+        let beats = if self == Interface::Sdr { 1 } else { 2 };
+        (self.burst_length() / beats).max(1)
+    }
+
+    /// Number of banks of a mainstream x16 device.
+    #[must_use]
+    pub fn banks(self) -> u32 {
+        match self {
+            Interface::Sdr | Interface::Ddr | Interface::Ddr2 => 4,
+            Interface::Ddr3 => 8,
+            Interface::Ddr4 => 16,
+            Interface::Ddr5 => 32,
+        }
+    }
+
+    /// Page size in bits of a mainstream x16 device.
+    #[must_use]
+    pub fn page_bits_x16(self) -> u64 {
+        match self {
+            // 1 KB pages in the SDR/DDR era, 2 KB from DDR2 on.
+            Interface::Sdr | Interface::Ddr => 8 * 1024,
+            _ => 16 * 1024,
+        }
+    }
+
+    /// External supply voltage (Fig. 11 / JEDEC).
+    #[must_use]
+    pub fn vdd(self) -> Volts {
+        match self {
+            Interface::Sdr => Volts::new(3.3),
+            Interface::Ddr => Volts::new(2.5),
+            Interface::Ddr2 => Volts::new(1.8),
+            Interface::Ddr3 => Volts::new(1.5),
+            Interface::Ddr4 => Volts::new(1.2),
+            Interface::Ddr5 => Volts::new(1.1),
+        }
+    }
+
+    /// Internal logic voltage.
+    #[must_use]
+    pub fn vint(self) -> Volts {
+        match self {
+            Interface::Sdr => Volts::new(2.7),
+            Interface::Ddr => Volts::new(2.2),
+            Interface::Ddr2 => Volts::new(1.6),
+            Interface::Ddr3 => Volts::new(1.3),
+            Interface::Ddr4 => Volts::new(1.05),
+            Interface::Ddr5 => Volts::new(0.95),
+        }
+    }
+
+    /// Bitline (array) voltage.
+    #[must_use]
+    pub fn vbl(self) -> Volts {
+        match self {
+            Interface::Sdr => Volts::new(2.2),
+            Interface::Ddr => Volts::new(1.8),
+            Interface::Ddr2 => Volts::new(1.4),
+            Interface::Ddr3 => Volts::new(1.2),
+            Interface::Ddr4 => Volts::new(1.0),
+            Interface::Ddr5 => Volts::new(0.9),
+        }
+    }
+
+    /// Boosted wordline voltage.
+    #[must_use]
+    pub fn vpp(self) -> Volts {
+        match self {
+            Interface::Sdr => Volts::new(4.0),
+            Interface::Ddr => Volts::new(3.6),
+            Interface::Ddr2 => Volts::new(3.1),
+            Interface::Ddr3 => Volts::new(2.9),
+            Interface::Ddr4 => Volts::new(2.5),
+            Interface::Ddr5 => Volts::new(2.3),
+        }
+    }
+
+    /// Generator/pump charge-transfer efficiencies `(Vint, Vbl, Vpp)` of
+    /// the era: output charge over input charge drawn from Vdd. Pumps and
+    /// regulators improved markedly between the SDR and DDR3 generations;
+    /// the Vpp pump worsens slightly again for DDR4/DDR5 because boosting
+    /// from a 1.1–1.2 V supply needs more stages.
+    #[must_use]
+    pub fn generator_efficiencies(self) -> (f64, f64, f64) {
+        match self {
+            Interface::Sdr => (0.90, 0.85, 0.17),
+            Interface::Ddr => (0.91, 0.86, 0.18),
+            Interface::Ddr2 => (0.92, 0.88, 0.19),
+            Interface::Ddr3 => (0.95, 0.92, 0.21),
+            Interface::Ddr4 => (0.95, 0.93, 0.20),
+            Interface::Ddr5 => (0.96, 0.94, 0.19),
+        }
+    }
+
+    /// Peripheral-logic complexity relative to DDR3 ("[peripheral logic]
+    /// becomes more complex in more advanced DRAM generations", §III.B.5).
+    #[must_use]
+    pub fn logic_complexity(self) -> f64 {
+        match self {
+            Interface::Sdr => 0.45,
+            Interface::Ddr => 0.55,
+            Interface::Ddr2 => 0.75,
+            Interface::Ddr3 => 1.0,
+            Interface::Ddr4 => 1.4,
+            Interface::Ddr5 => 2.0,
+        }
+    }
+
+    /// Constant current sink (references, DLL bias) in milliamperes.
+    #[must_use]
+    pub fn constant_current_ma(self) -> f64 {
+        match self {
+            Interface::Sdr => 2.0,
+            Interface::Ddr => 4.0,
+            Interface::Ddr2 => 6.0,
+            Interface::Ddr3 => 10.0,
+            Interface::Ddr4 => 12.0,
+            Interface::Ddr5 => 15.0,
+        }
+    }
+
+    /// Number of clock distribution wires on die.
+    #[must_use]
+    pub fn clock_wires(self) -> u32 {
+        match self {
+            Interface::Sdr | Interface::Ddr | Interface::Ddr2 | Interface::Ddr3 => 2,
+            Interface::Ddr4 | Interface::Ddr5 => 4,
+        }
+    }
+
+    /// Row timing envelope of the generation (Fig. 12: row timings improve
+    /// only slowly over generations).
+    #[must_use]
+    pub fn timing(self) -> Timing {
+        let ns = Seconds::from_ns;
+        match self {
+            Interface::Sdr => Timing {
+                trc: ns(70.0),
+                tras: ns(45.0),
+                trp: ns(20.0),
+                trcd: ns(20.0),
+                trrd: ns(15.0),
+                tfaw: ns(60.0),
+                trfc: ns(70.0),
+                trefi: ns(15_600.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+            Interface::Ddr => Timing {
+                trc: ns(65.0),
+                tras: ns(42.0),
+                trp: ns(18.0),
+                trcd: ns(18.0),
+                trrd: ns(12.0),
+                tfaw: ns(55.0),
+                trfc: ns(75.0),
+                trefi: ns(7_800.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+            Interface::Ddr2 => Timing {
+                trc: ns(55.0),
+                tras: ns(40.0),
+                trp: ns(15.0),
+                trcd: ns(15.0),
+                trrd: ns(10.0),
+                tfaw: ns(45.0),
+                trfc: ns(105.0),
+                trefi: ns(7_800.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+            Interface::Ddr3 => Timing {
+                trc: ns(49.0),
+                tras: ns(35.0),
+                trp: ns(14.0),
+                trcd: ns(14.0),
+                trrd: ns(7.5),
+                tfaw: ns(40.0),
+                trfc: ns(110.0),
+                trefi: ns(7_800.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+            Interface::Ddr4 => Timing {
+                trc: ns(47.0),
+                tras: ns(33.0),
+                trp: ns(14.0),
+                trcd: ns(14.0),
+                trrd: ns(6.0),
+                tfaw: ns(35.0),
+                trfc: ns(260.0),
+                trefi: ns(7_800.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+            Interface::Ddr5 => Timing {
+                trc: ns(46.0),
+                tras: ns(32.0),
+                trp: ns(14.0),
+                trcd: ns(14.0),
+                trrd: ns(5.0),
+                tfaw: ns(32.0),
+                trfc: ns(295.0),
+                trefi: ns(3_900.0),
+                tccd_cycles: self.tccd_cycles(),
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for Interface {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datarate_doubles_per_generation_from_ddr() {
+        for pair in Interface::ALL.windows(2) {
+            let ratio = pair[1].datarate().bits_per_second() / pair[0].datarate().bits_per_second();
+            assert!(
+                (2.0..=3.01).contains(&ratio),
+                "{} -> {}: ratio {ratio}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn voltages_decline_monotonically() {
+        for pair in Interface::ALL.windows(2) {
+            assert!(pair[1].vdd() < pair[0].vdd());
+            assert!(pair[1].vint() < pair[0].vint());
+            assert!(pair[1].vbl() < pair[0].vbl());
+            assert!(pair[1].vpp() < pair[0].vpp());
+        }
+    }
+
+    #[test]
+    fn rail_ordering_holds_everywhere() {
+        for i in Interface::ALL {
+            assert!(i.vpp() > i.vdd(), "{i}");
+            assert!(i.vdd() >= i.vint(), "{i}");
+            assert!(i.vint() >= i.vbl(), "{i}");
+        }
+    }
+
+    #[test]
+    fn core_column_rate_is_roughly_constant_from_ddr3() {
+        // datarate / prefetch = core column rate; the paper assumes it
+        // stops increasing after DDR3.
+        let core = |i: Interface| i.datarate().bits_per_second() / f64::from(i.prefetch());
+        let ddr3 = core(Interface::Ddr3);
+        assert!((core(Interface::Ddr4) - ddr3).abs() < 1.0);
+        assert!((core(Interface::Ddr5) - ddr3).abs() < 1.0);
+    }
+
+    #[test]
+    fn tccd_matches_burst_occupancy() {
+        assert_eq!(Interface::Sdr.tccd_cycles(), 1);
+        assert_eq!(Interface::Ddr.tccd_cycles(), 1);
+        assert_eq!(Interface::Ddr2.tccd_cycles(), 2);
+        assert_eq!(Interface::Ddr3.tccd_cycles(), 4);
+        assert_eq!(Interface::Ddr4.tccd_cycles(), 8);
+        assert_eq!(Interface::Ddr5.tccd_cycles(), 16);
+    }
+
+    #[test]
+    fn row_timing_improves_slowly() {
+        let sdr = Interface::Sdr.timing();
+        let ddr5 = Interface::Ddr5.timing();
+        // tRC improves by less than 2x over six generations while the data
+        // rate improves by ~48x — the crux of Fig. 12.
+        assert!(sdr.trc.seconds() / ddr5.trc.seconds() < 2.0);
+        let rate_gain = Interface::Ddr5.datarate().bits_per_second()
+            / Interface::Sdr.datarate().bits_per_second();
+        assert!(rate_gain > 40.0);
+    }
+
+    #[test]
+    fn complexity_and_banks_grow() {
+        for pair in Interface::ALL.windows(2) {
+            assert!(pair[1].logic_complexity() >= pair[0].logic_complexity());
+            assert!(pair[1].banks() >= pair[0].banks());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dram-scaling
+//!
+//! The technology roadmap of Vogelsang (MICRO 2010) §III.C/§IV.C: nodes
+//! from 170 nm (2000, 128 Mb SDR) to 16 nm (2018, 16 Gb DDR5), per-
+//! parameter shrink curves (Fig. 5–7), the disruptive transitions of
+//! Table II, interface-generation envelopes (voltages, data rates, row
+//! timings), and complete generation presets built by scaling the 55 nm
+//! DDR3 calibration reference.
+//!
+//! ```
+//! use dram_core::Dram;
+//! use dram_scaling::presets::ddr5_16g_18nm;
+//!
+//! # fn main() -> Result<(), dram_core::ModelError> {
+//! let dram = Dram::new(ddr5_16g_18nm())?;
+//! // A forecast DDR5 device still lands in the commodity die window.
+//! let die = dram.area().die.square_millimeters();
+//! assert!(die > 20.0 && die < 90.0);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod curves;
+pub mod disruptions;
+pub mod interface;
+pub mod node;
+pub mod presets;
+pub mod trends;
+pub mod variants;
+
+pub use curves::ScalingParam;
+pub use interface::Interface;
+pub use node::{TechNode, REFERENCE_NODE, ROADMAP};

@@ -1,0 +1,190 @@
+//! The technology-node roadmap of §III.C and §IV.C: feature sizes from
+//! 170 nm (2000) to 16 nm (2018), each with its mainstream interface and
+//! density at peak usage (die area held in the 40–60 mm² window).
+
+use crate::interface::Interface;
+
+/// One technology node of the roadmap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Minimum feature size in nanometers.
+    pub feature_nm: f64,
+    /// Approximate year of peak usage.
+    pub year: u32,
+    /// Mainstream interface at peak usage.
+    pub interface: Interface,
+    /// Mainstream x16 device density in megabits.
+    pub density_mbit: u64,
+}
+
+impl TechNode {
+    /// Device density in bits.
+    #[must_use]
+    pub fn density_bits(&self) -> u64 {
+        self.density_mbit * (1 << 20)
+    }
+
+    /// Shrink factor of the feature size relative to the 55 nm reference
+    /// node (greater than 1 for older nodes).
+    #[must_use]
+    pub fn feature_ratio(&self) -> f64 {
+        self.feature_nm / REFERENCE_NODE.feature_nm
+    }
+
+    /// Looks up the roadmap node with this feature size.
+    #[must_use]
+    pub fn by_feature(feature_nm: f64) -> Option<&'static TechNode> {
+        ROADMAP
+            .iter()
+            .find(|n| (n.feature_nm - feature_nm).abs() < 0.5)
+    }
+}
+
+impl core::fmt::Display for TechNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}nm {} {}Mb ({})",
+            self.feature_nm, self.interface, self.density_mbit, self.year
+        )
+    }
+}
+
+/// The calibration reference: the 55 nm DDR3 node of the paper's running
+/// example (and of `dram_core::reference`).
+pub const REFERENCE_NODE: TechNode = TechNode {
+    feature_nm: 55.0,
+    year: 2008,
+    interface: Interface::Ddr3,
+    density_mbit: 1024,
+};
+
+/// The full roadmap, 170 nm (2000) to 16 nm (2018 forecast). The average
+/// feature shrink between generations is about 16 % (§III.C). The 18 nm
+/// entry is the paper's hypothetical 16 Gb DDR5 device of Table III.
+pub const ROADMAP: [TechNode; 14] = [
+    TechNode {
+        feature_nm: 170.0,
+        year: 2000,
+        interface: Interface::Sdr,
+        density_mbit: 128,
+    },
+    TechNode {
+        feature_nm: 140.0,
+        year: 2002,
+        interface: Interface::Ddr,
+        density_mbit: 256,
+    },
+    TechNode {
+        feature_nm: 110.0,
+        year: 2003,
+        interface: Interface::Ddr,
+        density_mbit: 512,
+    },
+    TechNode {
+        feature_nm: 90.0,
+        year: 2005,
+        interface: Interface::Ddr2,
+        density_mbit: 512,
+    },
+    TechNode {
+        feature_nm: 75.0,
+        year: 2006,
+        interface: Interface::Ddr2,
+        density_mbit: 1024,
+    },
+    TechNode {
+        feature_nm: 65.0,
+        year: 2007,
+        interface: Interface::Ddr3,
+        density_mbit: 1024,
+    },
+    REFERENCE_NODE,
+    TechNode {
+        feature_nm: 44.0,
+        year: 2010,
+        interface: Interface::Ddr3,
+        density_mbit: 2048,
+    },
+    TechNode {
+        feature_nm: 36.0,
+        year: 2012,
+        interface: Interface::Ddr4,
+        density_mbit: 4096,
+    },
+    TechNode {
+        feature_nm: 31.0,
+        year: 2013,
+        interface: Interface::Ddr4,
+        density_mbit: 4096,
+    },
+    TechNode {
+        feature_nm: 25.0,
+        year: 2014,
+        interface: Interface::Ddr4,
+        density_mbit: 8192,
+    },
+    TechNode {
+        feature_nm: 20.0,
+        year: 2016,
+        interface: Interface::Ddr5,
+        density_mbit: 8192,
+    },
+    TechNode {
+        feature_nm: 18.0,
+        year: 2017,
+        interface: Interface::Ddr5,
+        density_mbit: 16384,
+    },
+    TechNode {
+        feature_nm: 16.0,
+        year: 2018,
+        interface: Interface::Ddr5,
+        density_mbit: 16384,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roadmap_is_monotonic() {
+        for pair in ROADMAP.windows(2) {
+            assert!(pair[1].feature_nm < pair[0].feature_nm);
+            assert!(pair[1].year >= pair[0].year);
+            assert!(pair[1].density_mbit >= pair[0].density_mbit);
+            assert!(pair[1].interface >= pair[0].interface);
+        }
+    }
+
+    #[test]
+    fn average_shrink_is_about_sixteen_percent() {
+        // §III.C: "The average feature size shrink between generations is
+        // 16%."
+        let first = ROADMAP.first().unwrap().feature_nm;
+        let last = ROADMAP.last().unwrap().feature_nm;
+        let steps = (ROADMAP.len() - 1) as f64;
+        let avg = 1.0 - (last / first).powf(1.0 / steps);
+        assert!((0.12..=0.20).contains(&avg), "average shrink {avg}");
+    }
+
+    #[test]
+    fn reference_node_is_in_roadmap() {
+        assert!(ROADMAP.iter().any(|n| n == &REFERENCE_NODE));
+        assert_eq!(REFERENCE_NODE.feature_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lookup_by_feature() {
+        let n = TechNode::by_feature(170.0).expect("present");
+        assert_eq!(n.interface, Interface::Sdr);
+        assert_eq!(n.density_mbit, 128);
+        assert!(TechNode::by_feature(123.0).is_none());
+    }
+
+    #[test]
+    fn density_bits() {
+        assert_eq!(TechNode::by_feature(55.0).unwrap().density_bits(), 1 << 30);
+    }
+}

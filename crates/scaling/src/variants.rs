@@ -1,0 +1,263 @@
+//! Architecture variants of §II: "Different architectures have been
+//! proposed over the years to optimize a DRAM for other applications
+//! than main memory. These optimizations always yield a higher cost per
+//! bit."
+//!
+//! * **High-performance** (GDDR5 \[7\] / XDR style): much more partitioned
+//!   — 32 array blocks instead of 8 for a 1 Gb die — to source a higher
+//!   data rate from more concurrently active blocks.
+//! * **Mobile** (LP-DDR2 \[8\] style): commodity-like array but I/O pads
+//!   at the chip edge (longer data runs from the center stripe) and
+//!   aggressive standby optimization (leakage-trimmed periphery, lower
+//!   constant current, temperature-compensated self-refresh).
+
+use dram_core::params::{BlockCoord, DramDescription, SegmentSpec, SignalClass};
+use dram_units::{Amperes, BitsPerSecond, Hertz};
+
+use crate::node::TechNode;
+use crate::presets::{build, PresetSpec};
+
+/// A high-performance graphics-class device: the commodity die of the
+/// node re-partitioned into four times as many banks, clocked at a
+/// GDDR5-class data rate (ref \[7\]: 7 Gb/s/pin with no bank-group
+/// restriction).
+///
+/// # Panics
+///
+/// Panics if the node's organization cannot be re-partitioned (all
+/// roadmap nodes can).
+#[must_use]
+pub fn high_performance(node: &TechNode) -> DramDescription {
+    // Re-partition: 4x the banks of the commodity device at this
+    // density, which shortens master wordlines and datalines per block.
+    let iface = node.interface;
+    let banks = (iface.banks() * 4).min(32);
+    // Rebuild with the higher bank count by adjusting the address split:
+    // more bank bits, fewer row bits.
+    let extra_bank_bits = banks.trailing_zeros() - iface.banks().trailing_zeros();
+    let mut spec = PresetSpec::for_node(node);
+    spec.io_width = 16;
+    let mut hp = build(&spec);
+    hp.spec.bank_address_bits += extra_bank_bits;
+    // Graphics parts also halve the per-bank page (shorter master
+    // wordlines, more concurrency); the remaining bits go back to rows.
+    hp.spec.column_address_bits -= 1;
+    hp.spec.row_address_bits -= extra_bank_bits - 1;
+
+    // The grid needs to match: 32 banks = 8 x 4, 16 banks = 4 x 4.
+    let (cols, rows) = match banks {
+        16 => (4usize, 4usize),
+        32 => (8, 4),
+        other => panic!("unsupported high-performance bank count {other}"),
+    };
+    let mut horizontal = Vec::new();
+    for i in 0..(2 * cols - 1) {
+        horizontal.push(if i % 2 == 0 {
+            "A1".to_string()
+        } else {
+            "P1".to_string()
+        });
+    }
+    let vertical: Vec<String> = ["A1", "P1", "A1", "P1", "P2", "P1", "A1", "P1", "A1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(rows, 4, "high-performance grid uses four bank rows");
+    hp.floorplan.horizontal_blocks = horizontal;
+    hp.floorplan.vertical_blocks = vertical;
+
+    // Regenerate the signaling endpoints for the new grid.
+    let h_mid = cols - 1;
+    let v_mid = 4;
+    retarget_signaling(&mut hp, h_mid, v_mid, cols);
+
+    // GDDR-class interface: double the commodity data rate via a faster
+    // bus clock (graphics parts spend power for bandwidth).
+    let gddr_rate = BitsPerSecond::new(iface.datarate().bits_per_second() * 2.0);
+    hp.spec.datarate_per_pin = gddr_rate;
+    hp.spec.data_clock = Hertz::new(gddr_rate.bits_per_second() / 2.0);
+    hp.spec.control_clock = hp.spec.data_clock;
+    // Wider on-die clocking.
+    hp.spec.clock_wires = hp.spec.clock_wires.max(4);
+    // Interface logic roughly doubles (PLL-heavy high-speed I/O).
+    for b in &mut hp.logic_blocks {
+        if b.active_during.always || b.name.contains("FIFO") {
+            b.gates *= 2;
+        }
+    }
+    hp.name = format!("{} (high-performance partitioning)", hp.name);
+    hp
+}
+
+/// A mobile LP-DDR2-style device: commodity organization with edge pads
+/// — the data buses continue from the center stripe to the die edge —
+/// and a standby-optimized periphery (no DLL, minimal constant current).
+#[must_use]
+pub fn mobile(node: &TechNode) -> DramDescription {
+    let mut desc = build(&PresetSpec::for_node(node));
+
+    // Edge pads: append an extra segment from the center stripe to the
+    // die edge on every data path ("mobile DRAMs ... have edge pads to
+    // which the data have to be wired from the center stripe", §II).
+    let h_len = desc.floorplan.horizontal_blocks.len();
+    let v_len = desc.floorplan.vertical_blocks.len();
+    let edge = BlockCoord::new(0, v_len / 2);
+    let center = BlockCoord::new(h_len / 2, v_len / 2);
+    for sig in &mut desc.signaling.signals {
+        if matches!(sig.class, SignalClass::WriteData | SignalClass::ReadData) {
+            sig.segments.push(SegmentSpec::Between {
+                from: center,
+                to: edge,
+                buffer: None,
+            });
+        }
+    }
+
+    // Standby optimization: no DLL (mobile parts are unterminated and
+    // DLL-less), smaller constant current, gated input stage.
+    desc.electrical.constant_current = Amperes::from_ma(0.8);
+    for b in &mut desc.logic_blocks {
+        if b.name.contains("DLL") {
+            b.gates = (b.gates / 4).max(100);
+        }
+        if b.active_during.always {
+            b.toggle_rate *= 0.6;
+        }
+    }
+    // Mobile data rates trail commodity by one speed grade.
+    let rate = BitsPerSecond::new(desc.spec.datarate_per_pin.bits_per_second() / 2.0);
+    desc.spec.datarate_per_pin = rate;
+    desc.spec.data_clock = Hertz::new(rate.bits_per_second() / 2.0);
+    desc.spec.control_clock = desc.spec.data_clock;
+    desc.name = format!("{} (mobile, edge pads)", desc.name);
+    desc
+}
+
+/// Rewires the canonical signaling endpoints onto a different grid.
+fn retarget_signaling(desc: &mut DramDescription, h_mid: usize, v_mid: usize, cols: usize) {
+    let center = BlockCoord::new(h_mid, v_mid);
+    let column_logic = BlockCoord::new((h_mid + 1).min(2 * cols - 2), v_mid - 1);
+    let row_logic = BlockCoord::new((h_mid + 2).min(2 * cols - 3), 0);
+    for sig in &mut desc.signaling.signals {
+        for seg in &mut sig.segments {
+            match seg {
+                SegmentSpec::Inside { at, .. } => *at = center,
+                SegmentSpec::Between { from, to, .. } => {
+                    *from = center;
+                    *to = match sig.class {
+                        SignalClass::RowAddress => row_logic,
+                        _ => column_logic,
+                    };
+                }
+            }
+        }
+    }
+    // Second Inside segment of the data paths sits in the column logic.
+    for sig in &mut desc.signaling.signals {
+        if matches!(sig.class, SignalClass::WriteData | SignalClass::ReadData) {
+            if let Some(SegmentSpec::Inside { at, .. }) = sig.segments.last_mut() {
+                *at = column_logic;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TechNode;
+    use dram_core::{Dram, PowerState};
+
+    fn node55() -> &'static TechNode {
+        TechNode::by_feature(55.0).expect("roadmap node")
+    }
+
+    #[test]
+    fn high_performance_variant_builds_and_is_partitioned() {
+        let hp = Dram::new(high_performance(node55())).expect("builds");
+        let commodity = Dram::new(build(&PresetSpec::for_node(node55()))).expect("builds");
+        assert_eq!(hp.description().spec.banks(), 32);
+        assert_eq!(commodity.description().spec.banks(), 8);
+        // Shorter master wordlines per block.
+        assert!(
+            hp.geometry().master_wordline_length() < commodity.geometry().master_wordline_length()
+        );
+        // Higher peak bandwidth.
+        assert!(
+            hp.description().spec.peak_bandwidth().gbps()
+                > commodity.description().spec.peak_bandwidth().gbps() * 1.9
+        );
+    }
+
+    #[test]
+    fn high_performance_buys_bandwidth_with_power() {
+        // §II: graphics parts are "optimized for maximum total data
+        // rate" and pay for it — higher absolute current, comparable or
+        // higher energy per bit.
+        let hp = Dram::new(high_performance(node55())).expect("builds");
+        let commodity = Dram::new(build(&PresetSpec::for_node(node55()))).expect("builds");
+        assert!(hp.idd().idd4r > commodity.idd().idd4r);
+        let ratio =
+            hp.energy_per_bit_streaming().joules() / commodity.energy_per_bit_streaming().joules();
+        assert!((0.7..2.5).contains(&ratio), "epb ratio {ratio}");
+        // The smaller page makes the random-access row overhead cheaper.
+        assert!(
+            hp.operation_energy(dram_core::Operation::Activate)
+                .external()
+                < commodity
+                    .operation_energy(dram_core::Operation::Activate)
+                    .external()
+        );
+    }
+
+    #[test]
+    fn high_performance_costs_die_area() {
+        // "These optimizations always yield a higher cost per bit" (§II):
+        // more partitioning means more stripe and periphery area per bit.
+        let hp = Dram::new(high_performance(node55())).expect("builds");
+        let commodity = Dram::new(build(&PresetSpec::for_node(node55()))).expect("builds");
+        assert!(
+            hp.area().array_efficiency() < commodity.area().array_efficiency(),
+            "hp eff {} vs commodity {}",
+            hp.area().array_efficiency(),
+            commodity.area().array_efficiency()
+        );
+    }
+
+    #[test]
+    fn mobile_variant_cuts_standby_hard() {
+        let mobile = Dram::new(mobile(node55())).expect("builds");
+        let commodity = Dram::new(build(&PresetSpec::for_node(node55()))).expect("builds");
+        let m_standby = mobile.state_power(PowerState::PrechargedStandby);
+        let c_standby = commodity.state_power(PowerState::PrechargedStandby);
+        assert!(
+            m_standby.watts() < 0.5 * c_standby.watts(),
+            "mobile standby {} vs commodity {}",
+            m_standby,
+            c_standby
+        );
+    }
+
+    #[test]
+    fn mobile_edge_pads_lengthen_the_data_path() {
+        // The extra center-to-edge run makes each transferred bit cost
+        // more in the data bus, visible in the read data path energy.
+        let mobile = Dram::new(mobile(node55())).expect("builds");
+        let commodity = Dram::new(build(&PresetSpec::for_node(node55()))).expect("builds");
+        let bus = |d: &Dram| {
+            d.operation_energy(dram_core::Operation::Read)
+                .items
+                .iter()
+                .find(|i| i.label == "read data bus")
+                .expect("read bus item")
+                .external
+                .picojoules()
+        };
+        assert!(
+            bus(&mobile) > bus(&commodity),
+            "mobile bus {} vs commodity {}",
+            bus(&mobile),
+            bus(&commodity)
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! # dram-schemes
+//!
+//! Quantitative evaluation of the DRAM power-reduction proposals §V of
+//! Vogelsang (MICRO 2010) discusses, using the charge-accounting model:
+//!
+//! * **Selective bitline activation** (Udipi et al. \[15\]): defer the
+//!   activate until the column address is known and fire only the needed
+//!   wordline segment.
+//! * **Single sub-array access** (Udipi et al. \[15\]): fetch the whole
+//!   cache line from one sub-array.
+//! * **Segmented datalines** (Jeong et al. \[8\]): cut-offs in the center
+//!   stripe minimize active dataline length.
+//! * **TSV stacking** (Kang et al. \[9\]): 3-D stacking shortens global
+//!   wiring and shrinks the shared periphery.
+//! * **Mini-rank** (Zheng et al. \[14\]): narrow the per-access data path
+//!   so fewer devices activate per cache line.
+//! * **Reduced CSL ratio** (the paper's own §V sketch): re-architect the
+//!   column path to an 8:1 page-to-access ratio so a 64 B line needs only
+//!   a 512 B page.
+//!
+//! The common metric is the energy to fetch one 64-byte cache line from a
+//! random row out of a rank of four x16 devices, expressed per bit, plus
+//! the die-area overhead each scheme costs — §V's point being that
+//! schemes touching the on-pitch stripes pay significant area.
+#![warn(missing_docs)]
+
+use dram_core::{Dram, DramDescription, ModelError};
+use dram_units::{Joules, SquareMeters};
+
+pub mod ablations;
+mod transforms;
+
+pub use transforms::{apply_stacked, Scheme};
+
+/// Cache line size the rank-level metric fetches.
+pub const CACHE_LINE_BITS: f64 = 512.0;
+
+/// Devices forming the evaluated rank (four x16 devices = 64-bit bus).
+pub const RANK_DEVICES: f64 = 4.0;
+
+/// Evaluation result for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeEvaluation {
+    /// The evaluated scheme.
+    pub scheme: Scheme,
+    /// Activate + precharge energy per device row cycle after the
+    /// transformation.
+    pub act_pre_energy: Joules,
+    /// Read energy per column access after the transformation.
+    pub read_energy: Joules,
+    /// Rank-level energy per cache-line bit.
+    pub energy_per_bit: Joules,
+    /// Relative saving versus the baseline (positive = saves energy).
+    pub savings: f64,
+    /// Die area after the transformation.
+    pub die_area: SquareMeters,
+    /// Relative die-area overhead versus baseline (positive = larger
+    /// die, i.e. higher cost per bit).
+    pub area_overhead: f64,
+    /// Feasibility notes from the §V discussion.
+    pub notes: &'static str,
+}
+
+/// Evaluates one scheme against a baseline description.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the baseline or the transformed description
+/// fails validation.
+pub fn evaluate(base: &DramDescription, scheme: Scheme) -> Result<SchemeEvaluation, ModelError> {
+    let baseline = transforms::rank_metrics(&Dram::new(base.clone())?, Scheme::Baseline);
+    let result = transforms::apply(base, scheme)?;
+    let savings = 1.0 - result.energy_per_bit.joules() / baseline.energy_per_bit.joules();
+    let area_overhead = result.die_area.square_meters() / baseline.die_area.square_meters() - 1.0;
+    Ok(SchemeEvaluation {
+        savings,
+        area_overhead,
+        ..result
+    })
+}
+
+/// Evaluates the baseline and every scheme, in presentation order.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any transformed description fails validation.
+pub fn evaluate_all(base: &DramDescription) -> Result<Vec<SchemeEvaluation>, ModelError> {
+    Scheme::ALL.iter().map(|&s| evaluate(base, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    fn base() -> DramDescription {
+        ddr3_1g_x16_55nm()
+    }
+
+    #[test]
+    fn baseline_has_zero_savings_and_overhead() {
+        let e = evaluate(&base(), Scheme::Baseline).expect("evaluates");
+        assert!(e.savings.abs() < 1e-12);
+        assert!(e.area_overhead.abs() < 1e-12);
+        assert!(e.energy_per_bit.picojoules() > 1.0);
+    }
+
+    #[test]
+    fn every_scheme_saves_energy() {
+        for e in evaluate_all(&base()).expect("evaluates") {
+            if e.scheme == Scheme::Baseline {
+                continue;
+            }
+            assert!(
+                e.savings > 0.0,
+                "{}: expected savings, got {}",
+                e.scheme.name(),
+                e.savings
+            );
+            assert!(e.savings < 0.95, "{}: implausible savings", e.scheme.name());
+        }
+    }
+
+    #[test]
+    fn row_schemes_cut_activation_energy_hard() {
+        let sba = evaluate(&base(), Scheme::selective_bitline_activation()).expect("evaluates");
+        let baseline = evaluate(&base(), Scheme::Baseline).expect("evaluates");
+        // Firing 1 of 32 sub-arrays must cut act/pre energy by an order
+        // of magnitude.
+        assert!(
+            sba.act_pre_energy.joules() < baseline.act_pre_energy.joules() / 5.0,
+            "act+pre {} vs {}",
+            sba.act_pre_energy,
+            baseline.act_pre_energy
+        );
+    }
+
+    #[test]
+    fn on_pitch_schemes_pay_area() {
+        // §V: changes in the SA or LWD stripes have significant area
+        // impact; center-stripe (off-pitch) changes are nearly free.
+        let sba = evaluate(&base(), Scheme::selective_bitline_activation()).expect("ok");
+        let ssa = evaluate(&base(), Scheme::SingleSubarrayAccess).expect("ok");
+        let seg = evaluate(&base(), Scheme::SegmentedDatalines).expect("ok");
+        assert!(
+            sba.area_overhead > 0.01,
+            "SBA overhead {}",
+            sba.area_overhead
+        );
+        assert!(
+            ssa.area_overhead > sba.area_overhead,
+            "SSA must cost more than SBA"
+        );
+        assert!(
+            seg.area_overhead < 0.01,
+            "segmented datalines are off-pitch: {}",
+            seg.area_overhead
+        );
+    }
+
+    #[test]
+    fn mini_rank_saves_mostly_activation() {
+        let mr = evaluate(&base(), Scheme::MiniRank).expect("ok");
+        // One device activating instead of four: large rank-level saving.
+        assert!(mr.savings > 0.3, "mini-rank savings {}", mr.savings);
+        // No die change on the device itself.
+        assert!(mr.area_overhead.abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_csl_ratio_shrinks_page_energy() {
+        let r = evaluate(&base(), Scheme::ReducedCslRatio).expect("ok");
+        let b = evaluate(&base(), Scheme::Baseline).expect("ok");
+        // A 4x smaller page cuts act/pre close to 4x.
+        let ratio = b.act_pre_energy.joules() / r.act_pre_energy.joules();
+        assert!((2.0..6.0).contains(&ratio), "act ratio {ratio}");
+    }
+
+    #[test]
+    fn notes_are_present_for_all_schemes() {
+        for e in evaluate_all(&base()).expect("ok") {
+            assert!(!e.notes.is_empty(), "{}", e.scheme.name());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # dram-sensitivity
+//!
+//! The parameter-sensitivity analysis of Vogelsang (MICRO 2010) §IV.B:
+//! vary every Table I model input by ±20 %, re-evaluate the mixed
+//! activate/read/write/precharge workload, and rank the parameters by
+//! their impact on total power (Fig. 10 tornado chart, Table III top-10
+//! ranking).
+//!
+//! ```
+//! use dram_core::reference::ddr3_1g_x16_55nm;
+//! use dram_sensitivity::{sweep, ParamId};
+//!
+//! # fn main() -> Result<(), dram_core::ModelError> {
+//! let s = sweep(&ddr3_1g_x16_55nm(), 0.2)?;
+//! // The paper's headline: the internal voltage tops the ranking.
+//! assert_eq!(s.top(1)[0].param, ParamId::Vint);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod params;
+mod sweep;
+
+pub use params::{ParamCategory, ParamId};
+pub use sweep::{interaction, sweep, Interaction, Sensitivity, Sweep};

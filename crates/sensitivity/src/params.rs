@@ -1,0 +1,449 @@
+//! The perturbable-parameter registry: every scalar model input of
+//! Table I that the §IV.B Pareto varies, addressable by a stable
+//! identifier and applied as a multiplicative factor.
+
+use dram_core::params::DramDescription;
+
+/// Input group of a perturbable parameter (the Table I grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamCategory {
+    /// Voltage domains, efficiencies and static current.
+    Electrical,
+    /// Process technology parameters.
+    Technology,
+    /// Physical floorplan dimensions.
+    Floorplan,
+    /// Miscellaneous peripheral logic blocks.
+    Logic,
+    /// Signaling floorplan (toggle rates, re-drivers).
+    Signaling,
+}
+
+impl core::fmt::Display for ParamCategory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ParamCategory::Electrical => "electrical",
+            ParamCategory::Technology => "technology",
+            ParamCategory::Floorplan => "floorplan",
+            ParamCategory::Logic => "logic",
+            ParamCategory::Signaling => "signaling",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A perturbable model parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamId {
+    // --- electrical -----------------------------------------------------
+    /// External supply voltage (excluded from the Fig. 10 chart: power is
+    /// directly proportional to it, as the paper notes).
+    Vdd,
+    /// Internal logic voltage Vint.
+    Vint,
+    /// Bitline voltage Vbl.
+    Vbl,
+    /// Wordline boost voltage Vpp.
+    Vpp,
+    /// Vint generator efficiency.
+    EffVint,
+    /// Vbl generator efficiency.
+    EffVbl,
+    /// Vpp pump efficiency.
+    EffVpp,
+    /// Constant current adder.
+    ConstantCurrent,
+    // --- technology -------------------------------------------------------
+    /// Gate oxide thickness, logic.
+    ToxLogic,
+    /// Gate oxide thickness, high-voltage devices.
+    ToxHighVoltage,
+    /// Gate oxide thickness, cell access transistor.
+    ToxCell,
+    /// Minimum channel length, logic.
+    LminLogic,
+    /// Minimum channel length, high-voltage devices.
+    LminHighVoltage,
+    /// Junction capacitance per width, logic.
+    JunctionCapLogic,
+    /// Junction capacitance per width, high-voltage.
+    JunctionCapHighVoltage,
+    /// Cell access transistor width.
+    CellAccessWidth,
+    /// Cell access transistor length.
+    CellAccessLength,
+    /// Bitline capacitance.
+    BitlineCap,
+    /// Cell capacitance.
+    CellCap,
+    /// Bitline-to-wordline coupling share.
+    BlToWlShare,
+    /// Specific wire capacitance, master wordline.
+    CWireMwl,
+    /// Specific wire capacitance, local wordline.
+    CWireLwl,
+    /// Specific wire capacitance, signaling wires.
+    CWireSignal,
+    /// Master wordline pre-decode ratio.
+    PredecodeRatio,
+    /// Master wordline decoder switching activity.
+    MwlDecoderSwitching,
+    /// Master wordline decoder device widths.
+    MwlDecoderWidth,
+    /// Wordline controller load device widths.
+    WlControllerWidth,
+    /// Sub-wordline driver device widths.
+    SwdWidth,
+    /// Sense-amplifier device widths (sense pairs, equalize, switches,
+    /// set drivers).
+    SenseAmpDeviceWidth,
+    // --- floorplan ---------------------------------------------------------
+    /// Sense-amplifier stripe width.
+    SaStripeWidth,
+    /// Local wordline driver stripe width.
+    LwdStripeWidth,
+    // --- peripheral logic ----------------------------------------------------
+    /// Number of logic gates (all miscellaneous blocks).
+    LogicGates,
+    /// Width of NFET logic devices.
+    LogicNmosWidth,
+    /// Width of PFET logic devices.
+    LogicPmosWidth,
+    /// Logic layout (gate) density.
+    LogicGateDensity,
+    /// Logic wiring density.
+    LogicWiringDensity,
+    // --- signaling -------------------------------------------------------------
+    /// Toggle rates of the signaling buses.
+    SignalToggleRate,
+    /// Re-driver (buffer) device widths in the signaling floorplan.
+    BufferWidth,
+}
+
+impl ParamId {
+    /// Every perturbable parameter.
+    pub const ALL: [ParamId; 38] = [
+        ParamId::Vdd,
+        ParamId::Vint,
+        ParamId::Vbl,
+        ParamId::Vpp,
+        ParamId::EffVint,
+        ParamId::EffVbl,
+        ParamId::EffVpp,
+        ParamId::ConstantCurrent,
+        ParamId::ToxLogic,
+        ParamId::ToxHighVoltage,
+        ParamId::ToxCell,
+        ParamId::LminLogic,
+        ParamId::LminHighVoltage,
+        ParamId::JunctionCapLogic,
+        ParamId::JunctionCapHighVoltage,
+        ParamId::CellAccessWidth,
+        ParamId::CellAccessLength,
+        ParamId::BitlineCap,
+        ParamId::CellCap,
+        ParamId::BlToWlShare,
+        ParamId::CWireMwl,
+        ParamId::CWireLwl,
+        ParamId::CWireSignal,
+        ParamId::PredecodeRatio,
+        ParamId::MwlDecoderSwitching,
+        ParamId::MwlDecoderWidth,
+        ParamId::WlControllerWidth,
+        ParamId::SwdWidth,
+        ParamId::SenseAmpDeviceWidth,
+        ParamId::SaStripeWidth,
+        ParamId::LwdStripeWidth,
+        ParamId::LogicGates,
+        ParamId::LogicNmosWidth,
+        ParamId::LogicPmosWidth,
+        ParamId::LogicGateDensity,
+        ParamId::LogicWiringDensity,
+        ParamId::SignalToggleRate,
+        ParamId::BufferWidth,
+    ];
+
+    /// Human-readable name matching the Table III row labels where the
+    /// paper names the parameter.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamId::Vdd => "External voltage Vdd",
+            ParamId::Vint => "Internal voltage Vint",
+            ParamId::Vbl => "Bitline voltage",
+            ParamId::Vpp => "Wordline voltage",
+            ParamId::EffVint => "Generator efficiency Vint",
+            ParamId::EffVbl => "Generator efficiency Vbl",
+            ParamId::EffVpp => "Pump efficiency Vpp",
+            ParamId::ConstantCurrent => "Constant current adder",
+            ParamId::ToxLogic => "Gate oxide thickness",
+            ParamId::ToxHighVoltage => "Gate oxide thickness HV",
+            ParamId::ToxCell => "Gate oxide thickness cell",
+            ParamId::LminLogic => "Min gate length logic",
+            ParamId::LminHighVoltage => "Min gate length HV",
+            ParamId::JunctionCapLogic => "Junction capacitance logic",
+            ParamId::JunctionCapHighVoltage => "Junction capacitance HV",
+            ParamId::CellAccessWidth => "Access transistor width",
+            ParamId::CellAccessLength => "Access transistor length",
+            ParamId::BitlineCap => "Bitline capacitance",
+            ParamId::CellCap => "Cell capacitance",
+            ParamId::BlToWlShare => "BL-to-WL coupling share",
+            ParamId::CWireMwl => "Wire capacitance master wordline",
+            ParamId::CWireLwl => "Wire capacitance sub-wordline",
+            ParamId::CWireSignal => "Specific wire capacitance",
+            ParamId::PredecodeRatio => "Pre-decode ratio",
+            ParamId::MwlDecoderSwitching => "MWL decoder switching",
+            ParamId::MwlDecoderWidth => "MWL decoder width",
+            ParamId::WlControllerWidth => "WL controller width",
+            ParamId::SwdWidth => "Sub-wordline driver width",
+            ParamId::SenseAmpDeviceWidth => "Sense amplifier device width",
+            ParamId::SaStripeWidth => "SA stripe width",
+            ParamId::LwdStripeWidth => "LWD stripe width",
+            ParamId::LogicGates => "Number of logic gates",
+            ParamId::LogicNmosWidth => "Width NFET logic",
+            ParamId::LogicPmosWidth => "Width PFET logic",
+            ParamId::LogicGateDensity => "Logic device density",
+            ParamId::LogicWiringDensity => "Logic wiring density",
+            ParamId::SignalToggleRate => "Signal toggle rate",
+            ParamId::BufferWidth => "Re-driver width",
+        }
+    }
+
+    /// The Table I group this parameter belongs to.
+    #[must_use]
+    pub fn category(self) -> ParamCategory {
+        match self {
+            ParamId::Vdd
+            | ParamId::Vint
+            | ParamId::Vbl
+            | ParamId::Vpp
+            | ParamId::EffVint
+            | ParamId::EffVbl
+            | ParamId::EffVpp
+            | ParamId::ConstantCurrent => ParamCategory::Electrical,
+            ParamId::ToxLogic
+            | ParamId::ToxHighVoltage
+            | ParamId::ToxCell
+            | ParamId::LminLogic
+            | ParamId::LminHighVoltage
+            | ParamId::JunctionCapLogic
+            | ParamId::JunctionCapHighVoltage
+            | ParamId::CellAccessWidth
+            | ParamId::CellAccessLength
+            | ParamId::BitlineCap
+            | ParamId::CellCap
+            | ParamId::BlToWlShare
+            | ParamId::CWireMwl
+            | ParamId::CWireLwl
+            | ParamId::CWireSignal
+            | ParamId::PredecodeRatio
+            | ParamId::MwlDecoderSwitching
+            | ParamId::MwlDecoderWidth
+            | ParamId::WlControllerWidth
+            | ParamId::SwdWidth
+            | ParamId::SenseAmpDeviceWidth => ParamCategory::Technology,
+            ParamId::SaStripeWidth | ParamId::LwdStripeWidth => ParamCategory::Floorplan,
+            ParamId::LogicGates
+            | ParamId::LogicNmosWidth
+            | ParamId::LogicPmosWidth
+            | ParamId::LogicGateDensity
+            | ParamId::LogicWiringDensity => ParamCategory::Logic,
+            ParamId::SignalToggleRate | ParamId::BufferWidth => ParamCategory::Signaling,
+        }
+    }
+
+    /// Whether the Fig. 10 chart includes this parameter (the paper plots
+    /// everything except the external supply, whose effect is exactly
+    /// proportional).
+    #[must_use]
+    pub fn in_pareto_chart(self) -> bool {
+        self != ParamId::Vdd
+    }
+
+    /// Applies a multiplicative factor to this parameter.
+    pub fn apply(self, desc: &mut DramDescription, factor: f64) {
+        let e = &mut desc.electrical;
+        let t = &mut desc.technology;
+        let fp = &mut desc.floorplan;
+        match self {
+            ParamId::Vdd => e.vdd = e.vdd * factor,
+            ParamId::Vint => e.vint = e.vint * factor,
+            ParamId::Vbl => e.vbl = e.vbl * factor,
+            ParamId::Vpp => e.vpp = e.vpp * factor,
+            ParamId::EffVint => e.eff_vint = (e.eff_vint * factor).min(1.0),
+            ParamId::EffVbl => e.eff_vbl = (e.eff_vbl * factor).min(1.0),
+            ParamId::EffVpp => e.eff_vpp = (e.eff_vpp * factor).min(1.0),
+            ParamId::ConstantCurrent => e.constant_current = e.constant_current * factor,
+            ParamId::ToxLogic => t.tox_logic = t.tox_logic * factor,
+            ParamId::ToxHighVoltage => t.tox_high_voltage = t.tox_high_voltage * factor,
+            ParamId::ToxCell => t.tox_cell = t.tox_cell * factor,
+            ParamId::LminLogic => t.lmin_logic = t.lmin_logic * factor,
+            ParamId::LminHighVoltage => t.lmin_high_voltage = t.lmin_high_voltage * factor,
+            ParamId::JunctionCapLogic => {
+                t.junction_cap_logic = t.junction_cap_logic * factor;
+            }
+            ParamId::JunctionCapHighVoltage => {
+                t.junction_cap_high_voltage = t.junction_cap_high_voltage * factor;
+            }
+            ParamId::CellAccessWidth => t.cell_access_width = t.cell_access_width * factor,
+            ParamId::CellAccessLength => t.cell_access_length = t.cell_access_length * factor,
+            ParamId::BitlineCap => t.bitline_cap = t.bitline_cap * factor,
+            ParamId::CellCap => t.cell_cap = t.cell_cap * factor,
+            ParamId::BlToWlShare => {
+                t.bl_to_wl_cap_share = (t.bl_to_wl_cap_share * factor).min(1.0);
+            }
+            ParamId::CWireMwl => t.c_wire_mwl = t.c_wire_mwl * factor,
+            ParamId::CWireLwl => t.c_wire_lwl = t.c_wire_lwl * factor,
+            ParamId::CWireSignal => t.c_wire_signal = t.c_wire_signal * factor,
+            ParamId::PredecodeRatio => {
+                t.mwl_predecode_ratio = (t.mwl_predecode_ratio * factor).min(1.0);
+            }
+            ParamId::MwlDecoderSwitching => t.mwl_decoder_switching *= factor,
+            ParamId::MwlDecoderWidth => {
+                t.mwl_decoder_nmos_width = t.mwl_decoder_nmos_width * factor;
+                t.mwl_decoder_pmos_width = t.mwl_decoder_pmos_width * factor;
+            }
+            ParamId::WlControllerWidth => {
+                t.wl_controller_nmos_width = t.wl_controller_nmos_width * factor;
+                t.wl_controller_pmos_width = t.wl_controller_pmos_width * factor;
+            }
+            ParamId::SwdWidth => {
+                t.swd_nmos_width = t.swd_nmos_width * factor;
+                t.swd_pmos_width = t.swd_pmos_width * factor;
+                t.swd_restore_nmos_width = t.swd_restore_nmos_width * factor;
+            }
+            ParamId::SenseAmpDeviceWidth => {
+                for d in [
+                    &mut t.sa_nmos_sense,
+                    &mut t.sa_pmos_sense,
+                    &mut t.sa_equalize,
+                    &mut t.sa_bit_switch,
+                    &mut t.sa_bitline_mux,
+                    &mut t.sa_nset,
+                    &mut t.sa_pset,
+                ] {
+                    d.width = d.width * factor;
+                }
+            }
+            ParamId::SaStripeWidth => fp.sa_stripe_width = fp.sa_stripe_width * factor,
+            ParamId::LwdStripeWidth => fp.lwd_stripe_width = fp.lwd_stripe_width * factor,
+            ParamId::LogicGates => {
+                for b in &mut desc.logic_blocks {
+                    b.gates = ((f64::from(b.gates) * factor).round() as u32).max(1);
+                }
+            }
+            ParamId::LogicNmosWidth => {
+                for b in &mut desc.logic_blocks {
+                    b.avg_nmos_width = b.avg_nmos_width * factor;
+                }
+            }
+            ParamId::LogicPmosWidth => {
+                for b in &mut desc.logic_blocks {
+                    b.avg_pmos_width = b.avg_pmos_width * factor;
+                }
+            }
+            ParamId::LogicGateDensity => {
+                for b in &mut desc.logic_blocks {
+                    b.gate_density = (b.gate_density * factor).min(1.0);
+                }
+            }
+            ParamId::LogicWiringDensity => {
+                for b in &mut desc.logic_blocks {
+                    b.wiring_density = (b.wiring_density * factor).min(1.0);
+                }
+            }
+            ParamId::SignalToggleRate => {
+                for s in &mut desc.signaling.signals {
+                    s.toggle_rate *= factor;
+                }
+            }
+            ParamId::BufferWidth => {
+                use dram_core::params::SegmentSpec;
+                for s in &mut desc.signaling.signals {
+                    for seg in &mut s.segments {
+                        let buffer = match seg {
+                            SegmentSpec::Between { buffer, .. }
+                            | SegmentSpec::Inside { buffer, .. } => buffer,
+                        };
+                        if let Some(b) = buffer {
+                            b.nmos_width = b.nmos_width * factor;
+                            b.pmos_width = b.pmos_width * factor;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for ParamId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn all_list_is_deduplicated() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ParamId::ALL {
+            assert!(seen.insert(p), "{p} duplicated");
+        }
+    }
+
+    #[test]
+    fn every_parameter_changes_the_description() {
+        let base = ddr3_1g_x16_55nm();
+        for p in ParamId::ALL {
+            let mut d = base.clone();
+            p.apply(&mut d, 1.2);
+            assert_ne!(d, base, "{p} had no effect");
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity_for_continuous_params() {
+        let base = ddr3_1g_x16_55nm();
+        for p in ParamId::ALL {
+            if p == ParamId::LogicGates {
+                continue; // rounding
+            }
+            let mut d = base.clone();
+            p.apply(&mut d, 1.0);
+            assert_eq!(d, base, "{p} not identity at factor 1");
+        }
+    }
+
+    #[test]
+    fn every_parameter_has_a_category() {
+        use std::collections::HashMap;
+        let mut counts: HashMap<ParamCategory, usize> = HashMap::new();
+        for p in ParamId::ALL {
+            *counts.entry(p.category()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 5, "all five Table I groups represented");
+        assert_eq!(counts.values().sum::<usize>(), ParamId::ALL.len());
+        assert_eq!(counts[&ParamCategory::Electrical], 8);
+    }
+
+    #[test]
+    fn vdd_is_excluded_from_chart() {
+        assert!(!ParamId::Vdd.in_pareto_chart());
+        assert!(ParamId::Vint.in_pareto_chart());
+        let plotted = ParamId::ALL.iter().filter(|p| p.in_pareto_chart()).count();
+        assert_eq!(plotted, ParamId::ALL.len() - 1);
+    }
+
+    #[test]
+    fn clamped_parameters_stay_in_range() {
+        let mut d = ddr3_1g_x16_55nm();
+        ParamId::EffVint.apply(&mut d, 2.0);
+        assert!(d.electrical.eff_vint <= 1.0);
+        ParamId::LogicGateDensity.apply(&mut d, 100.0);
+        assert!(d.logic_blocks.iter().all(|b| b.gate_density <= 1.0));
+    }
+}

@@ -1,0 +1,336 @@
+//! The ±variation sensitivity sweep of §IV.B: perturb each parameter,
+//! re-evaluate the mixed activate/read/write/precharge workload ("an
+//! Idd7 pattern but with half of the read operations replaced by write
+//! operations"), and rank by impact.
+
+use dram_core::{Dram, DramDescription, ModelError};
+
+use crate::params::ParamId;
+
+/// Sensitivity of the workload power to one parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// The perturbed parameter.
+    pub param: ParamId,
+    /// Relative power change when the parameter is increased by the
+    /// variation (e.g. `+0.12` = +12 %).
+    pub up: f64,
+    /// Relative power change when the parameter is decreased.
+    pub down: f64,
+}
+
+impl Sensitivity {
+    /// Total swing of the tornado bar: `|up − down|`. A parameter the
+    /// power is directly proportional to shows a swing of twice the
+    /// variation (the paper's "40 %" remark for Vdd at ±20 %).
+    #[must_use]
+    pub fn swing(&self) -> f64 {
+        (self.up - self.down).abs()
+    }
+}
+
+/// Result of a full sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The applied relative variation (0.2 = ±20 %).
+    pub variation: f64,
+    /// Baseline workload power in watts.
+    pub baseline_watts: f64,
+    /// Per-parameter sensitivities, in [`ParamId::ALL`] order.
+    pub entries: Vec<Sensitivity>,
+}
+
+impl Sweep {
+    /// Entries sorted by descending swing (the Pareto order of Fig. 10).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<Sensitivity> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
+        v
+    }
+
+    /// The top `n` chart parameters (Vdd excluded, as in the paper's
+    /// Fig. 10 / Table III).
+    #[must_use]
+    pub fn top(&self, n: usize) -> Vec<Sensitivity> {
+        self.ranked()
+            .into_iter()
+            .filter(|s| s.param.in_pareto_chart())
+            .take(n)
+            .collect()
+    }
+
+    /// Looks up one parameter's sensitivity.
+    #[must_use]
+    pub fn of(&self, param: ParamId) -> Option<Sensitivity> {
+        self.entries.iter().copied().find(|s| s.param == param)
+    }
+
+    /// Aggregate swing per Table I parameter group, as a share of the
+    /// total swing (Vdd excluded, as in the chart).
+    #[must_use]
+    pub fn category_shares(&self) -> Vec<(crate::ParamCategory, f64)> {
+        use std::collections::BTreeMap;
+        let mut totals: BTreeMap<&'static str, (crate::ParamCategory, f64)> = BTreeMap::new();
+        let mut grand = 0.0;
+        for e in &self.entries {
+            if !e.param.in_pareto_chart() {
+                continue;
+            }
+            let cat = e.param.category();
+            let key = match cat {
+                crate::ParamCategory::Electrical => "electrical",
+                crate::ParamCategory::Technology => "technology",
+                crate::ParamCategory::Floorplan => "floorplan",
+                crate::ParamCategory::Logic => "logic",
+                crate::ParamCategory::Signaling => "signaling",
+            };
+            totals.entry(key).or_insert((cat, 0.0)).1 += e.swing();
+            grand += e.swing();
+        }
+        totals
+            .into_values()
+            .map(|(cat, swing)| (cat, if grand > 0.0 { swing / grand } else { 0.0 }))
+            .collect()
+    }
+}
+
+fn workload_power(desc: DramDescription) -> Result<f64, ModelError> {
+    let dram = Dram::new(desc)?;
+    Ok(dram.mixed_workload_power().power.watts())
+}
+
+/// Runs the sensitivity sweep on a device at the given relative variation
+/// (the paper uses ±20 %).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the base description is invalid or a
+/// perturbed description fails validation.
+pub fn sweep(desc: &DramDescription, variation: f64) -> Result<Sweep, ModelError> {
+    let baseline = workload_power(desc.clone())?;
+    let mut entries = Vec::with_capacity(ParamId::ALL.len());
+    for param in ParamId::ALL {
+        let mut up_desc = desc.clone();
+        param.apply(&mut up_desc, 1.0 + variation);
+        let up = workload_power(up_desc)? / baseline - 1.0;
+
+        let mut down_desc = desc.clone();
+        param.apply(&mut down_desc, 1.0 - variation);
+        let down = workload_power(down_desc)? / baseline - 1.0;
+
+        entries.push(Sensitivity { param, up, down });
+    }
+    Ok(Sweep {
+        variation,
+        baseline_watts: baseline,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    fn reference_sweep() -> Sweep {
+        sweep(&ddr3_1g_x16_55nm(), 0.2).expect("sweep runs")
+    }
+
+    #[test]
+    fn vdd_swing_is_forty_percent() {
+        // "A variation of 40% would mean that the power consumption is
+        // directly proportional ... This is only the case for the external
+        // supply voltage Vdd" (§IV.B).
+        let s = reference_sweep();
+        let vdd = s.of(ParamId::Vdd).unwrap();
+        assert!(
+            (vdd.swing() - 0.40).abs() < 0.02,
+            "Vdd swing {}",
+            vdd.swing()
+        );
+        // Every other parameter influences only part of the power.
+        for e in &s.entries {
+            if e.param != ParamId::Vdd {
+                assert!(
+                    e.swing() < vdd.swing() + 1e-9,
+                    "{} swing {}",
+                    e.param,
+                    e.swing()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vint_tops_the_chart() {
+        // Table III rank 1 for every generation: internal voltage Vint.
+        let s = reference_sweep();
+        let top = s.top(10);
+        assert_eq!(top[0].param, ParamId::Vint, "top is {:?}", top[0].param);
+    }
+
+    #[test]
+    fn voltages_have_superlinear_effect() {
+        // Power goes with V², so +20 % on Vint moves power more than +20 %
+        // on a capacitance of the same share.
+        let s = reference_sweep();
+        let vint = s.of(ParamId::Vint).unwrap();
+        assert!(vint.up > 0.0 && vint.down < 0.0);
+        assert!(vint.swing() > s.of(ParamId::CWireSignal).unwrap().swing());
+    }
+
+    #[test]
+    fn known_heavyweights_outrank_minor_knobs() {
+        let s = reference_sweep();
+        let swing = |p| s.of(p).unwrap().swing();
+        assert!(swing(ParamId::BitlineCap) > swing(ParamId::CellCap));
+        assert!(swing(ParamId::Vbl) > swing(ParamId::BlToWlShare));
+        assert!(swing(ParamId::LogicGates) > swing(ParamId::PredecodeRatio));
+    }
+
+    #[test]
+    fn efficiencies_move_power_inversely() {
+        let s = reference_sweep();
+        let eff = s.of(ParamId::EffVpp).unwrap();
+        // Better pump -> less power.
+        assert!(eff.up < 0.0, "eff up {}", eff.up);
+        assert!(eff.down > 0.0, "eff down {}", eff.down);
+    }
+
+    #[test]
+    fn ranked_is_sorted() {
+        let s = reference_sweep();
+        let r = s.ranked();
+        for pair in r.windows(2) {
+            assert!(pair[0].swing() >= pair[1].swing());
+        }
+        assert_eq!(r.len(), ParamId::ALL.len());
+    }
+
+    #[test]
+    fn category_shares_sum_to_one() {
+        let s = reference_sweep();
+        let shares = s.category_shares();
+        assert_eq!(shares.len(), 5);
+        let total: f64 = shares.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        // Electrical (the voltages) carries the largest share on DDR3.
+        let electrical = shares
+            .iter()
+            .find(|(c, _)| *c == crate::ParamCategory::Electrical)
+            .unwrap()
+            .1;
+        for (c, v) in &shares {
+            assert!(
+                electrical >= *v || *c == crate::ParamCategory::Electrical,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_is_positive() {
+        let s = reference_sweep();
+        assert!(s.baseline_watts > 0.05 && s.baseline_watts < 2.0);
+        assert_eq!(s.variation, 0.2);
+    }
+}
+
+/// Interaction of two parameters: how far the combined effect of varying
+/// both deviates from composing their individual effects.
+///
+/// For multiplicative charge terms (`Q = C·V`) the model predicts power
+/// ratios compose multiplicatively, so `interaction ≈ 0` for independent
+/// parameters and grows where parameters multiply into the *same* terms
+/// (e.g. a capacitance and the voltage of its rail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interaction {
+    /// First parameter.
+    pub a: ParamId,
+    /// Second parameter.
+    pub b: ParamId,
+    /// Power ratio when both are increased together.
+    pub joint: f64,
+    /// Product of the individual power ratios.
+    pub composed: f64,
+}
+
+impl Interaction {
+    /// Relative deviation of the joint effect from composition:
+    /// `joint/composed − 1`.
+    #[must_use]
+    pub fn strength(&self) -> f64 {
+        self.joint / self.composed - 1.0
+    }
+}
+
+/// Measures the interaction of two parameters at the given variation.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any perturbed description fails validation.
+pub fn interaction(
+    desc: &DramDescription,
+    a: ParamId,
+    b: ParamId,
+    variation: f64,
+) -> Result<Interaction, ModelError> {
+    let baseline = workload_power(desc.clone())?;
+    let factor = 1.0 + variation;
+
+    let mut da = desc.clone();
+    a.apply(&mut da, factor);
+    let ra = workload_power(da)? / baseline;
+
+    let mut db = desc.clone();
+    b.apply(&mut db, factor);
+    let rb = workload_power(db)? / baseline;
+
+    let mut dab = desc.clone();
+    a.apply(&mut dab, factor);
+    b.apply(&mut dab, factor);
+    let rab = workload_power(dab)? / baseline;
+
+    Ok(Interaction {
+        a,
+        b,
+        joint: rab,
+        composed: ra * rb,
+    })
+}
+
+#[cfg(test)]
+mod interaction_tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn coupled_parameters_interact_positively() {
+        // Bitline capacitance and bitline voltage multiply into the same
+        // charge terms: raising both beats composing the separate
+        // effects.
+        let desc = ddr3_1g_x16_55nm();
+        let i = interaction(&desc, ParamId::BitlineCap, ParamId::Vbl, 0.2).expect("runs");
+        assert!(i.strength() > 0.002, "strength {}", i.strength());
+    }
+
+    #[test]
+    fn disjoint_parameters_barely_interact() {
+        // The constant current sink and the bitline capacitance touch
+        // disjoint terms.
+        let desc = ddr3_1g_x16_55nm();
+        let i =
+            interaction(&desc, ParamId::ConstantCurrent, ParamId::BitlineCap, 0.2).expect("runs");
+        assert!(i.strength().abs() < 0.004, "strength {}", i.strength());
+    }
+
+    #[test]
+    fn interaction_is_symmetric() {
+        let desc = ddr3_1g_x16_55nm();
+        let ab = interaction(&desc, ParamId::Vint, ParamId::LogicGates, 0.2).expect("runs");
+        let ba = interaction(&desc, ParamId::LogicGates, ParamId::Vint, 0.2).expect("runs");
+        assert!((ab.joint - ba.joint).abs() < 1e-12);
+        assert!((ab.strength() - ba.strength()).abs() < 1e-12);
+    }
+}

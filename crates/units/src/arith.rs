@@ -1,0 +1,232 @@
+//! Cross-unit arithmetic: the physically meaningful products and quotients
+//! used by the charge-accounting power model.
+//!
+//! Only combinations the model actually needs are defined; anything else is
+//! a compile error, which is the point of having unit types at all.
+
+use crate::{
+    Amperes, BitsPerSecond, Coulombs, Farads, FaradsPerMeter, FaradsPerSquareMeter, Hertz, Joules,
+    Meters, Seconds, SquareMeters, Volts, Watts,
+};
+
+macro_rules! cross {
+    // $a * $b = $out (and commuted)
+    (mul $a:ty, $b:ty => $out:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $b) -> $out {
+                $out::new(self.0 * rhs.0)
+            }
+        }
+        impl core::ops::Mul<$a> for $b {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $a) -> $out {
+                $out::new(self.0 * rhs.0)
+            }
+        }
+    };
+    // $a / $b = $out
+    (div $a:ty, $b:ty => $out:ident) => {
+        impl core::ops::Div<$b> for $a {
+            type Output = $out;
+            #[inline]
+            fn div(self, rhs: $b) -> $out {
+                $out::new(self.0 / rhs.0)
+            }
+        }
+    };
+}
+
+// Charge: Q = C · V
+cross!(mul Farads, Volts => Coulombs);
+// Energy: E = Q · V (charge moved across a potential)
+cross!(mul Coulombs, Volts => Joules);
+// Current: I = Q · f (charge moved per event, events per second)
+cross!(mul Coulombs, Hertz => Amperes);
+// Charge from a current flowing for a time: Q = I · t
+cross!(mul Amperes, Seconds => Coulombs);
+// Power: P = I · V
+cross!(mul Amperes, Volts => Watts);
+// Power: P = E · f (energy per event, events per second)
+cross!(mul Joules, Hertz => Watts);
+// Energy: E = P · t
+cross!(mul Watts, Seconds => Joules);
+// Wire capacitance: C = c' · L
+cross!(mul FaradsPerMeter, Meters => Farads);
+// Gate capacitance: C = c'' · A
+cross!(mul FaradsPerSquareMeter, SquareMeters => Farads);
+// Area: A = L · W (self-product, cannot use the commuting macro arm)
+impl core::ops::Mul for Meters {
+    type Output = SquareMeters;
+    #[inline]
+    fn mul(self, rhs: Meters) -> SquareMeters {
+        SquareMeters::new(self.meters() * rhs.meters())
+    }
+}
+
+// Current from power at a rail: I = P / V
+cross!(div Watts, Volts => Amperes);
+// Voltage from energy per charge: V = E / Q
+cross!(div Joules, Coulombs => Volts);
+// Capacitance from charge at a voltage: C = Q / V
+cross!(div Coulombs, Volts => Farads);
+// Energy per transferred bit: the quotient of power by data rate has units
+// of joules (J/bit treated as J since "bit" is dimensionless).
+cross!(div Watts, BitsPerSecond => Joules);
+// Specific capacitance back-out: c' = C / L
+cross!(div Farads, Meters => FaradsPerMeter);
+// Length from area: L = A / W
+cross!(div SquareMeters, Meters => Meters);
+// Event count in an interval is dimensionless: t · f
+impl core::ops::Mul<Hertz> for Seconds {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> f64 {
+        self.0 * rhs.0
+    }
+}
+impl core::ops::Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+/// Energy dissipated when charging a capacitance to a voltage, eq. (1) of
+/// the paper: `ε = ½·C·V²`.
+///
+/// This is the energy burned in the charging path; the same amount again is
+/// stored on the capacitor and burned at discharge. Supply-side accounting
+/// (what a datasheet IDD measures) instead uses [`supply_energy`].
+///
+/// # Examples
+///
+/// ```
+/// use dram_units::{half_cv2, Farads, Volts};
+/// let e = half_cv2(Farads::from_ff(100.0), Volts::new(1.0));
+/// assert!((e.picojoules() - 0.05).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn half_cv2(c: Farads, v: Volts) -> Joules {
+    Joules::new(0.5 * c.farads() * v.volts() * v.volts())
+}
+
+/// Energy drawn from a supply at voltage `v` when moving charge `q` out of
+/// it: `E = Q·V`.
+///
+/// For a full charge/discharge cycle of a capacitor `C` swung rail-to-rail,
+/// `q = C·V` and the supply delivers `C·V²` — twice [`half_cv2`], half
+/// dissipated on each edge. Datasheet currents measure exactly this supply
+/// charge, so the model's operation accounting is built on it.
+#[inline]
+pub fn supply_energy(q: Coulombs, v: Volts) -> Joules {
+    q * v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::*;
+
+    #[test]
+    fn charge_energy_current_power_chain() {
+        let c = Farads::from_ff(100.0);
+        let v = Volts::new(1.5);
+        let q = c * v;
+        assert!((q.coulombs() - 150.0e-15).abs() < 1e-24);
+        let e = q * v;
+        assert!((e.picojoules() - 0.225).abs() < 1e-9);
+        let f = Hertz::from_mhz(10.0);
+        let i = q * f;
+        assert!((i.amperes() - 1.5e-6).abs() < 1e-12);
+        let p = i * v;
+        assert!((p.watts() - 2.25e-6).abs() < 1e-12);
+        // P = E·f must agree with P = I·V
+        let p2 = e * f;
+        assert!((p2.watts() - p.watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn commuted_products_agree() {
+        let c = Farads::from_ff(10.0);
+        let v = Volts::new(2.0);
+        assert_eq!((c * v).coulombs(), (v * c).coulombs());
+        let l = Meters::from_um(100.0);
+        let cpl = FaradsPerMeter::from_ff_per_um(0.2);
+        assert_eq!((cpl * l).femtofarads(), (l * cpl).femtofarads());
+    }
+
+    #[test]
+    fn wire_capacitance() {
+        // 3396 µm of wire at 0.2 fF/µm, like the master dataline of Fig. 1.
+        let c = FaradsPerMeter::from_ff_per_um(0.2) * Meters::from_um(3396.0);
+        assert!((c.femtofarads() - 679.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_capacitance_from_area() {
+        // SiO2 at 4 nm: ε/t = 3.45e-11/4e-9 ≈ 8.63 fF/µm²; a 1 µm × 0.1 µm
+        // gate is then ≈ 0.86 fF.
+        let cox = FaradsPerSquareMeter::new(3.45e-11 / 4.0e-9);
+        let area = Meters::from_um(1.0) * Meters::from_um(0.1);
+        let c = cox * area;
+        assert!((c.femtofarads() - 0.8625).abs() < 1e-3);
+    }
+
+    #[test]
+    fn current_from_power() {
+        let p = Watts::from_mw(150.0);
+        let v = Volts::new(1.5);
+        let i = p / v;
+        assert!((i.milliamperes() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_bit() {
+        // 160 mW of core power at 25.6 Gb/s is 6.25 pJ/bit.
+        let p = Watts::from_mw(160.0);
+        let r = BitsPerSecond::from_gbps(25.6);
+        let epb = p / r;
+        assert!((epb.picojoules() - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_cv2_is_half_of_supply_cycle() {
+        let c = Farads::from_ff(50.0);
+        let v = Volts::new(1.2);
+        let e_half = half_cv2(c, v);
+        let e_cycle = supply_energy(c * v, v);
+        assert!((e_cycle.joules() - 2.0 * e_half.joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn charge_from_current_over_time() {
+        let q = Amperes::from_ma(2.0) * Seconds::from_ns(50.0);
+        assert!((q.coulombs() - 1e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn dimensionless_products() {
+        let events = Seconds::from_ns(100.0) * Hertz::from_mhz(100.0);
+        assert!((events - 10.0).abs() < 1e-9);
+        let events2 = Hertz::from_mhz(100.0) * Seconds::from_ns(100.0);
+        assert!((events2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backout_quotients() {
+        let c = Farads::from_ff(679.2);
+        let l = Meters::from_um(3396.0);
+        assert!(((c / l).ff_per_um() - 0.2).abs() < 1e-9);
+        let a = Meters::from_um(8.0) * Meters::from_um(2.0);
+        assert!(((a / Meters::from_um(2.0)).micrometers() - 8.0).abs() < 1e-9);
+        let q = Coulombs::new(3.0e-13);
+        let v = Volts::new(1.5);
+        assert!(((q / v).femtofarads() - 200.0).abs() < 1e-9);
+        let e = Joules::from_pj(0.3);
+        assert!(((e / q).volts() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Engineering-notation formatting with SI prefixes.
+//!
+//! Shared by the quantity `Display` impls, the description-language pretty
+//! printer, and the figure/table report generators, so that `8.5e-14 F`
+//! always prints as `85 fF`.
+
+use core::fmt;
+
+/// SI prefixes from femto (1e-15) to giga (1e9), the range DRAM modeling
+/// needs.
+const PREFIXES: [(f64, &str); 9] = [
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+];
+
+/// Splits a value into a mantissa in `[1, 1000)` and an SI prefix.
+///
+/// Values outside the femto..giga range fall back to the nearest end of the
+/// range; zero maps to `(0.0, "")`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dram_units::eng::split_eng(85.0e-15), (85.0, "f"));
+/// assert_eq!(dram_units::eng::split_eng(0.0), (0.0, ""));
+/// ```
+pub fn split_eng(value: f64) -> (f64, &'static str) {
+    if value == 0.0 || !value.is_finite() {
+        return (value, "");
+    }
+    let magnitude = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if magnitude >= scale * 0.9995 {
+            return (value / scale, prefix);
+        }
+    }
+    // Below femto: express in femto anyway.
+    (value / 1e-15, "f")
+}
+
+/// Writes `value` with unit `unit` in engineering notation, e.g.
+/// `write_eng(f, 8.5e-14, "F")` writes `85 fF`.
+///
+/// Mantissas are rounded to at most four significant digits with trailing
+/// zeros trimmed.
+pub fn write_eng(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    let (mantissa, prefix) = split_eng(value);
+    write!(f, "{} {}{}", trim(mantissa), prefix, unit)
+}
+
+/// Formats `value` with unit `unit` in engineering notation into a `String`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dram_units::eng::format_eng(8.5e-14, "F"), "85 fF");
+/// assert_eq!(dram_units::eng::format_eng(1.6e9, "b/s"), "1.6 Gb/s");
+/// ```
+pub fn format_eng(value: f64, unit: &str) -> String {
+    let (mantissa, prefix) = split_eng(value);
+    format!("{} {}{}", trim(mantissa), prefix, unit)
+}
+
+/// Rounds to four significant digits and trims trailing zeros.
+fn trim(mantissa: f64) -> String {
+    if !mantissa.is_finite() {
+        return format!("{mantissa}");
+    }
+    let s = format!("{mantissa:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_range() {
+        assert_eq!(split_eng(1.5), (1.5, ""));
+        assert_eq!(split_eng(1500.0).1, "k");
+        assert_eq!(split_eng(0.0015).1, "m");
+        assert_eq!(split_eng(85.0e-15).1, "f");
+        assert_eq!(split_eng(2.5e9).1, "G");
+        assert_eq!(split_eng(3.3e-12).1, "p");
+    }
+
+    #[test]
+    fn split_handles_negative() {
+        let (m, p) = split_eng(-0.103);
+        assert!((m - -103.0).abs() < 1e-9);
+        assert_eq!(p, "m");
+    }
+
+    #[test]
+    fn format_trims_zeros() {
+        assert_eq!(format_eng(1.5, "V"), "1.5 V");
+        assert_eq!(format_eng(2.0, "V"), "2 V");
+        assert_eq!(format_eng(0.0, "V"), "0 V");
+        assert_eq!(format_eng(1.2345678e-3, "A"), "1.2346 mA");
+    }
+
+    #[test]
+    fn near_boundary_rounds_up_prefix() {
+        // 999.96e-3 should render as 1 (unit), not 999.96 m(unit), because of
+        // the 0.9995 guard.
+        assert_eq!(split_eng(0.99996).1, "");
+    }
+}

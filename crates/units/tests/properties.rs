@@ -1,0 +1,109 @@
+//! Property-based tests for unit arithmetic laws.
+
+use dram_units::*;
+use proptest::prelude::*;
+
+/// Positive, well-scaled magnitudes so products stay in f64's sweet spot.
+fn mag() -> impl Strategy<Value = f64> {
+    1.0e-3..1.0e3
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (a.abs() + b.abs()).max(1e-12)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in mag(), b in mag()) {
+        let x = Farads::from_ff(a);
+        let y = Farads::from_ff(b);
+        prop_assert!(approx((x + y).farads(), (y + x).farads()));
+    }
+
+    #[test]
+    fn addition_associates(a in mag(), b in mag(), c in mag()) {
+        let (x, y, z) = (Volts::new(a), Volts::new(b), Volts::new(c));
+        prop_assert!(approx(((x + y) + z).volts(), (x + (y + z)).volts()));
+    }
+
+    #[test]
+    fn scalar_distributes(a in mag(), b in mag(), k in mag()) {
+        let (x, y) = (Joules::new(a), Joules::new(b));
+        prop_assert!(approx(((x + y) * k).joules(), (x * k + y * k).joules()));
+    }
+
+    #[test]
+    fn charge_product_commutes(c in mag(), v in mag()) {
+        let cap = Farads::from_ff(c);
+        let vlt = Volts::new(v);
+        prop_assert!(approx((cap * vlt).coulombs(), (vlt * cap).coulombs()));
+    }
+
+    #[test]
+    fn energy_identities_agree(c in mag(), v in mag(), f in mag()) {
+        // P = (C·V)·V·f must equal (C·V·f)·V
+        let cap = Farads::from_ff(c);
+        let vlt = Volts::new(v);
+        let frq = Hertz::from_mhz(f);
+        let q = cap * vlt;
+        let p1 = (q * vlt) * frq;
+        let p2 = (q * frq) * vlt;
+        prop_assert!(approx(p1.watts(), p2.watts()));
+    }
+
+    #[test]
+    fn half_cv2_is_half_supply(c in mag(), v in mag()) {
+        let cap = Farads::from_ff(c);
+        let vlt = Volts::new(v);
+        let half = half_cv2(cap, vlt);
+        let full = supply_energy(cap * vlt, vlt);
+        prop_assert!(approx(full.joules(), 2.0 * half.joules()));
+    }
+
+    #[test]
+    fn period_frequency_inverse(f in mag()) {
+        let frq = Hertz::from_mhz(f);
+        prop_assert!(approx(frq.to_period().to_hertz().hertz(), frq.hertz()));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in mag(), b in mag()) {
+        let x = Amperes::from_ma(a);
+        let y = Amperes::from_ma(b);
+        prop_assert!(approx((x + y - y).amperes(), x.amperes()));
+    }
+
+    #[test]
+    fn ratio_of_scaled_is_scale(a in mag(), k in 0.1f64..10.0) {
+        let x = Meters::from_um(a);
+        prop_assert!(approx((x * k).ratio(x), k));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in prop::collection::vec(mag(), 0..20)) {
+        let sum: Watts = values.iter().map(|&w| Watts::from_mw(w)).sum();
+        let fold = values.iter().fold(0.0, |acc, &w| acc + w) * 1e-3;
+        prop_assert!(approx(sum.watts(), fold));
+    }
+
+    #[test]
+    fn display_never_panics(a in -1.0e12f64..1.0e12) {
+        let _ = Volts::new(a).to_string();
+        let _ = eng::format_eng(a, "X");
+    }
+
+    #[test]
+    fn eng_split_reconstructs(a in mag()) {
+        // mantissa * prefix-scale must reproduce the value
+        let v = a * 1e-6; // exercise the µ range
+        let (m, p) = eng::split_eng(v);
+        let scale = match p {
+            "G" => 1e9, "M" => 1e6, "k" => 1e3, "" => 1.0,
+            "m" => 1e-3, "µ" => 1e-6, "n" => 1e-9, "p" => 1e-12, "f" => 1e-15,
+            _ => return Err(TestCaseError::fail("unknown prefix")),
+        };
+        prop_assert!(approx(m * scale, v));
+        // mantissa is in displayable range
+        prop_assert!(m.abs() < 1000.5);
+    }
+}

@@ -1,0 +1,11 @@
+//! Developer tool: emits a random-workload trace in the plain-text
+//! format, for feeding into `dram-power --trace`.
+//!
+//! Run with: `cargo run -p dram-workload --example gen_trace > trace.txt`
+
+fn main() {
+    let dram = dram_core::Dram::new(dram_core::reference::ddr3_1g_x16_55nm()).unwrap();
+    let w = dram_workload::generate_validated(&dram, &dram_workload::WorkloadSpec::random(100, 1))
+        .unwrap();
+    print!("{}", dram_workload::write_trace(&w.trace));
+}

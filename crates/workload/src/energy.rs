@@ -1,0 +1,251 @@
+//! Trace-driven energy accounting: total energy, average power, energy
+//! per bit, and the effect of a memory-controller power-down policy.
+
+use dram_core::lowpower::PowerState;
+use dram_core::{Command, Dram};
+use dram_units::{Joules, Seconds, Watts};
+
+use crate::trace::Trace;
+
+/// A CKE power-down policy of the memory controller (§V: Hur & Lin
+/// schedule power-down usage against its re-entry latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerDownPolicy {
+    /// Enter power-down when the device has been idle this many cycles.
+    pub threshold_cycles: u64,
+    /// Cycles needed to exit power-down before the next command (the
+    /// performance cost; energy-wise these cycles run at standby power).
+    pub exit_latency_cycles: u64,
+}
+
+impl PowerDownPolicy {
+    /// No power-down: the device idles in standby.
+    pub const NEVER: PowerDownPolicy = PowerDownPolicy {
+        threshold_cycles: u64::MAX,
+        exit_latency_cycles: 0,
+    };
+
+    /// An aggressive policy: power down after 16 idle cycles, 6-cycle
+    /// exit.
+    pub const AGGRESSIVE: PowerDownPolicy = PowerDownPolicy {
+        threshold_cycles: 16,
+        exit_latency_cycles: 6,
+    };
+}
+
+/// Energy accounting result for one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceReport {
+    /// Total external energy over the trace.
+    pub energy: Joules,
+    /// Trace duration.
+    pub duration: Seconds,
+    /// Average external power.
+    pub average_power: Watts,
+    /// Energy per transferred bit.
+    pub energy_per_bit: Joules,
+    /// Energy spent in command (row + column) work.
+    pub command_energy: Joules,
+    /// Energy spent in standby background.
+    pub background_energy: Joules,
+    /// Energy spent in power-down state.
+    pub power_down_energy: Joules,
+    /// Cycles spent in power-down.
+    pub power_down_cycles: u64,
+    /// Bits transferred.
+    pub bits: f64,
+}
+
+/// Computes the energy of a trace under a power-down policy.
+///
+/// Command energies come from the charge model; idle time runs at
+/// standby background power, except for idle windows longer than the
+/// policy threshold, which run at power-down power (minus the exit
+/// latency, billed at standby).
+#[must_use]
+pub fn simulate(dram: &Dram, trace: &Trace, policy: PowerDownPolicy) -> TraceReport {
+    let clock = dram.description().spec.control_clock;
+    let cycle_time = 1.0 / clock.hertz();
+
+    let command_energy: Joules = trace
+        .commands()
+        .iter()
+        .map(|c| dram.command_energy(c.command))
+        .sum();
+
+    // Idle accounting.
+    let standby_power = dram.state_power(PowerState::PrechargedStandby);
+    let down_power = dram.state_power(PowerState::PrechargePowerDown);
+    let mut power_down_cycles = 0u64;
+    for gap in trace.idle_gaps() {
+        if gap > policy.threshold_cycles {
+            power_down_cycles += gap
+                .saturating_sub(policy.threshold_cycles)
+                .saturating_sub(policy.exit_latency_cycles);
+        }
+    }
+    let total_cycles = trace.length_cycles();
+    let standby_cycles = total_cycles.saturating_sub(power_down_cycles);
+
+    let background_energy = standby_power * Seconds::new(standby_cycles as f64 * cycle_time);
+    let power_down_energy = down_power * Seconds::new(power_down_cycles as f64 * cycle_time);
+    let energy = command_energy + background_energy + power_down_energy;
+
+    let bits = (trace.count(Command::Read) + trace.count(Command::Write)) as f64
+        * f64::from(dram.description().spec.bits_per_column_access());
+    let duration = trace.duration(clock);
+    let average_power = if duration.seconds() > 0.0 {
+        Watts::new(energy.joules() / duration.seconds())
+    } else {
+        Watts::ZERO
+    };
+    let energy_per_bit = if bits > 0.0 {
+        energy / bits
+    } else {
+        Joules::ZERO
+    };
+
+    TraceReport {
+        energy,
+        duration,
+        average_power,
+        energy_per_bit,
+        command_energy,
+        background_energy,
+        power_down_energy,
+        power_down_cycles,
+        bits,
+    }
+}
+
+/// Row-operation energy share of a trace: the quantity the §V row-
+/// granularity schemes attack.
+#[must_use]
+pub fn row_energy_share(dram: &Dram, trace: &Trace) -> f64 {
+    let row: f64 = trace
+        .commands()
+        .iter()
+        .filter(|c| matches!(c.command, Command::Activate | Command::Precharge))
+        .map(|c| dram.command_energy(c.command).joules())
+        .sum();
+    let all: f64 = trace
+        .commands()
+        .iter()
+        .map(|c| dram.command_energy(c.command).joules())
+        .sum();
+    if all > 0.0 {
+        row / all
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_validated, WorkloadSpec};
+    use dram_core::reference::ddr3_1g_x16_55nm;
+    use dram_core::Dram;
+
+    fn model() -> Dram {
+        Dram::new(ddr3_1g_x16_55nm()).expect("valid")
+    }
+
+    #[test]
+    fn energy_components_sum() {
+        let dram = model();
+        let w = generate_validated(&dram, &WorkloadSpec::random(300, 5)).expect("ok");
+        let r = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let sum = r.command_energy + r.background_energy + r.power_down_energy;
+        assert!((r.energy.joules() - sum.joules()).abs() < 1e-15);
+        assert_eq!(r.power_down_cycles, 0);
+        assert!(r.energy_per_bit.picojoules() > 1.0);
+    }
+
+    #[test]
+    fn random_traffic_costs_more_per_bit_than_streaming() {
+        // §IV.C: the Idd7-style random pattern "more closely replicates
+        // power consumption in a system" and costs more than streaming.
+        let dram = model();
+        let stream = generate_validated(&dram, &WorkloadSpec::streaming(800, 11)).expect("ok");
+        let random = generate_validated(&dram, &WorkloadSpec::random(800, 11)).expect("ok");
+        let e_stream = simulate(&dram, &stream.trace, PowerDownPolicy::NEVER).energy_per_bit;
+        let e_random = simulate(&dram, &random.trace, PowerDownPolicy::NEVER).energy_per_bit;
+        assert!(
+            e_random.joules() > 1.5 * e_stream.joules(),
+            "random {} vs streaming {}",
+            e_random,
+            e_stream
+        );
+    }
+
+    #[test]
+    fn power_down_saves_energy_on_sparse_traffic() {
+        let dram = model();
+        let w = generate_validated(&dram, &WorkloadSpec::sparse(100, 13)).expect("ok");
+        let never = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let aggressive = simulate(&dram, &w.trace, PowerDownPolicy::AGGRESSIVE);
+        assert!(aggressive.power_down_cycles > 0);
+        assert!(
+            aggressive.energy < never.energy,
+            "power-down should save: {} vs {}",
+            aggressive.energy,
+            never.energy
+        );
+        // On sparse traffic the saving is substantial.
+        let saving = 1.0 - aggressive.energy.joules() / never.energy.joules();
+        assert!(saving > 0.2, "saving {saving}");
+    }
+
+    #[test]
+    fn power_down_is_irrelevant_for_saturated_traffic() {
+        let dram = model();
+        let w = generate_validated(&dram, &WorkloadSpec::streaming(500, 17)).expect("ok");
+        let never = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let aggressive = simulate(&dram, &w.trace, PowerDownPolicy::AGGRESSIVE);
+        let saving = 1.0 - aggressive.energy.joules() / never.energy.joules();
+        assert!(
+            saving < 0.10,
+            "saving {saving} too high for saturated traffic"
+        );
+    }
+
+    #[test]
+    fn row_share_is_high_for_random_low_for_streaming() {
+        let dram = model();
+        let stream = generate_validated(&dram, &WorkloadSpec::streaming(600, 19)).expect("ok");
+        let random = generate_validated(&dram, &WorkloadSpec::random(600, 19)).expect("ok");
+        let s = row_energy_share(&dram, &stream.trace);
+        let r = row_energy_share(&dram, &random.trace);
+        assert!(r > 0.5, "random row share {r}");
+        assert!(s < r / 2.0, "streaming row share {s} vs random {r}");
+    }
+
+    #[test]
+    fn empty_trace_is_background_only() {
+        let dram = model();
+        let trace = crate::trace::Trace::new(vec![], 1000).expect("ok");
+        let r = simulate(&dram, &trace, PowerDownPolicy::NEVER);
+        assert_eq!(r.command_energy, Joules::ZERO);
+        assert_eq!(r.bits, 0.0);
+        assert_eq!(r.energy_per_bit, Joules::ZERO);
+        assert!(r.background_energy.joules() > 0.0);
+    }
+
+    /// The trace simulator and the analytic IDD7 estimate must agree on
+    /// the random-access regime within a factor-level tolerance.
+    #[test]
+    fn trace_energy_agrees_with_analytic_idd7_scale() {
+        let dram = model();
+        let w = generate_validated(&dram, &WorkloadSpec::random(2000, 23)).expect("ok");
+        let r = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let analytic = dram.energy_per_bit_random();
+        let ratio = r.energy_per_bit.joules() / analytic.joules();
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "trace {} vs analytic {} (ratio {ratio})",
+            r.energy_per_bit,
+            analytic
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dram-workload
+//!
+//! Trace-level workload substrate for the DRAM power model: a simple
+//! open-page memory-controller model that generates timing-legal command
+//! traces from abstract access streams (read share, row-buffer hit rate,
+//! arrival intensity), and trace-driven energy accounting including
+//! CKE power-down policies.
+//!
+//! This is the system-side context of the paper's §V discussion: schemes
+//! like Hur & Lin's power-down scheduling \[11\] and Zheng's mini-rank \[14\]
+//! act on traces, not on datasheet loops.
+//!
+//! ```
+//! use dram_core::{Dram, reference::ddr3_1g_x16_55nm};
+//! use dram_workload::{generate_validated, simulate, PowerDownPolicy, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), dram_core::ModelError> {
+//! let dram = Dram::new(ddr3_1g_x16_55nm())?;
+//! let w = generate_validated(&dram, &WorkloadSpec::random(500, 42))?;
+//! let report = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+//! assert!(report.energy_per_bit.picojoules() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod energy;
+mod generator;
+mod io;
+mod trace;
+
+pub use energy::{row_energy_share, simulate, PowerDownPolicy, TraceReport};
+pub use generator::{
+    generate, generate_validated, GeneratedWorkload, GeneratorStats, PagePolicy, WorkloadSpec,
+};
+pub use io::{parse_trace, write_trace};
+pub use trace::{Trace, TraceCommand};

@@ -1,0 +1,389 @@
+//! Finite command traces and their timing validation.
+//!
+//! Where [`dram_core::timing::TimedPattern`] models the repeating loops
+//! of datasheet current specifications, a [`Trace`] is a finite command
+//! sequence — what a memory controller actually issues. The §V systems
+//! papers (Hur & Lin's power management, Zheng's mini-rank) reason about
+//! such traces, so the reproduction provides them as a first-class
+//! substrate.
+
+use dram_core::params::Timing;
+use dram_core::{Command, ModelError};
+use dram_units::Hertz;
+
+/// One issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCommand {
+    /// Issue cycle (control clock).
+    pub cycle: u64,
+    /// Bank index.
+    pub bank: u32,
+    /// The command.
+    pub command: Command,
+}
+
+/// A finite, time-annotated command sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    commands: Vec<TraceCommand>,
+    length_cycles: u64,
+}
+
+impl Trace {
+    /// Creates a trace; commands are sorted by cycle, nops dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if a command lies beyond the
+    /// trace length.
+    pub fn new(mut commands: Vec<TraceCommand>, length_cycles: u64) -> Result<Self, ModelError> {
+        commands.retain(|c| c.command != Command::Nop);
+        commands.sort_by_key(|c| c.cycle);
+        if let Some(last) = commands.last() {
+            if last.cycle >= length_cycles {
+                return Err(ModelError::BadParameter {
+                    name: "trace",
+                    reason: format!(
+                        "command at cycle {} beyond trace of {length_cycles} cycles",
+                        last.cycle
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            commands,
+            length_cycles,
+        })
+    }
+
+    /// The commands, sorted by cycle.
+    #[must_use]
+    pub fn commands(&self) -> &[TraceCommand] {
+        &self.commands
+    }
+
+    /// Trace length in control-clock cycles.
+    #[must_use]
+    pub fn length_cycles(&self) -> u64 {
+        self.length_cycles
+    }
+
+    /// Number of occurrences of a command.
+    #[must_use]
+    pub fn count(&self, cmd: Command) -> usize {
+        self.commands.iter().filter(|c| c.command == cmd).count()
+    }
+
+    /// Wall-clock duration at a control clock.
+    #[must_use]
+    pub fn duration(&self, clock: Hertz) -> dram_units::Seconds {
+        dram_units::Seconds::new(self.length_cycles as f64 / clock.hertz())
+    }
+
+    /// Validates the trace against the per-bank and shared-resource
+    /// timing constraints (cold start: all banks precharged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TimingViolation`] for the first violation.
+    pub fn validate(&self, timing: &Timing, clock: Hertz, banks: u32) -> Result<(), ModelError> {
+        let cyc = |s: dram_units::Seconds| -> i64 {
+            (s.seconds() * clock.hertz() - 1e-6).ceil().max(0.0) as i64
+        };
+        let trc = cyc(timing.trc);
+        let tras = cyc(timing.tras);
+        let trp = cyc(timing.trp);
+        let trcd = cyc(timing.trcd);
+        let trrd = cyc(timing.trrd);
+        let tfaw = cyc(timing.tfaw);
+        let tccd = i64::from(timing.tccd_cycles);
+
+        const FAR_PAST: i64 = -1_000_000;
+        #[derive(Clone, Copy)]
+        struct Bank {
+            open: bool,
+            last_act: i64,
+            last_pre: i64,
+        }
+        let mut bank_state = vec![
+            Bank {
+                open: false,
+                last_act: FAR_PAST,
+                last_pre: FAR_PAST
+            };
+            banks as usize
+        ];
+        let mut last_any_act = FAR_PAST;
+        let mut last_column = FAR_PAST;
+        let mut recent_acts: std::collections::VecDeque<i64> = std::collections::VecDeque::new();
+        let fail = |m: String| Err(ModelError::TimingViolation { message: m });
+
+        for c in &self.commands {
+            let t = c.cycle as i64;
+            if c.bank >= banks {
+                return fail(format!("command addresses bank {} of {banks}", c.bank));
+            }
+            let b = &mut bank_state[c.bank as usize];
+            match c.command {
+                Command::Activate => {
+                    if b.open {
+                        return fail(format!("activate to open bank {} at {t}", c.bank));
+                    }
+                    if t - b.last_act < trc {
+                        return fail(format!("tRC violated on bank {} at {t}", c.bank));
+                    }
+                    if t - b.last_pre < trp {
+                        return fail(format!("tRP violated on bank {} at {t}", c.bank));
+                    }
+                    if t - last_any_act < trrd {
+                        return fail(format!("tRRD violated at {t}"));
+                    }
+                    if recent_acts.len() == 4 && t - recent_acts[0] < tfaw {
+                        return fail(format!("tFAW violated at {t}"));
+                    }
+                    b.open = true;
+                    b.last_act = t;
+                    last_any_act = t;
+                    recent_acts.push_back(t);
+                    if recent_acts.len() > 4 {
+                        recent_acts.pop_front();
+                    }
+                }
+                Command::Precharge => {
+                    if b.open && t - b.last_act < tras {
+                        return fail(format!("tRAS violated on bank {} at {t}", c.bank));
+                    }
+                    b.open = false;
+                    b.last_pre = t;
+                }
+                Command::Read | Command::Write => {
+                    if !b.open {
+                        return fail(format!("column access to closed bank {} at {t}", c.bank));
+                    }
+                    if t - b.last_act < trcd {
+                        return fail(format!("tRCD violated on bank {} at {t}", c.bank));
+                    }
+                    if t - last_column < tccd {
+                        return fail(format!("tCCD violated at {t}"));
+                    }
+                    last_column = t;
+                }
+                Command::Nop => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Idle gaps between consecutive commands, in cycles — the windows a
+    /// power-down policy can exploit.
+    #[must_use]
+    pub fn idle_gaps(&self) -> Vec<u64> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for c in &self.commands {
+            if c.cycle > cursor {
+                gaps.push(c.cycle - cursor);
+            }
+            cursor = c.cycle + 1;
+        }
+        if self.length_cycles > cursor {
+            gaps.push(self.length_cycles - cursor);
+        }
+        gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    fn fixture() -> (Timing, Hertz) {
+        let d = ddr3_1g_x16_55nm();
+        (d.timing, d.spec.control_clock)
+    }
+
+    #[test]
+    fn trace_sorts_and_drops_nops() {
+        let t = Trace::new(
+            vec![
+                TraceCommand {
+                    cycle: 10,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+                TraceCommand {
+                    cycle: 5,
+                    bank: 0,
+                    command: Command::Nop,
+                },
+                TraceCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+            ],
+            100,
+        )
+        .expect("builds");
+        assert_eq!(t.commands().len(), 2);
+        assert_eq!(t.commands()[0].command, Command::Activate);
+        assert_eq!(t.count(Command::Activate), 1);
+    }
+
+    #[test]
+    fn out_of_range_command_is_rejected() {
+        let t = Trace::new(
+            vec![TraceCommand {
+                cycle: 100,
+                bank: 0,
+                command: Command::Activate,
+            }],
+            100,
+        );
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn legal_access_sequence_validates() {
+        let (timing, clock) = fixture();
+        // act @0, rd @12 (tRCD=12 cycles at 800 MHz), pre @28 (tRAS), next
+        // act @40 (tRC).
+        let t = Trace::new(
+            vec![
+                TraceCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TraceCommand {
+                    cycle: 12,
+                    bank: 0,
+                    command: Command::Read,
+                },
+                TraceCommand {
+                    cycle: 28,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+                TraceCommand {
+                    cycle: 40,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TraceCommand {
+                    cycle: 52,
+                    bank: 0,
+                    command: Command::Read,
+                },
+            ],
+            100,
+        )
+        .expect("builds");
+        t.validate(&timing, clock, 8).expect("legal");
+    }
+
+    #[test]
+    fn early_read_is_rejected() {
+        let (timing, clock) = fixture();
+        let t = Trace::new(
+            vec![
+                TraceCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TraceCommand {
+                    cycle: 3,
+                    bank: 0,
+                    command: Command::Read,
+                },
+            ],
+            100,
+        )
+        .expect("builds");
+        let err = t.validate(&timing, clock, 8).unwrap_err();
+        assert!(err.to_string().contains("tRCD"));
+    }
+
+    #[test]
+    fn idle_gaps_are_found() {
+        let t = Trace::new(
+            vec![
+                TraceCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TraceCommand {
+                    cycle: 20,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+            ],
+            100,
+        )
+        .expect("builds");
+        // gap between cycle 1..20 (19 cycles) and 21..100 (79 cycles)
+        assert_eq!(t.idle_gaps(), vec![19, 79]);
+    }
+
+    #[test]
+    fn duration_uses_the_clock() {
+        let t = Trace::new(vec![], 800).expect("builds");
+        let d = t.duration(Hertz::from_mhz(800.0));
+        assert!((d.seconds() - 1e-6).abs() < 1e-12);
+    }
+}
+
+impl Trace {
+    /// Per-bank command counts, index = bank id — the utilization view a
+    /// controller policy reasons about.
+    #[must_use]
+    pub fn bank_histogram(&self, banks: u32) -> Vec<usize> {
+        let mut hist = vec![0usize; banks as usize];
+        for c in &self.commands {
+            if let Some(slot) = hist.get_mut(c.bank as usize) {
+                *slot += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_per_bank() {
+        let t = Trace::new(
+            vec![
+                TraceCommand {
+                    cycle: 0,
+                    bank: 0,
+                    command: Command::Activate,
+                },
+                TraceCommand {
+                    cycle: 50,
+                    bank: 0,
+                    command: Command::Precharge,
+                },
+                TraceCommand {
+                    cycle: 60,
+                    bank: 3,
+                    command: Command::Activate,
+                },
+            ],
+            100,
+        )
+        .expect("builds");
+        let h = t.bank_histogram(8);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+        // Out-of-range banks are ignored rather than panicking.
+        let small = t.bank_histogram(2);
+        assert_eq!(small.iter().sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Author a DRAM in the description language, run the full Fig. 4
+//! pipeline, and compare two design points.
+//!
+//! The scenario: a designer wants to know what a low-voltage DDR3L-style
+//! variant (1.35 V instead of 1.5 V, with proportionally lowered internal
+//! rails) buys on a real command mix — the kind of question §I says
+//! datasheets cannot answer before the part exists.
+//!
+//! Run with: `cargo run --example custom_dram`
+
+use dram_energy::units::Volts;
+use dram_energy::{dsl, Dram, Pattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The complete description file shipped with the DSL crate (the 1 Gb
+    // DDR3 x16 reference of the paper's Fig. 1).
+    let text = include_str!("../crates/dsl/descriptions/ddr3_1gb_x16_55nm.dram");
+    let parsed = dsl::parse(text)?;
+    let pattern = parsed
+        .pattern
+        .unwrap_or(Pattern::parse("act nop wrt nop rd nop pre nop")?);
+
+    // Design point A: the file as written.
+    let standard = Dram::new(parsed.description.clone())?;
+
+    // Design point B: DDR3L-style low-voltage variant. Editing the
+    // description is the model's whole point — no silicon needed.
+    let mut low_voltage = parsed.description;
+    low_voltage.name = "1Gb DDR3L x16 55nm (what-if)".into();
+    low_voltage.electrical.vdd = Volts::new(1.35);
+    low_voltage.electrical.vint = Volts::new(1.20);
+    low_voltage.electrical.vbl = Volts::new(1.10);
+    low_voltage.electrical.vpp = Volts::new(2.70);
+    let low_voltage = Dram::new(low_voltage)?;
+
+    println!("workload: `{pattern}` at the full control clock\n");
+    let mut rows = Vec::new();
+    for dram in [&standard, &low_voltage] {
+        let p = dram.pattern_power(&pattern);
+        let idd = dram.idd();
+        rows.push((
+            dram.description().name.clone(),
+            p.power.milliwatts(),
+            idd.idd0.milliamperes(),
+            idd.idd4r.milliamperes(),
+            dram.energy_per_bit_random().picojoules(),
+        ));
+        println!(
+            "{:32} pattern {:6.1} mW | IDD0 {:5.1} mA | IDD4R {:6.1} mA | {:5.1} pJ/bit",
+            rows.last().unwrap().0,
+            rows.last().unwrap().1,
+            rows.last().unwrap().2,
+            rows.last().unwrap().3,
+            rows.last().unwrap().4,
+        );
+    }
+    let saving = 1.0 - rows[1].1 / rows[0].1;
+    println!(
+        "\nlow-voltage variant saves {:.0}% pattern power — power is proportional \
+         to Vdd (§IV.B)\nplus the quadratic-free reduction of every internal charge.",
+        saving * 100.0
+    );
+
+    // Round-trip: write the modified description back out as a file.
+    let regenerated = dsl::write(low_voltage.description(), Some(&pattern));
+    println!(
+        "\nregenerated description: {} lines (parse it back with dram_dsl::parse)",
+        regenerated.lines().count()
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Exports description-language files for the reference DDR3 device and
+//! the forecast DDR5 device into `crates/dsl/descriptions/`, keeping the
+//! checked-in files in sync with the presets.
+//!
+//! Run with: `cargo run --example export_descriptions`
+
+use dram_energy::model::reference::ddr3_1g_x16_55nm;
+use dram_energy::scaling::presets::ddr5_16g_18nm;
+use dram_energy::{dsl, Pattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("crates/dsl/descriptions");
+    std::fs::create_dir_all(dir)?;
+
+    let ddr3 = ddr3_1g_x16_55nm();
+    let pattern = Pattern::paper_example();
+    std::fs::write(
+        dir.join("ddr3_1gb_x16_55nm.dram"),
+        dsl::write(&ddr3, Some(&pattern)),
+    )?;
+
+    let ddr5 = ddr5_16g_18nm();
+    let sparse = Pattern::parse("act nop nop nop rd nop nop nop pre nop nop nop")?;
+    std::fs::write(
+        dir.join("ddr5_16gb_x16_18nm.dram"),
+        dsl::write(&ddr5, Some(&sparse)),
+    )?;
+
+    for file in ["ddr3_1gb_x16_55nm.dram", "ddr5_16gb_x16_18nm.dram"] {
+        let text = std::fs::read_to_string(dir.join(file))?;
+        let parsed = dsl::parse(&text)?;
+        println!(
+            "{file}: {} lines, device `{}`",
+            text.lines().count(),
+            parsed.description.name
+        );
+    }
+    Ok(())
+}

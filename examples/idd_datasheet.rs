@@ -1,0 +1,71 @@
+//! Print a vendor-datasheet-style current table for any roadmap device —
+//! including the low-power states — plus the underlying operation
+//! energies the datasheet never shows (the model's whole point, §I).
+//!
+//! Run with: `cargo run --example idd_datasheet [feature_nm]`
+
+use dram_energy::scaling::{presets, TechNode, ROADMAP};
+use dram_energy::{Dram, Operation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let node = match std::env::args().nth(1) {
+        Some(arg) => {
+            let nm: f64 = arg.parse()?;
+            *TechNode::by_feature(nm).ok_or_else(|| {
+                format!(
+                    "no roadmap node at {nm} nm (available: {})",
+                    ROADMAP
+                        .iter()
+                        .map(|n| n.feature_nm.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?
+        }
+        None => *TechNode::by_feature(55.0).expect("reference node"),
+    };
+
+    let dram = Dram::new(presets::preset(&node))?;
+    let desc = dram.description();
+    println!("=== {} ===", desc.name);
+    println!(
+        "{} banks, page {} B, {} Mb/s/pin x{}, Vdd {}\n",
+        desc.spec.banks(),
+        desc.spec.page_bits() / 8,
+        desc.spec.datarate_per_pin.mbps().round(),
+        desc.spec.io_width,
+        desc.electrical.vdd
+    );
+
+    // The datasheet page: the full IDD table.
+    println!("IDD specification (model):");
+    print!("{}", dram.idd());
+
+    // What the datasheet hides: where the charge actually goes.
+    println!("\nwhat the currents are made of (external energy per operation):");
+    for op in [
+        Operation::Activate,
+        Operation::Precharge,
+        Operation::Read,
+        Operation::Write,
+    ] {
+        let e = dram.operation_energy(op);
+        let mut items: Vec<_> = e.items.iter().collect();
+        items.sort_by(|a, b| b.external.joules().total_cmp(&a.external.joules()));
+        let total = e.external().picojoules();
+        print!("  {op:<10} {total:>8.1} pJ — top contributors: ");
+        let top: Vec<String> = items
+            .iter()
+            .take(3)
+            .map(|i| {
+                format!(
+                    "{} ({:.0}%)",
+                    i.label,
+                    i.external.picojoules() / total * 100.0
+                )
+            })
+            .collect();
+        println!("{}", top.join(", "));
+    }
+    Ok(())
+}

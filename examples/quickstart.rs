@@ -1,0 +1,64 @@
+//! Quickstart: build the 1 Gb DDR3 reference device, print its datasheet
+//! currents, the power of the paper's example pattern, and the energy
+//! metrics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dram_energy::scaling::presets::ddr3_1g_55nm;
+use dram_energy::{Dram, ModelError, Operation, Pattern};
+
+fn main() -> Result<(), ModelError> {
+    let dram = Dram::new(ddr3_1g_55nm())?;
+    println!("device: {}", dram.description().name);
+
+    // Datasheet currents (what Fig. 8/9 compare against vendor specs).
+    let idd = dram.idd();
+    println!("\ndatasheet currents:");
+    println!("  IDD0  (activate/precharge) {}", idd.idd0);
+    println!("  IDD2N (precharged standby) {}", idd.idd2n);
+    println!("  IDD4R (burst read)         {}", idd.idd4r);
+    println!("  IDD4W (burst write)        {}", idd.idd4w);
+    println!("  IDD5  (burst refresh)      {}", idd.idd5);
+    println!("  IDD7  (interleaved)        {}", idd.idd7);
+
+    // Per-operation energy, itemized by contributor.
+    let act = dram.operation_energy(Operation::Activate);
+    println!(
+        "\nactivate: {:.2} nJ external, {:.0}% in the cell array",
+        act.external().joules() * 1e9,
+        act.array_share() * 100.0
+    );
+    let top = act
+        .items
+        .iter()
+        .max_by(|a, b| a.external.joules().total_cmp(&b.external.joules()))
+        .expect("has items");
+    println!("  largest contributor: {} ({})", top.label, top.external);
+
+    // The paper's §III.B example pattern: one activate, write, read and
+    // precharge in eight clock cycles.
+    let pattern = Pattern::parse("act nop wrt nop rd nop pre nop")?;
+    let power = dram.pattern_power(&pattern);
+    println!(
+        "\npattern `{pattern}`:\n  power {} (background {}), supply current {}",
+        power.power, power.background, power.current
+    );
+
+    // Energy per bit: the Fig. 13 metric.
+    println!(
+        "\nenergy per bit: {:.1} pJ streaming, {:.1} pJ random access",
+        dram.energy_per_bit_streaming().picojoules(),
+        dram.energy_per_bit_random().picojoules()
+    );
+
+    // Die facts.
+    let area = dram.area();
+    println!(
+        "die: {:.1} mm², array efficiency {:.0}%, SA stripes {:.1}%, LWD stripes {:.1}%",
+        area.die.square_millimeters(),
+        area.array_efficiency() * 100.0,
+        area.sa_share() * 100.0,
+        area.lwd_share() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,216 @@
+//! `dram-power` — the reproduction of the paper's tool itself: read a
+//! DRAM description file, run the Fig. 4 pipeline, and print currents,
+//! per-operation energy breakdowns and pattern power.
+//!
+//! ```text
+//! dram-power <file.dram> [--pattern "act nop rd nop pre nop"] [--breakdown]
+//! dram-power --preset <feature_nm> [--breakdown]
+//! ```
+
+use std::process::ExitCode;
+
+use dram_energy::scaling::{presets, TechNode};
+use dram_energy::{dsl, Dram, Operation, Pattern};
+
+struct Args {
+    input: Option<String>,
+    preset_nm: Option<f64>,
+    pattern: Option<String>,
+    trace: Option<String>,
+    breakdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        preset_nm: None,
+        pattern: None,
+        trace: None,
+        breakdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pattern" => {
+                args.pattern = Some(
+                    it.next()
+                        .ok_or_else(|| "--pattern needs a value".to_string())?,
+                );
+            }
+            "--preset" => {
+                let nm = it
+                    .next()
+                    .ok_or_else(|| "--preset needs a feature size".to_string())?;
+                args.preset_nm = Some(nm.parse().map_err(|_| format!("bad feature size `{nm}`"))?);
+            }
+            "--trace" => {
+                args.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace needs a file".to_string())?,
+                );
+            }
+            "--breakdown" => args.breakdown = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if args.input.is_none() && !other.starts_with('-') => {
+                args.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.input.is_none() && args.preset_nm.is_none() {
+        return Err(String::new());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "dram-power — description-driven DRAM power model (Vogelsang, MICRO 2010)\n\n\
+         usage:\n  dram-power <file.dram> [--pattern \"act nop rd pre\"] [--trace trace.txt] [--breakdown]\n  \
+         dram-power --preset <feature_nm> [--breakdown]\n\n\
+         the description language is documented in the dram-dsl crate; a complete\n\
+         example ships at crates/dsl/descriptions/ddr3_1gb_x16_55nm.dram"
+    );
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let (description, file_pattern) = if let Some(path) = &args.input {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let parsed = dsl::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        (parsed.description, parsed.pattern)
+    } else {
+        let nm = args.preset_nm.expect("validated");
+        let node = TechNode::by_feature(nm).ok_or_else(|| format!("no roadmap node at {nm} nm"))?;
+        (presets::preset(node), None)
+    };
+
+    let dram = Dram::new(description).map_err(|e| e.to_string())?;
+    let desc = dram.description();
+    println!("device: {}", desc.name);
+    println!(
+        "organization: {} banks x {} rows x {} columns x{}, page {} B",
+        desc.spec.banks(),
+        desc.spec.rows_per_bank(),
+        1u64 << desc.spec.column_address_bits,
+        desc.spec.io_width,
+        desc.spec.page_bits() / 8
+    );
+    let area = dram.area();
+    println!(
+        "die: {:.1} mm² ({:.0}% array efficiency), interface {:.1} GB/s",
+        area.die.square_millimeters(),
+        area.array_efficiency() * 100.0,
+        desc.spec.peak_bandwidth().gbps() / 8.0
+    );
+
+    let idd = dram.idd();
+    println!("\ncurrents (mA):");
+    for (name, value) in [
+        ("IDD0", idd.idd0),
+        ("IDD1", idd.idd1),
+        ("IDD2N", idd.idd2n),
+        ("IDD2P", idd.idd2p),
+        ("IDD4R", idd.idd4r),
+        ("IDD4W", idd.idd4w),
+        ("IDD5", idd.idd5),
+        ("IDD6", idd.idd6),
+        ("IDD7", idd.idd7),
+    ] {
+        println!("  {name:<6} {:>8.1}", value.milliamperes());
+    }
+
+    println!(
+        "\nenergy: activate {:.2} nJ, read burst {:.0} pJ, {:.1} pJ/bit streaming, \
+         {:.1} pJ/bit random",
+        dram.operation_energy(Operation::Activate)
+            .external()
+            .joules()
+            * 1e9,
+        dram.operation_energy(Operation::Read)
+            .external()
+            .picojoules(),
+        dram.energy_per_bit_streaming().picojoules(),
+        dram.energy_per_bit_random().picojoules()
+    );
+
+    if args.breakdown {
+        for op in [
+            Operation::Activate,
+            Operation::Precharge,
+            Operation::Read,
+            Operation::Write,
+        ] {
+            let e = dram.operation_energy(op);
+            println!(
+                "\n{} breakdown ({:.1} pJ external):",
+                op,
+                e.external().picojoules()
+            );
+            for item in &e.items {
+                println!(
+                    "  {:<38} {:>5} {:>10.2} pJ",
+                    item.label,
+                    item.domain.to_string(),
+                    item.external.picojoules()
+                );
+            }
+        }
+    }
+
+    let pattern = match (&args.pattern, file_pattern) {
+        (Some(text), _) => Some(Pattern::parse(text).map_err(|e| e.to_string())?),
+        (None, p) => p,
+    };
+    if let Some(p) = pattern {
+        let s = dram.pattern_power(&p);
+        println!(
+            "\npattern `{p}`: {:.1} mW total, {:.1} mW background, {:.1} mA supply",
+            s.power.milliwatts(),
+            s.background.milliwatts(),
+            s.current.milliamperes()
+        );
+    }
+
+    if let Some(path) = &args.trace {
+        use dram_energy::workload::{parse_trace, simulate, PowerDownPolicy};
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let trace = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        trace
+            .validate(
+                &dram.description().timing,
+                dram.description().spec.control_clock,
+                dram.description().spec.banks(),
+            )
+            .map_err(|e| format!("{path}: {e}"))?;
+        let report = simulate(&dram, &trace, PowerDownPolicy::NEVER);
+        println!(
+            "\ntrace `{path}`: {} commands over {:.2} µs — {:.1} mW average, \
+             {:.1} pJ/bit ({:.1} kbit moved)",
+            trace.commands().len(),
+            report.duration.seconds() * 1e6,
+            report.average_power.milliwatts(),
+            report.energy_per_bit.picojoules(),
+            report.bits / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}

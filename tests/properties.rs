@@ -1,0 +1,122 @@
+//! Cross-crate property tests: random perturbations of a valid device
+//! must keep the model physical, monotone where physics is monotone, and
+//! round-trippable through the description language.
+
+use dram_energy::model::reference::ddr3_1g_x16_55nm;
+use dram_energy::sensitivity::ParamId;
+use dram_energy::{dsl, Dram};
+use proptest::prelude::*;
+
+/// Multiplicative factors close enough to 1 that every parameter stays in
+/// its validated range.
+fn factor() -> impl Strategy<Value = f64> {
+    0.7f64..1.3
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any combination of in-range parameter perturbations yields a valid
+    /// model with positive, finite power.
+    #[test]
+    fn perturbed_devices_stay_physical(
+        f_bl in factor(),
+        f_cell in factor(),
+        f_wire in factor(),
+        f_gates in factor(),
+        f_vint in 0.85f64..1.15,
+    ) {
+        let mut desc = ddr3_1g_x16_55nm();
+        ParamId::BitlineCap.apply(&mut desc, f_bl);
+        ParamId::CellCap.apply(&mut desc, f_cell);
+        ParamId::CWireSignal.apply(&mut desc, f_wire);
+        ParamId::LogicGates.apply(&mut desc, f_gates);
+        ParamId::Vint.apply(&mut desc, f_vint);
+        let dram = Dram::new(desc).expect("perturbed device stays valid");
+        let p = dram.mixed_workload_power();
+        prop_assert!(p.power.watts() > 0.0);
+        prop_assert!(p.power.watts().is_finite());
+        prop_assert!(p.power >= p.background);
+        let idd = dram.idd();
+        prop_assert!(idd.idd0 > idd.idd2n);
+        prop_assert!(idd.idd4r > idd.idd2n);
+    }
+
+    /// Power is monotone in the capacitive parameters: more capacitance
+    /// never reduces power.
+    #[test]
+    fn power_is_monotone_in_capacitance(f in 1.0f64..1.5) {
+        for param in [
+            ParamId::BitlineCap,
+            ParamId::CellCap,
+            ParamId::CWireSignal,
+            ParamId::CWireLwl,
+            ParamId::CWireMwl,
+            ParamId::JunctionCapLogic,
+        ] {
+            let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+            let base_power = base.mixed_workload_power().power;
+            let mut desc = ddr3_1g_x16_55nm();
+            param.apply(&mut desc, f);
+            let up = Dram::new(desc).expect("valid");
+            prop_assert!(
+                up.mixed_workload_power().power.watts() >= base_power.watts() - 1e-12,
+                "{param}: factor {f} reduced power"
+            );
+        }
+    }
+
+    /// Power is exactly linear in Vdd (charge-transfer accounting).
+    #[test]
+    fn power_is_linear_in_vdd(f in 0.8f64..1.2) {
+        let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+        let p0 = base.mixed_workload_power().power.watts();
+        let mut desc = ddr3_1g_x16_55nm();
+        ParamId::Vdd.apply(&mut desc, f);
+        let scaled = Dram::new(desc).expect("valid");
+        let p1 = scaled.mixed_workload_power().power.watts();
+        prop_assert!((p1 / p0 - f).abs() < 1e-9, "ratio {} vs factor {f}", p1 / p0);
+    }
+
+    /// The description language round-trips any perturbed device with
+    /// bit-identical model outputs (to floating-point printing).
+    #[test]
+    fn dsl_roundtrip_on_perturbed_devices(
+        f_bl in factor(),
+        f_wire in factor(),
+        f_sa in factor(),
+    ) {
+        let mut desc = ddr3_1g_x16_55nm();
+        ParamId::BitlineCap.apply(&mut desc, f_bl);
+        ParamId::CWireSignal.apply(&mut desc, f_wire);
+        ParamId::SenseAmpDeviceWidth.apply(&mut desc, f_sa);
+        let text = dsl::write(&desc, None);
+        let reparsed = dsl::parse(&text).expect("writer output parses");
+        let a = Dram::new(desc).expect("valid");
+        let b = Dram::new(reparsed.description).expect("valid");
+        let x = a.idd().idd7.amperes();
+        let y = b.idd().idd7.amperes();
+        prop_assert!(((x - y) / x).abs() < 1e-9, "{x} vs {y}");
+    }
+
+    /// Pattern power lies between background and the every-cycle ceiling,
+    /// and grows monotonically with command density.
+    #[test]
+    fn pattern_power_is_convex_in_command_density(nops in 0usize..24) {
+        use dram_energy::{Command, Pattern};
+        let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+        let mut slots = vec![Command::Activate, Command::Read, Command::Precharge];
+        slots.extend(std::iter::repeat_n(Command::Nop, nops));
+        let sparse = Pattern::new(slots).expect("nonempty");
+        let p = dram.pattern_power(&sparse);
+        prop_assert!(p.power >= p.background);
+        // Fewer nops -> denser commands -> at least as much power.
+        let denser = Pattern::new(vec![
+            Command::Activate,
+            Command::Read,
+            Command::Precharge,
+        ])
+        .expect("nonempty");
+        prop_assert!(dram.pattern_power(&denser).power.watts() >= p.power.watts() - 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must keep green, in dependency order.
+#
+#   ./ci.sh            full run (build, tests, clippy, repro smoke)
+#   ./ci.sh --fast     skip clippy and the repro smoke
+#
+# The workspace has no external dependencies, so everything runs with
+# --offline and an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace"
+cargo test --workspace --release -q --offline
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo clippy (deny warnings)"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+
+  echo "==> repro all --timing smoke (writes BENCH_repro.json)"
+  start=$(date +%s)
+  ./target/release/repro all --timing > /dev/null
+  echo "    repro all completed in $(( $(date +%s) - start ))s"
+  test -s BENCH_repro.json
+  echo "    BENCH_repro.json written ($(wc -c < BENCH_repro.json) bytes)"
+fi
+
+echo "==> ci.sh: all green"

@@ -1,23 +1,19 @@
-//! One Criterion bench per paper artifact: times the full regeneration of
-//! each table and figure (the complete pipeline behind it — presets,
-//! model evaluations, sweeps — not just string formatting).
+//! One bench per paper artifact: times the full regeneration of each
+//! table and figure (the complete pipeline behind it — presets, model
+//! evaluations, sweeps — not just string formatting). Uses the in-tree
+//! harness so the workspace stays resolvable offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dram_bench::harness::{bench, render};
 use dram_bench::ReportId;
-use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_reports(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reports");
-    // The sensitivity figures run ~230 model evaluations each; keep the
-    // sample count modest so the full suite stays quick.
-    group.sample_size(10);
-    for id in ReportId::ALL {
-        group.bench_function(id.command(), |b| {
-            b.iter(|| black_box(id.generate()));
-        });
-    }
-    group.finish();
+fn main() {
+    // The sensitivity figures run hundreds of model evaluations each;
+    // keep the per-report budget modest so the full suite stays quick.
+    let budget = Duration::from_millis(300);
+    let measurements: Vec<_> = ReportId::ALL
+        .iter()
+        .map(|id| bench(&format!("reports/{}", id.command()), budget, 10, || id.generate()))
+        .collect();
+    print!("{}", render(&measurements));
 }
-
-criterion_group!(benches, bench_reports);
-criterion_main!(benches);

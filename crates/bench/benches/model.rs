@@ -1,84 +1,63 @@
-//! Criterion benches of the model machinery itself: build, current
-//! report, pattern evaluation, description parsing, and the sensitivity
-//! sweep. These quantify the paper's practicality claim — the model sits
-//! between datasheet arithmetic and transistor-level simulation, and a
-//! full device evaluation must stay interactive.
+//! Benches of the model machinery itself: build, current report, pattern
+//! evaluation, description parsing, and the sensitivity sweep. These
+//! quantify the paper's practicality claim — the model sits between
+//! datasheet arithmetic and transistor-level simulation, and a full
+//! device evaluation must stay interactive. Uses the in-tree harness so
+//! the workspace stays resolvable offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dram_bench::harness::{bench, bench_default, render, Measurement};
 use dram_core::reference::ddr3_1g_x16_55nm;
 use dram_core::{Dram, Pattern};
-use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_model(c: &mut Criterion) {
+fn main() {
     let desc = ddr3_1g_x16_55nm();
+    let mut measurements: Vec<Measurement> = Vec::new();
 
-    c.bench_function("dram_build", |b| {
-        b.iter(|| Dram::new(black_box(desc.clone())).expect("valid"));
-    });
+    measurements.push(bench_default("dram_build", || {
+        Dram::new(desc.clone()).expect("valid")
+    }));
 
     let dram = Dram::new(desc.clone()).expect("valid");
-    c.bench_function("idd_report", |b| {
-        b.iter(|| black_box(dram.idd()));
-    });
+    measurements.push(bench_default("idd_report", || dram.idd()));
 
     let pattern = Pattern::paper_example();
-    c.bench_function("pattern_power", |b| {
-        b.iter(|| black_box(dram.pattern_power(black_box(&pattern))));
-    });
+    measurements.push(bench_default("pattern_power", || dram.pattern_power(&pattern)));
 
     let text = dram_dsl::write(&desc, Some(&pattern));
-    c.bench_function("dsl_parse", |b| {
-        b.iter(|| dram_dsl::parse(black_box(&text)).expect("parses"));
-    });
+    measurements.push(bench_default("dsl_parse", || {
+        dram_dsl::parse(&text).expect("parses")
+    }));
 
-    c.bench_function("dsl_write", |b| {
-        b.iter(|| black_box(dram_dsl::write(black_box(&desc), Some(&pattern))));
-    });
-}
+    measurements.push(bench_default("dsl_write", || {
+        dram_dsl::write(&desc, Some(&pattern))
+    }));
 
-fn bench_analyses(c: &mut Criterion) {
-    let desc = ddr3_1g_x16_55nm();
-    let mut group = c.benchmark_group("analyses");
-    group.sample_size(10);
+    // Whole-analysis benches: few iterations, larger budget.
+    let budget = Duration::from_millis(500);
+    measurements.push(bench("analyses/sensitivity_sweep", budget, 10, || {
+        dram_sensitivity::sweep(&desc, 0.2).expect("runs")
+    }));
 
-    group.bench_function("sensitivity_sweep", |b| {
-        b.iter(|| dram_sensitivity::sweep(black_box(&desc), 0.2).expect("runs"));
-    });
+    measurements.push(bench("analyses/scheme_evaluation", budget, 10, || {
+        dram_schemes::evaluate_all(&desc).expect("runs")
+    }));
 
-    group.bench_function("scheme_evaluation", |b| {
-        b.iter(|| dram_schemes::evaluate_all(black_box(&desc)).expect("runs"));
-    });
+    measurements.push(bench("analyses/roadmap_energy_trends", budget, 10, || {
+        dram_scaling::trends::energy_trends()
+    }));
 
-    group.bench_function("roadmap_energy_trends", |b| {
-        b.iter(|| black_box(dram_scaling::trends::energy_trends()));
-    });
-
-    let dram = dram_core::Dram::new(desc.clone()).expect("valid");
-    group.bench_function("workload_generate_1k", |b| {
-        b.iter(|| {
-            dram_workload::generate(
-                black_box(&dram),
-                &dram_workload::WorkloadSpec::random(1000, 42),
-            )
+    measurements.push(bench("analyses/workload_generate_1k", budget, 10, || {
+        dram_workload::generate(&dram, &dram_workload::WorkloadSpec::random(1000, 42))
             .expect("generates")
-        });
-    });
+    }));
 
     let trace = dram_workload::generate(&dram, &dram_workload::WorkloadSpec::random(1000, 42))
         .expect("generates")
         .trace;
-    group.bench_function("trace_simulate_1k", |b| {
-        b.iter(|| {
-            dram_workload::simulate(
-                black_box(&dram),
-                black_box(&trace),
-                dram_workload::PowerDownPolicy::AGGRESSIVE,
-            )
-        });
-    });
+    measurements.push(bench("analyses/trace_simulate_1k", budget, 10, || {
+        dram_workload::simulate(&dram, &trace, dram_workload::PowerDownPolicy::AGGRESSIVE)
+    }));
 
-    group.finish();
+    print!("{}", render(&measurements));
 }
-
-criterion_group!(benches, bench_model, bench_analyses);
-criterion_main!(benches);

@@ -2,12 +2,22 @@
 //! 2010) from the model.
 //!
 //! Usage: `repro <report>...` where `<report>` is one of the commands
-//! listed by `repro --list`, or `all`.
+//! listed by `repro --list`, or `all`. Reports are generated
+//! concurrently on the batch-evaluation engine; `--threads N` bounds the
+//! fan-out (`--threads 1` forces the serial path) and `--timing` appends
+//! a per-report wall-clock table and writes `BENCH_repro.json`.
 
+use std::time::{Duration, Instant};
+
+use dram_bench::harness::{self, Measurement};
 use dram_bench::ReportId;
+use dram_core::EvalEngine;
+
+/// File the `--timing` run is serialized to, for cross-run comparison.
+const TIMING_FILE: &str = "BENCH_repro.json";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return;
@@ -36,6 +46,10 @@ fn main() {
         }
         return;
     }
+
+    let timing = take_flag(&mut args, "--timing");
+    let threads = take_threads(&mut args);
+
     let mut selected: Vec<ReportId> = Vec::new();
     for a in &args {
         if a == "all" {
@@ -47,12 +61,69 @@ fn main() {
             std::process::exit(2);
         }
     }
-    for (i, r) in selected.iter().enumerate() {
+
+    let mut engine = EvalEngine::new();
+    if let Some(n) = threads {
+        engine = engine.threads(n);
+    }
+
+    // Generate concurrently; print in the requested order.
+    let generated: Vec<(String, Duration)> = engine.map(&selected, |r| {
+        let start = Instant::now();
+        let text = r.generate();
+        (text, start.elapsed())
+    });
+    for (i, (text, _)) in generated.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        println!("{}", r.generate());
+        println!("{text}");
     }
+
+    if timing {
+        let measurements: Vec<Measurement> = selected
+            .iter()
+            .zip(&generated)
+            .map(|(r, (_, dt))| Measurement {
+                name: format!("repro/{}", r.command()),
+                iters: 1,
+                mean: *dt,
+                min: *dt,
+                max: *dt,
+            })
+            .collect();
+        println!("\n== report generation timing ==\n");
+        print!("{}", harness::render(&measurements));
+        match std::fs::write(TIMING_FILE, harness::to_json(&measurements)) {
+            Ok(()) => println!("\nwrote {TIMING_FILE}"),
+            Err(e) => {
+                eprintln!("failed to write {TIMING_FILE}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Removes `flag` from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes `--threads N` from `args` and parses the count.
+fn take_threads(args: &mut Vec<String>) -> Option<usize> {
+    let pos = args.iter().position(|a| a == "--threads")?;
+    if pos + 1 >= args.len() {
+        eprintln!("--threads needs a count");
+        std::process::exit(2);
+    }
+    let n = args[pos + 1].parse::<usize>().unwrap_or_else(|_| {
+        eprintln!("--threads: `{}` is not a number", args[pos + 1]);
+        std::process::exit(2);
+    });
+    args.drain(pos..=pos + 1);
+    Some(n)
 }
 
 fn print_usage() {
@@ -60,7 +131,10 @@ fn print_usage() {
         "repro — regenerate the tables and figures of\n\
          \"Understanding the Energy Consumption of Dynamic Random Access Memories\"\n\
          (Vogelsang, MICRO 2010)\n\n\
-         usage: repro <report>... | all | --list | --csv [dir]\n\n\
+         usage: repro [--timing] [--threads N] <report>... | all | --list | --csv [dir]\n\n\
+         flags:\n\
+         \x20 --timing     print per-report wall time and write {TIMING_FILE}\n\
+         \x20 --threads N  cap report-generation concurrency (1 = serial)\n\n\
          reports:"
     );
     for r in ReportId::ALL {

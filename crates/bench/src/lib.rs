@@ -1,7 +1,8 @@
 //! # dram-bench
 //!
 //! The reproduction harness: one report generator per table and figure of
-//! the paper's evaluation, plus Criterion benchmarks of the model itself.
+//! the paper's evaluation, plus in-tree benchmarks of the model itself
+//! (see [`harness`]).
 //!
 //! The `repro` binary prints any report:
 //!
@@ -13,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod harness;
 pub mod reports;
 mod table;
 

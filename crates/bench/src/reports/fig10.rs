@@ -57,20 +57,20 @@ pub fn generate() -> String {
     }
     out.push_str(&tbl.render());
 
-    // Selected parameter interactions on the DDR3 device: where joint
-    // variation deviates from composing the individual effects.
-    out.push_str("\nparameter interactions (DDR3, joint vs composed +20% effects):\n");
+    // Parameter interactions on the DDR3 device: the full in-chart pair
+    // matrix, reporting where joint variation deviates most from
+    // composing the individual effects.
+    let matrix = dram_sensitivity::interaction_matrix(&ddr3_1g_55nm(), VARIATION)
+        .expect("interaction matrix runs");
+    out.push_str(&format!(
+        "\nstrongest parameter interactions (DDR3, joint vs composed +20% effects,\n\
+         out of all {} in-chart pairs):\n",
+        matrix.entries.len()
+    ));
     let mut itbl = Table::new(["pair", "joint", "composed", "interaction"]);
-    for (a, b) in [
-        (ParamId::BitlineCap, ParamId::Vbl),
-        (ParamId::LogicGates, ParamId::Vint),
-        (ParamId::CWireSignal, ParamId::Vint),
-        (ParamId::ConstantCurrent, ParamId::BitlineCap),
-    ] {
-        let i = dram_sensitivity::interaction(&ddr3_1g_55nm(), a, b, VARIATION)
-            .expect("interaction runs");
+    for i in matrix.top(8) {
         itbl.row([
-            format!("{} x {}", a.name(), b.name()),
+            format!("{} x {}", i.a.name(), i.b.name()),
             format!("{:.4}", i.joint),
             format!("{:.4}", i.composed),
             format!("{:+.2}%", i.strength() * 100.0),

@@ -1,0 +1,645 @@
+//! Parallel batch evaluation with memoized model construction.
+//!
+//! Every analysis in the workspace — sensitivity sweeps, roadmap walks,
+//! scheme ablations, report regeneration — reduces to "build a [`Dram`]
+//! per description variant and read numbers off it". This module gives
+//! those loops two shared mechanisms:
+//!
+//! * [`EvalEngine::map`], a scoped-thread worker pool (no external
+//!   dependency; the workspace must stay resolvable offline) with a
+//!   chunked work queue. Results are placed **per input index**, never
+//!   first-come-first-serve, so parallel output is bit-identical to the
+//!   serial path whatever the thread interleaving. `threads(1)` runs the
+//!   plain serial loop with no pool at all.
+//! * [`ModelCache`], a memoizing store keyed by a content hash of the
+//!   full [`DramDescription`] (floats hashed by bit pattern) that
+//!   returns [`Arc<Dram>`]. Baselines shared by sweep, interaction,
+//!   ablation and report code are built once per process instead of once
+//!   per call site. Hash collisions are resolved by full structural
+//!   comparison, so a collision can cost a lookup, never correctness.
+//!
+//! ```
+//! use dram_core::batch::EvalEngine;
+//! use dram_core::reference::ddr3_1g_x16_55nm;
+//!
+//! let engine = EvalEngine::new();
+//! let descs = vec![ddr3_1g_x16_55nm(); 4];
+//! let models = engine.evaluate_many(&descs);
+//! assert!(models.iter().all(|m| m.is_ok()));
+//! // Identical descriptions share one cached model.
+//! assert_eq!(engine.cache_stats().misses, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::params::{
+    ActiveDuring, DramDescription, Electrical, LogicBlock, PhysicalFloorplan, SegmentSpec,
+    SignalingFloorplan, Specification, Technology, Timing, WireCount,
+};
+use crate::{Dram, ModelError};
+
+/// Hashes an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
+/// that only risks a duplicate cache entry, never a wrong hit).
+fn hash_f64<H: Hasher>(h: &mut H, v: f64) {
+    h.write_u64(v.to_bits());
+}
+
+fn hash_floorplan<H: Hasher>(h: &mut H, fp: &PhysicalFloorplan) {
+    fp.bitline_direction.hash(h);
+    fp.bits_per_bitline.hash(h);
+    fp.bits_per_local_wordline.hash(h);
+    fp.bitline_architecture.hash(h);
+    fp.blocks_per_csl.hash(h);
+    hash_f64(h, fp.wordline_pitch.meters());
+    hash_f64(h, fp.bitline_pitch.meters());
+    hash_f64(h, fp.sa_stripe_width.meters());
+    hash_f64(h, fp.lwd_stripe_width.meters());
+    fp.horizontal_blocks.hash(h);
+    fp.vertical_blocks.hash(h);
+    // BTreeMap iterates in key order: deterministic.
+    for (name, size) in &fp.horizontal_sizes {
+        name.hash(h);
+        hash_f64(h, size.meters());
+    }
+    for (name, size) in &fp.vertical_sizes {
+        name.hash(h);
+        hash_f64(h, size.meters());
+    }
+}
+
+fn hash_signaling<H: Hasher>(h: &mut H, sig: &SignalingFloorplan) {
+    h.write_usize(sig.signals.len());
+    for s in &sig.signals {
+        s.name.hash(h);
+        s.class.hash(h);
+        match s.wires {
+            WireCount::Explicit(n) => (0u8, n).hash(h),
+            WireCount::PerIo => 1u8.hash(h),
+            WireCount::RowAddressBits => 2u8.hash(h),
+            WireCount::ColumnAddressBits => 3u8.hash(h),
+            WireCount::BankAddressBits => 4u8.hash(h),
+            WireCount::ControlSignals => 5u8.hash(h),
+            WireCount::ClockWires => 6u8.hash(h),
+        }
+        hash_f64(h, s.toggle_rate);
+        h.write_usize(s.segments.len());
+        for seg in &s.segments {
+            match seg {
+                SegmentSpec::Between { from, to, buffer } => {
+                    0u8.hash(h);
+                    from.hash(h);
+                    to.hash(h);
+                    h.write_u8(u8::from(buffer.is_some()));
+                    if let Some(b) = buffer {
+                        hash_f64(h, b.nmos_width.meters());
+                        hash_f64(h, b.pmos_width.meters());
+                    }
+                }
+                SegmentSpec::Inside {
+                    at,
+                    fraction,
+                    dir,
+                    buffer,
+                    mux,
+                } => {
+                    1u8.hash(h);
+                    at.hash(h);
+                    hash_f64(h, *fraction);
+                    dir.hash(h);
+                    h.write_u8(u8::from(buffer.is_some()));
+                    if let Some(b) = buffer {
+                        hash_f64(h, b.nmos_width.meters());
+                        hash_f64(h, b.pmos_width.meters());
+                    }
+                    mux.hash(h);
+                }
+            }
+        }
+    }
+}
+
+fn hash_technology<H: Hasher>(h: &mut H, t: &Technology) {
+    for v in [
+        t.tox_logic.meters(),
+        t.tox_high_voltage.meters(),
+        t.tox_cell.meters(),
+        t.lmin_logic.meters(),
+        t.junction_cap_logic.farads_per_meter(),
+        t.lmin_high_voltage.meters(),
+        t.junction_cap_high_voltage.farads_per_meter(),
+        t.cell_access_length.meters(),
+        t.cell_access_width.meters(),
+        t.bitline_cap.farads(),
+        t.cell_cap.farads(),
+        t.bl_to_wl_cap_share,
+        t.c_wire_mwl.farads_per_meter(),
+        t.mwl_predecode_ratio,
+        t.mwl_decoder_nmos_width.meters(),
+        t.mwl_decoder_pmos_width.meters(),
+        t.mwl_decoder_switching,
+        t.wl_controller_nmos_width.meters(),
+        t.wl_controller_pmos_width.meters(),
+        t.swd_nmos_width.meters(),
+        t.swd_pmos_width.meters(),
+        t.swd_restore_nmos_width.meters(),
+        t.c_wire_lwl.farads_per_meter(),
+        t.c_wire_signal.farads_per_meter(),
+    ] {
+        hash_f64(h, v);
+    }
+    t.bits_per_csl_per_subarray.hash(h);
+    for d in [
+        t.sa_nmos_sense,
+        t.sa_pmos_sense,
+        t.sa_equalize,
+        t.sa_bit_switch,
+        t.sa_bitline_mux,
+        t.sa_nset,
+        t.sa_pset,
+    ] {
+        hash_f64(h, d.width.meters());
+        hash_f64(h, d.length.meters());
+    }
+}
+
+fn hash_electrical<H: Hasher>(h: &mut H, e: &Electrical) {
+    for v in [
+        e.vdd.volts(),
+        e.vint.volts(),
+        e.vbl.volts(),
+        e.vpp.volts(),
+        e.eff_vint,
+        e.eff_vbl,
+        e.eff_vpp,
+        e.constant_current.amperes(),
+    ] {
+        hash_f64(h, v);
+    }
+}
+
+fn hash_spec<H: Hasher>(h: &mut H, s: &Specification) {
+    s.io_width.hash(h);
+    hash_f64(h, s.datarate_per_pin.bits_per_second());
+    s.clock_wires.hash(h);
+    hash_f64(h, s.data_clock.hertz());
+    hash_f64(h, s.control_clock.hertz());
+    s.bank_address_bits.hash(h);
+    s.row_address_bits.hash(h);
+    s.column_address_bits.hash(h);
+    s.control_signals.hash(h);
+    s.prefetch.hash(h);
+    s.burst_length.hash(h);
+}
+
+fn hash_timing<H: Hasher>(h: &mut H, t: &Timing) {
+    for v in [
+        t.trc.seconds(),
+        t.tras.seconds(),
+        t.trp.seconds(),
+        t.trcd.seconds(),
+        t.trrd.seconds(),
+        t.tfaw.seconds(),
+        t.trfc.seconds(),
+        t.trefi.seconds(),
+    ] {
+        hash_f64(h, v);
+    }
+    t.tccd_cycles.hash(h);
+}
+
+fn hash_logic_block<H: Hasher>(h: &mut H, b: &LogicBlock) {
+    b.name.hash(h);
+    b.gates.hash(h);
+    hash_f64(h, b.avg_nmos_width.meters());
+    hash_f64(h, b.avg_pmos_width.meters());
+    hash_f64(h, b.transistors_per_gate);
+    hash_f64(h, b.gate_density);
+    hash_f64(h, b.wiring_density);
+    let ActiveDuring {
+        always,
+        activate,
+        precharge,
+        read,
+        write,
+    } = b.active_during;
+    (always, activate, precharge, read, write).hash(h);
+    hash_f64(h, b.toggle_rate);
+}
+
+/// Content hash over every field of a description, with floats hashed by
+/// bit pattern. Two descriptions that compare equal hash equal; the
+/// converse is enforced by structural comparison at lookup time.
+#[must_use]
+pub fn content_hash(desc: &DramDescription) -> u64 {
+    // DefaultHasher::new() uses fixed keys: stable within a process,
+    // which is all the in-memory cache needs.
+    let mut h = DefaultHasher::new();
+    desc.name.hash(&mut h);
+    hash_floorplan(&mut h, &desc.floorplan);
+    hash_signaling(&mut h, &desc.signaling);
+    hash_technology(&mut h, &desc.technology);
+    hash_electrical(&mut h, &desc.electrical);
+    hash_spec(&mut h, &desc.spec);
+    hash_timing(&mut h, &desc.timing);
+    h.write_usize(desc.logic_blocks.len());
+    for b in &desc.logic_blocks {
+        hash_logic_block(&mut h, b);
+    }
+    h.finish()
+}
+
+/// Hit/miss counters of a [`ModelCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a model.
+    pub misses: u64,
+}
+
+/// One hash bucket: every cached description whose content hash collides.
+type Bucket = Vec<(DramDescription, Arc<Dram>)>;
+
+/// A memoizing store of built models keyed by description content.
+///
+/// Thread-safe; lookups hold the lock only for the bucket scan, model
+/// construction runs outside it so concurrent builders do not serialize.
+/// Failed builds are **not** cached (they are cheap — validation rejects
+/// before the expensive geometry walk).
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached model for `desc`, building and inserting it on
+    /// first sight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the description fails validation.
+    pub fn get_or_build(&self, desc: &DramDescription) -> Result<Arc<Dram>, ModelError> {
+        let key = content_hash(desc);
+        if let Some(hit) = self.lookup(key, desc) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Dram::new(desc.clone())?);
+        let mut buckets = self.buckets.lock().expect("cache lock");
+        let bucket = buckets.entry(key).or_default();
+        // A concurrent builder may have won the race; keep its model so
+        // every caller shares one allocation.
+        if let Some((_, existing)) = bucket.iter().find(|(d, _)| d == desc) {
+            return Ok(Arc::clone(existing));
+        }
+        bucket.push((desc.clone(), Arc::clone(&built)));
+        Ok(built)
+    }
+
+    fn lookup(&self, key: u64, desc: &DramDescription) -> Option<Arc<Dram>> {
+        let buckets = self.buckets.lock().expect("cache lock");
+        buckets
+            .get(&key)?
+            .iter()
+            .find(|(d, _)| d == desc)
+            .map(|(_, m)| Arc::clone(m))
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached model and resets the counters.
+    pub fn clear(&self) {
+        self.buckets.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A batch-evaluation engine: worker pool plus model cache.
+///
+/// Construct once, share by reference. The thread count defaults to the
+/// machine's available parallelism; [`EvalEngine::threads`] overrides it
+/// and `threads(1)` selects the plain serial loop (no pool, no queue).
+#[derive(Debug)]
+pub struct EvalEngine {
+    threads: usize,
+    cache: ModelCache,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalEngine {
+    /// An engine sized to the machine's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Self {
+            threads,
+            cache: ModelCache::new(),
+        }
+    }
+
+    /// Overrides the worker count. `1` selects the serial path; values
+    /// above the input length are clamped per call.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's model cache.
+    #[must_use]
+    pub fn cache(&self) -> &ModelCache {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the model cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Builds (or fetches) the model for one description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the description fails validation.
+    pub fn model(&self, desc: &DramDescription) -> Result<Arc<Dram>, ModelError> {
+        self.cache.get_or_build(desc)
+    }
+
+    /// Builds models for a batch of descriptions, in parallel, memoized.
+    ///
+    /// `out[i]` is the model for `descs[i]`; order is the input order
+    /// regardless of thread count. Duplicate descriptions share one
+    /// cached model.
+    pub fn evaluate_many(
+        &self,
+        descs: &[DramDescription],
+    ) -> Vec<Result<Arc<Dram>, ModelError>> {
+        self.map(descs, |d| self.cache.get_or_build(d))
+    }
+
+    /// Applies `f` to every item on the worker pool and returns results
+    /// in input order.
+    ///
+    /// The reduction order is fixed per index — worker interleaving
+    /// cannot reorder or regroup results, so for a pure `f` the output
+    /// is bit-identical to `items.iter().map(f).collect()`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `f` after all workers have stopped.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        // Chunked dynamic queue: fine-grained enough to balance uneven
+        // item costs, coarse enough to keep the atomic off the hot path.
+        let chunk = (items.len() / (workers * 8)).max(1);
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                local.push((i, f(item)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Deterministic reduction: place by original index.
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None)
+            .take(items.len())
+            .collect();
+        for (i, r) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+
+    /// A process-wide shared engine (default thread count).
+    ///
+    /// Free functions like `dram_sensitivity::sweep` route through this
+    /// so repeated analyses in one process share the model cache. Code
+    /// that needs an explicit thread count builds its own engine and
+    /// calls the `*_with` variants.
+    #[must_use]
+    pub fn global() -> &'static EvalEngine {
+        static GLOBAL: OnceLock<EvalEngine> = OnceLock::new();
+        GLOBAL.get_or_init(EvalEngine::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ddr3_1g_x16_55nm;
+
+    #[test]
+    fn map_is_bit_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |x: &u64| (*x as f64).sqrt().sin().to_bits();
+        let serial = EvalEngine::new().threads(1).map(&items, f);
+        for n in [2, 3, 4, 7, 128] {
+            let parallel = EvalEngine::new().threads(n).map(&items, f);
+            assert_eq!(serial, parallel, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        let engine = EvalEngine::new().threads(4);
+        assert_eq!(engine.map(&[] as &[u32], |x| *x), Vec::<u32>::new());
+        assert_eq!(engine.map(&[5u32], |x| x * 2), vec![10]);
+        let big: Vec<usize> = (0..1000).collect();
+        assert_eq!(engine.map(&big, |x| x + 1), (1..1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_propagates_panics() {
+        let engine = EvalEngine::new().threads(2);
+        let items: Vec<u32> = (0..10).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.map(&items, |x| {
+                assert!(*x != 7, "boom");
+                *x
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cache_returns_shared_model_and_counts() {
+        let cache = ModelCache::new();
+        let desc = ddr3_1g_x16_55nm();
+        let a = cache.get_or_build(&desc).expect("builds");
+        let b = cache.get_or_build(&desc).expect("hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn second_evaluate_many_does_zero_rebuilds() {
+        let engine = EvalEngine::new().threads(4);
+        let mut descs = Vec::new();
+        for i in 0..8 {
+            let mut d = ddr3_1g_x16_55nm();
+            d.technology.bitline_cap = d.technology.bitline_cap * (1.0 + 0.01 * i as f64);
+            descs.push(d);
+        }
+        let first = engine.evaluate_many(&descs);
+        assert!(first.iter().all(Result::is_ok));
+        let misses_after_first = engine.cache_stats().misses;
+        assert_eq!(misses_after_first, 8);
+        let second = engine.evaluate_many(&descs);
+        assert!(second.iter().all(Result::is_ok));
+        assert_eq!(engine.cache_stats().misses, misses_after_first);
+        assert_eq!(engine.cache_stats().hits, 8);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn evaluate_many_preserves_order_and_errors() {
+        let good = ddr3_1g_x16_55nm();
+        let mut bad = ddr3_1g_x16_55nm();
+        bad.spec.bank_address_bits = 5; // 32 banks: floorplan grid mismatch
+        let engine = EvalEngine::new().threads(3);
+        let out = engine.evaluate_many(&[good.clone(), bad, good]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+        assert!(Arc::ptr_eq(out[0].as_ref().unwrap(), out[2].as_ref().unwrap()));
+    }
+
+    #[test]
+    fn content_hash_tracks_field_changes() {
+        let base = ddr3_1g_x16_55nm();
+        let h0 = content_hash(&base);
+        assert_eq!(h0, content_hash(&base.clone()), "hash is deterministic");
+
+        let mut d = base.clone();
+        d.technology.bitline_cap = d.technology.bitline_cap * 1.0001;
+        assert_ne!(h0, content_hash(&d), "technology float");
+
+        let mut d = base.clone();
+        d.electrical.vdd = d.electrical.vdd * 1.0001;
+        assert_ne!(h0, content_hash(&d), "electrical float");
+
+        let mut d = base.clone();
+        d.timing.trc = d.timing.trc * 1.0001;
+        assert_ne!(h0, content_hash(&d), "timing float");
+
+        let mut d = base.clone();
+        d.spec.prefetch = 4;
+        assert_ne!(h0, content_hash(&d), "spec integer");
+
+        let mut d = base.clone();
+        d.floorplan.bits_per_bitline *= 2;
+        assert_ne!(h0, content_hash(&d), "floorplan integer");
+
+        let mut d = base.clone();
+        d.name.push('!');
+        assert_ne!(h0, content_hash(&d), "name");
+
+        let mut d = base.clone();
+        if let Some(sig) = d.signaling.signals.first_mut() {
+            sig.toggle_rate *= 1.0001;
+        }
+        assert_ne!(h0, content_hash(&d), "signaling float");
+
+        let mut d = base.clone();
+        if let Some(block) = d.logic_blocks.first_mut() {
+            block.gates += 1;
+        }
+        assert_ne!(h0, content_hash(&d), "logic block");
+    }
+
+    #[test]
+    fn global_engine_is_shared() {
+        let a = EvalEngine::global();
+        let b = EvalEngine::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod batch;
 pub mod charges;
 pub mod devices;
 mod error;
@@ -50,6 +51,7 @@ pub mod reference;
 pub mod timing;
 pub mod voltage;
 
+pub use batch::{CacheStats, EvalEngine, ModelCache};
 pub use error::ModelError;
 pub use lowpower::{PowerState, TemperatureRange};
 pub use model::{

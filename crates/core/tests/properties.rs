@@ -1,35 +1,38 @@
-//! Property tests of the core model: geometry invariants under random
+//! Randomized tests of the core model: geometry invariants under random
 //! organizations, timing-pattern legality, pattern parsing, and charge
 //! accounting scaling laws.
+//!
+//! Driven by deterministic [`SplitMix64`] loops instead of `proptest` so
+//! the workspace resolves offline; every assertion prints the drawn
+//! inputs for reproduction.
 
 use dram_core::geometry::Geometry;
 use dram_core::reference::ddr3_1g_x16_55nm;
 use dram_core::timing::{InitialBankState, TimedPattern};
 use dram_core::{Command, Dram, Pattern};
+use dram_units::rng::SplitMix64;
 use dram_units::{Meters, Seconds};
-use proptest::prelude::*;
 
-/// Random but self-consistent address organizations around the reference
-/// density.
-fn organization() -> impl Strategy<Value = (u32, u32, u32, u32)> {
-    // (bits_per_bl exp, bits_per_lwl exp, col bits, row bits): density
-    // fixed at 1 Gb x16 with 8 banks -> row + col = 23.
-    (8u32..=10, 9u32..=10, 9u32..=11).prop_map(|(bl_exp, lwl_exp, col)| {
-        let row = 23 - col;
-        (1 << bl_exp, 1 << lwl_exp, col, row)
-    })
+/// Random but self-consistent address organization around the reference
+/// density: (bits_per_bl, bits_per_lwl, col bits, row bits). Density is
+/// fixed at 1 Gb x16 with 8 banks -> row + col = 23.
+fn organization(r: &mut SplitMix64) -> (u32, u32, u32, u32) {
+    let bl_exp = 8 + r.range_u32(3); // 8..=10
+    let lwl_exp = 9 + r.range_u32(2); // 9..=10
+    let col = 9 + r.range_u32(3); // 9..=11
+    let row = 23 - col;
+    (1 << bl_exp, 1 << lwl_exp, col, row)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn geometry_invariants_hold_for_random_organizations() {
+    let mut r = SplitMix64::new(0xC001);
+    for _ in 0..64 {
+        let (bpb, bplwl, col, row) = organization(&mut r);
+        let wlp_nm = r.range_f64(100.0, 300.0);
+        let blp_nm = r.range_f64(80.0, 200.0);
+        let stripe_um = r.range_f64(3.0, 20.0);
 
-    #[test]
-    fn geometry_invariants_hold_for_random_organizations(
-        (bpb, bplwl, col, row) in organization(),
-        wlp_nm in 100.0f64..300.0,
-        blp_nm in 80.0f64..200.0,
-        stripe_um in 3.0f64..20.0,
-    ) {
         let mut desc = ddr3_1g_x16_55nm();
         desc.floorplan.bits_per_bitline = bpb;
         desc.floorplan.bits_per_local_wordline = bplwl;
@@ -45,38 +48,46 @@ proptest! {
         let rows = desc.spec.rows_per_bank();
         let divisible =
             page.is_multiple_of(u64::from(bplwl)) && rows.is_multiple_of(u64::from(bpb));
+        let ctx = format!("bpb={bpb} bplwl={bplwl} col={col} row={row}");
         match Geometry::new(&desc) {
             Ok(g) => {
-                prop_assert!(divisible);
+                assert!(divisible, "{ctx}");
                 // Capacity conservation.
                 let bits = g.banks.len() as u64
                     * u64::from(g.sub_rows)
                     * u64::from(g.sub_cols)
                     * u64::from(bpb)
                     * u64::from(bplwl);
-                prop_assert_eq!(bits, desc.spec.density_bits());
+                assert_eq!(bits, desc.spec.density_bits(), "{ctx}");
                 // The die contains its banks.
-                prop_assert!(g.die_width.meters() > 0.0);
-                prop_assert!(g.die_area().square_meters()
-                    > g.block_along_wl.meters() * g.block_along_bl.meters() * 8.0 * 0.99);
+                assert!(g.die_width.meters() > 0.0, "{ctx}");
+                assert!(
+                    g.die_area().square_meters()
+                        > g.block_along_wl.meters() * g.block_along_bl.meters() * 8.0 * 0.99,
+                    "{ctx}"
+                );
                 // Wire lengths are consistent with the grid.
-                prop_assert!(
-                    (g.master_wordline_length().meters()
-                        - g.block_along_wl.meters()).abs() < 1e-12
+                assert!(
+                    (g.master_wordline_length().meters() - g.block_along_wl.meters()).abs()
+                        < 1e-12,
+                    "{ctx}"
                 );
             }
-            Err(_) => prop_assert!(!divisible),
+            Err(_) => assert!(!divisible, "{ctx}"),
         }
     }
+}
 
-    #[test]
-    fn standard_loops_stay_legal_under_random_timing(
-        trc_ns in 35.0f64..80.0,
-        tras_frac in 0.55f64..0.8,
-        trcd_ns in 10.0f64..20.0,
-        trrd_ns in 4.0f64..12.0,
-        clock_mhz in 200.0f64..1000.0,
-    ) {
+#[test]
+fn standard_loops_stay_legal_under_random_timing() {
+    let mut r = SplitMix64::new(0xC002);
+    for _ in 0..64 {
+        let trc_ns = r.range_f64(35.0, 80.0);
+        let tras_frac = r.range_f64(0.55, 0.8);
+        let trcd_ns = r.range_f64(10.0, 20.0);
+        let trrd_ns = r.range_f64(4.0, 12.0);
+        let clock_mhz = r.range_f64(200.0, 1000.0);
+
         let mut desc = ddr3_1g_x16_55nm();
         desc.timing.trc = Seconds::from_ns(trc_ns);
         desc.timing.tras = Seconds::from_ns(trc_ns * tras_frac);
@@ -90,26 +101,32 @@ proptest! {
         let clock = desc.spec.control_clock;
 
         let idd0 = TimedPattern::idd0(timing, clock).expect("builds");
-        prop_assert!(idd0
+        assert!(idd0
             .validate(timing, clock, 8, timing.tccd_cycles, InitialBankState::AllClosed)
             .is_ok());
 
         let idd1 = TimedPattern::idd1(timing, clock).expect("builds");
-        prop_assert!(idd1
-            .validate(timing, clock, 8, timing.tccd_cycles, InitialBankState::AllClosed)
-            .is_ok(), "idd1 illegal at trc={trc_ns} clock={clock_mhz}");
+        assert!(
+            idd1.validate(timing, clock, 8, timing.tccd_cycles, InitialBankState::AllClosed)
+                .is_ok(),
+            "idd1 illegal at trc={trc_ns} clock={clock_mhz}"
+        );
 
         let idd7 = TimedPattern::idd7(timing, clock, 8, timing.tccd_cycles).expect("builds");
-        prop_assert!(idd7
-            .validate(timing, clock, 8, timing.tccd_cycles, InitialBankState::AllClosed)
-            .is_ok(), "idd7 illegal at trc={trc_ns} trrd={trrd_ns} clock={clock_mhz}");
+        assert!(
+            idd7.validate(timing, clock, 8, timing.tccd_cycles, InitialBankState::AllClosed)
+                .is_ok(),
+            "idd7 illegal at trc={trc_ns} trrd={trrd_ns} clock={clock_mhz}"
+        );
     }
+}
 
-    #[test]
-    fn idd_report_is_finite_and_ordered_under_random_timing(
-        trc_ns in 40.0f64..70.0,
-        clock_mhz in 300.0f64..900.0,
-    ) {
+#[test]
+fn idd_report_is_finite_and_ordered_under_random_timing() {
+    let mut r = SplitMix64::new(0xC003);
+    for _ in 0..64 {
+        let trc_ns = r.range_f64(40.0, 70.0);
+        let clock_mhz = r.range_f64(300.0, 900.0);
         let mut desc = ddr3_1g_x16_55nm();
         desc.timing.trc = Seconds::from_ns(trc_ns);
         desc.timing.tras = Seconds::from_ns(trc_ns * 0.7);
@@ -117,45 +134,74 @@ proptest! {
         desc.spec.data_clock = desc.spec.control_clock;
         let dram = Dram::new(desc).expect("valid");
         let idd = dram.idd();
-        for i in [idd.idd0, idd.idd1, idd.idd2n, idd.idd2p, idd.idd4r, idd.idd4w, idd.idd5, idd.idd6, idd.idd7] {
-            prop_assert!(i.amperes().is_finite() && i.amperes() > 0.0);
+        for i in [
+            idd.idd0, idd.idd1, idd.idd2n, idd.idd2p, idd.idd4r, idd.idd4w, idd.idd5, idd.idd6,
+            idd.idd7,
+        ] {
+            assert!(
+                i.amperes().is_finite() && i.amperes() > 0.0,
+                "trc={trc_ns} clock={clock_mhz}"
+            );
         }
-        prop_assert!(idd.idd1 >= idd.idd0);
-        prop_assert!(idd.idd0 > idd.idd2n);
-        prop_assert!(idd.idd2n > idd.idd2p);
-        prop_assert!(idd.idd6 > idd.idd2p);
+        assert!(idd.idd1 >= idd.idd0, "trc={trc_ns} clock={clock_mhz}");
+        assert!(idd.idd0 > idd.idd2n, "trc={trc_ns} clock={clock_mhz}");
+        assert!(idd.idd2n > idd.idd2p, "trc={trc_ns} clock={clock_mhz}");
+        assert!(idd.idd6 > idd.idd2p, "trc={trc_ns} clock={clock_mhz}");
     }
+}
 
-    #[test]
-    fn pattern_parser_never_panics(tokens in prop::collection::vec("[a-z]{1,6}", 0..12)) {
+#[test]
+fn pattern_parser_never_panics() {
+    let mut r = SplitMix64::new(0xC004);
+    for _ in 0..256 {
+        let n = r.range_usize(12);
+        let tokens: Vec<String> = (0..n)
+            .map(|_| {
+                let len = 1 + r.range_usize(6);
+                (0..len)
+                    .map(|_| (b'a' + r.range_u32(26) as u8) as char)
+                    .collect()
+            })
+            .collect();
         let text = tokens.join(" ");
         let _ = Pattern::parse(&text); // must not panic
     }
+}
 
-    #[test]
-    fn pattern_roundtrip(cmds in prop::collection::vec(
-        prop::sample::select(vec![
-            Command::Activate, Command::Precharge, Command::Read,
-            Command::Write, Command::Nop,
-        ]), 1..32))
-    {
+#[test]
+fn pattern_roundtrip() {
+    let mut r = SplitMix64::new(0xC005);
+    let universe = [
+        Command::Activate,
+        Command::Precharge,
+        Command::Read,
+        Command::Write,
+        Command::Nop,
+    ];
+    for _ in 0..64 {
+        let n = 1 + r.range_usize(31);
+        let cmds: Vec<Command> = (0..n).map(|_| *r.pick(&universe)).collect();
         let p = Pattern::new(cmds).expect("nonempty");
         let text = p.to_string();
         let back = Pattern::parse(&text).expect("own output parses");
-        prop_assert_eq!(back, p);
+        assert_eq!(back, p);
     }
+}
 
-    #[test]
-    fn activate_energy_scales_linearly_with_bitline_cap(scale in 0.5f64..2.0) {
-        let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
-        let base_item = base
-            .operation_energy(dram_core::Operation::Activate)
-            .items
-            .iter()
-            .find(|i| i.label == "bitline sensing")
-            .expect("item")
-            .external
-            .joules();
+#[test]
+fn activate_energy_scales_linearly_with_bitline_cap() {
+    let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let base_item = base
+        .operation_energy(dram_core::Operation::Activate)
+        .items
+        .iter()
+        .find(|i| i.label == "bitline sensing")
+        .expect("item")
+        .external
+        .joules();
+    let mut r = SplitMix64::new(0xC006);
+    for _ in 0..32 {
+        let scale = r.range_f64(0.5, 2.0);
         let mut desc = ddr3_1g_x16_55nm();
         desc.technology.bitline_cap = desc.technology.bitline_cap * scale;
         let scaled = Dram::new(desc).expect("valid");
@@ -167,6 +213,9 @@ proptest! {
             .expect("item")
             .external
             .joules();
-        prop_assert!((scaled_item / base_item - scale).abs() < 1e-9);
+        assert!(
+            (scaled_item / base_item - scale).abs() < 1e-9,
+            "scale={scale}"
+        );
     }
 }

@@ -1,22 +1,58 @@
-//! Robustness properties of the description-language front end: the
-//! lexer and parser must never panic, whatever bytes arrive, and the
-//! value parsers must reject garbage cleanly.
+//! Robustness tests of the description-language front end: the lexer and
+//! parser must never panic, whatever bytes arrive, and the value parsers
+//! must reject garbage cleanly.
+//!
+//! Fuzz inputs come from a deterministic [`SplitMix64`] generator instead
+//! of `proptest` so the workspace resolves offline; equal seeds replay
+//! identical corpora.
 
-use proptest::prelude::*;
+use dram_units::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string over a charset closure, length in `[0, max_len]`.
+fn rand_string(r: &mut SplitMix64, max_len: usize, charset: impl Fn(&mut SplitMix64) -> char) -> String {
+    let len = r.range_usize(max_len + 1);
+    (0..len).map(|_| charset(r)).collect()
+}
 
-    /// Arbitrary text never panics the lexer or parser.
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(input in "\\PC{0,400}") {
+/// Any printable-ish character, including multi-byte ones, newlines and
+/// the DSL's own separators — the rough analogue of proptest's `\PC`.
+fn any_char(r: &mut SplitMix64) -> char {
+    match r.range_u32(8) {
+        0 => '\n',
+        1 => *r.pick(&['=', ' ', '\t', '#', '.', '-', '_', '"']),
+        2 => *r.pick(&['µ', 'Ω', '²', 'é', '漢', '🦀']),
+        _ => {
+            // Printable ASCII.
+            (0x20 + r.range_u32(0x5F) as u8) as char
+        }
+    }
+}
+
+fn ascii_printable(r: &mut SplitMix64) -> char {
+    (0x20 + r.range_u32(0x5F) as u8) as char
+}
+
+fn in_set(set: &[u8]) -> impl Fn(&mut SplitMix64) -> char + '_ {
+    move |r| *r.pick(set) as char
+}
+
+/// Arbitrary text never panics the lexer or parser.
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let mut r = SplitMix64::new(0xF001);
+    for _ in 0..256 {
+        let input = rand_string(&mut r, 400, any_char);
         let _ = dram_dsl::parse(&input);
     }
+}
 
-    /// Arbitrary lines appended to a valid file never panic, and either
-    /// parse or produce an error naming a line.
-    #[test]
-    fn valid_prefix_with_garbage_suffix(suffix in "[ -~]{0,80}") {
+/// Arbitrary lines appended to a valid file never panic, and either parse
+/// or produce an error naming a line.
+#[test]
+fn valid_prefix_with_garbage_suffix() {
+    let mut r = SplitMix64::new(0xF002);
+    for _ in 0..256 {
+        let suffix = rand_string(&mut r, 80, ascii_printable);
         let mut text = include_str!("../descriptions/ddr3_1gb_x16_55nm.dram").to_string();
         text.push('\n');
         text.push_str(&suffix);
@@ -24,15 +60,19 @@ proptest! {
             Ok(_) => {}
             Err(e) => {
                 // Errors carry a usable location or are file-level.
-                prop_assert!(e.line() <= text.lines().count() + 1);
-                prop_assert!(!e.message().is_empty());
+                assert!(e.line() <= text.lines().count() + 1, "suffix={suffix:?}");
+                assert!(!e.message().is_empty(), "suffix={suffix:?}");
             }
         }
     }
+}
 
-    /// Value parsers reject non-numeric garbage without panicking.
-    #[test]
-    fn value_parsers_reject_garbage(s in "[a-zA-Z%/:_.]{0,16}") {
+/// Value parsers reject non-numeric garbage without panicking.
+#[test]
+fn value_parsers_reject_garbage() {
+    let mut r = SplitMix64::new(0xF003);
+    for _ in 0..256 {
+        let s = rand_string(&mut r, 16, in_set(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ%/:_."));
         let _ = dram_dsl::value::number(&s);
         let _ = dram_dsl::value::length(&s);
         let _ = dram_dsl::value::capacitance(&s);
@@ -44,26 +84,45 @@ proptest! {
         let _ = dram_dsl::value::mux_ratio(&s);
         let _ = dram_dsl::value::active_during(&s);
     }
+}
 
-    /// Numeric literals with units round-trip through the length parser.
-    #[test]
-    fn length_parses_generated_literals(v in 0.001f64..10000.0) {
+/// Numeric literals with units round-trip through the length parser.
+#[test]
+fn length_parses_generated_literals() {
+    let mut r = SplitMix64::new(0xF004);
+    for _ in 0..256 {
+        let v = r.range_f64(0.001, 10000.0);
         let nm = dram_dsl::value::length(&format!("{v}nm")).expect("nm parses");
-        prop_assert!((nm.nanometers() - v).abs() < 1e-6 * v.max(1.0));
+        assert!((nm.nanometers() - v).abs() < 1e-6 * v.max(1.0), "v={v}");
         let um = dram_dsl::value::length(&format!("{v}um")).expect("um parses");
-        prop_assert!((um.micrometers() - v).abs() < 1e-6 * v.max(1.0));
+        assert!((um.micrometers() - v).abs() < 1e-6 * v.max(1.0), "v={v}");
     }
+}
 
-    /// The lexer preserves key/value structure for generated identifiers.
-    #[test]
-    fn lexer_roundtrips_key_values(
-        key in "[A-Za-z][A-Za-z0-9]{0,10}",
-        value in "[A-Za-z0-9.]{1,10}",
-    ) {
+/// The lexer preserves key/value structure for generated identifiers.
+#[test]
+fn lexer_roundtrips_key_values() {
+    let mut r = SplitMix64::new(0xF005);
+    let alpha = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    let alnum = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let valchars = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789.";
+    for _ in 0..256 {
+        let mut key = String::new();
+        key.push(*r.pick(alpha) as char);
+        let extra = r.range_usize(11);
+        for _ in 0..extra {
+            key.push(*r.pick(alnum) as char);
+        }
+        let vlen = 1 + r.range_usize(10);
+        let value: String = (0..vlen).map(|_| *r.pick(valchars) as char).collect();
         let line = format!("Head {key}={value}");
         let lines = dram_dsl::lexer::lex(&line).expect("lexes");
-        prop_assert_eq!(lines.len(), 1);
-        prop_assert_eq!(lines[0].value(&key), Some(value.as_str()));
+        assert_eq!(lines.len(), 1, "key={key} value={value}");
+        assert_eq!(
+            lines[0].value(&key),
+            Some(value.as_str()),
+            "key={key} value={value}"
+        );
     }
 }
 

@@ -90,9 +90,8 @@ pub fn cost_report(node: &TechNode, die: SquareMeters) -> CostReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::ROADMAP;
-    use crate::presets::preset;
-    use dram_core::Dram;
+    use crate::trends::roadmap_models_with;
+    use dram_core::EvalEngine;
 
     #[test]
     fn dies_per_wafer_magnitude() {
@@ -119,10 +118,11 @@ mod tests {
     fn cost_per_bit_falls_across_the_roadmap() {
         // The economic engine of the whole roadmap: despite rising wafer
         // cost, shrinking cells cut cost per bit every few generations.
+        // Evaluate the roadmap concurrently through the engine.
+        let engine = EvalEngine::new().threads(4);
         let mut reports = Vec::new();
-        for node in &ROADMAP {
-            let dram = Dram::new(preset(node)).expect("valid");
-            reports.push((node, cost_report(node, dram.area().die)));
+        for (node, dram) in roadmap_models_with(&engine) {
+            reports.push((node, cost_report(&node, dram.area().die)));
         }
         let first = reports.first().unwrap().1.cost_per_gbit;
         let last = reports.last().unwrap().1.cost_per_gbit;

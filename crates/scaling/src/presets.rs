@@ -491,9 +491,13 @@ mod tests {
 
     #[test]
     fn every_roadmap_preset_builds_a_valid_model() {
-        for node in &ROADMAP {
-            let desc = preset(node);
-            let dram = Dram::new(desc).unwrap_or_else(|e| panic!("{node}: preset invalid: {e}"));
+        // Batch-build all nodes concurrently through the engine; order is
+        // preserved so failures still name the offending node.
+        let engine = dram_core::EvalEngine::new().threads(4);
+        let descs = all_generations();
+        let models = engine.evaluate_many(&descs);
+        for (node, model) in ROADMAP.iter().zip(models) {
+            let dram = model.unwrap_or_else(|e| panic!("{node}: preset invalid: {e:?}"));
             let die = dram.area().die.square_millimeters();
             assert!(
                 (20.0..=90.0).contains(&die),

@@ -4,10 +4,36 @@
 //! Each function returns one row per roadmap node, ready for the bench
 //! harness to print as the figure's series.
 
-use dram_core::Dram;
+use std::sync::Arc;
+
+use dram_core::{Dram, EvalEngine};
 
 use crate::node::{TechNode, ROADMAP};
-use crate::presets::preset;
+use crate::presets::all_generations;
+
+/// Builds every roadmap preset through `engine`'s memoizing cache,
+/// evaluating the nodes concurrently. Rows follow [`ROADMAP`] order, so
+/// the result is bit-identical to a serial walk.
+///
+/// # Panics
+///
+/// Panics if a roadmap preset fails to build — the roadmap constants are
+/// validated by the preset tests, so this indicates a programming error.
+#[must_use]
+pub fn roadmap_models_with(engine: &EvalEngine) -> Vec<(TechNode, Arc<Dram>)> {
+    let descs = all_generations();
+    let models = engine.map(&descs, |d| {
+        engine.model(d).expect("roadmap presets are valid")
+    });
+    ROADMAP.iter().copied().zip(models).collect()
+}
+
+/// [`roadmap_models_with`] on the process-wide [`EvalEngine::global`]
+/// engine.
+#[must_use]
+pub fn roadmap_models() -> Vec<(TechNode, Arc<Dram>)> {
+    roadmap_models_with(EvalEngine::global())
+}
 
 /// One row of the Fig. 11 voltage-trend series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,21 +112,25 @@ pub struct EnergyTrend {
 }
 
 /// Fig. 13: die area and energy per bit over the roadmap (evaluates the
+/// full power model per node, concurrently on `engine`).
+#[must_use]
+pub fn energy_trends_with(engine: &EvalEngine) -> Vec<EnergyTrend> {
+    roadmap_models_with(engine)
+        .iter()
+        .map(|(node, dram)| EnergyTrend {
+            node: *node,
+            die_mm2: dram.area().die.square_millimeters(),
+            epb_stream_pj: dram.energy_per_bit_streaming().picojoules(),
+            epb_random_pj: dram.energy_per_bit_random().picojoules(),
+        })
+        .collect()
+}
+
+/// Fig. 13: die area and energy per bit over the roadmap (evaluates the
 /// full power model per node).
 #[must_use]
 pub fn energy_trends() -> Vec<EnergyTrend> {
-    ROADMAP
-        .iter()
-        .map(|n| {
-            let dram = Dram::new(preset(n)).expect("roadmap presets are valid");
-            EnergyTrend {
-                node: *n,
-                die_mm2: dram.area().die.square_millimeters(),
-                epb_stream_pj: dram.energy_per_bit_streaming().picojoules(),
-                epb_random_pj: dram.energy_per_bit_random().picojoules(),
-            }
-        })
-        .collect()
+    energy_trends_with(EvalEngine::global())
 }
 
 /// Average per-generation energy-per-bit reduction factor over a node
@@ -157,6 +187,31 @@ mod tests {
         assert!(hist > 1.2, "historical reduction too weak: {hist}");
         assert!(fore > 1.0, "forecast must still improve: {fore}");
         assert!(fore < 1.45, "forecast reduction too strong: {fore}");
+    }
+
+    #[test]
+    fn parallel_energy_trends_match_serial_bit_for_bit() {
+        let serial = energy_trends_with(&EvalEngine::new().threads(1));
+        let parallel = energy_trends_with(&EvalEngine::new().threads(8));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.node, p.node);
+            assert_eq!(s.die_mm2.to_bits(), p.die_mm2.to_bits());
+            assert_eq!(s.epb_stream_pj.to_bits(), p.epb_stream_pj.to_bits());
+            assert_eq!(s.epb_random_pj.to_bits(), p.epb_random_pj.to_bits());
+        }
+    }
+
+    #[test]
+    fn roadmap_walk_is_memoized() {
+        let engine = EvalEngine::new().threads(2);
+        let _ = roadmap_models_with(&engine);
+        let misses = engine.cache_stats().misses;
+        assert_eq!(misses, ROADMAP.len() as u64);
+        let _ = roadmap_models_with(&engine);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, misses, "second walk must rebuild nothing");
+        assert!(stats.hits >= misses);
     }
 
     #[test]

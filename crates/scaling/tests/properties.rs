@@ -1,86 +1,98 @@
-//! Property tests of the roadmap machinery: every reachable preset
+//! Randomized tests of the roadmap machinery: every reachable preset
 //! configuration must build a valid model with physical outputs, and the
 //! scaling curves must behave like shrink curves.
+//!
+//! Driven by deterministic [`SplitMix64`] loops instead of `proptest` so
+//! the workspace resolves offline. Node × I/O coverage is exhaustive
+//! where the space is small enough to enumerate outright.
 
 use dram_core::Dram;
 use dram_scaling::curves::ScalingParam;
 use dram_scaling::presets::{build, with_datarate, PresetSpec};
 use dram_scaling::{Interface, TechNode, ROADMAP};
+use dram_units::rng::SplitMix64;
 use dram_units::BitsPerSecond;
-use proptest::prelude::*;
 
-fn any_node() -> impl Strategy<Value = &'static TechNode> {
-    prop::sample::select(ROADMAP.iter().collect::<Vec<_>>())
+/// Every node × I/O width builds and produces ordered currents.
+/// (Exhaustive — the space is small, no sampling needed.)
+#[test]
+fn all_node_io_combinations_build() {
+    for node in ROADMAP.iter() {
+        for io in [4u32, 8, 16] {
+            let spec = PresetSpec {
+                io_width: io,
+                ..PresetSpec::for_node(node)
+            };
+            let dram = Dram::new(build(&spec)).expect("preset builds");
+            let idd = dram.idd();
+            let ctx = format!("node={}nm io={io}", node.feature_nm);
+            assert!(idd.idd0 > idd.idd2n, "{ctx}");
+            assert!(idd.idd4r > idd.idd2n, "{ctx}");
+            // IDD7 exceeds IDD4R only once activates dominate (DDR2 on,
+            // where prefetch makes seamless reads sparse in command
+            // slots); it always exceeds the row-loop and standby
+            // currents.
+            assert!(idd.idd7 > idd.idd0, "{ctx}");
+            assert!(idd.idd7 > idd.idd2n, "{ctx}");
+            assert!(idd.idd2p < idd.idd2n, "{ctx}");
+            // Physical die.
+            let die = dram.area().die.square_millimeters();
+            assert!((10.0..120.0).contains(&die), "{ctx}: die {die} mm²");
+        }
+    }
 }
 
-fn any_io() -> impl Strategy<Value = u32> {
-    prop::sample::select(vec![4u32, 8, 16])
+/// Derating the data rate within the generation never increases any
+/// current.
+#[test]
+fn derating_never_increases_currents() {
+    let mut r = SplitMix64::new(0x5C01);
+    for node in ROADMAP.iter() {
+        for _ in 0..3 {
+            let derate = r.range_f64(0.5, 1.0);
+            let full = Dram::new(build(&PresetSpec::for_node(node))).expect("builds");
+            let mbps = node.interface.datarate().mbps() * derate;
+            let slow = Dram::new(with_datarate(
+                build(&PresetSpec::for_node(node)),
+                BitsPerSecond::from_mbps(mbps),
+            ))
+            .expect("builds");
+            let f = full.idd();
+            let s = slow.idd();
+            let ctx = format!("node={}nm derate={derate}", node.feature_nm);
+            assert!(s.idd2n <= f.idd2n, "{ctx}");
+            assert!(s.idd4r <= f.idd4r, "{ctx}");
+            assert!(s.idd4w <= f.idd4w, "{ctx}");
+            // The IDD7 loop is built in whole clock cycles; per-bank
+            // revisit spacing is ceil-quantized, which at the 4-bank
+            // generations can swing the activate rate by up to ~25% as
+            // the clock moves across cycle boundaries. Only the
+            // quantization-tolerant bound holds.
+            assert!(s.idd7.amperes() <= f.idd7.amperes() * 1.30, "{ctx}");
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every node × I/O width builds and produces ordered currents.
-    #[test]
-    fn all_node_io_combinations_build(node in any_node(), io in any_io()) {
-        let spec = PresetSpec { io_width: io, ..PresetSpec::for_node(node) };
-        let dram = Dram::new(build(&spec)).expect("preset builds");
-        let idd = dram.idd();
-        prop_assert!(idd.idd0 > idd.idd2n);
-        prop_assert!(idd.idd4r > idd.idd2n);
-        // IDD7 exceeds IDD4R only once activates dominate (DDR2 on,
-        // where prefetch makes seamless reads sparse in command slots);
-        // it always exceeds the row-loop and standby currents.
-        prop_assert!(idd.idd7 > idd.idd0);
-        prop_assert!(idd.idd7 > idd.idd2n);
-        prop_assert!(idd.idd2p < idd.idd2n);
-        // Physical die.
-        let die = dram.area().die.square_millimeters();
-        prop_assert!((10.0..120.0).contains(&die), "die {die} mm²");
+/// Scaling factors interpolate monotonically inside one disruption-free
+/// window for every parameter. (Exhaustive over parameters.)
+#[test]
+fn factors_monotone_between_36_and_25nm() {
+    // 36 -> 31 crosses high-k for oxides; use 31 -> 25 (clean).
+    let n31 = TechNode::by_feature(31.0).unwrap();
+    let n25 = TechNode::by_feature(25.0).unwrap();
+    for p in ScalingParam::ALL {
+        assert!(p.factor(n25) <= p.factor(n31) + 1e-12, "{}", p.name());
     }
+}
 
-    /// Derating the data rate within the generation never increases any
-    /// current.
-    #[test]
-    fn derating_never_increases_currents(node in any_node(), derate in 0.5f64..1.0) {
-        let full = Dram::new(build(&PresetSpec::for_node(node))).expect("builds");
-        let mbps = node.interface.datarate().mbps() * derate;
-        let slow = Dram::new(with_datarate(
-            build(&PresetSpec::for_node(node)),
-            BitsPerSecond::from_mbps(mbps),
-        ))
-        .expect("builds");
-        let f = full.idd();
-        let s = slow.idd();
-        prop_assert!(s.idd2n <= f.idd2n);
-        prop_assert!(s.idd4r <= f.idd4r);
-        prop_assert!(s.idd4w <= f.idd4w);
-        // The IDD7 loop is built in whole clock cycles; per-bank revisit
-        // spacing is ceil-quantized, which at the 4-bank generations can
-        // swing the activate rate by up to ~25% as the clock moves across
-        // cycle boundaries. Only the quantization-tolerant bound holds.
-        prop_assert!(s.idd7.amperes() <= f.idd7.amperes() * 1.30);
-    }
-
-    /// Scaling factors interpolate monotonically inside one disruption-
-    /// free window for every parameter.
-    #[test]
-    fn factors_monotone_between_36_and_25nm(p in prop::sample::select(ScalingParam::ALL.to_vec())) {
-        // 36 -> 31 crosses high-k for oxides; use 31 -> 25 (clean).
-        let n31 = TechNode::by_feature(31.0).unwrap();
-        let n25 = TechNode::by_feature(25.0).unwrap();
-        prop_assert!(p.factor(n25) <= p.factor(n31) + 1e-12, "{}", p.name());
-    }
-
-    /// Interfaces assign consistent envelopes: higher generation never
-    /// has a higher Vdd or lower prefetch.
-    #[test]
-    fn interface_envelopes_are_ordered(pair in prop::sample::select(
-        Interface::ALL.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>()))
-    {
-        let (older, newer) = pair;
-        prop_assert!(newer.vdd() < older.vdd());
-        prop_assert!(newer.prefetch() >= older.prefetch());
-        prop_assert!(newer.datarate().bits_per_second() > older.datarate().bits_per_second());
+/// Interfaces assign consistent envelopes: higher generation never has a
+/// higher Vdd or lower prefetch. (Exhaustive over adjacent pairs.)
+#[test]
+fn interface_envelopes_are_ordered() {
+    for w in Interface::ALL.windows(2) {
+        let (older, newer) = (w[0], w[1]);
+        assert!(newer.vdd() < older.vdd());
+        assert!(newer.prefetch() >= older.prefetch());
+        assert!(newer.datarate().bits_per_second() > older.datarate().bits_per_second());
     }
 }

@@ -6,7 +6,7 @@
 use dram_core::charges::ChargeModel;
 use dram_core::devices::cell_access_gate;
 use dram_core::geometry::Geometry;
-use dram_core::{Dram, DramDescription, ModelError, Operation};
+use dram_core::{Dram, DramDescription, EvalEngine, ModelError, Operation};
 use dram_units::{Joules, SquareMeters};
 
 /// One ablation row: the design variant's cost metrics.
@@ -44,7 +44,20 @@ fn row_for(dram: &Dram, name: impl Into<String>, detail: impl Into<String>) -> A
 ///
 /// Returns [`ModelError`] if the baseline is invalid.
 pub fn wordline_hierarchy(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError> {
-    let hierarchical = Dram::new(base.clone())?;
+    wordline_hierarchy_with(EvalEngine::global(), base)
+}
+
+/// [`wordline_hierarchy`] with model construction routed through
+/// `engine`'s memoizing cache.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the baseline is invalid.
+pub fn wordline_hierarchy_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<Vec<AblationRow>, ModelError> {
+    let hierarchical = engine.model(base)?;
 
     // Flat wordline: same cell array, no LWD stripes. The wordline
     // becomes one poly line of block length; its capacitance is the sum
@@ -60,7 +73,7 @@ pub fn wordline_hierarchy(base: &DramDescription) -> Result<Vec<AblationRow>, Mo
     let c_flat =
         cell_access_gate(tech) * cells + (tech.c_wire_lwl * 2.0) * geom.master_wordline_length();
     let _ = model;
-    let flat = Dram::new(flat_desc)?;
+    let flat = engine.model(&flat_desc)?;
 
     // Replace the hierarchical wordline-system energy with the flat line.
     let e = &base.electrical;
@@ -110,8 +123,21 @@ pub fn wordline_hierarchy(base: &DramDescription) -> Result<Vec<AblationRow>, Mo
 ///
 /// Returns [`ModelError`] if a variant is internally inconsistent.
 pub fn bitline_length(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError> {
-    let mut rows = Vec::new();
+    bitline_length_with(EvalEngine::global(), base)
+}
+
+/// [`bitline_length`] on an explicit engine: the variants are evaluated
+/// concurrently, in deterministic order.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a variant is internally inconsistent.
+pub fn bitline_length_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<Vec<AblationRow>, ModelError> {
     let base_bits = f64::from(base.floorplan.bits_per_bitline);
+    let mut variants = Vec::new();
     for bits in [256u32, 512, 1024] {
         let mut desc = base.clone();
         desc.floorplan.bits_per_bitline = bits;
@@ -122,18 +148,23 @@ pub fn bitline_length(base: &DramDescription) -> Result<Vec<AblationRow>, ModelE
         if !desc.spec.rows_per_bank().is_multiple_of(u64::from(bits)) {
             continue;
         }
-        let dram = Dram::new(desc)?;
-        let stripes = dram.geometry().sub_rows + 1;
-        rows.push(row_for(
-            &dram,
-            format!("{bits} cells per bitline"),
-            format!(
-                "{stripes} SA stripes per bank, C_bl = {:.0} fF",
-                dram.description().technology.bitline_cap.femtofarads()
-            ),
-        ));
+        variants.push((bits, desc));
     }
-    Ok(rows)
+    engine
+        .map(&variants, |(bits, desc)| {
+            let dram = engine.model(desc)?;
+            let stripes = dram.geometry().sub_rows + 1;
+            Ok(row_for(
+                &dram,
+                format!("{bits} cells per bitline"),
+                format!(
+                    "{stripes} SA stripes per bank, C_bl = {:.0} fF",
+                    dram.description().technology.bitline_cap.femtofarads()
+                ),
+            ))
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Page size: the activate granularity (coladd ± k with rowadd ∓ k keeps
@@ -143,7 +174,20 @@ pub fn bitline_length(base: &DramDescription) -> Result<Vec<AblationRow>, ModelE
 ///
 /// Returns [`ModelError`] if a variant is internally inconsistent.
 pub fn page_size(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError> {
-    let mut rows = Vec::new();
+    page_size_with(EvalEngine::global(), base)
+}
+
+/// [`page_size`] on an explicit engine: the variants are evaluated
+/// concurrently, in deterministic order.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a variant is internally inconsistent.
+pub fn page_size_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<Vec<AblationRow>, ModelError> {
+    let mut variants = Vec::new();
     for shift in [-2i32, -1, 0, 1] {
         let mut desc = base.clone();
         let col = i64::from(desc.spec.column_address_bits) + i64::from(shift);
@@ -167,15 +211,20 @@ pub fn page_size(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError>
         {
             continue;
         }
-        let dram = Dram::new(desc)?;
-        let page = dram.description().spec.page_bits();
-        rows.push(row_for(
-            &dram,
-            format!("{} B page", page / 8),
-            format!("{} sub-arrays per activate", dram.geometry().sub_cols),
-        ));
+        variants.push(desc);
     }
-    Ok(rows)
+    engine
+        .map(&variants, |desc| {
+            let dram = engine.model(desc)?;
+            let page = dram.description().spec.page_bits();
+            Ok(row_for(
+                &dram,
+                format!("{} B page", page / 8),
+                format!("{} sub-arrays per activate", dram.geometry().sub_cols),
+            ))
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Cell architecture: folded 8F² vs open 6F² vs vertical 4F² at the same
@@ -185,10 +234,23 @@ pub fn page_size(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError>
 ///
 /// Returns [`ModelError`] if a variant is internally inconsistent.
 pub fn cell_architecture(base: &DramDescription) -> Result<Vec<AblationRow>, ModelError> {
+    cell_architecture_with(EvalEngine::global(), base)
+}
+
+/// [`cell_architecture`] on an explicit engine: the variants are
+/// evaluated concurrently, in deterministic order.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a variant is internally inconsistent.
+pub fn cell_architecture_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<Vec<AblationRow>, ModelError> {
     use dram_core::params::BitlineArchitecture;
-    let mut rows = Vec::new();
     // Feature size from the bitline pitch (2F in all three architectures).
     let feature = base.floorplan.bitline_pitch * 0.5;
+    let mut variants = Vec::new();
     for (arch, label) in [
         (BitlineArchitecture::Folded, "folded 8F²"),
         (BitlineArchitecture::Open, "open 6F²"),
@@ -206,18 +268,23 @@ pub fn cell_architecture(base: &DramDescription) -> Result<Vec<AblationRow>, Mod
         if arch == BitlineArchitecture::Folded {
             desc.technology.bitline_cap = desc.technology.bitline_cap * 1.15;
         }
-        let dram = Dram::new(desc)?;
-        rows.push(row_for(
-            &dram,
-            label,
-            format!(
-                "cell {:.0} F², array efficiency {:.0}%",
-                arch.cell_area_f2(),
-                dram.area().array_efficiency() * 100.0
-            ),
-        ));
+        variants.push((arch, label, desc));
     }
-    Ok(rows)
+    engine
+        .map(&variants, |(arch, label, desc)| {
+            let dram = engine.model(desc)?;
+            Ok(row_for(
+                &dram,
+                *label,
+                format!(
+                    "cell {:.0} F², array efficiency {:.0}%",
+                    arch.cell_area_f2(),
+                    dram.area().array_efficiency() * 100.0
+                ),
+            ))
+        })
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -268,6 +335,33 @@ mod tests {
                 pair[0].name,
                 pair[1].name
             );
+        }
+    }
+
+    #[test]
+    fn parallel_ablations_match_serial_bit_for_bit() {
+        let e1 = EvalEngine::new().threads(1);
+        let e8 = EvalEngine::new().threads(8);
+        let runs = [
+            (wordline_hierarchy_with(&e1, &base()), wordline_hierarchy_with(&e8, &base())),
+            (bitline_length_with(&e1, &base()), bitline_length_with(&e8, &base())),
+            (page_size_with(&e1, &base()), page_size_with(&e8, &base())),
+            (cell_architecture_with(&e1, &base()), cell_architecture_with(&e8, &base())),
+        ];
+        for (serial, parallel) in runs {
+            let (serial, parallel) = (serial.expect("ok"), parallel.expect("ok"));
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    a.row_energy.joules().to_bits(),
+                    b.row_energy.joules().to_bits()
+                );
+                assert_eq!(
+                    a.energy_per_bit.joules().to_bits(),
+                    b.energy_per_bit.joules().to_bits()
+                );
+            }
         }
     }
 

@@ -24,13 +24,13 @@
 //! schemes touching the on-pitch stripes pay significant area.
 #![warn(missing_docs)]
 
-use dram_core::{Dram, DramDescription, ModelError};
+use dram_core::{DramDescription, EvalEngine, ModelError};
 use dram_units::{Joules, SquareMeters};
 
 pub mod ablations;
 mod transforms;
 
-pub use transforms::{apply_stacked, Scheme};
+pub use transforms::{apply_stacked, apply_stacked_with, Scheme};
 
 /// Cache line size the rank-level metric fetches.
 pub const CACHE_LINE_BITS: f64 = 512.0;
@@ -68,15 +68,36 @@ pub struct SchemeEvaluation {
 /// Returns [`ModelError`] if the baseline or the transformed description
 /// fails validation.
 pub fn evaluate(base: &DramDescription, scheme: Scheme) -> Result<SchemeEvaluation, ModelError> {
-    let baseline = transforms::rank_metrics(&Dram::new(base.clone())?, Scheme::Baseline);
-    let result = transforms::apply(base, scheme)?;
+    evaluate_with(EvalEngine::global(), base, scheme)
+}
+
+/// [`evaluate`] on an explicit engine: the baseline model is fetched from
+/// the engine's memoizing cache, so repeated scheme evaluations against
+/// the same baseline rebuild it only once.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the baseline or the transformed description
+/// fails validation.
+pub fn evaluate_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+    scheme: Scheme,
+) -> Result<SchemeEvaluation, ModelError> {
+    let base_model = engine.model(base)?;
+    let baseline = transforms::rank_metrics(&base_model, Scheme::Baseline);
+    let result = transforms::apply_with(engine, base, scheme)?;
+    Ok(against_baseline(result, &baseline))
+}
+
+fn against_baseline(result: SchemeEvaluation, baseline: &SchemeEvaluation) -> SchemeEvaluation {
     let savings = 1.0 - result.energy_per_bit.joules() / baseline.energy_per_bit.joules();
     let area_overhead = result.die_area.square_meters() / baseline.die_area.square_meters() - 1.0;
-    Ok(SchemeEvaluation {
+    SchemeEvaluation {
         savings,
         area_overhead,
         ..result
-    })
+    }
 }
 
 /// Evaluates the baseline and every scheme, in presentation order.
@@ -85,7 +106,27 @@ pub fn evaluate(base: &DramDescription, scheme: Scheme) -> Result<SchemeEvaluati
 ///
 /// Returns [`ModelError`] if any transformed description fails validation.
 pub fn evaluate_all(base: &DramDescription) -> Result<Vec<SchemeEvaluation>, ModelError> {
-    Scheme::ALL.iter().map(|&s| evaluate(base, s)).collect()
+    evaluate_all_with(EvalEngine::global(), base)
+}
+
+/// [`evaluate_all`] on an explicit engine: the baseline is built once and
+/// shared, and the schemes are evaluated concurrently. Result order (and
+/// every bit of every result) matches the serial walk.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any transformed description fails validation.
+pub fn evaluate_all_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<Vec<SchemeEvaluation>, ModelError> {
+    let base_model = engine.model(base)?;
+    let baseline = transforms::rank_metrics(&base_model, Scheme::Baseline);
+    engine
+        .map(&Scheme::ALL, |&s| transforms::apply_with(engine, base, s))
+        .into_iter()
+        .map(|r| r.map(|result| against_baseline(result, &baseline)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,6 +215,37 @@ mod tests {
         // A 4x smaller page cuts act/pre close to 4x.
         let ratio = b.act_pre_energy.joules() / r.act_pre_energy.joules();
         assert!((2.0..6.0).contains(&ratio), "act ratio {ratio}");
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_bit_for_bit() {
+        let serial = evaluate_all_with(&EvalEngine::new().threads(1), &base()).expect("ok");
+        let parallel = evaluate_all_with(&EvalEngine::new().threads(8), &base()).expect("ok");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scheme, p.scheme);
+            assert_eq!(
+                s.energy_per_bit.joules().to_bits(),
+                p.energy_per_bit.joules().to_bits()
+            );
+            assert_eq!(s.savings.to_bits(), p.savings.to_bits());
+            assert_eq!(s.area_overhead.to_bits(), p.area_overhead.to_bits());
+        }
+    }
+
+    #[test]
+    fn shared_baseline_is_built_once() {
+        let engine = EvalEngine::new().threads(4);
+        let _ = evaluate_all_with(&engine, &base()).expect("ok");
+        let stats = engine.cache_stats();
+        // The unmodified description is needed by the baseline metrics and
+        // by the Baseline / SegmentedDatalines / MiniRank arms; the cache
+        // serves all but the first from memory.
+        assert!(stats.hits >= 3, "hits {}", stats.hits);
+        // A second full evaluation rebuilds nothing.
+        let misses = stats.misses;
+        let _ = evaluate_all_with(&engine, &base()).expect("ok");
+        assert_eq!(engine.cache_stats().misses, misses);
     }
 
     #[test]

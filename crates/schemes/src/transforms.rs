@@ -11,7 +11,7 @@
 //!   the affected, individually-named charge items of the operation are
 //!   scaled by the activation fraction.
 
-use dram_core::{Dram, DramDescription, ModelError, Operation};
+use dram_core::{Dram, DramDescription, EvalEngine, ModelError, Operation};
 use dram_units::Joules;
 
 use crate::{SchemeEvaluation, CACHE_LINE_BITS, RANK_DEVICES};
@@ -186,14 +186,27 @@ fn metrics_with_scaling(
 }
 
 /// Applies a scheme and computes its rank metrics (savings/overhead are
-/// filled in by the caller against the baseline).
+/// filled in by the caller against the baseline). Test convenience on
+/// the process-wide engine.
+#[cfg(test)]
 pub(crate) fn apply(
+    base: &DramDescription,
+    scheme: Scheme,
+) -> Result<SchemeEvaluation, ModelError> {
+    apply_with(EvalEngine::global(), base, scheme)
+}
+
+/// [`apply`] with all model construction routed through `engine`'s
+/// memoizing cache, so repeated evaluations of the same variant (e.g.
+/// the shared baseline) rebuild nothing.
+pub(crate) fn apply_with(
+    engine: &EvalEngine,
     base: &DramDescription,
     scheme: Scheme,
 ) -> Result<SchemeEvaluation, ModelError> {
     match scheme {
         Scheme::Baseline => {
-            let dram = Dram::new(base.clone())?;
+            let dram = engine.model(base)?;
             Ok(rank_metrics(&dram, scheme))
         }
         Scheme::SelectiveBitlineActivation {
@@ -202,7 +215,7 @@ pub(crate) fn apply(
             // On-pitch cost: segment selects widen the LWD stripe.
             let mut desc = base.clone();
             desc.floorplan.lwd_stripe_width = desc.floorplan.lwd_stripe_width * 1.3;
-            let dram = Dram::new(desc)?;
+            let dram = engine.model(&desc)?;
             let sub_cols = f64::from(dram.geometry().sub_cols);
             let fraction = f64::from(activated_subarrays.max(1)).min(sub_cols) / sub_cols;
             Ok(metrics_with_scaling(
@@ -219,7 +232,7 @@ pub(crate) fn apply(
             let mut desc = base.clone();
             desc.floorplan.sa_stripe_width = desc.floorplan.sa_stripe_width * 1.5;
             desc.floorplan.lwd_stripe_width = desc.floorplan.lwd_stripe_width * 1.3;
-            let dram = Dram::new(desc)?;
+            let dram = engine.model(&desc)?;
             let fraction = 1.0 / f64::from(dram.geometry().sub_cols);
             Ok(metrics_with_scaling(
                 &dram,
@@ -232,7 +245,7 @@ pub(crate) fn apply(
             // Cut-offs halve the average driven dataline length; the
             // re-drivers remain. Net ~40 % reduction on the center-stripe
             // data bus contributions.
-            let dram = Dram::new(base.clone())?;
+            let dram = engine.model(base)?;
             let labels = ["read data bus", "write data bus", "master datalines"];
             let act = dram.operation_energy(Operation::Activate).external();
             let pre = dram.operation_energy(Operation::Precharge).external();
@@ -274,11 +287,11 @@ pub(crate) fn apply(
                     }
                 }
             }
-            let dram = Dram::new(desc)?;
+            let dram = engine.model(&desc)?;
             Ok(rank_metrics(&dram, scheme))
         }
         Scheme::MiniRank => {
-            let dram = Dram::new(base.clone())?;
+            let dram = engine.model(base)?;
             Ok(rank_metrics(&dram, scheme))
         }
         Scheme::ReducedCslRatio => {
@@ -296,7 +309,7 @@ pub(crate) fn apply(
             desc.spec.row_address_bits += 2;
             desc.technology.bits_per_csl_per_subarray *= 4;
             desc.floorplan.sa_stripe_width = desc.floorplan.sa_stripe_width * 1.15;
-            let dram = Dram::new(desc)?;
+            let dram = engine.model(&desc)?;
             Ok(rank_metrics(&dram, scheme))
         }
     }
@@ -372,6 +385,19 @@ mod tests {
 ///
 /// Returns [`ModelError`] if the combined description fails validation.
 pub fn apply_stacked(base: &DramDescription) -> Result<SchemeEvaluation, ModelError> {
+    apply_stacked_with(EvalEngine::global(), base)
+}
+
+/// [`apply_stacked`] with model construction routed through `engine`'s
+/// memoizing cache.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the combined description fails validation.
+pub fn apply_stacked_with(
+    engine: &EvalEngine,
+    base: &DramDescription,
+) -> Result<SchemeEvaluation, ModelError> {
     // Description-level edits compose: shrink periphery (TSV), widen the
     // LWD stripes for the segment selects.
     let mut desc = base.clone();
@@ -391,7 +417,7 @@ pub fn apply_stacked(base: &DramDescription) -> Result<SchemeEvaluation, ModelEr
     }
     desc.floorplan.lwd_stripe_width = desc.floorplan.lwd_stripe_width * 1.3;
 
-    let dram = Dram::new(desc)?;
+    let dram = engine.model(&desc)?;
     // Item-level effects compose on the rebuilt model: fire one
     // sub-array, segment the data buses.
     let fraction = 1.0 / f64::from(dram.geometry().sub_cols);

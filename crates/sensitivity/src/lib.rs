@@ -23,4 +23,7 @@ mod params;
 mod sweep;
 
 pub use params::{ParamCategory, ParamId};
-pub use sweep::{interaction, sweep, Interaction, Sensitivity, Sweep};
+pub use sweep::{
+    interaction, interaction_matrix, interaction_matrix_with, interaction_with, sweep, sweep_with,
+    Interaction, InteractionMatrix, Sensitivity, Sweep,
+};

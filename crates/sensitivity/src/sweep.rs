@@ -3,7 +3,7 @@
 //! Idd7 pattern but with half of the read operations replaced by write
 //! operations"), and rank by impact.
 
-use dram_core::{Dram, DramDescription, ModelError};
+use dram_core::{DramDescription, EvalEngine, ModelError};
 
 use crate::params::ParamId;
 
@@ -95,30 +95,65 @@ impl Sweep {
     }
 }
 
-fn workload_power(desc: DramDescription) -> Result<f64, ModelError> {
-    let dram = Dram::new(desc)?;
-    Ok(dram.mixed_workload_power().power.watts())
+/// Evaluates the sensitivity metric — mixed-workload power — through the
+/// engine's memoizing model cache.
+fn power_of(engine: &EvalEngine, desc: &DramDescription) -> Result<f64, ModelError> {
+    Ok(engine.model(desc)?.mixed_workload_power().power.watts())
+}
+
+/// Applies one multiplicative perturbation to a fresh copy of `desc`.
+fn perturbed(desc: &DramDescription, param: ParamId, factor: f64) -> DramDescription {
+    let mut d = desc.clone();
+    param.apply(&mut d, factor);
+    d
 }
 
 /// Runs the sensitivity sweep on a device at the given relative variation
-/// (the paper uses ±20 %).
+/// (the paper uses ±20 %), on the shared process-wide engine.
 ///
 /// # Errors
 ///
 /// Returns [`ModelError`] if the base description is invalid or a
 /// perturbed description fails validation.
 pub fn sweep(desc: &DramDescription, variation: f64) -> Result<Sweep, ModelError> {
-    let baseline = workload_power(desc.clone())?;
+    sweep_with(EvalEngine::global(), desc, variation)
+}
+
+/// [`sweep`] on an explicit engine (thread count and cache under caller
+/// control).
+///
+/// The 2×|[`ParamId::ALL`]| perturbed models evaluate concurrently on the
+/// engine's worker pool; entries are reduced in [`ParamId::ALL`] order,
+/// so the result is bit-identical to the serial path for any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the base description is invalid or a
+/// perturbed description fails validation.
+pub fn sweep_with(
+    engine: &EvalEngine,
+    desc: &DramDescription,
+    variation: f64,
+) -> Result<Sweep, ModelError> {
+    let baseline = power_of(engine, desc)?;
+    // One up and one down variant per parameter, interleaved, so the
+    // result index i maps to (ParamId::ALL[i / 2], i % 2 == 0).
+    let descs: Vec<DramDescription> = ParamId::ALL
+        .iter()
+        .flat_map(|&param| {
+            [
+                perturbed(desc, param, 1.0 + variation),
+                perturbed(desc, param, 1.0 - variation),
+            ]
+        })
+        .collect();
+    let powers = engine.map(&descs, |d| power_of(engine, d));
+
     let mut entries = Vec::with_capacity(ParamId::ALL.len());
-    for param in ParamId::ALL {
-        let mut up_desc = desc.clone();
-        param.apply(&mut up_desc, 1.0 + variation);
-        let up = workload_power(up_desc)? / baseline - 1.0;
-
-        let mut down_desc = desc.clone();
-        param.apply(&mut down_desc, 1.0 - variation);
-        let down = workload_power(down_desc)? / baseline - 1.0;
-
+    for (i, &param) in ParamId::ALL.iter().enumerate() {
+        let up = powers[2 * i].clone()? / baseline - 1.0;
+        let down = powers[2 * i + 1].clone()? / baseline - 1.0;
         entries.push(Sensitivity { param, up, down });
     }
     Ok(Sweep {
@@ -265,7 +300,8 @@ impl Interaction {
     }
 }
 
-/// Measures the interaction of two parameters at the given variation.
+/// Measures the interaction of two parameters at the given variation, on
+/// the shared process-wide engine.
 ///
 /// # Errors
 ///
@@ -276,27 +312,162 @@ pub fn interaction(
     b: ParamId,
     variation: f64,
 ) -> Result<Interaction, ModelError> {
-    let baseline = workload_power(desc.clone())?;
+    interaction_with(EvalEngine::global(), desc, a, b, variation)
+}
+
+/// [`interaction`] on an explicit engine: the three perturbed models
+/// evaluate concurrently.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any perturbed description fails validation.
+pub fn interaction_with(
+    engine: &EvalEngine,
+    desc: &DramDescription,
+    a: ParamId,
+    b: ParamId,
+    variation: f64,
+) -> Result<Interaction, ModelError> {
+    let baseline = power_of(engine, desc)?;
     let factor = 1.0 + variation;
-
-    let mut da = desc.clone();
-    a.apply(&mut da, factor);
-    let ra = workload_power(da)? / baseline;
-
-    let mut db = desc.clone();
-    b.apply(&mut db, factor);
-    let rb = workload_power(db)? / baseline;
 
     let mut dab = desc.clone();
     a.apply(&mut dab, factor);
     b.apply(&mut dab, factor);
-    let rab = workload_power(dab)? / baseline;
+    let descs = [perturbed(desc, a, factor), perturbed(desc, b, factor), dab];
+    let powers = engine.map(&descs, |d| power_of(engine, d));
+    let ra = powers[0].clone()? / baseline;
+    let rb = powers[1].clone()? / baseline;
+    let rab = powers[2].clone()? / baseline;
 
     Ok(Interaction {
         a,
         b,
         joint: rab,
         composed: ra * rb,
+    })
+}
+
+/// The full pairwise interaction matrix over the in-chart parameters.
+///
+/// Until the batch engine existed this was too expensive to offer: all
+/// ~N²/2 in-chart parameter pairs take ~700 model builds. On the engine
+/// the single-parameter ratios are computed once and shared across every
+/// pair, and the joint models evaluate in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionMatrix {
+    /// The applied relative variation.
+    pub variation: f64,
+    /// Baseline workload power in watts.
+    pub baseline_watts: f64,
+    /// The parameters spanning the matrix, in [`ParamId::ALL`] order
+    /// (Vdd excluded, as in the paper's Fig. 10 / Table III).
+    pub params: Vec<ParamId>,
+    /// One entry per unordered pair `(params[i], params[j])`, `i < j`,
+    /// in lexicographic index order.
+    pub entries: Vec<Interaction>,
+}
+
+impl InteractionMatrix {
+    /// Looks up one pair's interaction (order-insensitive).
+    #[must_use]
+    pub fn of(&self, a: ParamId, b: ParamId) -> Option<Interaction> {
+        self.entries
+            .iter()
+            .copied()
+            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// Entries sorted by descending absolute strength.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<Interaction> {
+        let mut v = self.entries.clone();
+        v.sort_by(|x, y| y.strength().abs().total_cmp(&x.strength().abs()));
+        v
+    }
+
+    /// The `n` most strongly interacting pairs.
+    #[must_use]
+    pub fn top(&self, n: usize) -> Vec<Interaction> {
+        self.ranked().into_iter().take(n).collect()
+    }
+}
+
+/// Computes the full pairwise interaction matrix at the given variation,
+/// on the shared process-wide engine.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any perturbed description fails validation.
+pub fn interaction_matrix(
+    desc: &DramDescription,
+    variation: f64,
+) -> Result<InteractionMatrix, ModelError> {
+    interaction_matrix_with(EvalEngine::global(), desc, variation)
+}
+
+/// [`interaction_matrix`] on an explicit engine.
+///
+/// Every pair entry carries exactly the numbers a pairwise
+/// [`interaction`] call would produce (same arithmetic, same reduction
+/// order), so the matrix agrees bit-for-bit with individual calls.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any perturbed description fails validation.
+pub fn interaction_matrix_with(
+    engine: &EvalEngine,
+    desc: &DramDescription,
+    variation: f64,
+) -> Result<InteractionMatrix, ModelError> {
+    let baseline = power_of(engine, desc)?;
+    let factor = 1.0 + variation;
+    let params: Vec<ParamId> = ParamId::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.in_pareto_chart())
+        .collect();
+
+    // Single-parameter ratios, shared across every pair they appear in.
+    let single_descs: Vec<DramDescription> = params
+        .iter()
+        .map(|&p| perturbed(desc, p, factor))
+        .collect();
+    let single_powers = engine.map(&single_descs, |d| power_of(engine, d));
+    let mut singles = Vec::with_capacity(params.len());
+    for p in single_powers {
+        singles.push(p? / baseline);
+    }
+
+    // Joint models for every unordered pair, evaluated in parallel.
+    let pairs: Vec<(usize, usize)> = (0..params.len())
+        .flat_map(|i| (i + 1..params.len()).map(move |j| (i, j)))
+        .collect();
+    let pair_descs: Vec<DramDescription> = pairs
+        .iter()
+        .map(|&(i, j)| {
+            let mut d = desc.clone();
+            params[i].apply(&mut d, factor);
+            params[j].apply(&mut d, factor);
+            d
+        })
+        .collect();
+    let pair_powers = engine.map(&pair_descs, |d| power_of(engine, d));
+
+    let mut entries = Vec::with_capacity(pairs.len());
+    for (&(i, j), power) in pairs.iter().zip(pair_powers) {
+        entries.push(Interaction {
+            a: params[i],
+            b: params[j],
+            joint: power? / baseline,
+            composed: singles[i] * singles[j],
+        });
+    }
+    Ok(InteractionMatrix {
+        variation,
+        baseline_watts: baseline,
+        params,
+        entries,
     })
 }
 
@@ -332,5 +503,150 @@ mod interaction_tests {
         let ba = interaction(&desc, ParamId::LogicGates, ParamId::Vint, 0.2).expect("runs");
         assert!((ab.joint - ba.joint).abs() < 1e-12);
         assert!((ab.strength() - ba.strength()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    /// Parallel sweep output must be bit-for-bit equal to `threads(1)`,
+    /// whatever the worker count.
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let desc = ddr3_1g_x16_55nm();
+        let serial = sweep_with(&EvalEngine::new().threads(1), &desc, 0.2).expect("runs");
+        for n in [2, 4, 16] {
+            let parallel = sweep_with(&EvalEngine::new().threads(n), &desc, 0.2).expect("runs");
+            assert_eq!(serial.baseline_watts.to_bits(), parallel.baseline_watts.to_bits());
+            for (a, b) in serial.entries.iter().zip(&parallel.entries) {
+                assert_eq!(a.param, b.param);
+                assert_eq!(a.up.to_bits(), b.up.to_bits(), "{} threads={n}", a.param);
+                assert_eq!(a.down.to_bits(), b.down.to_bits(), "{} threads={n}", a.param);
+            }
+        }
+    }
+
+    /// Same for the pairwise interaction helper.
+    #[test]
+    fn interaction_is_bit_identical_across_thread_counts() {
+        let desc = ddr3_1g_x16_55nm();
+        let serial = interaction_with(
+            &EvalEngine::new().threads(1),
+            &desc,
+            ParamId::BitlineCap,
+            ParamId::Vbl,
+            0.2,
+        )
+        .expect("runs");
+        let parallel = interaction_with(
+            &EvalEngine::new().threads(8),
+            &desc,
+            ParamId::BitlineCap,
+            ParamId::Vbl,
+            0.2,
+        )
+        .expect("runs");
+        assert_eq!(serial.joint.to_bits(), parallel.joint.to_bits());
+        assert_eq!(serial.composed.to_bits(), parallel.composed.to_bits());
+    }
+
+    /// A second sweep on the same engine rebuilds nothing.
+    #[test]
+    fn repeated_sweep_is_fully_cached() {
+        let engine = EvalEngine::new();
+        let desc = ddr3_1g_x16_55nm();
+        let first = sweep_with(&engine, &desc, 0.2).expect("runs");
+        let misses = engine.cache_stats().misses;
+        let second = sweep_with(&engine, &desc, 0.2).expect("runs");
+        assert_eq!(engine.cache_stats().misses, misses, "second sweep rebuilt models");
+        assert_eq!(first, second);
+    }
+
+    /// The matrix spans every unordered in-chart pair exactly once.
+    #[test]
+    fn matrix_covers_all_in_chart_pairs() {
+        let desc = ddr3_1g_x16_55nm();
+        let m = interaction_matrix(&desc, 0.2).expect("runs");
+        let n = ParamId::ALL.iter().filter(|p| p.in_pareto_chart()).count();
+        assert_eq!(m.params.len(), n);
+        assert_eq!(m.entries.len(), n * (n - 1) / 2);
+        // Every pair present, order-insensitively, no duplicates.
+        for (i, &a) in m.params.iter().enumerate() {
+            for &b in &m.params[i + 1..] {
+                let hits = m
+                    .entries
+                    .iter()
+                    .filter(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+                    .count();
+                assert_eq!(hits, 1, "{a} × {b}");
+            }
+        }
+        assert!(m.of(ParamId::Vdd, ParamId::Vint).is_none(), "Vdd is off-chart");
+    }
+
+    /// Matrix entries agree bit-for-bit with pairwise `interaction()`.
+    #[test]
+    fn matrix_agrees_with_pairwise_interaction() {
+        let desc = ddr3_1g_x16_55nm();
+        let engine = EvalEngine::new();
+        let m = interaction_matrix_with(&engine, &desc, 0.2).expect("runs");
+        // Spot-check a spread of pairs (first, middle, last, and the
+        // physically coupled bitline pair) against individual calls.
+        let picks = [
+            (m.entries[0].a, m.entries[0].b),
+            (m.entries[m.entries.len() / 2].a, m.entries[m.entries.len() / 2].b),
+            (m.entries[m.entries.len() - 1].a, m.entries[m.entries.len() - 1].b),
+            (ParamId::BitlineCap, ParamId::Vbl),
+        ];
+        for (a, b) in picks {
+            let pairwise = interaction_with(&engine, &desc, a, b, 0.2).expect("runs");
+            let entry = m.of(a, b).expect("pair in matrix");
+            assert_eq!(entry.joint.to_bits(), pairwise.joint.to_bits(), "{a} × {b}");
+            assert_eq!(
+                entry.composed.to_bits(),
+                pairwise.composed.to_bits(),
+                "{a} × {b}"
+            );
+        }
+    }
+
+    /// The known physics shows up in the matrix: the bitline cap/voltage
+    /// coupling ranks far above a disjoint pair.
+    #[test]
+    fn matrix_ranks_coupled_pairs_above_disjoint_ones() {
+        let desc = ddr3_1g_x16_55nm();
+        let m = interaction_matrix(&desc, 0.2).expect("runs");
+        let coupled = m.of(ParamId::BitlineCap, ParamId::Vbl).unwrap();
+        let disjoint = m.of(ParamId::ConstantCurrent, ParamId::BitlineCap).unwrap();
+        assert!(
+            coupled.strength().abs() > disjoint.strength().abs(),
+            "coupled {} vs disjoint {}",
+            coupled.strength(),
+            disjoint.strength()
+        );
+        let top = m.top(5);
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].strength().abs() >= pair[1].strength().abs());
+        }
+    }
+
+    /// The matrix itself is reproducible across thread counts.
+    #[test]
+    fn matrix_is_bit_identical_across_thread_counts() {
+        let desc = ddr3_1g_x16_55nm();
+        let serial = interaction_matrix_with(&EvalEngine::new().threads(1), &desc, 0.2)
+            .expect("runs");
+        let parallel = interaction_matrix_with(&EvalEngine::new().threads(4), &desc, 0.2)
+            .expect("runs");
+        assert_eq!(serial.entries.len(), parallel.entries.len());
+        for (a, b) in serial.entries.iter().zip(&parallel.entries) {
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.joint.to_bits(), b.joint.to_bits(), "{} × {}", a.a, a.b);
+            assert_eq!(a.composed.to_bits(), b.composed.to_bits(), "{} × {}", a.a, a.b);
+        }
     }
 }

@@ -54,6 +54,42 @@ pub struct TraceReport {
     pub power_down_cycles: u64,
     /// Bits transferred.
     pub bits: f64,
+    /// Energy spent in row (activate + precharge) commands — the
+    /// quantity the §V row-granularity schemes attack.
+    pub row_energy: Joules,
+}
+
+/// External energy of each command kind, looked up from the charge model
+/// once per simulation instead of once per trace entry.
+#[derive(Debug, Clone, Copy)]
+struct CommandEnergyTable {
+    activate: Joules,
+    precharge: Joules,
+    read: Joules,
+    write: Joules,
+    nop: Joules,
+}
+
+impl CommandEnergyTable {
+    fn new(dram: &Dram) -> Self {
+        Self {
+            activate: dram.command_energy(Command::Activate),
+            precharge: dram.command_energy(Command::Precharge),
+            read: dram.command_energy(Command::Read),
+            write: dram.command_energy(Command::Write),
+            nop: dram.command_energy(Command::Nop),
+        }
+    }
+
+    fn energy(&self, command: Command) -> Joules {
+        match command {
+            Command::Activate => self.activate,
+            Command::Precharge => self.precharge,
+            Command::Read => self.read,
+            Command::Write => self.write,
+            Command::Nop => self.nop,
+        }
+    }
 }
 
 /// Computes the energy of a trace under a power-down policy.
@@ -62,37 +98,56 @@ pub struct TraceReport {
 /// standby background power, except for idle windows longer than the
 /// policy threshold, which run at power-down power (minus the exit
 /// latency, billed at standby).
+///
+/// The whole accounting — command energy, row-energy share, transferred
+/// bits and the idle windows — folds into a single walk over the trace,
+/// with the per-command model lookups hoisted into a five-entry table.
 #[must_use]
 pub fn simulate(dram: &Dram, trace: &Trace, policy: PowerDownPolicy) -> TraceReport {
     let clock = dram.description().spec.control_clock;
     let cycle_time = 1.0 / clock.hertz();
+    let table = CommandEnergyTable::new(dram);
 
-    let command_energy: Joules = trace
-        .commands()
-        .iter()
-        .map(|c| dram.command_energy(c.command))
-        .sum();
-
-    // Idle accounting.
-    let standby_power = dram.state_power(PowerState::PrechargedStandby);
-    let down_power = dram.state_power(PowerState::PrechargePowerDown);
+    let mut command_energy = Joules::ZERO;
+    let mut row_energy = Joules::ZERO;
+    let mut column_accesses = 0u64;
     let mut power_down_cycles = 0u64;
-    for gap in trace.idle_gaps() {
+    let mut bill_gap = |gap: u64| {
         if gap > policy.threshold_cycles {
             power_down_cycles += gap
                 .saturating_sub(policy.threshold_cycles)
                 .saturating_sub(policy.exit_latency_cycles);
         }
+    };
+    let mut cursor = 0u64;
+    for c in trace.commands() {
+        let e = table.energy(c.command);
+        command_energy += e;
+        match c.command {
+            Command::Activate | Command::Precharge => row_energy += e,
+            Command::Read | Command::Write => column_accesses += 1,
+            Command::Nop => {}
+        }
+        if c.cycle > cursor {
+            bill_gap(c.cycle - cursor);
+        }
+        cursor = c.cycle + 1;
     }
     let total_cycles = trace.length_cycles();
+    if total_cycles > cursor {
+        bill_gap(total_cycles - cursor);
+    }
+
+    let standby_power = dram.state_power(PowerState::PrechargedStandby);
+    let down_power = dram.state_power(PowerState::PrechargePowerDown);
     let standby_cycles = total_cycles.saturating_sub(power_down_cycles);
 
     let background_energy = standby_power * Seconds::new(standby_cycles as f64 * cycle_time);
     let power_down_energy = down_power * Seconds::new(power_down_cycles as f64 * cycle_time);
     let energy = command_energy + background_energy + power_down_energy;
 
-    let bits = (trace.count(Command::Read) + trace.count(Command::Write)) as f64
-        * f64::from(dram.description().spec.bits_per_column_access());
+    let bits =
+        column_accesses as f64 * f64::from(dram.description().spec.bits_per_column_access());
     let duration = trace.duration(clock);
     let average_power = if duration.seconds() > 0.0 {
         Watts::new(energy.joules() / duration.seconds())
@@ -115,26 +170,18 @@ pub fn simulate(dram: &Dram, trace: &Trace, policy: PowerDownPolicy) -> TraceRep
         power_down_energy,
         power_down_cycles,
         bits,
+        row_energy,
     }
 }
 
 /// Row-operation energy share of a trace: the quantity the §V row-
-/// granularity schemes attack.
+/// granularity schemes attack. Derived from the single-pass
+/// [`simulate`] accounting.
 #[must_use]
 pub fn row_energy_share(dram: &Dram, trace: &Trace) -> f64 {
-    let row: f64 = trace
-        .commands()
-        .iter()
-        .filter(|c| matches!(c.command, Command::Activate | Command::Precharge))
-        .map(|c| dram.command_energy(c.command).joules())
-        .sum();
-    let all: f64 = trace
-        .commands()
-        .iter()
-        .map(|c| dram.command_energy(c.command).joules())
-        .sum();
-    if all > 0.0 {
-        row / all
+    let r = simulate(dram, trace, PowerDownPolicy::NEVER);
+    if r.command_energy.joules() > 0.0 {
+        r.row_energy.joules() / r.command_energy.joules()
     } else {
         0.0
     }
@@ -219,6 +266,48 @@ mod tests {
         let r = row_energy_share(&dram, &random.trace);
         assert!(r > 0.5, "random row share {r}");
         assert!(s < r / 2.0, "streaming row share {s} vs random {r}");
+    }
+
+    #[test]
+    fn single_pass_matches_per_command_recomputation() {
+        let dram = model();
+        let w = generate_validated(&dram, &WorkloadSpec::random(400, 29)).expect("ok");
+        let r = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
+        let naive_row: Joules = w
+            .trace
+            .commands()
+            .iter()
+            .filter(|c| matches!(c.command, Command::Activate | Command::Precharge))
+            .map(|c| dram.command_energy(c.command))
+            .sum();
+        let naive_all: Joules = w
+            .trace
+            .commands()
+            .iter()
+            .map(|c| dram.command_energy(c.command))
+            .sum();
+        assert_eq!(r.row_energy.joules().to_bits(), naive_row.joules().to_bits());
+        assert_eq!(
+            r.command_energy.joules().to_bits(),
+            naive_all.joules().to_bits()
+        );
+        // The folded idle accounting agrees with the standalone pass.
+        let policy = PowerDownPolicy::AGGRESSIVE;
+        let mut pd = 0u64;
+        for gap in w.trace.idle_gaps() {
+            if gap > policy.threshold_cycles {
+                pd += gap
+                    .saturating_sub(policy.threshold_cycles)
+                    .saturating_sub(policy.exit_latency_cycles);
+            }
+        }
+        assert_eq!(simulate(&dram, &w.trace, policy).power_down_cycles, pd);
+        // And the share derives from the report's own fields.
+        let share = row_energy_share(&dram, &w.trace);
+        assert_eq!(
+            share.to_bits(),
+            (r.row_energy.joules() / r.command_energy.joules()).to_bits()
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@
 //! benches produce stable numbers.
 
 use dram_core::{Command, Dram, ModelError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dram_units::rng::SplitMix64;
 
 use crate::trace::{Trace, TraceCommand};
 
@@ -165,7 +164,7 @@ pub fn generate(dram: &Dram, spec: &WorkloadSpec) -> Result<GeneratedWorkload, M
     );
     let tccd = u64::from(timing.tccd_cycles);
 
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut bank_state = vec![
         BankState {
             open_row: None,
@@ -188,12 +187,12 @@ pub fn generate(dram: &Dram, spec: &WorkloadSpec) -> Result<GeneratedWorkload, M
             spec.arrival_gap_cycles
         } else {
             // Exponential-ish jitter around the mean gap.
-            rng.gen_range(0.5..1.5) * spec.arrival_gap_cycles
+            rng.range_f64(0.5, 1.5) * spec.arrival_gap_cycles
         };
         let t_arrival = (arrival as u64).max(cursor);
-        let bank = rng.gen_range(0..banks);
+        let bank = rng.range_u32(banks);
         let b = bank as usize;
-        let is_read = rng.gen_bool(spec.read_fraction);
+        let is_read = rng.chance(spec.read_fraction);
         let column_cmd = if is_read {
             Command::Read
         } else {
@@ -202,7 +201,7 @@ pub fn generate(dram: &Dram, spec: &WorkloadSpec) -> Result<GeneratedWorkload, M
 
         // Decide the target row.
         let target_row = match bank_state[b].open_row {
-            Some(open) if rng.gen_bool(spec.row_hit_rate) => {
+            Some(open) if rng.chance(spec.row_hit_rate) => {
                 stats.row_hits += 1;
                 open
             }
@@ -221,7 +220,7 @@ pub fn generate(dram: &Dram, spec: &WorkloadSpec) -> Result<GeneratedWorkload, M
             }
             None => {
                 stats.row_empty += 1;
-                rng.gen_range(0..rows)
+                rng.range_u64(rows)
             }
         };
 

@@ -1,105 +1,119 @@
-//! Property tests of the workload substrate: the generator must always
+//! Randomized tests of the workload substrate: the generator must always
 //! emit timing-legal traces, the accounting must be consistent, and the
 //! page policies must relate as their physics dictates.
+//!
+//! Driven by deterministic [`SplitMix64`] loops instead of `proptest` so
+//! the workspace resolves offline.
 
 use dram_core::reference::ddr3_1g_x16_55nm;
 use dram_core::Dram;
+use dram_units::rng::SplitMix64;
 use dram_workload::{generate, parse_trace, simulate, write_trace, PowerDownPolicy, WorkloadSpec};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn model() -> Dram {
     Dram::new(ddr3_1g_x16_55nm()).expect("valid")
 }
 
-fn any_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        1usize..200,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        prop::sample::select(vec![0.5f64, 1.0, 3.0, 20.0, 150.0]),
-        any::<u64>(),
-        any::<bool>(),
-    )
-        .prop_map(|(accesses, read, hit, gap, seed, closed)| {
-            let mut spec = WorkloadSpec {
-                accesses,
-                read_fraction: read,
-                row_hit_rate: hit,
-                arrival_gap_cycles: gap,
-                seed,
-                policy: dram_workload::PagePolicy::OpenPage,
-            };
-            if closed {
-                spec = spec.with_closed_page();
-            }
-            spec
-        })
+fn any_spec(r: &mut SplitMix64) -> WorkloadSpec {
+    let gaps = [0.5f64, 1.0, 3.0, 20.0, 150.0];
+    let mut spec = WorkloadSpec {
+        accesses: 1 + r.range_usize(199),
+        read_fraction: r.next_f64(),
+        row_hit_rate: r.next_f64(),
+        arrival_gap_cycles: *r.pick(&gaps),
+        seed: r.next_u64(),
+        policy: dram_workload::PagePolicy::OpenPage,
+    };
+    if r.chance(0.5) {
+        spec = spec.with_closed_page();
+    }
+    spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever the stream parameters, the controller emits a legal
-    /// trace.
-    #[test]
-    fn generated_traces_are_always_legal(spec in any_spec()) {
-        let dram = model();
+/// Whatever the stream parameters, the controller emits a legal trace.
+#[test]
+fn generated_traces_are_always_legal() {
+    let dram = model();
+    let mut r = SplitMix64::new(0xD001);
+    for _ in 0..CASES {
+        let spec = any_spec(&mut r);
         let w = generate(&dram, &spec).expect("generates");
         let d = dram.description();
         w.trace
             .validate(&d.timing, d.spec.control_clock, d.spec.banks())
             .expect("generator output is timing-legal");
         // All requested accesses happen.
-        let columns = w.trace.count(dram_core::Command::Read)
-            + w.trace.count(dram_core::Command::Write);
-        prop_assert_eq!(columns, spec.accesses);
+        let columns =
+            w.trace.count(dram_core::Command::Read) + w.trace.count(dram_core::Command::Write);
+        assert_eq!(columns, spec.accesses, "{spec:?}");
     }
+}
 
-    /// Energy accounting: components sum, energy is positive and finite,
-    /// and power-down never increases energy.
-    #[test]
-    fn accounting_is_consistent(spec in any_spec()) {
-        let dram = model();
+/// Energy accounting: components sum, energy is positive and finite, and
+/// power-down never increases energy.
+#[test]
+fn accounting_is_consistent() {
+    let dram = model();
+    let mut r = SplitMix64::new(0xD002);
+    for _ in 0..CASES {
+        let spec = any_spec(&mut r);
         let w = generate(&dram, &spec).expect("generates");
         let base = simulate(&dram, &w.trace, PowerDownPolicy::NEVER);
-        prop_assert!(base.energy.joules().is_finite());
+        assert!(base.energy.joules().is_finite(), "{spec:?}");
         let sum = base.command_energy + base.background_energy + base.power_down_energy;
-        prop_assert!((base.energy.joules() - sum.joules()).abs() < 1e-15);
+        assert!(
+            (base.energy.joules() - sum.joules()).abs() < 1e-15,
+            "{spec:?}"
+        );
         let pd = simulate(&dram, &w.trace, PowerDownPolicy::AGGRESSIVE);
-        prop_assert!(pd.energy.joules() <= base.energy.joules() + 1e-15);
+        assert!(pd.energy.joules() <= base.energy.joules() + 1e-15, "{spec:?}");
     }
+}
 
-    /// The text format round-trips every generated trace.
-    #[test]
-    fn trace_text_roundtrip(spec in any_spec()) {
-        let dram = model();
+/// The text format round-trips every generated trace.
+#[test]
+fn trace_text_roundtrip() {
+    let dram = model();
+    let mut r = SplitMix64::new(0xD003);
+    for _ in 0..CASES {
+        let spec = any_spec(&mut r);
         let w = generate(&dram, &spec).expect("generates");
         let text = write_trace(&w.trace);
         let back = parse_trace(&text).expect("own output parses");
-        prop_assert_eq!(back, w.trace);
+        assert_eq!(back, w.trace, "{spec:?}");
     }
+}
 
-    /// More accesses never reduce total trace energy (same stream shape).
-    #[test]
-    fn energy_grows_with_access_count(seed in any::<u64>()) {
-        let dram = model();
+/// More accesses never reduce total trace energy (same stream shape).
+#[test]
+fn energy_grows_with_access_count() {
+    let dram = model();
+    let mut r = SplitMix64::new(0xD004);
+    for _ in 0..CASES {
+        let seed = r.next_u64();
         let small = generate(&dram, &WorkloadSpec::random(50, seed)).expect("ok");
         let large = generate(&dram, &WorkloadSpec::random(200, seed)).expect("ok");
         let e_small = simulate(&dram, &small.trace, PowerDownPolicy::NEVER).energy;
         let e_large = simulate(&dram, &large.trace, PowerDownPolicy::NEVER).energy;
-        prop_assert!(e_large.joules() > e_small.joules());
+        assert!(e_large.joules() > e_small.joules(), "seed={seed}");
     }
+}
 
-    /// With row locality available, closed page never beats open page on
-    /// command energy (it forfeits every hit).
-    #[test]
-    fn closed_page_command_energy_dominates_open(seed in any::<u64>()) {
-        let dram = model();
+/// With row locality available, closed page never beats open page on
+/// command energy (it forfeits every hit).
+#[test]
+fn closed_page_command_energy_dominates_open() {
+    let dram = model();
+    let mut r = SplitMix64::new(0xD005);
+    for _ in 0..CASES {
+        let seed = r.next_u64();
         let open = generate(&dram, &WorkloadSpec::streaming(150, seed)).expect("ok");
         let closed =
             generate(&dram, &WorkloadSpec::streaming(150, seed).with_closed_page()).expect("ok");
         let e_open = simulate(&dram, &open.trace, PowerDownPolicy::NEVER).command_energy;
         let e_closed = simulate(&dram, &closed.trace, PowerDownPolicy::NEVER).command_energy;
-        prop_assert!(e_closed.joules() >= e_open.joules());
+        assert!(e_closed.joules() >= e_open.joules(), "seed={seed}");
     }
 }

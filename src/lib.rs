@@ -43,8 +43,9 @@
 #![warn(missing_docs)]
 
 pub use dram_core::{
-    Command, Dram, DramDescription, IddKind, IddReport, ModelError, Operation, OperationEnergy,
-    Pattern, PowerState, PowerSummary, TemperatureRange, VoltageDomain,
+    CacheStats, Command, Dram, DramDescription, EvalEngine, IddKind, IddReport, ModelCache,
+    ModelError, Operation, OperationEnergy, Pattern, PowerState, PowerSummary, TemperatureRange,
+    VoltageDomain,
 };
 
 pub use dram_core as model;

@@ -1,31 +1,35 @@
-//! Cross-crate property tests: random perturbations of a valid device
+//! Cross-crate randomized tests: random perturbations of a valid device
 //! must keep the model physical, monotone where physics is monotone, and
 //! round-trippable through the description language.
+//!
+//! Driven by deterministic [`SplitMix64`] loops instead of `proptest` so
+//! the workspace resolves offline.
 
 use dram_energy::model::reference::ddr3_1g_x16_55nm;
 use dram_energy::sensitivity::ParamId;
+use dram_energy::units::rng::SplitMix64;
 use dram_energy::{dsl, Dram};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 /// Multiplicative factors close enough to 1 that every parameter stays in
 /// its validated range.
-fn factor() -> impl Strategy<Value = f64> {
-    0.7f64..1.3
+fn factor(r: &mut SplitMix64) -> f64 {
+    r.range_f64(0.7, 1.3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any combination of in-range parameter perturbations yields a valid
-    /// model with positive, finite power.
-    #[test]
-    fn perturbed_devices_stay_physical(
-        f_bl in factor(),
-        f_cell in factor(),
-        f_wire in factor(),
-        f_gates in factor(),
-        f_vint in 0.85f64..1.15,
-    ) {
+/// Any combination of in-range parameter perturbations yields a valid
+/// model with positive, finite power.
+#[test]
+fn perturbed_devices_stay_physical() {
+    let mut r = SplitMix64::new(0xE001);
+    for _ in 0..CASES {
+        let f_bl = factor(&mut r);
+        let f_cell = factor(&mut r);
+        let f_wire = factor(&mut r);
+        let f_gates = factor(&mut r);
+        let f_vint = r.range_f64(0.85, 1.15);
+        let ctx = format!("bl={f_bl} cell={f_cell} wire={f_wire} gates={f_gates} vint={f_vint}");
         let mut desc = ddr3_1g_x16_55nm();
         ParamId::BitlineCap.apply(&mut desc, f_bl);
         ParamId::CellCap.apply(&mut desc, f_cell);
@@ -34,18 +38,24 @@ proptest! {
         ParamId::Vint.apply(&mut desc, f_vint);
         let dram = Dram::new(desc).expect("perturbed device stays valid");
         let p = dram.mixed_workload_power();
-        prop_assert!(p.power.watts() > 0.0);
-        prop_assert!(p.power.watts().is_finite());
-        prop_assert!(p.power >= p.background);
+        assert!(p.power.watts() > 0.0, "{ctx}");
+        assert!(p.power.watts().is_finite(), "{ctx}");
+        assert!(p.power >= p.background, "{ctx}");
         let idd = dram.idd();
-        prop_assert!(idd.idd0 > idd.idd2n);
-        prop_assert!(idd.idd4r > idd.idd2n);
+        assert!(idd.idd0 > idd.idd2n, "{ctx}");
+        assert!(idd.idd4r > idd.idd2n, "{ctx}");
     }
+}
 
-    /// Power is monotone in the capacitive parameters: more capacitance
-    /// never reduces power.
-    #[test]
-    fn power_is_monotone_in_capacitance(f in 1.0f64..1.5) {
+/// Power is monotone in the capacitive parameters: more capacitance never
+/// reduces power.
+#[test]
+fn power_is_monotone_in_capacitance() {
+    let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let base_power = base.mixed_workload_power().power;
+    let mut r = SplitMix64::new(0xE002);
+    for _ in 0..12 {
+        let f = r.range_f64(1.0, 1.5);
         for param in [
             ParamId::BitlineCap,
             ParamId::CellCap,
@@ -54,38 +64,42 @@ proptest! {
             ParamId::CWireMwl,
             ParamId::JunctionCapLogic,
         ] {
-            let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
-            let base_power = base.mixed_workload_power().power;
             let mut desc = ddr3_1g_x16_55nm();
             param.apply(&mut desc, f);
             let up = Dram::new(desc).expect("valid");
-            prop_assert!(
+            assert!(
                 up.mixed_workload_power().power.watts() >= base_power.watts() - 1e-12,
                 "{param}: factor {f} reduced power"
             );
         }
     }
+}
 
-    /// Power is exactly linear in Vdd (charge-transfer accounting).
-    #[test]
-    fn power_is_linear_in_vdd(f in 0.8f64..1.2) {
-        let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
-        let p0 = base.mixed_workload_power().power.watts();
+/// Power is exactly linear in Vdd (charge-transfer accounting).
+#[test]
+fn power_is_linear_in_vdd() {
+    let base = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let p0 = base.mixed_workload_power().power.watts();
+    let mut r = SplitMix64::new(0xE003);
+    for _ in 0..CASES {
+        let f = r.range_f64(0.8, 1.2);
         let mut desc = ddr3_1g_x16_55nm();
         ParamId::Vdd.apply(&mut desc, f);
         let scaled = Dram::new(desc).expect("valid");
         let p1 = scaled.mixed_workload_power().power.watts();
-        prop_assert!((p1 / p0 - f).abs() < 1e-9, "ratio {} vs factor {f}", p1 / p0);
+        assert!((p1 / p0 - f).abs() < 1e-9, "ratio {} vs factor {f}", p1 / p0);
     }
+}
 
-    /// The description language round-trips any perturbed device with
-    /// bit-identical model outputs (to floating-point printing).
-    #[test]
-    fn dsl_roundtrip_on_perturbed_devices(
-        f_bl in factor(),
-        f_wire in factor(),
-        f_sa in factor(),
-    ) {
+/// The description language round-trips any perturbed device with
+/// bit-identical model outputs (to floating-point printing).
+#[test]
+fn dsl_roundtrip_on_perturbed_devices() {
+    let mut r = SplitMix64::new(0xE004);
+    for _ in 0..CASES {
+        let f_bl = factor(&mut r);
+        let f_wire = factor(&mut r);
+        let f_sa = factor(&mut r);
         let mut desc = ddr3_1g_x16_55nm();
         ParamId::BitlineCap.apply(&mut desc, f_bl);
         ParamId::CWireSignal.apply(&mut desc, f_wire);
@@ -96,27 +110,29 @@ proptest! {
         let b = Dram::new(reparsed.description).expect("valid");
         let x = a.idd().idd7.amperes();
         let y = b.idd().idd7.amperes();
-        prop_assert!(((x - y) / x).abs() < 1e-9, "{x} vs {y}");
+        assert!(
+            ((x - y) / x).abs() < 1e-9,
+            "bl={f_bl} wire={f_wire} sa={f_sa}: {x} vs {y}"
+        );
     }
+}
 
-    /// Pattern power lies between background and the every-cycle ceiling,
-    /// and grows monotonically with command density.
-    #[test]
-    fn pattern_power_is_convex_in_command_density(nops in 0usize..24) {
-        use dram_energy::{Command, Pattern};
-        let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+/// Pattern power lies between background and the every-cycle ceiling, and
+/// grows monotonically with command density.
+#[test]
+fn pattern_power_is_convex_in_command_density() {
+    use dram_energy::{Command, Pattern};
+    let dram = Dram::new(ddr3_1g_x16_55nm()).expect("valid");
+    let denser = Pattern::new(vec![Command::Activate, Command::Read, Command::Precharge])
+        .expect("nonempty");
+    let dense_power = dram.pattern_power(&denser).power.watts();
+    for nops in 0usize..24 {
         let mut slots = vec![Command::Activate, Command::Read, Command::Precharge];
         slots.extend(std::iter::repeat_n(Command::Nop, nops));
         let sparse = Pattern::new(slots).expect("nonempty");
         let p = dram.pattern_power(&sparse);
-        prop_assert!(p.power >= p.background);
+        assert!(p.power >= p.background, "nops={nops}");
         // Fewer nops -> denser commands -> at least as much power.
-        let denser = Pattern::new(vec![
-            Command::Activate,
-            Command::Read,
-            Command::Precharge,
-        ])
-        .expect("nonempty");
-        prop_assert!(dram.pattern_power(&denser).power.watts() >= p.power.watts() - 1e-12);
+        assert!(dense_power >= p.power.watts() - 1e-12, "nops={nops}");
     }
 }

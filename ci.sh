@@ -28,6 +28,40 @@ if [[ $fast -eq 0 ]]; then
   echo "    repro all completed in $(( $(date +%s) - start ))s"
   test -s BENCH_repro.json
   echo "    BENCH_repro.json written ($(wc -c < BENCH_repro.json) bytes)"
+
+  echo "==> dram-serve smoke (boot, /healthz, /v1/evaluate, SIGTERM drain)"
+  serve_log=$(mktemp)
+  ./target/release/dram-serve --addr 127.0.0.1:0 --threads 2 > "$serve_log" &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$serve_log")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "    dram-serve never reported its port"; exit 1; }
+  smoke() { # method path body — fails unless the reply is HTTP 200
+    local method=$1 path=$2 body=$3 status
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s %s HTTP/1.1\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+      "$method" "$path" "${#body}" "$body" >&3
+    status=$(head -c 12 <&3)
+    exec 3<&- 3>&-
+    [[ "$status" == "HTTP/1.1 200" ]] || { echo "    $method $path -> ${status} (want 200)"; return 1; }
+    echo "    $method $path -> 200"
+  }
+  smoke GET /healthz ""
+  smoke POST /v1/evaluate '{"preset":"ddr3_1g_x16_55nm"}'
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  trap - EXIT
+  rm -f "$serve_log"
+
+  echo "==> serve-bench smoke (writes BENCH_server.json)"
+  ./target/release/serve-bench --requests 600 --clients 4 --threads 4 > /dev/null
+  test -s BENCH_server.json
+  echo "    BENCH_server.json written ($(wc -c < BENCH_server.json) bytes)"
 fi
 
 echo "==> ci.sh: all green"

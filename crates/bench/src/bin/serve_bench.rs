@@ -1,0 +1,314 @@
+//! `serve-bench` — throughput/latency load generator for `dram-serve`.
+//!
+//! Boots the server in-process on an ephemeral port, fires a warm-cache
+//! closed-loop load from concurrent client threads, and records the run
+//! to `BENCH_server.json`. The same load is driven against a 1-thread
+//! and an N-thread server and every response body is required to be
+//! byte-identical across both — the service must scale without changing
+//! a single bit of its answers.
+//!
+//! ```text
+//! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE]
+//! ```
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use dram_server::{serve, ServerConfig, ServerHandle};
+use dram_units::json::{obj, Value};
+
+const OUT_FILE: &str = "BENCH_server.json";
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 2000,
+        clients: 8,
+        threads: 8,
+        out: OUT_FILE.to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--requests" => {
+                let v = value_of("--requests")?;
+                args.requests = v.parse().map_err(|_| format!("bad request count `{v}`"))?;
+            }
+            "--clients" => {
+                let v = value_of("--clients")?;
+                args.clients = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad client count `{v}`"))?;
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                args.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad thread count `{v}`"))?;
+            }
+            "--out" => args.out = value_of("--out")?,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("recv");
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .expect("status line");
+    let payload = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// One measured load stage against a running server.
+struct StageResult {
+    name: String,
+    server_threads: usize,
+    clients: usize,
+    requests: usize,
+    total_s: f64,
+    throughput_rps: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    /// The (single) response body every request returned.
+    body: String,
+}
+
+/// One request shape driven repeatedly by a stage.
+struct Call<'a> {
+    method: &'a str,
+    path: &'a str,
+    body: &'a str,
+}
+
+/// Drives `requests` closed-loop requests from `clients` threads and
+/// checks every response is a 200 with one identical body.
+fn run_stage(
+    name: &str,
+    handle: &ServerHandle,
+    server_threads: usize,
+    clients: usize,
+    requests: usize,
+    call: &Call<'_>,
+) -> StageResult {
+    let addr = handle.local_addr();
+    let per_client = requests.div_ceil(clients);
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u128>, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut canonical: Option<String> = None;
+                    for _ in 0..per_client {
+                        let t0 = Instant::now();
+                        let (status, reply) = exchange(addr, call.method, call.path, call.body);
+                        latencies.push(t0.elapsed().as_micros());
+                        assert_eq!(status, 200, "request failed: {reply}");
+                        match &canonical {
+                            None => canonical = Some(reply),
+                            Some(c) => assert_eq!(
+                                c, &reply,
+                                "response bodies diverged within one client"
+                            ),
+                        }
+                    }
+                    (latencies, canonical.expect("at least one request"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let total_s = started.elapsed().as_secs_f64();
+
+    let first_body = results[0].1.clone();
+    let mut latencies: Vec<u128> = Vec::with_capacity(clients * per_client);
+    for (ls, reply) in results.drain(..) {
+        assert_eq!(reply, first_body, "response bodies diverged across clients");
+        latencies.extend(ls);
+    }
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let pct = |p: f64| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (((n - 1) as f64) * p).round() as usize;
+        latencies[idx] as f64
+    };
+    #[allow(clippy::cast_precision_loss)]
+    StageResult {
+        name: name.to_string(),
+        server_threads,
+        clients,
+        requests: n,
+        total_s,
+        throughput_rps: n as f64 / total_s,
+        mean_us: latencies.iter().sum::<u128>() as f64 / n as f64,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: pct(1.0),
+        body: first_body,
+    }
+}
+
+fn stage_json(s: &StageResult) -> Value {
+    obj(vec![
+        ("name", s.name.as_str().into()),
+        ("server_threads", s.server_threads.into()),
+        ("clients", s.clients.into()),
+        ("requests", s.requests.into()),
+        ("total_s", s.total_s.into()),
+        ("throughput_rps", s.throughput_rps.into()),
+        (
+            "latency_us",
+            obj(vec![
+                ("mean", s.mean_us.into()),
+                ("p50", s.p50_us.into()),
+                ("p95", s.p95_us.into()),
+                ("p99", s.p99_us.into()),
+                ("max", s.max_us.into()),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: serve-bench [--requests N] [--clients C] [--threads T] [--out FILE]"
+            );
+            std::process::exit(i32::from(!msg.is_empty()));
+        }
+    };
+
+    let eval_body = r#"{"preset":"ddr3_1g_55nm"}"#;
+    let mut stages: Vec<StageResult> = Vec::new();
+
+    // One stage per server thread count; the model cache is the shared
+    // process-global engine, so after the first stage's warm-up every
+    // request is a cache hit.
+    for threads in [1, args.threads] {
+        let handle = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral");
+
+        // Warm up: build the model once before timing starts.
+        let (status, reply) = exchange(handle.local_addr(), "POST", "/v1/evaluate", eval_body);
+        assert_eq!(status, 200, "warm-up failed: {reply}");
+
+        stages.push(run_stage(
+            &format!("server/evaluate_warm/threads={threads}"),
+            &handle,
+            threads,
+            args.clients,
+            args.requests,
+            &Call {
+                method: "POST",
+                path: "/v1/evaluate",
+                body: eval_body,
+            },
+        ));
+        stages.push(run_stage(
+            &format!("server/healthz/threads={threads}"),
+            &handle,
+            threads,
+            args.clients,
+            args.requests,
+            &Call {
+                method: "GET",
+                path: "/healthz",
+                body: "",
+            },
+        ));
+        handle.shutdown();
+    }
+
+    // Acceptance: responses are bit-identical across 1 vs N server
+    // threads, for every exercised endpoint.
+    let mut identical = true;
+    for pair in stages.chunks(2).collect::<Vec<_>>().windows(2) {
+        for (a, b) in pair[0].iter().zip(pair[1]) {
+            if a.body != b.body {
+                identical = false;
+                eprintln!(
+                    "MISMATCH: {} vs {} returned different bodies",
+                    a.name, b.name
+                );
+            }
+        }
+    }
+    assert!(identical, "responses are not bit-identical across thread counts");
+
+    println!(
+        "{:44}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "stage", "rps", "p50 µs", "p95 µs", "p99 µs", "max µs"
+    );
+    for s in &stages {
+        println!(
+            "{:44}  {:>10.0}  {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0}",
+            s.name, s.throughput_rps, s.p50_us, s.p95_us, s.p99_us, s.max_us
+        );
+    }
+    println!("bit-identical across 1 vs {} server threads: yes", args.threads);
+
+    let doc = obj(vec![
+        (
+            "server_bench",
+            Value::Arr(stages.iter().map(stage_json).collect()),
+        ),
+        ("bit_identical_across_thread_counts", true.into()),
+        (
+            "evaluate_request",
+            Value::parse(eval_body).expect("literal is valid"),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{doc}\n")).expect("write bench file");
+    println!("wrote {}", args.out);
+}

@@ -10,6 +10,8 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use dram_units::json;
+
 /// Timing statistics of one benchmarked routine.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -117,7 +119,9 @@ pub fn render(measurements: &[Measurement]) -> String {
 }
 
 /// Serializes measurements to a small JSON document (mean/min/max in
-/// seconds). Hand-rolled: the workspace carries no serde.
+/// seconds). String escaping goes through the workspace-shared
+/// [`dram_units::json`] module; the layout stays hand-formatted so the
+/// file remains diff-friendly across runs.
 #[must_use]
 pub fn to_json(measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
@@ -125,7 +129,7 @@ pub fn to_json(measurements: &[Measurement]) -> String {
         let _ = write!(
             out,
             "    {{\"name\": {}, \"iters\": {}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
-            json_string(&m.name),
+            json::escape(&m.name),
             m.iters,
             m.mean.as_secs_f64(),
             m.min.as_secs_f64(),
@@ -134,27 +138,6 @@ pub fn to_json(measurements: &[Measurement]) -> String {
         out.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
-    out
-}
-
-/// Escapes a string as a JSON literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
     out
 }
 
@@ -185,11 +168,18 @@ mod tests {
 
     #[test]
     fn json_escapes_and_parses_shape() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        let ms = vec![bench("x/y", Duration::from_micros(50), 2, || ())];
+        let ms = vec![bench("x/\"y\"", Duration::from_micros(50), 2, || ())];
         let j = to_json(&ms);
         assert!(j.contains("\"benchmarks\""));
-        assert!(j.contains("\"x/y\""));
+        assert!(j.contains(r#""x/\"y\"""#));
         assert!(j.contains("mean_s"));
+        // The shared decoder accepts what the harness writes.
+        let doc = json::Value::parse(&j).expect("harness output is valid JSON");
+        let runs = doc.get("benchmarks").and_then(json::Value::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            runs[0].get("name").and_then(json::Value::as_str),
+            Some("x/\"y\"")
+        );
     }
 }

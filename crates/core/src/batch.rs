@@ -260,6 +260,37 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// A point-in-time view of an [`EvalEngine`], cheap to take on a shared
+/// (e.g. [`EvalEngine::global`]) instance.
+///
+/// This is the shape a metrics endpoint wants: counters plus sizing, no
+/// references into the engine, safe to serialize after the lock is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineSnapshot {
+    /// Lookups served from the model cache.
+    pub hits: u64,
+    /// Lookups that had to build a model.
+    pub misses: u64,
+    /// Models currently held by the cache.
+    pub entries: usize,
+    /// Configured worker-thread count.
+    pub threads: usize,
+}
+
+impl EngineSnapshot {
+    /// Cache hit rate in `[0, 1]`; `0` before any lookup.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// One hash bucket: every cached description whose content hash collides.
 type Bucket = Vec<(DramDescription, Arc<Dram>)>;
 
@@ -403,6 +434,21 @@ impl EvalEngine {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A point-in-time snapshot of the engine: cache counters, cache
+    /// size and thread count. Works on any shared reference, so the
+    /// process-wide [`EvalEngine::global`] instance can feed a metrics
+    /// endpoint without owning the engine.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let stats = self.cache.stats();
+        EngineSnapshot {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: self.cache.len(),
+            threads: self.threads,
+        }
     }
 
     /// Builds (or fetches) the model for one description.
@@ -641,5 +687,23 @@ mod tests {
         let a = EvalEngine::global();
         let b = EvalEngine::global();
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn snapshot_reflects_cache_and_threads() {
+        let engine = EvalEngine::new().threads(3);
+        let empty = engine.snapshot();
+        assert_eq!(empty, EngineSnapshot { hits: 0, misses: 0, entries: 0, threads: 3 });
+        assert_eq!(empty.hit_rate(), 0.0);
+
+        let desc = ddr3_1g_x16_55nm();
+        engine.model(&desc).expect("builds");
+        engine.model(&desc).expect("hits");
+        let snap = engine.snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.threads, 3);
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

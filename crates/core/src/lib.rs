@@ -51,7 +51,7 @@ pub mod reference;
 pub mod timing;
 pub mod voltage;
 
-pub use batch::{CacheStats, EvalEngine, ModelCache};
+pub use batch::{CacheStats, EngineSnapshot, EvalEngine, ModelCache};
 pub use error::ModelError;
 pub use lowpower::{PowerState, TemperatureRange};
 pub use model::{

@@ -1,0 +1,466 @@
+//! The service's route table and JSON handlers.
+//!
+//! Every handler is a pure function of the request body: evaluation goes
+//! through the process-wide [`EvalEngine::global`] cache, and responses
+//! are serialized deterministically (object members in fixed order,
+//! floats via Rust's shortest-roundtrip formatter). Concurrent clients
+//! therefore receive byte-identical bodies to a direct library call,
+//! whatever the worker count.
+
+use dram_core::{Dram, DramDescription, EvalEngine, IddKind, Operation, Pattern};
+use dram_units::json::{obj, Value};
+
+use crate::http::{Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::presets;
+
+/// Dispatches one parsed request to its handler.
+///
+/// Returns the route label (for metrics) alongside the response.
+#[must_use]
+pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Route::Healthz, healthz()),
+        ("GET", "/v1/presets") => (Route::Presets, list_presets()),
+        ("POST", "/v1/evaluate") => (Route::Evaluate, with_body(req, evaluate)),
+        ("POST", "/v1/pattern") => (Route::Pattern, with_body(req, pattern)),
+        ("POST", "/v1/sweep") => (Route::Sweep, with_body(req, sweep_handler)),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            Response::json(200, metrics.to_json(EvalEngine::global().snapshot()).to_string()),
+        ),
+        (_, "/healthz" | "/v1/presets" | "/metrics") => {
+            (Route::Other, method_not_allowed("GET"))
+        }
+        (_, "/v1/evaluate" | "/v1/pattern" | "/v1/sweep") => {
+            (Route::Other, method_not_allowed("POST"))
+        }
+        _ => (
+            Route::Other,
+            Response::error(404, &format!("no such route `{}`", req.path)),
+        ),
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::error(405, "method not allowed").with_header("allow", allow)
+}
+
+fn healthz() -> Response {
+    Response::json(200, obj(vec![("status", "ok".into())]).to_string())
+}
+
+fn list_presets() -> Response {
+    let names: Vec<Value> = presets::NAMES.iter().map(|n| (*n).into()).collect();
+    Response::json(
+        200,
+        obj(vec![
+            ("presets", names.into()),
+            ("count", presets::NAMES.len().into()),
+        ])
+        .to_string(),
+    )
+}
+
+/// Parses the request body as a JSON object and runs the handler on it.
+fn with_body(req: &Request, f: impl FnOnce(&Value) -> Response) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    match Value::parse(text) {
+        Ok(body @ Value::Obj(_)) => f(&body),
+        Ok(_) => Response::error(400, "request body must be a JSON object"),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Resolves the device a request addresses: `"preset"` (a name from
+/// [`presets::NAMES`]) or `"description"` (description-language text).
+fn resolve_description(body: &Value) -> Result<DramDescription, Response> {
+    match (body.get("preset"), body.get("description")) {
+        (Some(_), Some(_)) => Err(Response::error(
+            400,
+            "give either `preset` or `description`, not both",
+        )),
+        (Some(p), None) => {
+            let name = p
+                .as_str()
+                .ok_or_else(|| Response::error(400, "`preset` must be a string"))?;
+            presets::by_name(name).ok_or_else(|| {
+                Response::error(
+                    400,
+                    &format!(
+                        "unknown preset `{name}`; valid presets: {}",
+                        presets::NAMES.join(", ")
+                    ),
+                )
+            })
+        }
+        (None, Some(d)) => {
+            let text = d
+                .as_str()
+                .ok_or_else(|| Response::error(400, "`description` must be a string"))?;
+            dram_dsl::parse_description(text)
+                .map_err(|e| Response::error(400, &format!("description parse error: {e}")))
+        }
+        (None, None) => Err(Response::error(
+            400,
+            "request needs a `preset` name or a `description` text",
+        )),
+    }
+}
+
+/// Builds (or fetches from the global cache) the model for a resolved
+/// description.
+fn model_for(desc: &DramDescription) -> Result<std::sync::Arc<Dram>, Response> {
+    EvalEngine::global()
+        .model(desc)
+        .map_err(|e| Response::error(400, &format!("invalid description: {e}")))
+}
+
+/// The `/v1/evaluate` response document for one description.
+///
+/// Public so tests and the load generator can assert the served bytes
+/// are identical to a direct library evaluation.
+#[must_use]
+pub fn evaluate_document(dram: &Dram) -> Value {
+    let idd = dram.idd();
+    let idd_ma: Vec<(String, Value)> = IddKind::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k.symbol().to_string(),
+                (idd.get(k).amperes() * 1e3).into(),
+            )
+        })
+        .collect();
+    let ops: Vec<(String, Value)> = Operation::ALL
+        .iter()
+        .map(|&op| {
+            let e = dram.operation_energy(op);
+            (
+                op.to_string(),
+                obj(vec![
+                    ("external_pj", (e.external().joules() * 1e12).into()),
+                    ("internal_pj", (e.internal().joules() * 1e12).into()),
+                ]),
+            )
+        })
+        .collect();
+    let area = dram.area();
+    obj(vec![
+        ("name", dram.description().name.as_str().into()),
+        ("idd_ma", Value::Obj(idd_ma)),
+        ("operations", Value::Obj(ops)),
+        ("background_w", dram.background_power().watts().into()),
+        (
+            "energy_per_bit_pj",
+            obj(vec![
+                (
+                    "streaming",
+                    (dram.energy_per_bit_streaming().joules() * 1e12).into(),
+                ),
+                (
+                    "random",
+                    (dram.energy_per_bit_random().joules() * 1e12).into(),
+                ),
+            ]),
+        ),
+        ("die_area_mm2", (area.die.square_meters() * 1e6).into()),
+    ])
+}
+
+fn evaluate(body: &Value) -> Response {
+    let desc = match resolve_description(body) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    match model_for(&desc) {
+        Ok(dram) => Response::json(200, evaluate_document(&dram).to_string()),
+        Err(r) => r,
+    }
+}
+
+/// The `/v1/pattern` response document.
+#[must_use]
+pub fn pattern_document(dram: &Dram, pattern: &Pattern) -> Value {
+    let summary = dram.pattern_power(pattern);
+    obj(vec![
+        ("name", dram.description().name.as_str().into()),
+        (
+            "pattern",
+            pattern
+                .slots()
+                .iter()
+                .map(|c| c.mnemonic())
+                .collect::<Vec<_>>()
+                .join(" ")
+                .into(),
+        ),
+        ("slots", pattern.len().into()),
+        ("power_w", summary.power.watts().into()),
+        ("current_ma", (summary.current.amperes() * 1e3).into()),
+        ("background_w", summary.background.watts().into()),
+    ])
+}
+
+fn pattern(body: &Value) -> Response {
+    let desc = match resolve_description(body) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let Some(text) = body.get("pattern").and_then(Value::as_str) else {
+        return Response::error(400, "request needs a `pattern` string, e.g. \"act nop rd nop pre nop\"");
+    };
+    let parsed = match Pattern::parse(text) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad pattern: {e}")),
+    };
+    let dram = match model_for(&desc) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    // Opt-in single-bank timing validation (`"checked": true`).
+    if body.get("checked").and_then(Value::as_bool) == Some(true) {
+        if let Err(e) = dram.pattern_power_checked(&parsed) {
+            return Response::error(400, &format!("pattern is not timing-legal: {e}"));
+        }
+    }
+    Response::json(200, pattern_document(&dram, &parsed).to_string())
+}
+
+/// The `/v1/sweep` response document.
+///
+/// # Errors
+///
+/// Returns the error response if the sweep itself fails (a perturbed
+/// description no longer validates).
+pub fn sweep_document(
+    desc: &DramDescription,
+    variation: f64,
+    top: Option<usize>,
+) -> Result<Value, Response> {
+    let result = dram_sensitivity::sweep(desc, variation)
+        .map_err(|e| Response::error(400, &format!("sweep failed: {e}")))?;
+    let mut ranked = result.ranked();
+    if let Some(n) = top {
+        ranked.truncate(n);
+    }
+    let entries: Vec<Value> = ranked
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("param", s.param.name().into()),
+                ("up", s.up.into()),
+                ("down", s.down.into()),
+                ("swing", s.swing().into()),
+            ])
+        })
+        .collect();
+    Ok(obj(vec![
+        ("name", desc.name.as_str().into()),
+        ("variation", variation.into()),
+        ("baseline_w", result.baseline_watts.into()),
+        ("entries", entries.into()),
+    ]))
+}
+
+fn sweep_handler(body: &Value) -> Response {
+    let desc = match resolve_description(body) {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let variation = match body.get("variation") {
+        None => 0.2,
+        Some(v) => match v.as_f64() {
+            Some(x) if x.is_finite() && x > 0.0 && x < 0.9 => x,
+            _ => return Response::error(400, "`variation` must be a number in (0, 0.9)"),
+        },
+    };
+    let top = match body.get("top") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(x) if x.fract() == 0.0 && (1.0..=10_000.0).contains(&x) => {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(x as usize)
+            }
+            _ => return Response::error(400, "`top` must be a positive integer"),
+        },
+    };
+    match sweep_document(&desc, variation, top) {
+        Ok(doc) => Response::json(200, doc.to_string()),
+        Err(r) => r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: HashMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn body_str(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_presets_respond() {
+        let m = Metrics::new();
+        let (route, r) = handle(&get("/healthz"), &m);
+        assert_eq!((route, r.status), (Route::Healthz, 200));
+        assert_eq!(body_str(&r), "{\"status\":\"ok\"}");
+
+        let (_, r) = handle(&get("/v1/presets"), &m);
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        assert_eq!(
+            doc.get("count").and_then(Value::as_f64),
+            Some(presets::NAMES.len() as f64)
+        );
+    }
+
+    #[test]
+    fn unknown_route_and_wrong_method_are_distinguished() {
+        let m = Metrics::new();
+        let (route, r) = handle(&get("/nope"), &m);
+        assert_eq!((route, r.status), (Route::Other, 404));
+        let (_, r) = handle(&get("/v1/evaluate"), &m);
+        assert_eq!(r.status, 405);
+        assert!(r.headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+    }
+
+    #[test]
+    fn evaluate_serves_the_reference_device() {
+        let m = Metrics::new();
+        let (_, r) = handle(&post("/v1/evaluate", r#"{"preset":"ddr3_1g_x16_55nm"}"#), &m);
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        let idd0 = doc.get("idd_ma").unwrap().get("IDD0").unwrap().as_f64().unwrap();
+        assert!(idd0 > 10.0 && idd0 < 200.0, "IDD0 {idd0} mA");
+        // Served numbers equal a direct library evaluation, bit for bit.
+        let dram = Dram::new(dram_core::reference::ddr3_1g_x16_55nm()).unwrap();
+        assert_eq!(body_str(&r), evaluate_document(&dram).to_string());
+    }
+
+    #[test]
+    fn evaluate_accepts_inline_description_text() {
+        let source = {
+            let desc = dram_core::reference::ddr3_1g_x16_55nm();
+            dram_dsl::write(&desc, None)
+        };
+        let m = Metrics::new();
+        let body = obj(vec![("description", source.into())]).to_string();
+        let (_, r) = handle(&post("/v1/evaluate", &body), &m);
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_inputs() {
+        let m = Metrics::new();
+        for (body, want) in [
+            (r#"{"preset":"nope"}"#, "unknown preset"),
+            (r#"{"preset":"a","description":"b"}"#, "not both"),
+            (r#"{}"#, "needs a `preset`"),
+            (r#"{"preset": 7}"#, "must be a string"),
+            (r#"{"preset": "ddr3"#, "invalid JSON"),
+            (r#"[1,2]"#, "must be a JSON object"),
+            (r#"{"description":"garbage"}"#, "description parse error"),
+        ] {
+            let (_, r) = handle(&post("/v1/evaluate", body), &m);
+            assert_eq!(r.status, 400, "{body}");
+            assert!(body_str(&r).contains(want), "{body} -> {}", body_str(&r));
+        }
+    }
+
+    #[test]
+    fn pattern_endpoint_computes_and_validates() {
+        let m = Metrics::new();
+        let (_, r) = handle(
+            &post(
+                "/v1/pattern",
+                r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
+            ),
+            &m,
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        assert_eq!(doc.get("slots").and_then(Value::as_f64), Some(8.0));
+        assert!(doc.get("power_w").unwrap().as_f64().unwrap() > 0.0);
+
+        let (_, r) = handle(
+            &post(
+                "/v1/pattern",
+                r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act frob"}"#,
+            ),
+            &m,
+        );
+        assert_eq!(r.status, 400);
+        assert!(body_str(&r).contains("bad pattern"));
+
+        // The paper's pattern is too fast for one DDR3 bank: `checked`
+        // surfaces the timing violation as a 400.
+        let (_, r) = handle(
+            &post(
+                "/v1/pattern",
+                r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop","checked":true}"#,
+            ),
+            &m,
+        );
+        assert_eq!(r.status, 400);
+        assert!(body_str(&r).contains("timing-legal"));
+    }
+
+    #[test]
+    fn sweep_endpoint_ranks_parameters() {
+        let m = Metrics::new();
+        let (_, r) = handle(
+            &post(
+                "/v1/sweep",
+                r#"{"preset":"ddr3_1g_x16_55nm","variation":0.2,"top":5}"#,
+            ),
+            &m,
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        let entries = doc.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 5);
+        // Ranked: swings descend; rank 1 is Vdd (the only fully
+        // proportional parameter, §IV.B).
+        let swings: Vec<f64> = entries
+            .iter()
+            .map(|e| e.get("swing").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(swings.windows(2).all(|w| w[0] >= w[1]));
+        assert!(
+            entries[0]
+                .get("param")
+                .and_then(Value::as_str)
+                .is_some_and(|n| n.contains("Vdd")),
+            "rank 1 should be Vdd: {:?}",
+            entries[0]
+        );
+
+        let (_, r) = handle(
+            &post("/v1/sweep", r#"{"preset":"ddr3_1g_x16_55nm","variation":5}"#),
+            &m,
+        );
+        assert_eq!(r.status, 400);
+    }
+}

@@ -1,0 +1,151 @@
+//! `dram-serve` — the DRAM energy model as a network service.
+//!
+//! ```text
+//! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
+//! ```
+//!
+//! Binds (port `0` picks an ephemeral port, printed on startup), serves
+//! until SIGINT/SIGTERM, then drains in-flight requests before exiting.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use dram_server::{serve, Limits, ServerConfig};
+
+struct Args {
+    addr: String,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = value_of("--addr")?,
+            "--threads" => {
+                let v = value_of("--threads")?;
+                args.config.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad thread count `{v}`"))?;
+            }
+            "--queue" => {
+                let v = value_of("--queue")?;
+                args.config.queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("bad queue depth `{v}`"))?;
+            }
+            "--max-body" => {
+                let v = value_of("--max-body")?;
+                args.config.limits.max_body = v
+                    .parse()
+                    .map_err(|_| format!("bad body limit `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
+         usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\n\
+         defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
+         endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate,\n\
+         POST /v1/pattern, POST /v1/sweep, GET /metrics (see docs/SERVER.md)"
+    );
+}
+
+/// SIGINT/SIGTERM → a flag the main loop polls. Registered through the
+/// libc `signal` entry point declared inline: the workspace links no
+/// external crates, and storing a relaxed atomic is async-signal-safe.
+#[cfg(unix)]
+mod signals {
+    use super::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let handle = match serve(&args.addr, args.config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let Limits { max_body, .. } = args.config.limits;
+    println!(
+        "dram-serve listening on http://{} ({} worker threads, queue depth {}, max body {} bytes)",
+        handle.local_addr(),
+        args.config.threads,
+        args.config.queue_depth,
+        max_body
+    );
+
+    signals::install();
+    while !signals::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    println!("dram-serve: shutdown requested, draining in-flight requests");
+    let served = handle.shutdown();
+    println!("dram-serve: drained; {served} requests served");
+    ExitCode::SUCCESS
+}

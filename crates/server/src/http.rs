@@ -1,0 +1,356 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The workspace must build with an empty registry, so there is no hyper;
+//! this module implements exactly the slice of HTTP the service needs —
+//! one request per connection, `Connection: close` semantics — with the
+//! robustness a network front end cannot skip: a header-size cap, a body
+//! size limit enforced *before* allocation, read timeouts, and precise
+//! 4xx classification of malformed input.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Parsing limits and socket timeouts.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the request line plus headers, in bytes.
+    pub max_head: usize,
+    /// Maximum request body size, in bytes. Larger declared bodies are
+    /// rejected with `413` before any body byte is read.
+    pub max_body: usize,
+    /// Socket read/write timeout. A client that stalls mid-request gets
+    /// `408` instead of parking a worker forever.
+    pub io_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head: 16 * 1024,
+            max_body: 1024 * 1024,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A parsed request: method, path, headers (keys lowercased) and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Header fields, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; maps 1:1 to a 4xx status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request line, header or framing → 400.
+    BadRequest(String),
+    /// Declared or actual body beyond [`Limits::max_body`] → 413.
+    PayloadTooLarge,
+    /// Request line + headers beyond [`Limits::max_head`] → 431.
+    HeadersTooLarge,
+    /// The socket timed out before a full request arrived → 408.
+    Timeout,
+    /// The peer closed the connection before sending anything; not an
+    /// error worth answering (health probes do this).
+    Closed,
+}
+
+impl HttpError {
+    /// The HTTP status this error answers with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::PayloadTooLarge => 413,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::Closed => 400,
+        }
+    }
+
+    /// Human-readable reason used in the JSON error body.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::Timeout => "request timed out".to_string(),
+            HttpError::PayloadTooLarge => "request body too large".to_string(),
+            HttpError::HeadersTooLarge => "request headers too large".to_string(),
+            HttpError::Closed => "connection closed".to_string(),
+        }
+    }
+}
+
+fn io_to_http(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::BadRequest(format!("read failed: {}", e.kind())),
+    }
+}
+
+/// Reads and parses one request from the stream under the given limits.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] classifying the failure; the caller converts it
+/// to a 4xx response (except [`HttpError::Closed`]).
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(limits.io_timeout))
+        .map_err(|e| io_to_http(&e))?;
+
+    // Accumulate until the blank line that ends the head section.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).map_err(|e| io_to_http(&e))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::BadRequest("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let (method, path) = parse_request_line(request_line)?;
+
+    let mut headers = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    // Body framing: Content-Length only. Chunked encoding is out of
+    // scope for this service and answered with 400.
+    if headers
+        .get("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported".into(),
+        ));
+    }
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::PayloadTooLarge);
+    }
+
+    // The head read may have pulled in the start of the body already.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "body longer than content-length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
+        let n = stream.read(&mut chunk).map_err(|e| io_to_http(&e))?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line `{line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("bad method `{method}`")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("bad request target `{target}`")));
+    }
+    // Strip any query string; the API is body-driven.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok((method.to_string(), path))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A JSON error body `{"error": ...}` with the given status.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\":{}}}", dram_units::json::escape(message)),
+        )
+    }
+
+    /// Adds a header field.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The reason phrase for the statuses this service emits.
+    #[must_use]
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response to the stream. Write errors are swallowed —
+    /// the peer may already be gone, and the connection closes either
+    /// way.
+    pub fn send(&self, stream: &mut TcpStream) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.write_all(&self.to_bytes());
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects() {
+        assert_eq!(
+            parse_request_line("GET /healthz HTTP/1.1").unwrap(),
+            ("GET".into(), "/healthz".into())
+        );
+        assert_eq!(
+            parse_request_line("POST /v1/evaluate?x=1 HTTP/1.0").unwrap(),
+            ("POST".into(), "/v1/evaluate".into())
+        );
+        for bad in [
+            "",
+            "GET",
+            "GET /x",
+            "GET /x HTTP/2 extra",
+            "get /x HTTP/1.1",
+            "GET x HTTP/1.1",
+            "GET /x FTP/1.1",
+        ] {
+            assert!(parse_request_line(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let r = Response::json(200, "{\"ok\":true}".into()).with_header("retry-after", "1");
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_statuses_map() {
+        assert_eq!(HttpError::BadRequest("x".into()).status(), 400);
+        assert_eq!(HttpError::Timeout.status(), 408);
+        assert_eq!(HttpError::PayloadTooLarge.status(), 413);
+        assert_eq!(HttpError::HeadersTooLarge.status(), 431);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dram-server
+//!
+//! `dram-serve`: a dependency-free HTTP/1.1 + JSON evaluation service on
+//! top of [`dram_core::batch::EvalEngine`]. The model became a library
+//! in PR 1; this crate makes it infrastructure — other processes query
+//! currents, pattern power and sensitivity sweeps over a socket and get
+//! memoized, bit-identical answers from the shared process-wide engine.
+//!
+//! Built entirely on `std::net`: the workspace must stay resolvable
+//! offline, so there is no tokio, hyper or serde. See `docs/SERVER.md`
+//! for the endpoint reference.
+//!
+//! ## Endpoints
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /v1/presets` | names accepted by the `preset` request field |
+//! | `POST /v1/evaluate` | description/preset → currents, energies, area |
+//! | `POST /v1/pattern` | IDD-style command-loop pattern power |
+//! | `POST /v1/sweep` | ±variation sensitivity ranking |
+//! | `GET /metrics` | request counters, latency histogram, cache stats |
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use std::io::{Read, Write};
+//!
+//! let handle = dram_server::serve("127.0.0.1:0", dram_server::ServerConfig::default())
+//!     .expect("bind");
+//! let mut conn = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+//!     .expect("send");
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).expect("recv");
+//! assert!(reply.starts_with("HTTP/1.1 200"));
+//! handle.shutdown();
+//! ```
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod presets;
+mod server;
+
+pub use http::{Limits, Request, Response};
+pub use metrics::{Metrics, Route};
+pub use server::{serve, ServerConfig, ServerHandle};

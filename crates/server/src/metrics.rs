@@ -1,0 +1,226 @@
+//! Request counters and a latency histogram for the `/metrics` endpoint.
+//!
+//! All counters are relaxed atomics: `/metrics` is an observability
+//! endpoint, not an accounting ledger, and the handlers must never
+//! contend on a lock just to count themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dram_core::EngineSnapshot;
+use dram_units::json::{obj, Value};
+
+/// The routes the service exposes, used to label per-route counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /v1/presets`.
+    Presets,
+    /// `POST /v1/evaluate`.
+    Evaluate,
+    /// `POST /v1/pattern`.
+    Pattern,
+    /// `POST /v1/sweep`.
+    Sweep,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything else (404/405/parse failures).
+    Other,
+}
+
+impl Route {
+    /// All routes, in display order.
+    pub const ALL: [Route; 7] = [
+        Route::Healthz,
+        Route::Presets,
+        Route::Evaluate,
+        Route::Pattern,
+        Route::Sweep,
+        Route::Metrics,
+        Route::Other,
+    ];
+
+    /// Stable label used as the JSON key.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Presets => "presets",
+            Route::Evaluate => "evaluate",
+            Route::Pattern => "pattern",
+            Route::Sweep => "sweep",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Route::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("route in ALL")
+    }
+}
+
+/// Number of latency buckets: powers of two of microseconds, 1 µs up to
+/// ~4 s, plus an overflow bucket.
+const BUCKETS: usize = 23;
+
+/// Thread-safe service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Route::ALL.len()],
+    errors_4xx: AtomicU64,
+    errors_5xx: AtomicU64,
+    rejected_busy: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request: route, response status and handling
+    /// latency (queue wait excluded).
+    pub fn record(&self, route: Route, status: u16, latency: Duration) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.errors_4xx.fetch_add(1, Ordering::Relaxed);
+        } else if status >= 500 {
+            self.errors_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        // Bucket i counts latencies in [2^(i-1), 2^i) µs; bucket 0 is
+        // sub-microsecond, the last bucket catches everything slower.
+        let bucket = if us == 0 {
+            0
+        } else {
+            usize::try_from(u64::BITS - us.leading_zeros()).unwrap_or(BUCKETS - 1)
+        }
+        .min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection rejected with 503 because the queue was full.
+    pub fn record_rejected(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served (all routes).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Connections rejected due to backpressure.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_busy.load(Ordering::Relaxed)
+    }
+
+    /// Serializes counters plus the engine snapshot as the `/metrics`
+    /// JSON document.
+    #[must_use]
+    pub fn to_json(&self, engine: EngineSnapshot) -> Value {
+        let routes: Vec<(String, Value)> = Route::ALL
+            .iter()
+            .map(|r| {
+                (
+                    r.label().to_string(),
+                    self.requests[r.index()].load(Ordering::Relaxed).into(),
+                )
+            })
+            .collect();
+
+        let mut upper_us: Vec<Value> = Vec::with_capacity(BUCKETS);
+        let mut counts: Vec<Value> = Vec::with_capacity(BUCKETS);
+        for (i, c) in self.latency.iter().enumerate() {
+            if i + 1 < BUCKETS {
+                upper_us.push((1u64 << i).into());
+            } else {
+                // Overflow bucket: no finite upper bound.
+                upper_us.push(Value::Null);
+            }
+            counts.push(c.load(Ordering::Relaxed).into());
+        }
+
+        obj(vec![
+            ("requests_total", self.total().into()),
+            ("requests_by_route", Value::Obj(routes)),
+            (
+                "responses_4xx",
+                self.errors_4xx.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "responses_5xx",
+                self.errors_5xx.load(Ordering::Relaxed).into(),
+            ),
+            ("rejected_busy", self.rejected().into()),
+            (
+                "latency_histogram",
+                obj(vec![
+                    ("bucket_upper_us", upper_us.into()),
+                    ("counts", counts.into()),
+                ]),
+            ),
+            (
+                "engine",
+                obj(vec![
+                    ("cache_hits", engine.hits.into()),
+                    ("cache_misses", engine.misses.into()),
+                    ("cache_entries", engine.entries.into()),
+                    ("hit_rate", engine.hit_rate().into()),
+                    ("threads", engine.threads.into()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_route_and_status_counters() {
+        let m = Metrics::new();
+        m.record(Route::Evaluate, 200, Duration::from_micros(3));
+        m.record(Route::Evaluate, 400, Duration::from_micros(3));
+        m.record(Route::Other, 404, Duration::from_micros(1));
+        m.record_rejected();
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.rejected(), 1);
+        let doc = m.to_json(EngineSnapshot::default());
+        let by_route = doc.get("requests_by_route").unwrap();
+        assert_eq!(by_route.get("evaluate").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(by_route.get("other").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(doc.get("responses_4xx").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(doc.get("rejected_busy").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn latency_buckets_cover_the_range() {
+        let m = Metrics::new();
+        m.record(Route::Healthz, 200, Duration::from_nanos(100));
+        m.record(Route::Healthz, 200, Duration::from_micros(1));
+        m.record(Route::Healthz, 200, Duration::from_millis(3));
+        m.record(Route::Healthz, 200, Duration::from_secs(3600));
+        let doc = m.to_json(EngineSnapshot::default());
+        let hist = doc.get("latency_histogram").unwrap();
+        let counts = hist.get("counts").and_then(Value::as_array).unwrap();
+        let total: f64 = counts.iter().filter_map(Value::as_f64).sum();
+        assert_eq!(total, 4.0);
+        // The giant latency lands in the unbounded overflow bucket.
+        assert_eq!(counts.last().and_then(Value::as_f64), Some(1.0));
+        let uppers = hist.get("bucket_upper_us").and_then(Value::as_array).unwrap();
+        assert_eq!(uppers.last(), Some(&Value::Null));
+        assert_eq!(uppers.len(), counts.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! The named device descriptions the service exposes.
+//!
+//! Every preset the library ships — the paper's calibrated 55 nm DDR3
+//! reference plus the roadmap generations — is addressable by a stable
+//! string name, so clients can evaluate without shipping a description
+//! file.
+
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_core::DramDescription;
+use dram_scaling::presets;
+
+/// All preset names, in catalog order.
+pub const NAMES: [&str; 8] = [
+    "ddr3_1g_x16_55nm",
+    "sdr_128m_170nm",
+    "ddr2_1g_75nm",
+    "ddr2_1g_65nm",
+    "ddr3_1g_65nm",
+    "ddr3_1g_55nm",
+    "ddr3_2g_55nm",
+    "ddr5_16g_18nm",
+];
+
+/// Builds the description for a preset name; `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str) -> Option<DramDescription> {
+    match name {
+        "ddr3_1g_x16_55nm" => Some(ddr3_1g_x16_55nm()),
+        "sdr_128m_170nm" => Some(presets::sdr_128m_170nm()),
+        "ddr2_1g_75nm" => Some(presets::ddr2_1g_75nm()),
+        "ddr2_1g_65nm" => Some(presets::ddr2_1g_65nm()),
+        "ddr3_1g_65nm" => Some(presets::ddr3_1g_65nm()),
+        "ddr3_1g_55nm" => Some(presets::ddr3_1g_55nm()),
+        "ddr3_2g_55nm" => Some(presets::ddr3_2g_55nm()),
+        "ddr5_16g_18nm" => Some(presets::ddr5_16g_18nm()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_preset_resolves_and_builds() {
+        for name in NAMES {
+            let desc = by_name(name).expect(name);
+            dram_core::Dram::new(desc).expect(name);
+        }
+        assert!(by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,297 @@
+//! The TCP front end: accept loop, bounded worker pool, backpressure and
+//! graceful shutdown.
+//!
+//! Architecture: one accept thread feeds a bounded connection queue; a
+//! fixed pool of worker threads pops connections, parses one request
+//! each (HTTP/1.1, `Connection: close`) and answers through the route
+//! table. When the queue is full the accept thread answers `503` with a
+//! `Retry-After` header itself — a rejected client costs one small write,
+//! never a worker.
+//!
+//! Shutdown is cooperative and *draining*: [`ServerHandle::shutdown`]
+//! stops the accept loop, then lets the workers finish every connection
+//! already accepted or queued before joining them. No in-flight request
+//! is dropped.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::api;
+use crate::http::{self, HttpError, Limits, Response};
+use crate::metrics::{Metrics, Route};
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Bounded depth of the accepted-connection queue. `0` makes the
+    /// server reject every request with 503 — useful for testing
+    /// client backpressure handling.
+    pub queue_depth: usize,
+    /// HTTP parsing limits and socket timeouts.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            queue_depth: 128,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// State shared between the accept thread, the workers and the handle.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+    accepted: AtomicU64,
+    metrics: Metrics,
+    limits: Limits,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (the process exit
+/// reaps them); calling it drains and joins.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds a listener and starts the accept loop plus worker pool.
+///
+/// Bind to port `0` for an ephemeral port; [`ServerHandle::local_addr`]
+/// reports the actual one.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        metrics: Metrics::new(),
+        limits: config.limits,
+    });
+
+    let workers = (0..config.threads.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("dram-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let queue_depth = config.queue_depth;
+    let accept_thread = std::thread::Builder::new()
+        .name("dram-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_shared, queue_depth))
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client) during shutdown:
+            // drop it; already-queued connections still drain.
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        shared.accepted.fetch_add(1, Ordering::SeqCst);
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= queue_depth {
+            drop(queue);
+            // Backpressure: answer 503 inline and close — a rejected
+            // client never costs worker time. Best-effort drain of the
+            // request bytes first, so closing with an unread receive
+            // buffer doesn't RST the response away.
+            shared.metrics.record_rejected();
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+            let mut scratch = [0u8; 8192];
+            let _ = io::Read::read(&mut stream, &mut scratch);
+            Response::error(503, "server is at capacity, retry shortly")
+                .with_header("retry-after", "1")
+                .send(&mut stream);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        serve_connection(&mut stream, shared);
+    }
+}
+
+/// Parses one request off the connection, routes it, answers, closes.
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    match http::read_request(stream, &shared.limits) {
+        Ok(req) => {
+            let (route, response) = api::handle(&req, &shared.metrics);
+            shared
+                .metrics
+                .record(route, response.status, started.elapsed());
+            response.send(stream);
+        }
+        Err(HttpError::Closed) => {
+            // Port probe / health check that never sent bytes: nothing
+            // to answer, nothing to count.
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .record(Route::Other, e.status(), started.elapsed());
+            Response::error(e.status(), &e.message()).send(stream);
+            // The request was not fully read; drain what the client
+            // already sent so closing the socket doesn't RST the
+            // response out of its receive buffer.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+            let mut scratch = [0u8; 8192];
+            for _ in 0..64 {
+                match io::Read::read(stream, &mut scratch) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (including ones answered 503).
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::SeqCst)
+    }
+
+    /// The server's metrics counters.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Gracefully shuts down: stop accepting, serve everything already
+    /// accepted or queued, join all threads. Returns the number of
+    /// requests served over the server's lifetime.
+    pub fn shutdown(mut self) -> u64 {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; harmless
+        // if a real client raced us to it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Workers drain the queue, then observe the flag and exit.
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            self.shared.available.notify_all();
+            let _ = w.join();
+        }
+        self.shared.metrics.total()
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn raw_request(addr: SocketAddr, bytes: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(bytes).expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_health_and_reports_addr() {
+        let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = handle.local_addr();
+        assert_ne!(addr.port(), 0);
+        let reply = raw_request(
+            addr,
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.ends_with("{\"status\":\"ok\"}"), "{reply}");
+        assert_eq!(handle.shutdown(), 1);
+    }
+
+    #[test]
+    fn zero_depth_queue_rejects_with_503_retry_after() {
+        let handle = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                queue_depth: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let reply = raw_request(
+            handle.local_addr(),
+            b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+        assert!(reply.contains("retry-after: 1"), "{reply}");
+        assert_eq!(handle.metrics().rejected(), 1);
+        handle.shutdown();
+    }
+}

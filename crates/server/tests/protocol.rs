@@ -1,0 +1,311 @@
+//! Protocol robustness and end-to-end behavior of `dram-serve`: every
+//! malformed-input class answers a 4xx without crashing the server,
+//! concurrent clients get byte-identical bodies to direct library
+//! evaluation, and graceful shutdown drains accepted work.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dram_core::Dram;
+use dram_server::{serve, Limits, ServerConfig, ServerHandle};
+
+fn start(threads: usize) -> ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral")
+}
+
+/// Sends raw bytes, returns the full raw reply.
+fn raw(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(bytes).expect("send");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("recv");
+    reply
+}
+
+/// Issues a well-formed request, returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let reply = raw(
+        addr,
+        format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    split_reply(&reply)
+}
+
+fn split_reply(reply: &str) -> (u16, String) {
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable reply: {reply:?}"));
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn malformed_request_line_is_400() {
+    let server = start(2);
+    for garbage in [
+        "WHAT\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /healthz\r\n\r\n",
+        "get /healthz HTTP/1.1\r\n\r\n",
+        "GET healthz HTTP/1.1\r\n\r\n",
+        "GET /healthz SMTP/1.1\r\n\r\n",
+    ] {
+        let reply = raw(server.local_addr(), garbage.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 400"), "{garbage:?} -> {reply}");
+    }
+    // The server is still alive and serving.
+    let (status, _) = request(server.local_addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413_before_read() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            limits: Limits {
+                max_body: 256,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    // Declared oversized: rejected from the header alone, no body sent.
+    let reply = raw(
+        server.local_addr(),
+        b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 1000000\r\nconnection: close\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    let (status, _) = request(server.local_addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200, "server survived the oversized request");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_headers_are_431() {
+    let server = start(1);
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nx-filler: {}\r\n\r\n",
+        "a".repeat(64 * 1024)
+    );
+    let reply = raw(server.local_addr(), huge.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_route_is_404_and_wrong_method_is_405() {
+    let server = start(1);
+    let (status, body) = request(server.local_addr(), "GET", "/v2/evaluate", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("no such route"), "{body}");
+    let (status, _) = request(server.local_addr(), "DELETE", "/v1/evaluate", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(server.local_addr(), "POST", "/metrics", "");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_json_is_400() {
+    let server = start(1);
+    let (status, body) = request(
+        server.local_addr(),
+        "POST",
+        "/v1/evaluate",
+        r#"{"preset": "ddr3_1g"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid JSON"), "{body}");
+    // Body shorter than content-length (client hangs up mid-body).
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.write_all(
+        b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"preset\":",
+    )
+    .expect("send");
+    s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("recv");
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    server.shutdown();
+}
+
+/// The acceptance-criteria core: N concurrent clients against a 1-thread
+/// and an 8-thread server all receive bodies byte-identical to a direct
+/// library evaluation of the same description.
+#[test]
+fn concurrent_clients_get_bit_identical_library_results() {
+    let preset = "ddr3_1g_x16_55nm";
+    let expected = {
+        let dram = Dram::new(dram_core::reference::ddr3_1g_x16_55nm()).expect("builds");
+        dram_server::api::evaluate_document(&dram).to_string()
+    };
+    for threads in [1, 8] {
+        let server = start(threads);
+        let addr = server.local_addr();
+        let bodies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    s.spawn(move || {
+                        let (status, body) = request(
+                            addr,
+                            "POST",
+                            "/v1/evaluate",
+                            &format!(r#"{{"preset":"{preset}"}}"#),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        body
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).collect()
+        });
+        for body in &bodies {
+            assert_eq!(
+                body, &expected,
+                "served body diverged from library output at {threads} server threads"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_accepted_connections() {
+    let server = start(2);
+    let addr = server.local_addr();
+    const CLIENTS: usize = 8;
+
+    // Open connections and send complete requests, but don't read yet.
+    let mut conns: Vec<TcpStream> = (0..CLIENTS)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let body = r#"{"preset":"ddr3_1g_55nm"}"#;
+            s.write_all(
+                format!(
+                    "POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+            s
+        })
+        .collect();
+
+    // Wait until the accept loop has taken ownership of every
+    // connection, so shutdown is obliged to drain them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.accepted() < CLIENTS as u64 {
+        assert!(std::time::Instant::now() < deadline, "accept stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let served = server.shutdown();
+    assert!(
+        served >= CLIENTS as u64,
+        "shutdown dropped in-flight requests: served {served} of {CLIENTS}"
+    );
+
+    // Every already-accepted client still gets a complete 200.
+    for s in &mut conns {
+        s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).expect("drained response");
+        let (status, body) = split_reply(&reply);
+        assert_eq!(status, 200, "{reply}");
+        assert!(body.contains("idd_ma"), "{body}");
+    }
+
+    // And the listener is really gone: new connections fail.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
+
+#[test]
+fn metrics_reflect_served_traffic_and_cache() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, _) = request(addr, "POST", "/v1/evaluate", r#"{"preset":"ddr2_1g_75nm"}"#);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/v1/evaluate", r#"{"preset":"ddr2_1g_75nm"}"#);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = dram_units::json::Value::parse(&body).expect("metrics is valid JSON");
+    let by_route = doc.get("requests_by_route").expect("routes");
+    let evaluate = by_route.get("evaluate").and_then(|v| v.as_f64()).unwrap();
+    assert!(evaluate >= 2.0, "{body}");
+    assert!(doc.get("responses_4xx").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    // The global engine saw this preset twice: the second hit the cache.
+    let engine = doc.get("engine").expect("engine");
+    assert!(engine.get("cache_hits").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    assert!(engine.get("threads").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    let hist = doc.get("latency_histogram").expect("histogram");
+    let counts: f64 = hist
+        .get("counts")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .filter_map(|v| v.as_f64())
+        .sum();
+    // The /metrics request itself is recorded after its response body is
+    // built, so it is not yet in its own histogram.
+    assert!(counts >= 3.0, "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn sweep_and_pattern_roundtrip_over_the_wire() {
+    let server = start(4);
+    let addr = server.local_addr();
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/pattern",
+        r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = dram_units::json::Value::parse(&body).unwrap();
+    assert!(doc.get("power_w").and_then(|v| v.as_f64()).unwrap() > 0.0);
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"preset":"ddr3_1g_x16_55nm","top":3}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = dram_units::json::Value::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("entries").and_then(|v| v.as_array()).unwrap().len(),
+        3
+    );
+    server.shutdown();
+}

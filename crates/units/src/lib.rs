@@ -29,6 +29,7 @@
 
 mod arith;
 pub mod eng;
+pub mod json;
 pub mod rng;
 
 pub use arith::{half_cv2, supply_energy};

@@ -1,0 +1,81 @@
+//! Start `dram-serve` on an ephemeral port and query it with nothing but
+//! `std::net::TcpStream` — the whole client fits in one screen.
+//!
+//! ```text
+//! cargo run --example server_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use dram_energy::server::{serve, ServerConfig};
+use dram_energy::units::json::Value;
+
+/// Minimal HTTP/1.1 exchange: one request, `Connection: close`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("recv");
+    reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .expect("response has a body")
+}
+
+fn main() {
+    // Port 0 = ephemeral; local_addr() reports what the OS picked.
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.local_addr();
+    println!("dram-serve on http://{addr}\n");
+
+    let presets = http(addr, "GET", "/v1/presets", "");
+    println!("GET /v1/presets\n  {presets}\n");
+
+    let evaluated = http(
+        addr,
+        "POST",
+        "/v1/evaluate",
+        r#"{"preset":"ddr3_1g_x16_55nm"}"#,
+    );
+    let doc = Value::parse(&evaluated).expect("valid JSON");
+    let idd = doc.get("idd_ma").expect("idd block");
+    println!("POST /v1/evaluate preset=ddr3_1g_x16_55nm");
+    for symbol in ["IDD0", "IDD2N", "IDD4R", "IDD4W"] {
+        let ma = idd.get(symbol).and_then(Value::as_f64).expect(symbol);
+        println!("  {symbol:6} = {ma:7.1} mA");
+    }
+
+    let pattern = http(
+        addr,
+        "POST",
+        "/v1/pattern",
+        r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
+    );
+    let doc = Value::parse(&pattern).expect("valid JSON");
+    println!(
+        "\nPOST /v1/pattern \"act nop wrt nop rd nop pre nop\"\n  power = {:.3} W",
+        doc.get("power_w").and_then(Value::as_f64).expect("power")
+    );
+
+    let metrics = http(addr, "GET", "/metrics", "");
+    let doc = Value::parse(&metrics).expect("valid JSON");
+    let engine = doc.get("engine").expect("engine block");
+    println!(
+        "\nGET /metrics\n  requests_total = {}, cache hits = {}, misses = {}",
+        doc.get("requests_total").and_then(Value::as_f64).unwrap_or(0.0),
+        engine.get("cache_hits").and_then(Value::as_f64).unwrap_or(0.0),
+        engine.get("cache_misses").and_then(Value::as_f64).unwrap_or(0.0),
+    );
+
+    let served = handle.shutdown();
+    println!("\nserver drained after {served} requests");
+}

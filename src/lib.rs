@@ -21,7 +21,10 @@
 //!   evaluation.
 //! * [`workload`] ([`dram_workload`]) — trace generation and
 //!   trace-driven energy accounting with power-down policies.
-//! * [`units`] ([`dram_units`]) — typed physical quantities.
+//! * [`server`] ([`dram_server`]) — `dram-serve`, the std-only HTTP/JSON
+//!   evaluation service on top of the shared [`EvalEngine`].
+//! * [`units`] ([`dram_units`]) — typed physical quantities (including
+//!   the shared [`units::json`] encoder/decoder).
 //!
 //! ## Quickstart
 //!
@@ -43,9 +46,9 @@
 #![warn(missing_docs)]
 
 pub use dram_core::{
-    CacheStats, Command, Dram, DramDescription, EvalEngine, IddKind, IddReport, ModelCache,
-    ModelError, Operation, OperationEnergy, Pattern, PowerState, PowerSummary, TemperatureRange,
-    VoltageDomain,
+    CacheStats, Command, Dram, DramDescription, EngineSnapshot, EvalEngine, IddKind, IddReport,
+    ModelCache, ModelError, Operation, OperationEnergy, Pattern, PowerState, PowerSummary,
+    TemperatureRange, VoltageDomain,
 };
 
 pub use dram_core as model;
@@ -54,5 +57,6 @@ pub use dram_dsl as dsl;
 pub use dram_scaling as scaling;
 pub use dram_schemes as schemes;
 pub use dram_sensitivity as sensitivity;
+pub use dram_server as server;
 pub use dram_units as units;
 pub use dram_workload as workload;

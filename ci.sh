@@ -29,9 +29,9 @@ if [[ $fast -eq 0 ]]; then
   test -s BENCH_repro.json
   echo "    BENCH_repro.json written ($(wc -c < BENCH_repro.json) bytes)"
 
-  echo "==> dram-serve smoke (boot, /healthz, /v1/evaluate, SIGTERM drain)"
+  echo "==> dram-serve smoke (boot, tracing, deadline, SIGTERM drain)"
   serve_log=$(mktemp)
-  ./target/release/dram-serve --addr 127.0.0.1:0 --threads 2 > "$serve_log" &
+  ./target/release/dram-serve --addr 127.0.0.1:0 --threads 2 --deadline-ms 1000 > "$serve_log" &
   serve_pid=$!
   trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
   port=""
@@ -41,18 +41,48 @@ if [[ $fast -eq 0 ]]; then
     sleep 0.1
   done
   [[ -n "$port" ]] || { echo "    dram-serve never reported its port"; exit 1; }
-  smoke() { # method path body — fails unless the reply is HTTP 200
-    local method=$1 path=$2 body=$3 status
+  smoke() { # method path body — fails unless the reply is a traced HTTP 200
+    local method=$1 path=$2 body=$3 reply status
     exec 3<>"/dev/tcp/127.0.0.1/$port"
     printf '%s %s HTTP/1.1\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
       "$method" "$path" "${#body}" "$body" >&3
-    status=$(head -c 12 <&3)
+    reply=$(cat <&3)
     exec 3<&- 3>&-
+    status=${reply:0:12}
     [[ "$status" == "HTTP/1.1 200" ]] || { echo "    $method $path -> ${status} (want 200)"; return 1; }
-    echo "    $method $path -> 200"
+    grep -q 'x-request-id: ' <<<"$reply" || { echo "    $method $path reply has no x-request-id"; return 1; }
+    echo "    $method $path -> 200 (x-request-id present)"
   }
   smoke GET /healthz ""
   smoke POST /v1/evaluate '{"preset":"ddr3_1g_x16_55nm"}'
+  smoke POST /v1/batch '{"requests":[{"preset":"ddr3_1g_x16_55nm"},{"preset":"ddr2_1g_75nm"}]}'
+
+  # After traffic, /metrics must surface at least one slow-request sample
+  # (with its request id) for the evaluate route.
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n' >&3
+  metrics=$(cat <&3)
+  exec 3<&- 3>&-
+  grep -q '"slow_requests"' <<<"$metrics" || { echo "    /metrics has no slow_requests table"; exit 1; }
+  grep -q '"evaluate":\[{"id":' <<<"$metrics" || { echo "    /metrics has no evaluate slow sample"; exit 1; }
+  echo "    GET /metrics -> slow_requests sample present"
+
+  # Slowloris regression: a client trickling one byte at a time must be
+  # answered 408 once the 1 s request deadline expires, not held forever.
+  trickle_start=$(date +%s)
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  (
+    trap '' PIPE
+    printf 'G' >&3
+    for _ in $(seq 1 6); do sleep 0.3; printf 'E' >&3 2>/dev/null || exit 0; done
+  ) || true
+  trickle_reply=$(cat <&3 || true)
+  exec 3<&- 3>&-
+  trickle_s=$(( $(date +%s) - trickle_start ))
+  grep -q '^HTTP/1.1 408' <<<"$trickle_reply" || { echo "    trickling client got: ${trickle_reply:0:40} (want 408)"; exit 1; }
+  [[ $trickle_s -le 5 ]] || { echo "    trickling client held the server ${trickle_s}s"; exit 1; }
+  echo "    trickling client -> 408 after ${trickle_s}s (deadline 1s)"
+
   kill -TERM "$serve_pid"
   wait "$serve_pid"
   trap - EXIT

@@ -5,12 +5,15 @@
 //! to `BENCH_server.json`. The same load is driven against a 1-thread
 //! and an N-thread server and every response body is required to be
 //! byte-identical across both — the service must scale without changing
-//! a single bit of its answers.
+//! a single bit of its answers. Every response must also carry an
+//! `x-request-id`, and no id may repeat within a stage: the bench is the
+//! tracing layer's load-level regression test.
 //!
 //! ```text
 //! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE]
 //! ```
 
+use std::collections::HashSet;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
@@ -68,8 +71,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One HTTP exchange; returns (status, body).
-fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One HTTP exchange; returns (status, body, `x-request-id`).
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(
         format!(
@@ -87,11 +90,16 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Str
         .nth(1)
         .and_then(|t| t.parse().ok())
         .expect("status line");
+    let id = reply
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("x-request-id: "))
+        .unwrap_or_else(|| panic!("response without x-request-id: {reply}"))
+        .to_string();
     let payload = reply
         .split_once("\r\n\r\n")
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
-    (status, payload)
+    (status, payload, id)
 }
 
 /// One measured load stage against a running server.
@@ -131,17 +139,20 @@ fn run_stage(
     let addr = handle.local_addr();
     let per_client = requests.div_ceil(clients);
     let started = Instant::now();
-    let mut results: Vec<(Vec<u128>, String)> = std::thread::scope(|s| {
+    let mut results: Vec<(Vec<u128>, String, Vec<String>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 s.spawn(move || {
                     let mut latencies = Vec::with_capacity(per_client);
+                    let mut ids = Vec::with_capacity(per_client);
                     let mut canonical: Option<String> = None;
                     for _ in 0..per_client {
                         let t0 = Instant::now();
-                        let (status, reply) = exchange(addr, call.method, call.path, call.body);
+                        let (status, reply, id) =
+                            exchange(addr, call.method, call.path, call.body);
                         latencies.push(t0.elapsed().as_micros());
                         assert_eq!(status, 200, "request failed: {reply}");
+                        ids.push(id);
                         match &canonical {
                             None => canonical = Some(reply),
                             Some(c) => assert_eq!(
@@ -150,7 +161,7 @@ fn run_stage(
                             ),
                         }
                     }
-                    (latencies, canonical.expect("at least one request"))
+                    (latencies, canonical.expect("at least one request"), ids)
                 })
             })
             .collect();
@@ -160,9 +171,13 @@ fn run_stage(
 
     let first_body = results[0].1.clone();
     let mut latencies: Vec<u128> = Vec::with_capacity(clients * per_client);
-    for (ls, reply) in results.drain(..) {
+    let mut seen_ids: HashSet<String> = HashSet::with_capacity(clients * per_client);
+    for (ls, reply, ids) in results.drain(..) {
         assert_eq!(reply, first_body, "response bodies diverged across clients");
         latencies.extend(ls);
+        for id in ids {
+            assert!(seen_ids.insert(id.clone()), "request id `{id}` repeated");
+        }
     }
     latencies.sort_unstable();
     let n = latencies.len();
@@ -224,6 +239,8 @@ fn main() {
     };
 
     let eval_body = r#"{"preset":"ddr3_1g_55nm"}"#;
+    let batch_body =
+        r#"{"requests":[{"preset":"ddr3_1g_55nm"},{"preset":"ddr3_1g_x16_55nm"}]}"#;
     let mut stages: Vec<StageResult> = Vec::new();
 
     // One stage per server thread count; the model cache is the shared
@@ -239,9 +256,11 @@ fn main() {
         )
         .expect("bind ephemeral");
 
-        // Warm up: build the model once before timing starts.
-        let (status, reply) = exchange(handle.local_addr(), "POST", "/v1/evaluate", eval_body);
-        assert_eq!(status, 200, "warm-up failed: {reply}");
+        // Warm up: build every model the stages touch before timing starts.
+        for (path, body) in [("/v1/evaluate", eval_body), ("/v1/batch", batch_body)] {
+            let (status, reply, _id) = exchange(handle.local_addr(), "POST", path, body);
+            assert_eq!(status, 200, "warm-up ({path}) failed: {reply}");
+        }
 
         stages.push(run_stage(
             &format!("server/evaluate_warm/threads={threads}"),
@@ -253,6 +272,18 @@ fn main() {
                 method: "POST",
                 path: "/v1/evaluate",
                 body: eval_body,
+            },
+        ));
+        stages.push(run_stage(
+            &format!("server/batch_warm/threads={threads}"),
+            &handle,
+            threads,
+            args.clients,
+            args.requests,
+            &Call {
+                method: "POST",
+                path: "/v1/batch",
+                body: batch_body,
             },
         ));
         stages.push(run_stage(
@@ -271,17 +302,16 @@ fn main() {
     }
 
     // Acceptance: responses are bit-identical across 1 vs N server
-    // threads, for every exercised endpoint.
+    // threads, for every exercised endpoint. The stage list holds the
+    // same endpoint sequence once per thread count, so stage `i` of the
+    // first half pairs with stage `i + per` of the second.
+    let per = stages.len() / 2;
     let mut identical = true;
-    for pair in stages.chunks(2).collect::<Vec<_>>().windows(2) {
-        for (a, b) in pair[0].iter().zip(pair[1]) {
-            if a.body != b.body {
-                identical = false;
-                eprintln!(
-                    "MISMATCH: {} vs {} returned different bodies",
-                    a.name, b.name
-                );
-            }
+    for i in 0..per {
+        let (a, b) = (&stages[i], &stages[i + per]);
+        if a.body != b.body {
+            identical = false;
+            eprintln!("MISMATCH: {} vs {} returned different bodies", a.name, b.name);
         }
     }
     assert!(identical, "responses are not bit-identical across thread counts");

@@ -321,22 +321,41 @@ impl ModelCache {
     ///
     /// Returns [`ModelError`] if the description fails validation.
     pub fn get_or_build(&self, desc: &DramDescription) -> Result<Arc<Dram>, ModelError> {
+        self.get_or_build_traced(desc).map(|(model, _)| model)
+    }
+
+    /// Like [`ModelCache::get_or_build`], but also reports whether the
+    /// lookup was a cache hit (`true`) or had to build (`false`).
+    ///
+    /// This is the per-call hook a serving front end needs to attribute
+    /// cache activity to individual requests — the aggregate
+    /// [`ModelCache::stats`] counters cannot distinguish concurrent
+    /// callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the description fails validation.
+    pub fn get_or_build_traced(
+        &self,
+        desc: &DramDescription,
+    ) -> Result<(Arc<Dram>, bool), ModelError> {
         let key = content_hash(desc);
         if let Some(hit) = self.lookup(key, desc) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok((hit, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(Dram::new(desc.clone())?);
         let mut buckets = self.buckets.lock().expect("cache lock");
         let bucket = buckets.entry(key).or_default();
         // A concurrent builder may have won the race; keep its model so
-        // every caller shares one allocation.
+        // every caller shares one allocation. This call still built a
+        // model, so it reports a miss either way.
         if let Some((_, existing)) = bucket.iter().find(|(d, _)| d == desc) {
-            return Ok(Arc::clone(existing));
+            return Ok((Arc::clone(existing), false));
         }
         bucket.push((desc.clone(), Arc::clone(&built)));
-        Ok(built)
+        Ok((built, false))
     }
 
     fn lookup(&self, key: u64, desc: &DramDescription) -> Option<Arc<Dram>> {
@@ -460,6 +479,19 @@ impl EvalEngine {
         self.cache.get_or_build(desc)
     }
 
+    /// Like [`EvalEngine::model`], but also reports whether the model
+    /// came from the cache (`true`) or was built by this call (`false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the description fails validation.
+    pub fn model_traced(
+        &self,
+        desc: &DramDescription,
+    ) -> Result<(Arc<Dram>, bool), ModelError> {
+        self.cache.get_or_build_traced(desc)
+    }
+
     /// Builds models for a batch of descriptions, in parallel, memoized.
     ///
     /// `out[i]` is the model for `descs[i]`; order is the input order
@@ -470,6 +502,16 @@ impl EvalEngine {
         descs: &[DramDescription],
     ) -> Vec<Result<Arc<Dram>, ModelError>> {
         self.map(descs, |d| self.cache.get_or_build(d))
+    }
+
+    /// [`EvalEngine::evaluate_many`] with per-item cache-hit reporting:
+    /// `out[i]` carries the model for `descs[i]` plus whether it was a
+    /// cache hit, in input order regardless of thread count.
+    pub fn evaluate_many_traced(
+        &self,
+        descs: &[DramDescription],
+    ) -> Vec<Result<(Arc<Dram>, bool), ModelError>> {
+        self.map(descs, |d| self.cache.get_or_build_traced(d))
     }
 
     /// Applies `f` to every item on the worker pool and returns results
@@ -680,6 +722,30 @@ mod tests {
             block.gates += 1;
         }
         assert_ne!(h0, content_hash(&d), "logic block");
+    }
+
+    #[test]
+    fn traced_lookups_report_per_call_hits() {
+        let engine = EvalEngine::new().threads(2);
+        let desc = ddr3_1g_x16_55nm();
+        let (first, hit) = engine.model_traced(&desc).expect("builds");
+        assert!(!hit, "first sight must build");
+        let (second, hit) = engine.model_traced(&desc).expect("cached");
+        assert!(hit, "second lookup must hit");
+        assert!(Arc::ptr_eq(&first, &second));
+
+        let mut other = ddr3_1g_x16_55nm();
+        other.technology.bitline_cap = other.technology.bitline_cap * 1.5;
+        let out = engine.evaluate_many_traced(&[desc.clone(), other, desc]);
+        let flags: Vec<bool> = out.iter().map(|r| r.as_ref().unwrap().1).collect();
+        // desc was already cached; `other` is new; the second desc entry
+        // hits whichever call cached it first.
+        assert!(flags[0]);
+        assert!(!flags[1]);
+        assert!(flags[2]);
+        // The traced and untraced paths share one set of counters.
+        let stats = engine.cache_stats();
+        assert_eq!(stats, CacheStats { hits: 3, misses: 2 });
     }
 
     #[test]

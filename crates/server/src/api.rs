@@ -6,24 +6,65 @@
 //! floats via Rust's shortest-roundtrip formatter). Concurrent clients
 //! therefore receive byte-identical bodies to a direct library call,
 //! whatever the worker count.
+//!
+//! Handlers additionally report the engine-cache activity they caused
+//! ([`CacheActivity`]) so the front end can attribute hits and model
+//! builds to individual request ids in logs and slow-request samples.
 
-use dram_core::{Dram, DramDescription, EvalEngine, IddKind, Operation, Pattern};
+use dram_core::{Dram, DramDescription, EvalEngine, IddKind, ModelError, Operation, Pattern};
 use dram_units::json::{obj, Value};
 
 use crate::http::{Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::presets;
 
+/// Largest `requests` array `/v1/batch` accepts in one call.
+pub const MAX_BATCH_ITEMS: usize = 256;
+
+/// Engine model-cache activity attributed to one request: how many
+/// lookups hit the cache and how many had to build a model.
+///
+/// Sweeps build their perturbed variants inside `dram_sensitivity`, so
+/// `/v1/sweep` reports only zeroes here; its builds still show up in the
+/// aggregate engine counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheActivity {
+    /// Model lookups served from the cache.
+    pub hits: u32,
+    /// Model lookups that built (a miss, even if a concurrent builder
+    /// raced this call to the insert).
+    pub misses: u32,
+}
+
+impl CacheActivity {
+    fn note(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+}
+
 /// Dispatches one parsed request to its handler.
 ///
-/// Returns the route label (for metrics) alongside the response.
+/// Returns the route label (for metrics) and the cache activity the
+/// handler caused (for tracing) alongside the response.
 #[must_use]
-pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response) {
-    match (req.method.as_str(), req.path.as_str()) {
+pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivity) {
+    let mut activity = CacheActivity::default();
+    let (route, response) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Route::Healthz, healthz()),
         ("GET", "/v1/presets") => (Route::Presets, list_presets()),
-        ("POST", "/v1/evaluate") => (Route::Evaluate, with_body(req, evaluate)),
-        ("POST", "/v1/pattern") => (Route::Pattern, with_body(req, pattern)),
+        ("POST", "/v1/evaluate") => (
+            Route::Evaluate,
+            with_body(req, |b| evaluate(b, &mut activity)),
+        ),
+        ("POST", "/v1/batch") => (Route::Batch, with_body(req, |b| batch(b, &mut activity))),
+        ("POST", "/v1/pattern") => (
+            Route::Pattern,
+            with_body(req, |b| pattern(b, &mut activity)),
+        ),
         ("POST", "/v1/sweep") => (Route::Sweep, with_body(req, sweep_handler)),
         ("GET", "/metrics") => (
             Route::Metrics,
@@ -32,14 +73,15 @@ pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response) {
         (_, "/healthz" | "/v1/presets" | "/metrics") => {
             (Route::Other, method_not_allowed("GET"))
         }
-        (_, "/v1/evaluate" | "/v1/pattern" | "/v1/sweep") => {
+        (_, "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep") => {
             (Route::Other, method_not_allowed("POST"))
         }
         _ => (
             Route::Other,
             Response::error(404, &format!("no such route `{}`", req.path)),
         ),
-    }
+    };
+    (route, response, activity)
 }
 
 fn method_not_allowed(allow: &str) -> Response {
@@ -77,52 +119,54 @@ fn with_body(req: &Request, f: impl FnOnce(&Value) -> Response) -> Response {
 
 /// Resolves the device a request addresses: `"preset"` (a name from
 /// [`presets::NAMES`]) or `"description"` (description-language text).
-fn resolve_description(body: &Value) -> Result<DramDescription, Response> {
+/// Errors are returned as the message for a 400 body, so batch items
+/// can carry them inline.
+fn resolve_description(body: &Value) -> Result<DramDescription, String> {
     match (body.get("preset"), body.get("description")) {
-        (Some(_), Some(_)) => Err(Response::error(
-            400,
-            "give either `preset` or `description`, not both",
-        )),
+        (Some(_), Some(_)) => Err("give either `preset` or `description`, not both".into()),
         (Some(p), None) => {
-            let name = p
-                .as_str()
-                .ok_or_else(|| Response::error(400, "`preset` must be a string"))?;
+            let name = p.as_str().ok_or("`preset` must be a string")?;
             presets::by_name(name).ok_or_else(|| {
-                Response::error(
-                    400,
-                    &format!(
-                        "unknown preset `{name}`; valid presets: {}",
-                        presets::NAMES.join(", ")
-                    ),
+                format!(
+                    "unknown preset `{name}`; valid presets: {}",
+                    presets::NAMES.join(", ")
                 )
             })
         }
         (None, Some(d)) => {
-            let text = d
-                .as_str()
-                .ok_or_else(|| Response::error(400, "`description` must be a string"))?;
+            let text = d.as_str().ok_or("`description` must be a string")?;
             dram_dsl::parse_description(text)
-                .map_err(|e| Response::error(400, &format!("description parse error: {e}")))
+                .map_err(|e| format!("description parse error: {e}"))
         }
-        (None, None) => Err(Response::error(
-            400,
-            "request needs a `preset` name or a `description` text",
-        )),
+        (None, None) => Err("request needs a `preset` name or a `description` text".into()),
     }
 }
 
 /// Builds (or fetches from the global cache) the model for a resolved
-/// description.
-fn model_for(desc: &DramDescription) -> Result<std::sync::Arc<Dram>, Response> {
-    EvalEngine::global()
-        .model(desc)
-        .map_err(|e| Response::error(400, &format!("invalid description: {e}")))
+/// description, noting the hit/miss in `activity`.
+fn model_for(
+    desc: &DramDescription,
+    activity: &mut CacheActivity,
+) -> Result<std::sync::Arc<Dram>, Response> {
+    match EvalEngine::global().model_traced(desc) {
+        Ok((model, hit)) => {
+            activity.note(hit);
+            Ok(model)
+        }
+        Err(e) => Err(Response::error(400, &model_error_message(&e))),
+    }
+}
+
+fn model_error_message(e: &ModelError) -> String {
+    format!("invalid description: {e}")
 }
 
 /// The `/v1/evaluate` response document for one description.
 ///
 /// Public so tests and the load generator can assert the served bytes
-/// are identical to a direct library evaluation.
+/// are identical to a direct library evaluation. `/v1/batch` reuses it
+/// verbatim per item, so batch entries are bit-identical to single
+/// `/v1/evaluate` bodies.
 #[must_use]
 pub fn evaluate_document(dram: &Dram) -> Value {
     let idd = dram.idd();
@@ -171,15 +215,84 @@ pub fn evaluate_document(dram: &Dram) -> Value {
     ])
 }
 
-fn evaluate(body: &Value) -> Response {
+fn evaluate(body: &Value, activity: &mut CacheActivity) -> Response {
     let desc = match resolve_description(body) {
         Ok(d) => d,
-        Err(r) => return r,
+        Err(msg) => return Response::error(400, &msg),
     };
-    match model_for(&desc) {
+    match model_for(&desc, activity) {
         Ok(dram) => Response::json(200, evaluate_document(&dram).to_string()),
         Err(r) => r,
     }
+}
+
+/// `POST /v1/batch`: `{"requests": [<evaluate request>, ...]}` answered
+/// through [`EvalEngine::evaluate_many_traced`] in one parallel,
+/// memoized pass.
+///
+/// `results[i]` corresponds to `requests[i]`: either the exact
+/// [`evaluate_document`] for that item (bit-identical to a single
+/// `/v1/evaluate` call) or `{"error": ...}` — one bad item never fails
+/// its neighbours. The response is 200 whenever the envelope itself was
+/// well-formed.
+fn batch(body: &Value, activity: &mut CacheActivity) -> Response {
+    let Some(items) = body.get("requests").and_then(Value::as_array) else {
+        return Response::error(
+            400,
+            "request needs a `requests` array of evaluate requests",
+        );
+    };
+    if items.len() > MAX_BATCH_ITEMS {
+        return Response::error(
+            400,
+            &format!(
+                "batch of {} items exceeds the limit of {MAX_BATCH_ITEMS}",
+                items.len()
+            ),
+        );
+    }
+
+    // Resolve every item first, then build all resolvable models in one
+    // engine pass so duplicates share work and distinct items build in
+    // parallel.
+    let resolved: Vec<Result<DramDescription, String>> = items
+        .iter()
+        .map(|item| {
+            if matches!(item, Value::Obj(_)) {
+                resolve_description(item)
+            } else {
+                Err("batch item must be a JSON object".into())
+            }
+        })
+        .collect();
+    let descs: Vec<DramDescription> = resolved
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let mut models = EvalEngine::global().evaluate_many_traced(&descs).into_iter();
+
+    let results: Vec<Value> = resolved
+        .into_iter()
+        .map(|r| match r {
+            Err(msg) => obj(vec![("error", msg.as_str().into())]),
+            Ok(_) => match models.next().expect("one model per resolved item") {
+                Ok((model, hit)) => {
+                    activity.note(hit);
+                    evaluate_document(&model)
+                }
+                Err(e) => obj(vec![("error", model_error_message(&e).as_str().into())]),
+            },
+        })
+        .collect();
+
+    Response::json(
+        200,
+        obj(vec![
+            ("count", results.len().into()),
+            ("results", results.into()),
+        ])
+        .to_string(),
+    )
 }
 
 /// The `/v1/pattern` response document.
@@ -205,10 +318,10 @@ pub fn pattern_document(dram: &Dram, pattern: &Pattern) -> Value {
     ])
 }
 
-fn pattern(body: &Value) -> Response {
+fn pattern(body: &Value, activity: &mut CacheActivity) -> Response {
     let desc = match resolve_description(body) {
         Ok(d) => d,
-        Err(r) => return r,
+        Err(msg) => return Response::error(400, &msg),
     };
     let Some(text) = body.get("pattern").and_then(Value::as_str) else {
         return Response::error(400, "request needs a `pattern` string, e.g. \"act nop rd nop pre nop\"");
@@ -217,7 +330,7 @@ fn pattern(body: &Value) -> Response {
         Ok(p) => p,
         Err(e) => return Response::error(400, &format!("bad pattern: {e}")),
     };
-    let dram = match model_for(&desc) {
+    let dram = match model_for(&desc, activity) {
         Ok(d) => d,
         Err(r) => return r,
     };
@@ -269,7 +382,7 @@ pub fn sweep_document(
 fn sweep_handler(body: &Value) -> Response {
     let desc = match resolve_description(body) {
         Ok(d) => d,
-        Err(r) => return r,
+        Err(msg) => return Response::error(400, &msg),
     };
     let variation = match body.get("variation") {
         None => 0.2,
@@ -324,11 +437,11 @@ mod tests {
     #[test]
     fn healthz_and_presets_respond() {
         let m = Metrics::new();
-        let (route, r) = handle(&get("/healthz"), &m);
+        let (route, r, _) = handle(&get("/healthz"), &m);
         assert_eq!((route, r.status), (Route::Healthz, 200));
         assert_eq!(body_str(&r), "{\"status\":\"ok\"}");
 
-        let (_, r) = handle(&get("/v1/presets"), &m);
+        let (_, r, _) = handle(&get("/v1/presets"), &m);
         let doc = Value::parse(&body_str(&r)).unwrap();
         assert_eq!(
             doc.get("count").and_then(Value::as_f64),
@@ -339,17 +452,19 @@ mod tests {
     #[test]
     fn unknown_route_and_wrong_method_are_distinguished() {
         let m = Metrics::new();
-        let (route, r) = handle(&get("/nope"), &m);
+        let (route, r, _) = handle(&get("/nope"), &m);
         assert_eq!((route, r.status), (Route::Other, 404));
-        let (_, r) = handle(&get("/v1/evaluate"), &m);
+        let (_, r, _) = handle(&get("/v1/evaluate"), &m);
         assert_eq!(r.status, 405);
         assert!(r.headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+        let (route, r, _) = handle(&get("/v1/batch"), &m);
+        assert_eq!((route, r.status), (Route::Other, 405));
     }
 
     #[test]
-    fn evaluate_serves_the_reference_device() {
+    fn evaluate_serves_the_reference_device_and_reports_cache_activity() {
         let m = Metrics::new();
-        let (_, r) = handle(&post("/v1/evaluate", r#"{"preset":"ddr3_1g_x16_55nm"}"#), &m);
+        let (_, r, first) = handle(&post("/v1/evaluate", r#"{"preset":"ddr3_1g_x16_55nm"}"#), &m);
         assert_eq!(r.status, 200, "{}", body_str(&r));
         let doc = Value::parse(&body_str(&r)).unwrap();
         let idd0 = doc.get("idd_ma").unwrap().get("IDD0").unwrap().as_f64().unwrap();
@@ -357,6 +472,12 @@ mod tests {
         // Served numbers equal a direct library evaluation, bit for bit.
         let dram = Dram::new(dram_core::reference::ddr3_1g_x16_55nm()).unwrap();
         assert_eq!(body_str(&r), evaluate_document(&dram).to_string());
+        // Exactly one model lookup is attributed to the request; asking
+        // again must be a pure cache hit (the preset may already have
+        // been cached by a sibling test in this process).
+        assert_eq!(first.hits + first.misses, 1);
+        let (_, _, again) = handle(&post("/v1/evaluate", r#"{"preset":"ddr3_1g_x16_55nm"}"#), &m);
+        assert_eq!(again, CacheActivity { hits: 1, misses: 0 });
     }
 
     #[test]
@@ -367,7 +488,7 @@ mod tests {
         };
         let m = Metrics::new();
         let body = obj(vec![("description", source.into())]).to_string();
-        let (_, r) = handle(&post("/v1/evaluate", &body), &m);
+        let (_, r, _) = handle(&post("/v1/evaluate", &body), &m);
         assert_eq!(r.status, 200, "{}", body_str(&r));
     }
 
@@ -383,16 +504,81 @@ mod tests {
             (r#"[1,2]"#, "must be a JSON object"),
             (r#"{"description":"garbage"}"#, "description parse error"),
         ] {
-            let (_, r) = handle(&post("/v1/evaluate", body), &m);
+            let (_, r, _) = handle(&post("/v1/evaluate", body), &m);
             assert_eq!(r.status, 400, "{body}");
             assert!(body_str(&r).contains(want), "{body} -> {}", body_str(&r));
         }
     }
 
     #[test]
+    fn batch_preserves_order_and_matches_single_evaluate_bodies() {
+        let m = Metrics::new();
+        let body = r#"{"requests":[
+            {"preset":"ddr3_1g_x16_55nm"},
+            {"preset":"nope"},
+            {"preset":"ddr2_1g_75nm"},
+            7,
+            {"preset":"ddr3_1g_x16_55nm"}
+        ]}"#;
+        let (route, r, activity) = handle(&post("/v1/batch", body), &m);
+        assert_eq!((route, r.status), (Route::Batch, 200), "{}", body_str(&r));
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        assert_eq!(doc.get("count").and_then(Value::as_f64), Some(5.0));
+        let results = doc.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 5);
+
+        // Items 0, 2, 4: bit-identical to the single-call documents.
+        for (i, preset) in [(0, "ddr3_1g_x16_55nm"), (2, "ddr2_1g_75nm"), (4, "ddr3_1g_x16_55nm")]
+        {
+            let (_, single, _) =
+                handle(&post("/v1/evaluate", &format!(r#"{{"preset":"{preset}"}}"#)), &m);
+            assert_eq!(
+                results[i].to_string(),
+                body_str(&single),
+                "batch item {i} diverged from a single call"
+            );
+        }
+        // Items 1 and 3: inline errors, not whole-request failures.
+        assert!(results[1]
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("unknown preset")));
+        assert!(results[3]
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("must be a JSON object")));
+        // Three model lookups were attributed to the batch request.
+        assert_eq!(activity.hits + activity.misses, 3);
+    }
+
+    #[test]
+    fn batch_rejects_bad_envelopes() {
+        let m = Metrics::new();
+        for (body, want) in [
+            (r#"{}"#, "needs a `requests` array"),
+            (r#"{"requests": 3}"#, "needs a `requests` array"),
+        ] {
+            let (_, r, _) = handle(&post("/v1/batch", body), &m);
+            assert_eq!(r.status, 400, "{body}");
+            assert!(body_str(&r).contains(want), "{body} -> {}", body_str(&r));
+        }
+        let oversized = format!(
+            r#"{{"requests":[{}]}}"#,
+            vec![r#"{"preset":"x"}"#; MAX_BATCH_ITEMS + 1].join(",")
+        );
+        let (_, r, _) = handle(&post("/v1/batch", &oversized), &m);
+        assert_eq!(r.status, 400);
+        assert!(body_str(&r).contains("exceeds the limit"), "{}", body_str(&r));
+        // An empty batch is a valid no-op.
+        let (_, r, _) = handle(&post("/v1/batch", r#"{"requests":[]}"#), &m);
+        assert_eq!(r.status, 200);
+        assert!(body_str(&r).contains("\"count\":0"), "{}", body_str(&r));
+    }
+
+    #[test]
     fn pattern_endpoint_computes_and_validates() {
         let m = Metrics::new();
-        let (_, r) = handle(
+        let (_, r, _) = handle(
             &post(
                 "/v1/pattern",
                 r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
@@ -404,7 +590,7 @@ mod tests {
         assert_eq!(doc.get("slots").and_then(Value::as_f64), Some(8.0));
         assert!(doc.get("power_w").unwrap().as_f64().unwrap() > 0.0);
 
-        let (_, r) = handle(
+        let (_, r, _) = handle(
             &post(
                 "/v1/pattern",
                 r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act frob"}"#,
@@ -416,7 +602,7 @@ mod tests {
 
         // The paper's pattern is too fast for one DDR3 bank: `checked`
         // surfaces the timing violation as a 400.
-        let (_, r) = handle(
+        let (_, r, _) = handle(
             &post(
                 "/v1/pattern",
                 r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop","checked":true}"#,
@@ -430,7 +616,7 @@ mod tests {
     #[test]
     fn sweep_endpoint_ranks_parameters() {
         let m = Metrics::new();
-        let (_, r) = handle(
+        let (_, r, _) = handle(
             &post(
                 "/v1/sweep",
                 r#"{"preset":"ddr3_1g_x16_55nm","variation":0.2,"top":5}"#,
@@ -457,7 +643,7 @@ mod tests {
             entries[0]
         );
 
-        let (_, r) = handle(
+        let (_, r, _) = handle(
             &post("/v1/sweep", r#"{"preset":"ddr3_1g_x16_55nm","variation":5}"#),
             &m,
         );

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
+//!            [--deadline-ms MS] [--log off|error|info|debug]
 //! ```
 //!
 //! Binds (port `0` picks an ephemeral port, printed on startup), serves
 //! until SIGINT/SIGTERM, then drains in-flight requests before exiting.
+//! At `--log info` (the default) every served request emits one
+//! structured `key=value` line on stderr carrying its `x-request-id`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use dram_server::{serve, Limits, ServerConfig};
+use dram_server::{serve, Limits, LogLevel, ServerConfig};
 
 struct Args {
     addr: String,
@@ -21,7 +24,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
-        config: ServerConfig::default(),
+        config: ServerConfig {
+            log: LogLevel::Info,
+            ..ServerConfig::default()
+        },
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,6 +56,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad body limit `{v}`"))?;
             }
+            "--deadline-ms" => {
+                let v = value_of("--deadline-ms")?;
+                args.config.limits.request_deadline = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms >= 1)
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| format!("bad request deadline `{v}`"))?;
+            }
+            "--log" => {
+                let v = value_of("--log")?;
+                args.config.log = LogLevel::parse(&v)
+                    .ok_or_else(|| format!("bad log level `{v}` (off|error|info|debug)"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -60,9 +80,11 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
-         usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\n\
+         usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\
+             [--deadline-ms MS] [--log off|error|info|debug]\n\n\
          defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
-         endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate,\n\
+         \x20         --deadline-ms 15000 --log info\n\
+         endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate, POST /v1/batch,\n\
          POST /v1/pattern, POST /v1/sweep, GET /metrics (see docs/SERVER.md)"
     );
 }
@@ -130,13 +152,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Limits { max_body, .. } = args.config.limits;
+    let Limits {
+        max_body,
+        request_deadline,
+        ..
+    } = args.config.limits;
     println!(
-        "dram-serve listening on http://{} ({} worker threads, queue depth {}, max body {} bytes)",
+        "dram-serve listening on http://{} ({} worker threads, queue depth {}, max body {} bytes, \
+         request deadline {} ms, log {})",
         handle.local_addr(),
         args.config.threads,
         args.config.queue_depth,
-        max_body
+        max_body,
+        request_deadline.as_millis(),
+        args.config.log.label()
     );
 
     signals::install();

@@ -4,13 +4,16 @@
 //! this module implements exactly the slice of HTTP the service needs —
 //! one request per connection, `Connection: close` semantics — with the
 //! robustness a network front end cannot skip: a header-size cap, a body
-//! size limit enforced *before* allocation, read timeouts, and precise
-//! 4xx classification of malformed input.
+//! size limit enforced *before* allocation, per-read socket timeouts
+//! **and** an overall per-request deadline (a client trickling one byte
+//! per read interval cannot park a worker past
+//! [`Limits::request_deadline`]), and precise 4xx classification of
+//! malformed input.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Parsing limits and socket timeouts.
 #[derive(Debug, Clone, Copy)]
@@ -20,9 +23,15 @@ pub struct Limits {
     /// Maximum request body size, in bytes. Larger declared bodies are
     /// rejected with `413` before any body byte is read.
     pub max_body: usize,
-    /// Socket read/write timeout. A client that stalls mid-request gets
-    /// `408` instead of parking a worker forever.
+    /// Socket read/write timeout applied to each individual `read`
+    /// while parsing and to response writes. A client that stalls
+    /// completely gets `408` after at most this long.
     pub io_timeout: Duration,
+    /// Overall deadline for receiving one complete request (head and
+    /// body). A slowloris client that trickles bytes — resetting the
+    /// per-read timeout on every byte — still gets `408` when this
+    /// expires.
+    pub request_deadline: Duration,
 }
 
 impl Default for Limits {
@@ -31,6 +40,7 @@ impl Default for Limits {
             max_head: 16 * 1024,
             max_body: 1024 * 1024,
             io_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(15),
         }
     }
 }
@@ -42,13 +52,18 @@ pub struct Request {
     pub method: String,
     /// Request target path, query string stripped.
     pub path: String,
-    /// Header fields, names lowercased.
+    /// Header fields, names lowercased; repeated fields joined with
+    /// `", "` in arrival order.
     pub headers: HashMap<String, String>,
     /// Raw request body.
     pub body: Vec<u8>,
 }
 
 /// Why a request could not be parsed; maps 1:1 to a 4xx status.
+///
+/// Every variant is answerable — the peer-closed-silently case is
+/// [`ReadError::Closed`], deliberately *outside* this type so no code
+/// path can ever build a response for a connection that asked nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
     /// Syntactically invalid request line, header or framing → 400.
@@ -57,11 +72,9 @@ pub enum HttpError {
     PayloadTooLarge,
     /// Request line + headers beyond [`Limits::max_head`] → 431.
     HeadersTooLarge,
-    /// The socket timed out before a full request arrived → 408.
+    /// The socket timed out or the overall [`Limits::request_deadline`]
+    /// expired before a full request arrived → 408.
     Timeout,
-    /// The peer closed the connection before sending anything; not an
-    /// error worth answering (health probes do this).
-    Closed,
 }
 
 impl HttpError {
@@ -73,7 +86,6 @@ impl HttpError {
             HttpError::Timeout => 408,
             HttpError::PayloadTooLarge => 413,
             HttpError::HeadersTooLarge => 431,
-            HttpError::Closed => 400,
         }
     }
 
@@ -85,8 +97,26 @@ impl HttpError {
             HttpError::Timeout => "request timed out".to_string(),
             HttpError::PayloadTooLarge => "request body too large".to_string(),
             HttpError::HeadersTooLarge => "request headers too large".to_string(),
-            HttpError::Closed => "connection closed".to_string(),
         }
+    }
+}
+
+/// Why no [`Request`] came off a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a single byte —
+    /// a port probe or TCP health check. There is nothing to answer:
+    /// this variant carries no status and no message *by construction*,
+    /// so response bytes cannot be written for it.
+    Closed,
+    /// A protocol failure the caller answers with
+    /// [`HttpError::status`].
+    Http(HttpError),
+}
+
+impl From<HttpError> for ReadError {
+    fn from(e: HttpError) -> Self {
+        ReadError::Http(e)
     }
 }
 
@@ -97,16 +127,37 @@ fn io_to_http(e: &std::io::Error) -> HttpError {
     }
 }
 
+/// Reads one chunk within both the per-read timeout and the overall
+/// request deadline. The effective socket timeout is the smaller of
+/// [`Limits::io_timeout`] and the time left until `deadline`, so a
+/// trickling sender cannot extend its welcome by keeping bytes coming.
+fn read_bounded(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+    io_timeout: Duration,
+) -> Result<usize, HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::Timeout);
+    }
+    // `set_read_timeout(Some(0))` is an error in std; clamp up.
+    let timeout = remaining.min(io_timeout).max(Duration::from_millis(1));
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| io_to_http(&e))?;
+    stream.read(chunk).map_err(|e| io_to_http(&e))
+}
+
 /// Reads and parses one request from the stream under the given limits.
 ///
 /// # Errors
 ///
-/// Returns [`HttpError`] classifying the failure; the caller converts it
-/// to a 4xx response (except [`HttpError::Closed`]).
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
-    stream
-        .set_read_timeout(Some(limits.io_timeout))
-        .map_err(|e| io_to_http(&e))?;
+/// Returns [`ReadError::Closed`] for a silent probe (nothing to answer)
+/// or [`ReadError::Http`] classifying the protocol failure; the caller
+/// converts the latter to a 4xx response.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    let deadline = Instant::now() + limits.request_deadline;
 
     // Accumulate until the blank line that ends the head section.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
@@ -115,15 +166,15 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
             break pos;
         }
         if buf.len() > limits.max_head {
-            return Err(HttpError::HeadersTooLarge);
+            return Err(HttpError::HeadersTooLarge.into());
         }
         let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk).map_err(|e| io_to_http(&e))?;
+        let n = read_bounded(stream, &mut chunk, deadline, limits.io_timeout)?;
         if n == 0 {
             if buf.is_empty() {
-                return Err(HttpError::Closed);
+                return Err(ReadError::Closed);
             }
-            return Err(HttpError::BadRequest("truncated request head".into()));
+            return Err(HttpError::BadRequest("truncated request head".into()).into());
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -134,7 +185,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
     let request_line = lines.next().unwrap_or_default();
     let (method, path) = parse_request_line(request_line)?;
 
-    let mut headers = HashMap::new();
+    let mut headers: HashMap<String, String> = HashMap::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -142,7 +193,36 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
-        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        // RFC 9112 §5.1: no whitespace is allowed between the field name
+        // and the colon — `Content-Length : 5` is a smuggling vector,
+        // not a header.
+        if name.is_empty() || name.chars().any(|c| c.is_ascii_whitespace()) {
+            return Err(HttpError::BadRequest(format!("malformed header name `{name}`")).into());
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        match headers.entry(name) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Repeated content-length fields are only acceptable
+                // when they agree (RFC 9110 §8.6); anything else is a
+                // request-smuggling attempt.
+                if e.key() == "content-length" {
+                    if *e.get() != value {
+                        return Err(HttpError::BadRequest(
+                            "conflicting content-length headers".into(),
+                        )
+                        .into());
+                    }
+                } else {
+                    let joined = e.get_mut();
+                    joined.push_str(", ");
+                    joined.push_str(&value);
+                }
+            }
+        }
     }
 
     // Body framing: Content-Length only. Chunked encoding is out of
@@ -151,32 +231,26 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         .get("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
     {
-        return Err(HttpError::BadRequest(
-            "transfer-encoding is not supported".into(),
-        ));
+        return Err(HttpError::BadRequest("transfer-encoding is not supported".into()).into());
     }
     let content_length = match headers.get("content-length") {
         None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        Some(v) => parse_content_length(v)?,
     };
     if content_length > limits.max_body {
-        return Err(HttpError::PayloadTooLarge);
+        return Err(HttpError::PayloadTooLarge.into());
     }
 
     // The head read may have pulled in the start of the body already.
     let mut body = buf[head_end + 4..].to_vec();
     if body.len() > content_length {
-        return Err(HttpError::BadRequest(
-            "body longer than content-length".into(),
-        ));
+        return Err(HttpError::BadRequest("body longer than content-length".into()).into());
     }
     while body.len() < content_length {
         let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
-        let n = stream.read(&mut chunk).map_err(|e| io_to_http(&e))?;
+        let n = read_bounded(stream, &mut chunk, deadline, limits.io_timeout)?;
         if n == 0 {
-            return Err(HttpError::BadRequest("truncated request body".into()));
+            return Err(HttpError::BadRequest("truncated request body".into()).into());
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -187,6 +261,17 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         headers,
         body,
     })
+}
+
+/// Parses a `content-length` value: ASCII digits only (the surrounding
+/// optional whitespace was already trimmed). Rust's `usize::parse` also
+/// accepts `+42`, which HTTP does not.
+fn parse_content_length(v: &str) -> Result<usize, HttpError> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::BadRequest(format!("bad content-length `{v}`")));
+    }
+    v.parse::<usize>()
+        .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))
 }
 
 /// Position of the `\r\n\r\n` head terminator, if present.
@@ -298,13 +383,30 @@ impl Response {
         out
     }
 
-    /// Writes the response to the stream. Write errors are swallowed —
-    /// the peer may already be gone, and the connection closes either
-    /// way.
+    /// Writes the response with `io_timeout` as the socket write
+    /// timeout, honoring the [`Limits::io_timeout`] contract on the
+    /// write side as well as the read side.
+    ///
+    /// `write_all` retries partial writes internally; a hard failure
+    /// (peer gone, write timeout) is returned so the caller can log it —
+    /// the caller must *not* attempt a second response on the same
+    /// connection, the stream state is unknown.
+    ///
+    /// # Errors
+    ///
+    /// The first write/flush error, if any.
+    pub fn send_within(&self, stream: &mut TcpStream, io_timeout: Duration) -> std::io::Result<()> {
+        stream.set_write_timeout(Some(io_timeout.max(Duration::from_millis(1))))?;
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+
+    /// Best-effort send with the default write timeout; failures are
+    /// swallowed (the peer may already be gone, and the connection
+    /// closes either way). Prefer [`Response::send_within`] where the
+    /// caller has [`Limits`] and wants to observe the outcome.
     pub fn send(&self, stream: &mut TcpStream) {
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-        let _ = stream.write_all(&self.to_bytes());
-        let _ = stream.flush();
+        let _ = self.send_within(stream, Limits::default().io_timeout);
     }
 }
 
@@ -352,5 +454,16 @@ mod tests {
         assert_eq!(HttpError::Timeout.status(), 408);
         assert_eq!(HttpError::PayloadTooLarge.status(), 413);
         assert_eq!(HttpError::HeadersTooLarge.status(), 431);
+    }
+
+    #[test]
+    fn content_length_values_are_strictly_digits() {
+        assert_eq!(parse_content_length("0").unwrap(), 0);
+        assert_eq!(parse_content_length("42").unwrap(), 42);
+        for bad in ["", "+42", "-1", "4 2", "0x10", "12a", "½"] {
+            assert!(parse_content_length(bad).is_err(), "accepted `{bad}`");
+        }
+        // Larger than usize: classified as bad framing, not a panic.
+        assert!(parse_content_length("99999999999999999999999999").is_err());
     }
 }

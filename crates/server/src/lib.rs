@@ -17,9 +17,15 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /v1/presets` | names accepted by the `preset` request field |
 //! | `POST /v1/evaluate` | description/preset → currents, energies, area |
+//! | `POST /v1/batch` | array of evaluate requests in one parallel pass |
 //! | `POST /v1/pattern` | IDD-style command-loop pattern power |
 //! | `POST /v1/sweep` | ±variation sensitivity ranking |
-//! | `GET /metrics` | request counters, latency histogram, cache stats |
+//! | `GET /metrics` | request counters, latency histogram, slow samples, cache stats |
+//!
+//! Every response (including 4xx and the backpressure 503) carries a
+//! unique `x-request-id` header; the same id labels the request's
+//! structured log line (see [`trace`]) and any slow-request sample in
+//! `/metrics`.
 //!
 //! ## In-process quickstart
 //!
@@ -43,7 +49,9 @@ pub mod http;
 pub mod metrics;
 pub mod presets;
 mod server;
+pub mod trace;
 
-pub use http::{Limits, Request, Response};
-pub use metrics::{Metrics, Route};
+pub use http::{Limits, ReadError, Request, Response};
+pub use metrics::{Metrics, RequestRecord, Route, SlowSample};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use trace::{LogLevel, Logger, RequestId, RequestIdSource};

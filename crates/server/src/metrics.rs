@@ -1,10 +1,15 @@
-//! Request counters and a latency histogram for the `/metrics` endpoint.
+//! Request counters, a latency histogram and slow-request samples for
+//! the `/metrics` endpoint.
 //!
-//! All counters are relaxed atomics: `/metrics` is an observability
+//! Counters are relaxed atomics: `/metrics` is an observability
 //! endpoint, not an accounting ledger, and the handlers must never
-//! contend on a lock just to count themselves.
+//! contend on a lock just to count themselves. The slow-request table is
+//! the one mutex-guarded structure — but it is preceded by a per-route
+//! atomic floor, so the common case (a request faster than everything
+//! already sampled) never takes the lock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use dram_core::EngineSnapshot;
@@ -19,6 +24,8 @@ pub enum Route {
     Presets,
     /// `POST /v1/evaluate`.
     Evaluate,
+    /// `POST /v1/batch`.
+    Batch,
     /// `POST /v1/pattern`.
     Pattern,
     /// `POST /v1/sweep`.
@@ -31,10 +38,11 @@ pub enum Route {
 
 impl Route {
     /// All routes, in display order.
-    pub const ALL: [Route; 7] = [
+    pub const ALL: [Route; 8] = [
         Route::Healthz,
         Route::Presets,
         Route::Evaluate,
+        Route::Batch,
         Route::Pattern,
         Route::Sweep,
         Route::Metrics,
@@ -48,6 +56,7 @@ impl Route {
             Route::Healthz => "healthz",
             Route::Presets => "presets",
             Route::Evaluate => "evaluate",
+            Route::Batch => "batch",
             Route::Pattern => "pattern",
             Route::Sweep => "sweep",
             Route::Metrics => "metrics",
@@ -64,8 +73,106 @@ impl Route {
 }
 
 /// Number of latency buckets: powers of two of microseconds, 1 µs up to
-/// ~4 s, plus an overflow bucket.
+/// ~2 s, plus an overflow bucket.
 const BUCKETS: usize = 23;
+
+/// Slowest-request samples retained per route.
+pub const SLOW_SAMPLES_PER_ROUTE: usize = 8;
+
+/// Histogram bucket for a latency in microseconds. Bucket `i` counts
+/// latencies in `[2^(i-1), 2^i)` µs; bucket 0 is sub-microsecond and the
+/// last bucket catches everything at or above `2^(BUCKETS-2)` µs.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (usize::try_from(u64::BITS - us.leading_zeros()).expect("≤ 64")).min(BUCKETS - 1)
+    }
+}
+
+/// Everything known about one served request, for
+/// [`Metrics::observe`] and the structured log line.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord<'a> {
+    /// The request's id, already rendered.
+    pub id: &'a str,
+    /// Which route answered.
+    pub route: Route,
+    /// Response status code.
+    pub status: u16,
+    /// Time the connection spent in the accept queue before a worker
+    /// picked it up.
+    pub queue_wait: Duration,
+    /// Time from worker pick-up to the response being ready (read +
+    /// parse + handle, excluding the response write).
+    pub handle: Duration,
+    /// Engine model-cache hits attributed to this request.
+    pub cache_hits: u32,
+    /// Engine model-cache misses (model builds) attributed to this
+    /// request.
+    pub cache_misses: u32,
+}
+
+/// One retained slow-request sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSample {
+    /// Rendered request id (correlates with the `x-request-id` header).
+    pub id: String,
+    /// Response status.
+    pub status: u16,
+    /// Queue wait, microseconds.
+    pub queue_us: u64,
+    /// Handling time, microseconds.
+    pub handle_us: u64,
+    /// Engine cache hits attributed to the request.
+    pub cache_hits: u32,
+    /// Engine cache misses attributed to the request.
+    pub cache_misses: u32,
+}
+
+/// Per-route slowest-request table: a bounded sample set that keeps the
+/// [`SLOW_SAMPLES_PER_ROUTE`] largest handling times seen so far.
+#[derive(Debug, Default)]
+struct RouteSlow {
+    /// Once the table is full: the smallest retained `handle_us`.
+    /// Requests at or below it skip the lock entirely.
+    floor_us: AtomicU64,
+    samples: Mutex<Vec<SlowSample>>,
+}
+
+impl RouteSlow {
+    fn offer(&self, sample: SlowSample) {
+        if sample.handle_us <= self.floor_us.load(Ordering::Relaxed)
+            && self.floor_us.load(Ordering::Relaxed) > 0
+        {
+            return;
+        }
+        let mut samples = self.samples.lock().expect("slow-sample lock");
+        if samples.len() < SLOW_SAMPLES_PER_ROUTE {
+            samples.push(sample);
+        } else {
+            let (min_idx, min) = samples
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.handle_us)
+                .expect("table is non-empty");
+            if sample.handle_us <= min.handle_us {
+                return;
+            }
+            samples[min_idx] = sample;
+        }
+        if samples.len() == SLOW_SAMPLES_PER_ROUTE {
+            let floor = samples.iter().map(|s| s.handle_us).min().unwrap_or(0);
+            self.floor_us.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<SlowSample> {
+        let mut out = self.samples.lock().expect("slow-sample lock").clone();
+        out.sort_by_key(|s| std::cmp::Reverse(s.handle_us));
+        out
+    }
+}
 
 /// Thread-safe service counters.
 #[derive(Debug, Default)]
@@ -75,6 +182,7 @@ pub struct Metrics {
     errors_5xx: AtomicU64,
     rejected_busy: AtomicU64,
     latency: [AtomicU64; BUCKETS],
+    slow: [RouteSlow; Route::ALL.len()],
 }
 
 impl Metrics {
@@ -94,15 +202,21 @@ impl Metrics {
             self.errors_5xx.fetch_add(1, Ordering::Relaxed);
         }
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        // Bucket i counts latencies in [2^(i-1), 2^i) µs; bucket 0 is
-        // sub-microsecond, the last bucket catches everything slower.
-        let bucket = if us == 0 {
-            0
-        } else {
-            usize::try_from(u64::BITS - us.leading_zeros()).unwrap_or(BUCKETS - 1)
-        }
-        .min(BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fully-traced request: the counters of
+    /// [`Metrics::record`] plus a slow-request sample offer.
+    pub fn observe(&self, rec: &RequestRecord<'_>) {
+        self.record(rec.route, rec.status, rec.handle);
+        self.slow[rec.route.index()].offer(SlowSample {
+            id: rec.id.to_string(),
+            status: rec.status,
+            queue_us: u64::try_from(rec.queue_wait.as_micros()).unwrap_or(u64::MAX),
+            handle_us: u64::try_from(rec.handle.as_micros()).unwrap_or(u64::MAX),
+            cache_hits: rec.cache_hits,
+            cache_misses: rec.cache_misses,
+        });
     }
 
     /// Records a connection rejected with 503 because the queue was full.
@@ -123,6 +237,18 @@ impl Metrics {
     #[must_use]
     pub fn rejected(&self) -> u64 {
         self.rejected_busy.load(Ordering::Relaxed)
+    }
+
+    /// 4xx responses counted so far.
+    #[must_use]
+    pub fn errors_4xx(&self) -> u64 {
+        self.errors_4xx.load(Ordering::Relaxed)
+    }
+
+    /// The retained slowest samples for one route, slowest first.
+    #[must_use]
+    pub fn slow_samples(&self, route: Route) -> Vec<SlowSample> {
+        self.slow[route.index()].snapshot()
     }
 
     /// Serializes counters plus the engine snapshot as the `/metrics`
@@ -151,6 +277,28 @@ impl Metrics {
             counts.push(c.load(Ordering::Relaxed).into());
         }
 
+        let slow: Vec<(String, Value)> = Route::ALL
+            .iter()
+            .map(|r| {
+                let samples: Vec<Value> = self
+                    .slow[r.index()]
+                    .snapshot()
+                    .into_iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("id", s.id.as_str().into()),
+                            ("status", u64::from(s.status).into()),
+                            ("queue_us", s.queue_us.into()),
+                            ("handle_us", s.handle_us.into()),
+                            ("cache_hits", u64::from(s.cache_hits).into()),
+                            ("cache_misses", u64::from(s.cache_misses).into()),
+                        ])
+                    })
+                    .collect();
+                (r.label().to_string(), samples.into())
+            })
+            .collect();
+
         obj(vec![
             ("requests_total", self.total().into()),
             ("requests_by_route", Value::Obj(routes)),
@@ -170,6 +318,7 @@ impl Metrics {
                     ("counts", counts.into()),
                 ]),
             ),
+            ("slow_requests", Value::Obj(slow)),
             (
                 "engine",
                 obj(vec![
@@ -197,10 +346,12 @@ mod tests {
         m.record_rejected();
         assert_eq!(m.total(), 3);
         assert_eq!(m.rejected(), 1);
+        assert_eq!(m.errors_4xx(), 2);
         let doc = m.to_json(EngineSnapshot::default());
         let by_route = doc.get("requests_by_route").unwrap();
         assert_eq!(by_route.get("evaluate").and_then(Value::as_f64), Some(2.0));
         assert_eq!(by_route.get("other").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(by_route.get("batch").and_then(Value::as_f64), Some(0.0));
         assert_eq!(doc.get("responses_4xx").and_then(Value::as_f64), Some(2.0));
         assert_eq!(doc.get("rejected_busy").and_then(Value::as_f64), Some(1.0));
     }
@@ -222,5 +373,96 @@ mod tests {
         let uppers = hist.get("bucket_upper_us").and_then(Value::as_array).unwrap();
         assert_eq!(uppers.last(), Some(&Value::Null));
         assert_eq!(uppers.len(), counts.len());
+    }
+
+    /// Boundary semantics of the log₂-µs bucketing: bucket `i` is
+    /// `[2^(i-1), 2^i)` µs, so every sample is strictly below its
+    /// bucket's `bucket_upper_us` and at or above the previous one's.
+    #[test]
+    fn bucket_boundaries_are_exclusive_uppers() {
+        // 0 µs: the dedicated sub-microsecond bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Exact powers of two start the *next* bucket (exclusive upper).
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        for k in 0..20 {
+            let v = 1u64 << k;
+            let b = bucket_index(v);
+            assert_eq!(b, k as usize + 1, "2^{k}");
+            // Strictly below the bucket's upper bound 2^b, at or above
+            // the lower bound 2^(b-1).
+            assert!(v < 1u64 << b);
+            assert!(v >= 1u64 << (b - 1));
+        }
+    }
+
+    #[test]
+    fn bucket_saturates_at_the_overflow_bucket() {
+        // The last finite bucket is [2^(BUCKETS-3), 2^(BUCKETS-2)).
+        let top_finite = BUCKETS - 2;
+        assert_eq!(bucket_index((1u64 << top_finite) - 1), top_finite);
+        // From 2^(BUCKETS-2) up, everything saturates into the overflow
+        // bucket — including the u64::MAX sentinel for huge durations.
+        assert_eq!(bucket_index(1u64 << top_finite), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn slow_table_keeps_the_n_slowest_per_route() {
+        let m = Metrics::new();
+        let rec = |id: &str, handle_us: u64| {
+            m.observe(&RequestRecord {
+                id: &format!("req-{id}"),
+                route: Route::Evaluate,
+                status: 200,
+                queue_wait: Duration::from_micros(7),
+                handle: Duration::from_micros(handle_us),
+                cache_hits: 1,
+                cache_misses: 0,
+            });
+        };
+        // Overfill the table with ascending handle times.
+        for i in 0..(SLOW_SAMPLES_PER_ROUTE as u64 + 5) {
+            rec(&i.to_string(), 100 + i);
+        }
+        // A fast request after the table is full must not displace.
+        rec("fast", 1);
+        let samples = m.slow_samples(Route::Evaluate);
+        assert_eq!(samples.len(), SLOW_SAMPLES_PER_ROUTE);
+        // Slowest first, and only the largest handle times survive.
+        assert!(samples.windows(2).all(|w| w[0].handle_us >= w[1].handle_us));
+        assert_eq!(samples[0].handle_us, 100 + SLOW_SAMPLES_PER_ROUTE as u64 + 4);
+        assert!(samples.iter().all(|s| s.handle_us > 100));
+        assert_eq!(samples[0].queue_us, 7);
+        assert_eq!(samples[0].cache_hits, 1);
+        // Other routes are untouched.
+        assert!(m.slow_samples(Route::Pattern).is_empty());
+    }
+
+    #[test]
+    fn slow_samples_serialize_into_metrics_json() {
+        let m = Metrics::new();
+        m.observe(&RequestRecord {
+            id: "abc-00000001",
+            route: Route::Sweep,
+            status: 200,
+            queue_wait: Duration::from_micros(12),
+            handle: Duration::from_micros(34_000),
+            cache_hits: 0,
+            cache_misses: 2,
+        });
+        let doc = m.to_json(EngineSnapshot::default());
+        let slow = doc.get("slow_requests").expect("slow_requests");
+        let sweep = slow.get("sweep").and_then(Value::as_array).unwrap();
+        assert_eq!(sweep.len(), 1);
+        assert_eq!(sweep[0].get("id").and_then(Value::as_str), Some("abc-00000001"));
+        assert_eq!(sweep[0].get("queue_us").and_then(Value::as_f64), Some(12.0));
+        assert_eq!(sweep[0].get("handle_us").and_then(Value::as_f64), Some(34000.0));
+        assert_eq!(sweep[0].get("cache_misses").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(slow.get("healthz").and_then(Value::as_array).map(<[Value]>::len), Some(0));
     }
 }

@@ -1,5 +1,5 @@
-//! The TCP front end: accept loop, bounded worker pool, backpressure and
-//! graceful shutdown.
+//! The TCP front end: accept loop, bounded worker pool, backpressure,
+//! request tracing and graceful shutdown.
 //!
 //! Architecture: one accept thread feeds a bounded connection queue; a
 //! fixed pool of worker threads pops connections, parses one request
@@ -7,6 +7,15 @@
 //! table. When the queue is full the accept thread answers `503` with a
 //! `Retry-After` header itself — a rejected client costs one small write,
 //! never a worker.
+//!
+//! Tracing: the accept thread stamps every connection with a
+//! [`RequestId`] the moment it is taken. The id rides through the queue
+//! and the worker, is echoed back on every response (including 4xx and
+//! the accept-loop 503) as the `x-request-id` header, labels the
+//! request's structured log line ([`crate::trace`]) and any
+//! slow-request sample in `/metrics`. Queue wait and handling time are
+//! measured separately so a slow request can be blamed on load or on
+//! work.
 //!
 //! Shutdown is cooperative and *draining*: [`ServerHandle::shutdown`]
 //! stops the accept loop, then lets the workers finish every connection
@@ -22,8 +31,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::api;
-use crate::http::{self, HttpError, Limits, Response};
-use crate::metrics::{Metrics, Route};
+use crate::http::{self, Limits, ReadError, Response};
+use crate::metrics::{Metrics, RequestRecord, Route};
+use crate::trace::{LogLevel, Logger, RequestId, RequestIdSource};
 
 /// Server construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +46,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// HTTP parsing limits and socket timeouts.
     pub limits: Limits,
+    /// Structured-log verbosity (stderr). [`LogLevel::Off`] by default
+    /// so embedding the server in tests stays quiet; `dram-serve`
+    /// defaults to [`LogLevel::Info`] via `--log`.
+    pub log: LogLevel,
 }
 
 impl Default for ServerConfig {
@@ -44,18 +58,29 @@ impl Default for ServerConfig {
             threads: 4,
             queue_depth: 128,
             limits: Limits::default(),
+            log: LogLevel::Off,
         }
     }
 }
 
+/// A connection waiting for (or being served by) a worker: the stream,
+/// its identity, and when it entered the queue.
+struct QueuedConn {
+    stream: TcpStream,
+    id: RequestId,
+    queued_at: Instant,
+}
+
 /// State shared between the accept thread, the workers and the handle.
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     available: Condvar,
     shutting_down: AtomicBool,
     accepted: AtomicU64,
+    ids: RequestIdSource,
     metrics: Metrics,
     limits: Limits,
+    logger: Logger,
 }
 
 /// A running server. Dropping the handle without calling
@@ -84,8 +109,10 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         available: Condvar::new(),
         shutting_down: AtomicBool::new(false),
         accepted: AtomicU64::new(0),
+        ids: RequestIdSource::new(),
         metrics: Metrics::new(),
         limits: config.limits,
+        logger: Logger::new(config.log),
     });
 
     let workers = (0..config.threads.max(1))
@@ -122,6 +149,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
         }
         let Ok(mut stream) = conn else { continue };
         shared.accepted.fetch_add(1, Ordering::SeqCst);
+        let id = shared.ids.next_id();
         let mut queue = shared.queue.lock().expect("queue lock");
         if queue.len() >= queue_depth {
             drop(queue);
@@ -133,12 +161,24 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
             let mut scratch = [0u8; 8192];
             let _ = io::Read::read(&mut stream, &mut scratch);
-            Response::error(503, "server is at capacity, retry shortly")
+            let sent = Response::error(503, "server is at capacity, retry shortly")
                 .with_header("retry-after", "1")
-                .send(&mut stream);
+                .with_header("x-request-id", &id.to_string())
+                .send_within(&mut stream, shared.limits.io_timeout);
+            if let Some(line) = shared.logger.line(LogLevel::Error, "rejected") {
+                line.field("id", id)
+                    .field("status", 503)
+                    .field("queue_depth", queue_depth)
+                    .field("write_ok", sent.is_ok())
+                    .emit();
+            }
             continue;
         }
-        queue.push_back(stream);
+        queue.push_back(QueuedConn {
+            stream,
+            id,
+            queued_at: Instant::now(),
+        });
         drop(queue);
         shared.available.notify_one();
     }
@@ -146,11 +186,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let conn = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break None;
@@ -158,45 +198,138 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).expect("queue lock");
             }
         };
-        let Some(mut stream) = stream else { return };
-        serve_connection(&mut stream, shared);
+        let Some(conn) = conn else { return };
+        serve_connection(conn, shared);
     }
 }
 
 /// Parses one request off the connection, routes it, answers, closes.
-fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
+fn serve_connection(conn: QueuedConn, shared: &Shared) {
+    let QueuedConn {
+        mut stream,
+        id,
+        queued_at,
+    } = conn;
+    let queue_wait = queued_at.elapsed();
     let started = Instant::now();
-    match http::read_request(stream, &shared.limits) {
+    match http::read_request(&mut stream, &shared.limits) {
         Ok(req) => {
-            let (route, response) = api::handle(&req, &shared.metrics);
-            shared
-                .metrics
-                .record(route, response.status, started.elapsed());
-            response.send(stream);
+            let (route, response, cache) = api::handle(&req, &shared.metrics);
+            let handle_time = started.elapsed();
+            let response = response.with_header("x-request-id", &id.to_string());
+            let sent = response.send_within(&mut stream, shared.limits.io_timeout);
+            let rendered_id = id.to_string();
+            shared.metrics.observe(&RequestRecord {
+                id: &rendered_id,
+                route,
+                status: response.status,
+                queue_wait,
+                handle: handle_time,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+            });
+            log_request(
+                shared,
+                &rendered_id,
+                route.label(),
+                response.status,
+                queue_wait,
+                handle_time,
+                cache.hits,
+                cache.misses,
+                &sent,
+            );
         }
-        Err(HttpError::Closed) => {
+        Err(ReadError::Closed) => {
             // Port probe / health check that never sent bytes: nothing
-            // to answer, nothing to count.
+            // to answer, nothing to count, no slow sample. `ReadError`
+            // keeps this path type-safe — `Closed` carries no status, so
+            // no response can even be constructed for it.
+            if let Some(line) = shared.logger.line(LogLevel::Debug, "probe_closed") {
+                line.field("id", id).emit();
+            }
         }
-        Err(e) => {
-            shared
-                .metrics
-                .record(Route::Other, e.status(), started.elapsed());
-            Response::error(e.status(), &e.message()).send(stream);
+        Err(ReadError::Http(e)) => {
+            let handle_time = started.elapsed();
+            let response = Response::error(e.status(), &e.message())
+                .with_header("x-request-id", &id.to_string());
+            let sent = response.send_within(&mut stream, shared.limits.io_timeout);
+            let rendered_id = id.to_string();
+            shared.metrics.observe(&RequestRecord {
+                id: &rendered_id,
+                route: Route::Other,
+                status: e.status(),
+                queue_wait,
+                handle: handle_time,
+                cache_hits: 0,
+                cache_misses: 0,
+            });
+            log_request(
+                shared,
+                &rendered_id,
+                Route::Other.label(),
+                e.status(),
+                queue_wait,
+                handle_time,
+                0,
+                0,
+                &sent,
+            );
             // The request was not fully read; drain what the client
             // already sent so closing the socket doesn't RST the
-            // response out of its receive buffer.
+            // response out of its receive buffer. The drain has its own
+            // hard cap — a client that keeps trickling after its 408
+            // must not keep holding the worker it just timed out on.
             let _ = stream.shutdown(std::net::Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+            let drain_until = Instant::now() + std::time::Duration::from_millis(500);
             let mut scratch = [0u8; 8192];
-            for _ in 0..64 {
-                match io::Read::read(stream, &mut scratch) {
+            while Instant::now() < drain_until {
+                match io::Read::read(&mut stream, &mut scratch) {
                     Ok(0) | Err(_) => break,
                     Ok(_) => {}
                 }
             }
         }
     }
+}
+
+/// Emits the one structured line a served request gets: `info` normally,
+/// escalated to `error` for 5xx responses or a failed response write.
+/// Exactly one response was (attempted to be) written before this —
+/// a write failure is logged, never "fixed" with a second response.
+#[allow(clippy::too_many_arguments)]
+fn log_request(
+    shared: &Shared,
+    id: &str,
+    route: &str,
+    status: u16,
+    queue_wait: std::time::Duration,
+    handle_time: std::time::Duration,
+    cache_hits: u32,
+    cache_misses: u32,
+    sent: &io::Result<()>,
+) {
+    let level = if status >= 500 || sent.is_err() {
+        LogLevel::Error
+    } else {
+        LogLevel::Info
+    };
+    let Some(line) = shared.logger.line(level, "request") else {
+        return;
+    };
+    let mut line = line
+        .field("id", id)
+        .field("route", route)
+        .field("status", status)
+        .field("queue_us", queue_wait.as_micros())
+        .field("handle_us", handle_time.as_micros())
+        .field("cache_hits", cache_hits)
+        .field("cache_misses", cache_misses);
+    if let Err(e) = sent {
+        line = line.field("write_error", e.kind());
+    }
+    line.emit();
 }
 
 impl ServerHandle {
@@ -272,6 +405,7 @@ mod tests {
         );
         assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
         assert!(reply.ends_with("{\"status\":\"ok\"}"), "{reply}");
+        assert!(reply.contains("x-request-id: "), "{reply}");
         assert_eq!(handle.shutdown(), 1);
     }
 
@@ -291,6 +425,7 @@ mod tests {
         );
         assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
         assert!(reply.contains("retry-after: 1"), "{reply}");
+        assert!(reply.contains("x-request-id: "), "{reply}");
         assert_eq!(handle.metrics().rejected(), 1);
         handle.shutdown();
     }

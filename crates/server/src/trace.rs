@@ -1,0 +1,249 @@
+//! Request identity and structured logging.
+//!
+//! Every connection the accept loop takes gets a [`RequestId`] — the
+//! accept wall-clock timestamp plus a process-wide atomic counter — that
+//! follows it through the bounded queue, the worker pool and the route
+//! handlers, is echoed back as the `x-request-id` response header, and
+//! labels the request's structured log line and any slow-request sample
+//! in `/metrics`. Clients (and `serve-bench`) can therefore correlate a
+//! wire-level response with exactly one server-side log line.
+//!
+//! Log lines are single-line `key=value` pairs on stderr, one per
+//! request, behind a [`LogLevel`] threshold (`--log` on `dram-serve`):
+//!
+//! ```text
+//! ts_ms=1754500000123 level=info event=request id=19907e1a2b3-00000007 \
+//!   route=evaluate status=200 queue_us=41 handle_us=912 cache_hits=1 cache_misses=0
+//! ```
+//!
+//! No timestamp library, no log crate: the workspace stays std-only.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Per-request identity: accept timestamp (milliseconds since the Unix
+/// epoch) plus a process-wide sequence number.
+///
+/// The sequence number alone guarantees uniqueness within a server; the
+/// timestamp makes ids sortable and human-datable. Rendered as
+/// `{unix_ms:x}-{seq:08x}` (e.g. `19907e1a2b3-00000007`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    /// Accept time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Process-wide accept sequence number (starts at 1).
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}-{:08x}", self.unix_ms, self.seq)
+    }
+}
+
+/// Hands out [`RequestId`]s: one atomic counter, timestamps taken per
+/// call. One source per server; cloning the numbers is race-free because
+/// uniqueness rides on the counter, not the clock.
+#[derive(Debug, Default)]
+pub struct RequestIdSource {
+    counter: AtomicU64,
+}
+
+impl RequestIdSource {
+    /// A fresh source whose first id has `seq == 1`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next id, stamped with the current wall clock.
+    pub fn next_id(&self) -> RequestId {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        RequestId {
+            unix_ms,
+            seq: self.counter.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+}
+
+/// Log verbosity threshold, ordered: `Off < Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No output at all.
+    Off,
+    /// Only failures: 5xx responses and response-write errors.
+    Error,
+    /// One line per served request (plus everything `Error` logs).
+    Info,
+    /// Adds connection-lifecycle noise: closed probes, drained bytes.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a CLI spelling (`off`, `error`, `info`, `debug`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(LogLevel::Off),
+            "error" => Some(LogLevel::Error),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    /// The `level=` value written on log lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+/// A leveled `key=value` line writer. Cheap to copy into worker threads;
+/// all state is the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger that emits lines at or below `level`.
+    #[must_use]
+    pub fn new(level: LogLevel) -> Self {
+        Self { level }
+    }
+
+    /// Whether a line at `level` would be written.
+    #[must_use]
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level != LogLevel::Off && level <= self.level
+    }
+
+    /// Starts a structured line for `event` at `level`. Returns `None`
+    /// when the level is filtered out, so callers skip field formatting
+    /// entirely on the fast path.
+    #[must_use]
+    pub fn line(&self, level: LogLevel, event: &str) -> Option<LogLine> {
+        if !self.enabled(level) {
+            return None;
+        }
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        let mut buf = String::with_capacity(128);
+        buf.push_str("ts_ms=");
+        buf.push_str(&unix_ms.to_string());
+        buf.push_str(" level=");
+        buf.push_str(level.label());
+        buf.push_str(" event=");
+        buf.push_str(event);
+        Some(LogLine { buf })
+    }
+}
+
+/// One structured log line under construction. Values containing spaces,
+/// quotes or `=` are double-quoted so the line stays machine-splittable
+/// on single spaces.
+#[derive(Debug)]
+pub struct LogLine {
+    buf: String,
+}
+
+impl LogLine {
+    /// Appends `key=value`.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl fmt::Display) -> Self {
+        use fmt::Write as _;
+        self.buf.push(' ');
+        self.buf.push_str(key);
+        self.buf.push('=');
+        let rendered = value.to_string();
+        if rendered.is_empty()
+            || rendered
+                .chars()
+                .any(|c| c.is_whitespace() || c == '"' || c == '=')
+        {
+            let _ = write!(self.buf, "{:?}", rendered);
+        } else {
+            self.buf.push_str(&rendered);
+        }
+        self
+    }
+
+    /// Writes the finished line to stderr.
+    pub fn emit(self) {
+        eprintln!("{}", self.buf);
+    }
+
+    /// The rendered line (for tests).
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_render_stably() {
+        let source = RequestIdSource::new();
+        let a = source.next_id();
+        let b = source.next_id();
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert_ne!(a, b);
+        assert_ne!(a.to_string(), b.to_string());
+        let rendered = a.to_string();
+        let (ts, seq) = rendered.split_once('-').expect("dash-separated");
+        assert_eq!(u64::from_str_radix(ts, 16).unwrap(), a.unix_ms);
+        assert_eq!(seq, "00000001");
+    }
+
+    #[test]
+    fn log_levels_order_and_parse() {
+        assert!(LogLevel::Off < LogLevel::Error);
+        assert!(LogLevel::Error < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::parse("INFO"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("nope"), None);
+
+        let quiet = Logger::new(LogLevel::Off);
+        assert!(!quiet.enabled(LogLevel::Error));
+        assert!(quiet.line(LogLevel::Error, "x").is_none());
+        let errors = Logger::new(LogLevel::Error);
+        assert!(errors.enabled(LogLevel::Error));
+        assert!(!errors.enabled(LogLevel::Info));
+        let verbose = Logger::new(LogLevel::Debug);
+        assert!(verbose.enabled(LogLevel::Info));
+    }
+
+    #[test]
+    fn log_lines_are_key_value_and_quote_awkward_values() {
+        let logger = Logger::new(LogLevel::Info);
+        let line = logger
+            .line(LogLevel::Info, "request")
+            .expect("enabled")
+            .field("id", "abc-00000001")
+            .field("status", 200)
+            .field("error", "two words")
+            .field("empty", "");
+        let text = line.as_str();
+        assert!(text.contains("event=request"), "{text}");
+        assert!(text.contains(" id=abc-00000001 "), "{text}");
+        assert!(text.contains(" status=200 "), "{text}");
+        assert!(text.contains(" error=\"two words\" "), "{text}");
+        assert!(text.ends_with(" empty=\"\""), "{text}");
+        assert!(text.starts_with("ts_ms="), "{text}");
+    }
+}

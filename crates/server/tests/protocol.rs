@@ -1,11 +1,14 @@
 //! Protocol robustness and end-to-end behavior of `dram-serve`: every
 //! malformed-input class answers a 4xx without crashing the server,
 //! concurrent clients get byte-identical bodies to direct library
-//! evaluation, and graceful shutdown drains accepted work.
+//! evaluation, every response carries a unique `x-request-id`, slow
+//! clients hit the request deadline, and graceful shutdown drains
+//! accepted work.
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dram_core::Dram;
 use dram_server::{serve, Limits, ServerConfig, ServerHandle};
@@ -55,6 +58,14 @@ fn split_reply(reply: &str) -> (u16, String) {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// The `x-request-id` header value of a raw reply, if present.
+fn request_id(reply: &str) -> Option<String> {
+    reply
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("x-request-id: "))
+        .map(str::to_string)
 }
 
 #[test]
@@ -278,6 +289,297 @@ fn metrics_reflect_served_traffic_and_cache() {
     // The /metrics request itself is recorded after its response body is
     // built, so it is not yet in its own histogram.
     assert!(counts >= 3.0, "{body}");
+    server.shutdown();
+}
+
+/// The tracing acceptance criterion: every response — 200, 4xx, even the
+/// accept-loop backpressure 503 — carries an `x-request-id`, and ids
+/// never repeat.
+#[test]
+fn every_response_carries_a_unique_request_id() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let mut ids = HashSet::new();
+    let replies = [
+        raw(
+            addr,
+            b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 25\r\nconnection: close\r\n\r\n{\"preset\":\"ddr2_1g_75nm\"}",
+        ),
+        raw(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n"),
+        raw(addr, b"GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n"),
+        raw(addr, b"WHAT\r\n\r\n"),
+    ];
+    for reply in &replies {
+        let id = request_id(reply)
+            .unwrap_or_else(|| panic!("response without x-request-id: {reply}"));
+        assert!(ids.insert(id.clone()), "id `{id}` repeated: {reply}");
+    }
+    server.shutdown();
+
+    // The backpressure 503 answered by the accept loop itself is also
+    // identified, with an id from the same sequence space.
+    let shedder = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let reply = raw(
+        shedder.local_addr(),
+        b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+    // Ids are unique per server (the counter is per [`RequestIdSource`]),
+    // so only presence is asserted across instances.
+    assert!(request_id(&reply).is_some(), "503 carries an id: {reply}");
+    shedder.shutdown();
+}
+
+/// Slowloris regression: a client trickling one byte at a time used to
+/// reset the 5 s socket timeout on every byte, holding a worker for up
+/// to `max_head × io_timeout`. The overall request deadline now answers
+/// 408 within bound no matter how diligently the client trickles.
+#[test]
+fn trickling_client_gets_408_at_the_request_deadline() {
+    let deadline = Duration::from_millis(600);
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            limits: Limits {
+                request_deadline: deadline,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let started = Instant::now();
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // Trickle a plausible request head one byte at a time, far slower
+    // than it completes but fast enough to keep resetting a per-read
+    // timeout. The server must cut us off at the deadline regardless.
+    let head = b"GET /healthz HTTP/1.1\r\nhost: trickle\r\n\r\n";
+    let mut reply = String::new();
+    for byte in head {
+        if s.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // server already answered and closed
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        if started.elapsed() > Duration::from_secs(5) {
+            break;
+        }
+    }
+    let _ = s.read_to_string(&mut reply);
+    let elapsed = started.elapsed();
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "wanted 408 for the trickling client, got: {reply:?}"
+    );
+    assert!(request_id(&reply).is_some(), "408 carries an id: {reply}");
+    assert!(
+        elapsed < deadline + Duration::from_secs(2),
+        "worker was held {elapsed:?}, deadline is {deadline:?}"
+    );
+
+    // The worker is free again: a normal request succeeds promptly.
+    let (status, _) = request(server.local_addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// A connect-then-close port probe must produce no response bytes and
+/// must not count as traffic anywhere: no route counter, no 4xx, no
+/// slow-request sample.
+#[test]
+fn silent_probe_writes_nothing_and_counts_nothing() {
+    let server = start(1);
+    let addr = server.local_addr();
+    for _ in 0..3 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut received = Vec::new();
+        s.read_to_end(&mut received).expect("read");
+        assert!(
+            received.is_empty(),
+            "probe got {} response bytes: {:?}",
+            received.len(),
+            String::from_utf8_lossy(&received)
+        );
+    }
+    // Give the workers a moment to finish the probe connections, then
+    // serve one real request and read the metrics.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.accepted() < 3 {
+        assert!(Instant::now() < deadline, "accept stalled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = dram_units::json::Value::parse(&body).expect("metrics JSON");
+    let by_route = doc.get("requests_by_route").expect("routes");
+    assert_eq!(
+        by_route.get("other").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "probes leaked into the `other` counter: {body}"
+    );
+    assert_eq!(doc.get("responses_4xx").and_then(|v| v.as_f64()), Some(0.0), "{body}");
+    let slow_other = doc
+        .get("slow_requests")
+        .and_then(|s| s.get("other"))
+        .and_then(|v| v.as_array())
+        .expect("slow_requests.other");
+    assert!(slow_other.is_empty(), "probes produced slow samples: {body}");
+    server.shutdown();
+}
+
+/// Conflicting or malformed `Content-Length` framing is rejected before
+/// any body handling; agreeing duplicates and surrounding whitespace are
+/// tolerated per RFC 9110.
+#[test]
+fn content_length_smuggling_vectors_are_rejected() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let cases: [(&[u8], u16); 6] = [
+        // Conflicting duplicates → 400.
+        (
+            b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 3\r\nconnection: close\r\n\r\n{}x",
+            400,
+        ),
+        // Agreeing duplicates → accepted (body parse then fails → 400
+        // from JSON, but framing is fine; use healthz to see the 200).
+        (
+            b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+            200,
+        ),
+        // Whitespace around the value is legal OWS.
+        (
+            b"GET /healthz HTTP/1.1\r\ncontent-length:   0  \r\nconnection: close\r\n\r\n",
+            200,
+        ),
+        // Whitespace before the colon is a smuggling vector → 400.
+        (
+            b"GET /healthz HTTP/1.1\r\ncontent-length : 0\r\nconnection: close\r\n\r\n",
+            400,
+        ),
+        // A signed value is not HTTP → 400.
+        (
+            b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: +2\r\nconnection: close\r\n\r\n{}",
+            400,
+        ),
+        // Internal whitespace → 400.
+        (
+            b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 1 2\r\nconnection: close\r\n\r\n{}",
+            400,
+        ),
+    ];
+    for (bytes, want) in cases {
+        let reply = raw(addr, bytes);
+        let (status, _) = split_reply(&reply);
+        assert_eq!(
+            status,
+            want,
+            "{} -> {reply}",
+            String::from_utf8_lossy(bytes)
+        );
+    }
+    server.shutdown();
+}
+
+/// `/v1/batch` answers N evaluate requests in one connection; each
+/// result is byte-identical to the corresponding single `/v1/evaluate`
+/// body, and per-item errors don't fail their neighbours.
+#[test]
+fn batch_results_are_bit_identical_to_single_calls() {
+    let presets = ["ddr3_1g_x16_55nm", "ddr2_1g_75nm", "ddr3_2g_55nm"];
+    for threads in [1, 8] {
+        let server = start(threads);
+        let addr = server.local_addr();
+
+        let singles: Vec<String> = presets
+            .iter()
+            .map(|p| {
+                let (status, body) =
+                    request(addr, "POST", "/v1/evaluate", &format!(r#"{{"preset":"{p}"}}"#));
+                assert_eq!(status, 200, "{body}");
+                body
+            })
+            .collect();
+
+        let items: Vec<String> = presets
+            .iter()
+            .map(|p| format!(r#"{{"preset":"{p}"}}"#))
+            .collect();
+        let batch_body = format!(
+            r#"{{"requests":[{},{{"preset":"bogus"}}]}}"#,
+            items.join(",")
+        );
+        let (status, body) = request(addr, "POST", "/v1/batch", &batch_body);
+        assert_eq!(status, 200, "{body}");
+        let doc = dram_units::json::Value::parse(&body).expect("batch JSON");
+        let results = doc.get("results").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(results.len(), presets.len() + 1);
+        for (i, single) in singles.iter().enumerate() {
+            assert_eq!(
+                &results[i].to_string(),
+                single,
+                "batch item {i} diverged from the single call at {threads} threads"
+            );
+        }
+        assert!(
+            results[presets.len()]
+                .get("error")
+                .and_then(|v| v.as_str())
+                .is_some_and(|e| e.contains("unknown preset")),
+            "{body}"
+        );
+        server.shutdown();
+    }
+}
+
+/// After traffic, `/metrics` exposes per-route slow-request samples that
+/// carry the ids the clients saw on the wire.
+#[test]
+fn metrics_slow_samples_correlate_with_response_ids() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let mut seen_ids = HashSet::new();
+    for _ in 0..3 {
+        let reply = raw(
+            addr,
+            b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 29\r\nconnection: close\r\n\r\n{\"preset\":\"ddr3_1g_x16_55nm\"}",
+        );
+        let (status, _) = split_reply(&reply);
+        assert_eq!(status, 200, "{reply}");
+        seen_ids.insert(request_id(&reply).expect("id header"));
+    }
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = dram_units::json::Value::parse(&body).expect("metrics JSON");
+    let samples = doc
+        .get("slow_requests")
+        .and_then(|s| s.get("evaluate"))
+        .and_then(|v| v.as_array())
+        .expect("slow_requests.evaluate");
+    assert!(!samples.is_empty(), "no slow samples after traffic: {body}");
+    for s in samples {
+        let id = s.get("id").and_then(|v| v.as_str()).expect("sample id");
+        assert!(
+            seen_ids.contains(id),
+            "sample id `{id}` never seen on the wire: {body}"
+        );
+        assert!(s.get("queue_us").and_then(|v| v.as_f64()).is_some(), "{body}");
+        assert!(s.get("handle_us").and_then(|v| v.as_f64()).is_some(), "{body}");
+        // Warm or cold, exactly one model lookup per evaluate request.
+        let hits = s.get("cache_hits").and_then(|v| v.as_f64()).unwrap();
+        let misses = s.get("cache_misses").and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(hits + misses, 1.0, "{body}");
+    }
     server.shutdown();
 }
 

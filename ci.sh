@@ -29,6 +29,20 @@ if [[ $fast -eq 0 ]]; then
   test -s BENCH_repro.json
   echo "    BENCH_repro.json written ($(wc -c < BENCH_repro.json) bytes)"
 
+  echo "==> repro --profile smoke (Chrome-trace export)"
+  # fig8 rebuilds 18 models, so the trace must cover every engine phase.
+  # repro itself re-parses the file through the workspace JSON parser and
+  # exits non-zero if the trace is malformed.
+  trace=/tmp/trace.json
+  rm -f "$trace"
+  ./target/release/repro --profile "$trace" --threads 2 fig8 > /dev/null
+  test -s "$trace"
+  grep -q '"traceEvents"' "$trace" || { echo "    $trace has no traceEvents array"; exit 1; }
+  for phase in model.build model.validate model.geometry model.devices model.charges model.power; do
+    grep -q "\"$phase\"" "$trace" || { echo "    $trace is missing the $phase phase"; exit 1; }
+  done
+  echo "    $trace written ($(wc -c < "$trace") bytes, all 6 model phases present)"
+
   echo "==> dram-serve smoke (boot, tracing, deadline, SIGTERM drain)"
   serve_log=$(mktemp)
   ./target/release/dram-serve --addr 127.0.0.1:0 --threads 2 --deadline-ms 1000 > "$serve_log" &
@@ -66,6 +80,22 @@ if [[ $fast -eq 0 ]]; then
   grep -q '"slow_requests"' <<<"$metrics" || { echo "    /metrics has no slow_requests table"; exit 1; }
   grep -q '"evaluate":\[{"id":' <<<"$metrics" || { echo "    /metrics has no evaluate slow sample"; exit 1; }
   echo "    GET /metrics -> slow_requests sample present"
+
+  # The same endpoint must also speak Prometheus text exposition v0.0.4
+  # when asked via ?format=prometheus.
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET /metrics?format=prometheus HTTP/1.1\r\nconnection: close\r\n\r\n' >&3
+  prom=$(cat <&3)
+  exec 3<&- 3>&-
+  grep -q 'content-type: text/plain; version=0.0.4' <<<"$prom" \
+    || { echo "    prometheus /metrics has the wrong content-type"; exit 1; }
+  grep -q '^# TYPE dram_serve_requests_total counter' <<<"$prom" \
+    || { echo "    prometheus /metrics has no # TYPE lines"; exit 1; }
+  grep -q '^dram_serve_uptime_seconds ' <<<"$prom" \
+    || { echo "    prometheus /metrics has no uptime gauge"; exit 1; }
+  grep -q '^dram_serve_build_info{version=' <<<"$prom" \
+    || { echo "    prometheus /metrics has no build info"; exit 1; }
+  echo "    GET /metrics?format=prometheus -> text exposition v0.0.4 present"
 
   # Slowloris regression: a client trickling one byte at a time must be
   # answered 408 once the 1 s request deadline expires, not held forever.

@@ -6,6 +6,10 @@
 //! concurrently on the batch-evaluation engine; `--threads N` bounds the
 //! fan-out (`--threads 1` forces the serial path) and `--timing` appends
 //! a per-report wall-clock table and writes `BENCH_repro.json`.
+//! `--profile FILE` records spans for the whole run and writes a
+//! Chrome-trace JSON (chrome://tracing, Perfetto) covering every engine
+//! phase — parse, validate, geometry, devices, charges, power — plus a
+//! per-phase rollup table on stdout.
 
 use std::time::{Duration, Instant};
 
@@ -49,6 +53,10 @@ fn main() {
 
     let timing = take_flag(&mut args, "--timing");
     let threads = take_threads(&mut args);
+    let profile = take_value(&mut args, "--profile");
+    if profile.is_some() {
+        dram_obs::set_enabled(true);
+    }
 
     let mut selected: Vec<ReportId> = Vec::new();
     for a in &args {
@@ -69,6 +77,7 @@ fn main() {
 
     // Generate concurrently; print in the requested order.
     let generated: Vec<(String, Duration)> = engine.map(&selected, |r| {
+        let _s = dram_obs::span("repro.report").arg("report", r.command());
         let start = Instant::now();
         let text = r.generate();
         (text, start.elapsed())
@@ -102,6 +111,57 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = profile {
+        dram_obs::set_enabled(false);
+        write_profile(&path);
+    }
+}
+
+/// Drains the recorded spans, writes the Chrome trace, validates that
+/// the written file round-trips through the workspace JSON parser, and
+/// prints a per-phase rollup.
+fn write_profile(path: &str) {
+    let profile = dram_obs::drain();
+    let doc = dram_obs::chrome_trace(&profile).to_string();
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    // Re-read and re-parse what actually landed on disk: the trace file
+    // must be loadable, not merely written.
+    let on_disk = std::fs::read_to_string(path).unwrap_or_default();
+    let events = match dram_units::json::Value::parse(&on_disk) {
+        Ok(v) => v
+            .get("traceEvents")
+            .and_then(dram_units::json::Value::as_array)
+            .map_or(0, <[dram_units::json::Value]>::len),
+        Err(e) => {
+            eprintln!("{path} is not valid trace JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("\n== span profile ==\n");
+    println!(
+        "{:28} {:>8} {:>12} {:>12} {:>12}",
+        "span", "count", "total ms", "mean ms", "max ms"
+    );
+    for r in dram_obs::rollup(&profile) {
+        println!(
+            "{:28} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            r.name,
+            r.count,
+            r.total_us as f64 / 1e3,
+            r.mean_us / 1e3,
+            r.max_us as f64 / 1e3,
+        );
+    }
+    println!(
+        "\nwrote {path}: {} spans, {} trace events (load in chrome://tracing or Perfetto)",
+        profile.spans.len(),
+        events
+    );
 }
 
 /// Removes `flag` from `args`, reporting whether it was present.
@@ -109,6 +169,18 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
     args.retain(|a| a != flag);
     args.len() != before
+}
+
+/// Removes `flag VALUE` from `args`, returning the value if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args[pos + 1].clone();
+    args.drain(pos..=pos + 1);
+    Some(value)
 }
 
 /// Removes `--threads N` from `args` and parses the count.
@@ -131,10 +203,11 @@ fn print_usage() {
         "repro — regenerate the tables and figures of\n\
          \"Understanding the Energy Consumption of Dynamic Random Access Memories\"\n\
          (Vogelsang, MICRO 2010)\n\n\
-         usage: repro [--timing] [--threads N] <report>... | all | --list | --csv [dir]\n\n\
+         usage: repro [--timing] [--threads N] [--profile FILE] <report>... | all | --list | --csv [dir]\n\n\
          flags:\n\
-         \x20 --timing     print per-report wall time and write {TIMING_FILE}\n\
-         \x20 --threads N  cap report-generation concurrency (1 = serial)\n\n\
+         \x20 --timing        print per-report wall time and write {TIMING_FILE}\n\
+         \x20 --threads N     cap report-generation concurrency (1 = serial)\n\
+         \x20 --profile FILE  record spans, write a Chrome-trace JSON and a rollup\n\n\
          reports:"
     );
     for r in ReportId::ALL {

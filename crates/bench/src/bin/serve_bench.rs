@@ -10,8 +10,13 @@
 //! tracing layer's load-level regression test.
 //!
 //! ```text
-//! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE]
+//! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] [--profile]
 //! ```
+//!
+//! `--profile` enables span recording for the run and prints a
+//! per-stage rollup of the server-side spans (queue wait, request,
+//! handler, engine) after each stage. The default run stays
+//! unprofiled so recorded throughput is not perturbed.
 
 use std::collections::HashSet;
 use std::io::{Read, Write as _};
@@ -28,6 +33,7 @@ struct Args {
     clients: usize,
     threads: usize,
     out: String,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         clients: 8,
         threads: 8,
         out: OUT_FILE.to_string(),
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad thread count `{v}`"))?;
             }
             "--out" => args.out = value_of("--out")?,
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -203,6 +211,29 @@ fn run_stage(
     }
 }
 
+/// Drains the spans the stage just recorded (server side: queue wait,
+/// request, handler, engine) and prints their per-name rollup. Draining
+/// also clears the sink, so each stage reports only its own spans.
+fn print_stage_rollup(stage: &str) {
+    let profile = dram_obs::drain();
+    println!("\n-- span rollup: {stage} --");
+    println!(
+        "{:28} {:>8} {:>12} {:>12} {:>12}",
+        "span", "count", "total ms", "mean ms", "max ms"
+    );
+    #[allow(clippy::cast_precision_loss)]
+    for r in dram_obs::rollup(&profile) {
+        println!(
+            "{:28} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            r.name,
+            r.count,
+            r.total_us as f64 / 1e3,
+            r.mean_us / 1e3,
+            r.max_us as f64 / 1e3,
+        );
+    }
+}
+
 fn stage_json(s: &StageResult) -> Value {
     obj(vec![
         ("name", s.name.as_str().into()),
@@ -232,11 +263,16 @@ fn main() {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: serve-bench [--requests N] [--clients C] [--threads T] [--out FILE]"
+                "usage: serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] \
+                 [--profile]"
             );
             std::process::exit(i32::from(!msg.is_empty()));
         }
     };
+
+    if args.profile {
+        dram_obs::set_enabled(true);
+    }
 
     let eval_body = r#"{"preset":"ddr3_1g_55nm"}"#;
     let batch_body =
@@ -261,6 +297,10 @@ fn main() {
             let (status, reply, _id) = exchange(handle.local_addr(), "POST", path, body);
             assert_eq!(status, 200, "warm-up ({path}) failed: {reply}");
         }
+        if args.profile {
+            // Drop the warm-up spans so the first stage rollup is clean.
+            dram_obs::clear();
+        }
 
         stages.push(run_stage(
             &format!("server/evaluate_warm/threads={threads}"),
@@ -274,6 +314,9 @@ fn main() {
                 body: eval_body,
             },
         ));
+        if args.profile {
+            print_stage_rollup(&stages.last().expect("just pushed").name);
+        }
         stages.push(run_stage(
             &format!("server/batch_warm/threads={threads}"),
             &handle,
@@ -286,6 +329,9 @@ fn main() {
                 body: batch_body,
             },
         ));
+        if args.profile {
+            print_stage_rollup(&stages.last().expect("just pushed").name);
+        }
         stages.push(run_stage(
             &format!("server/healthz/threads={threads}"),
             &handle,
@@ -298,7 +344,13 @@ fn main() {
                 body: "",
             },
         ));
+        if args.profile {
+            print_stage_rollup(&stages.last().expect("just pushed").name);
+        }
         handle.shutdown();
+    }
+    if args.profile {
+        dram_obs::set_enabled(false);
     }
 
     // Acceptance: responses are bit-identical across 1 vs N server

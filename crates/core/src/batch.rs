@@ -340,7 +340,11 @@ impl ModelCache {
         desc: &DramDescription,
     ) -> Result<(Arc<Dram>, bool), ModelError> {
         let key = content_hash(desc);
-        if let Some(hit) = self.lookup(key, desc) {
+        let cached = {
+            let _s = dram_obs::span("engine.cache_lookup");
+            self.lookup(key, desc)
+        };
+        if let Some(hit) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit, true));
         }
@@ -501,6 +505,7 @@ impl EvalEngine {
         &self,
         descs: &[DramDescription],
     ) -> Vec<Result<Arc<Dram>, ModelError>> {
+        let _s = dram_obs::span("engine.evaluate_many").arg("items", descs.len());
         self.map(descs, |d| self.cache.get_or_build(d))
     }
 
@@ -511,6 +516,7 @@ impl EvalEngine {
         &self,
         descs: &[DramDescription],
     ) -> Vec<Result<(Arc<Dram>, bool), ModelError>> {
+        let _s = dram_obs::span("engine.evaluate_many").arg("items", descs.len());
         self.map(descs, |d| self.cache.get_or_build_traced(d))
     }
 
@@ -531,6 +537,9 @@ impl EvalEngine {
         F: Fn(&T) -> R + Sync,
     {
         let workers = self.threads.min(items.len());
+        let _s = dram_obs::span("engine.map")
+            .arg("items", items.len())
+            .arg("workers", workers.max(1));
         if workers <= 1 {
             return items.iter().map(f).collect();
         }

@@ -17,6 +17,18 @@ use crate::pattern::{Command, Pattern};
 use crate::power::{static_power, Operation, OperationEnergy};
 use crate::timing::{TimedCommand, TimedPattern};
 
+/// Process-wide count of [`Dram::new`] calls, registered once.
+fn model_builds_total() -> &'static std::sync::Arc<dram_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<dram_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_model_builds_total",
+            "DRAM models built from a description (cache misses included).",
+        )
+    })
+}
+
 /// Number of refresh commands that cover the whole device (JEDEC: 8192
 /// per refresh window).
 pub const REFRESH_COMMANDS_PER_WINDOW: u64 = 8192;
@@ -185,17 +197,40 @@ impl Dram {
     /// Returns [`ModelError`] if any parameter is out of range or the
     /// floorplan, specification and signaling are mutually inconsistent.
     pub fn new(desc: DramDescription) -> Result<Self, ModelError> {
-        validate(&desc)?;
-        let geom = Geometry::new(&desc)?;
+        let _build = dram_obs::span("model.build");
+        model_builds_total().inc();
+        {
+            let _s = dram_obs::span("model.validate");
+            validate(&desc)?;
+        }
+        let geom = {
+            let _s = dram_obs::span("model.geometry");
+            Geometry::new(&desc)?
+        };
         let (activate, precharge, read, write, clock_cycle) = {
-            let m = ChargeModel::new(&desc, &geom);
+            let m = {
+                let _s = dram_obs::span("model.devices");
+                ChargeModel::new(&desc, &geom)
+            };
+            let books = {
+                let _s = dram_obs::span("model.charges");
+                [
+                    m.activate(),
+                    m.precharge(),
+                    m.read(),
+                    m.write(),
+                    m.clock_cycle(),
+                ]
+            };
+            let _s = dram_obs::span("model.power");
             let e = &desc.electrical;
+            let [act, pre, rd, wr, clk] = &books;
             (
-                OperationEnergy::from_charges(Operation::Activate, &m.activate(), e),
-                OperationEnergy::from_charges(Operation::Precharge, &m.precharge(), e),
-                OperationEnergy::from_charges(Operation::Read, &m.read(), e),
-                OperationEnergy::from_charges(Operation::Write, &m.write(), e),
-                OperationEnergy::from_charges(Operation::ClockCycle, &m.clock_cycle(), e),
+                OperationEnergy::from_charges(Operation::Activate, act, e),
+                OperationEnergy::from_charges(Operation::Precharge, pre, e),
+                OperationEnergy::from_charges(Operation::Read, rd, e),
+                OperationEnergy::from_charges(Operation::Write, wr, e),
+                OperationEnergy::from_charges(Operation::ClockCycle, clk, e),
             )
         };
         Ok(Self {

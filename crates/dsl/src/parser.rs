@@ -47,7 +47,21 @@ pub struct ParsedFile {
 /// # Ok::<(), dram_dsl::DslError>(())
 /// ```
 pub fn parse(input: &str) -> Result<ParsedFile, DslError> {
+    let _s = dram_obs::span("dsl.parse").arg("bytes", input.len());
+    parses_total().inc();
     Parser::default().run(lex(input)?)
+}
+
+/// Process-wide count of [`parse`] calls, registered once.
+fn parses_total() -> &'static std::sync::Arc<dram_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<dram_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_dsl_parses_total",
+            "Description-language parses attempted.",
+        )
+    })
 }
 
 /// Parses a description file, discarding any pattern directive.

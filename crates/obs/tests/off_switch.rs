@@ -1,0 +1,73 @@
+//! Proves the disabled fast path really is free: with profiling off,
+//! opening/annotating/dropping spans performs **zero heap allocations**
+//! and records nothing.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator doesn't see allocations from unrelated tests, and so
+//! nothing else can flip the global enable switch mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every allocation made through the global allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_profiling_allocates_nothing_and_records_nothing() {
+    assert!(!dram_obs::enabled(), "profiling must start disabled");
+    // Warm up everything lazy (sink, epoch) outside the measured window.
+    dram_obs::clear();
+    let warm_start = Instant::now();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        let mut guard = dram_obs::span("off.hot");
+        guard.add_arg("i", i);
+        let _typed = dram_obs::span(format_args_free(i));
+        dram_obs::ManualSpan::new("off.manual", warm_start, Instant::now())
+            .arg("i", i)
+            .commit();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path must not touch the allocator"
+    );
+    assert!(
+        dram_obs::drain().spans.is_empty(),
+        "disabled span path must not record spans"
+    );
+}
+
+/// A static name per branch so the loop body itself allocates nothing.
+fn format_args_free(i: u64) -> &'static str {
+    if i.is_multiple_of(2) {
+        "off.even"
+    } else {
+        "off.odd"
+    }
+}

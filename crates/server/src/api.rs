@@ -66,10 +66,7 @@ pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivi
             with_body(req, |b| pattern(b, &mut activity)),
         ),
         ("POST", "/v1/sweep") => (Route::Sweep, with_body(req, sweep_handler)),
-        ("GET", "/metrics") => (
-            Route::Metrics,
-            Response::json(200, metrics.to_json(EvalEngine::global().snapshot()).to_string()),
-        ),
+        ("GET", "/metrics") => (Route::Metrics, metrics_response(req, metrics)),
         (_, "/healthz" | "/v1/presets" | "/metrics") => {
             (Route::Other, method_not_allowed("GET"))
         }
@@ -86,6 +83,41 @@ pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivi
 
 fn method_not_allowed(allow: &str) -> Response {
     Response::error(405, "method not allowed").with_header("allow", allow)
+}
+
+/// `GET /metrics` with format negotiation.
+///
+/// The `format` query parameter wins when present: `json` or
+/// `prometheus`, anything else is a 400. Without it, an `Accept` header
+/// naming `text/plain` (and not `application/json`) selects Prometheus
+/// text exposition; the default stays the JSON document earlier releases
+/// served, byte for byte.
+fn metrics_response(req: &Request, metrics: &Metrics) -> Response {
+    let snapshot = EvalEngine::global().snapshot();
+    let prometheus = match req.query_param("format") {
+        Some("prometheus") => true,
+        Some("json") => false,
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("unknown metrics format `{other}`; use `json` or `prometheus`"),
+            )
+        }
+        None => {
+            let accept = req.headers.get("accept").map_or("", String::as_str);
+            accept.contains("text/plain") && !accept.contains("application/json")
+        }
+    };
+    if prometheus {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body: metrics.to_prometheus(snapshot).into_bytes(),
+            content_type: dram_obs::PromWriter::CONTENT_TYPE,
+        }
+    } else {
+        Response::json(200, metrics.to_json(snapshot).to_string())
+    }
 }
 
 fn healthz() -> Response {
@@ -416,6 +448,7 @@ mod tests {
         Request {
             method: "POST".into(),
             path: path.into(),
+            query: String::new(),
             headers: HashMap::new(),
             body: body.as_bytes().to_vec(),
         }
@@ -425,6 +458,7 @@ mod tests {
         Request {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             headers: HashMap::new(),
             body: Vec::new(),
         }
@@ -447,6 +481,59 @@ mod tests {
             doc.get("count").and_then(Value::as_f64),
             Some(presets::NAMES.len() as f64)
         );
+    }
+
+    #[test]
+    fn metrics_negotiates_json_and_prometheus() {
+        let m = Metrics::new();
+        m.record(Route::Evaluate, 200, std::time::Duration::from_micros(10));
+
+        // Default: the JSON document, with an explicit content type.
+        let (route, r, _) = handle(&get("/metrics"), &m);
+        assert_eq!((route, r.status), (Route::Metrics, 200));
+        assert_eq!(r.content_type, "application/json");
+        let doc = Value::parse(&body_str(&r)).unwrap();
+        assert!(doc.get("requests_total").is_some());
+
+        // Query parameter selects Prometheus.
+        let mut req = get("/metrics");
+        req.query = "format=prometheus".into();
+        let (_, r, _) = handle(&req, &m);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        let text = body_str(&r);
+        assert!(text.contains("# TYPE dram_serve_requests_total counter"), "{text}");
+        assert!(text.contains("dram_serve_route_requests_total{route=\"evaluate\"} 1"), "{text}");
+        assert!(text.contains("dram_serve_uptime_seconds"), "{text}");
+        assert!(
+            text.contains(concat!("version=\"", env!("CARGO_PKG_VERSION"), "\"")),
+            "{text}"
+        );
+
+        // `format=json` forces JSON even with a text/plain Accept.
+        let mut req = get("/metrics");
+        req.query = "format=json".into();
+        req.headers.insert("accept".into(), "text/plain".into());
+        let (_, r, _) = handle(&req, &m);
+        assert_eq!(r.content_type, "application/json");
+
+        // Accept-header negotiation without a query parameter.
+        let mut req = get("/metrics");
+        req.headers.insert("accept".into(), "text/plain".into());
+        let (_, r, _) = handle(&req, &m);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        let mut req = get("/metrics");
+        req.headers
+            .insert("accept".into(), "application/json, text/plain".into());
+        let (_, r, _) = handle(&req, &m);
+        assert_eq!(r.content_type, "application/json");
+
+        // An unknown format is answered, not guessed.
+        let mut req = get("/metrics");
+        req.query = "format=xml".into();
+        let (_, r, _) = handle(&req, &m);
+        assert_eq!(r.status, 400);
+        assert!(body_str(&r).contains("unknown metrics format"));
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
-//!            [--deadline-ms MS] [--log off|error|info|debug]
+//!            [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]
 //! ```
 //!
 //! Binds (port `0` picks an ephemeral port, printed on startup), serves
 //! until SIGINT/SIGTERM, then drains in-flight requests before exiting.
 //! At `--log info` (the default) every served request emits one
 //! structured `key=value` line on stderr carrying its `x-request-id`.
+//! `--profile FILE` enables span recording for the whole run and writes
+//! a Chrome-trace JSON (chrome://tracing, Perfetto) on shutdown; every
+//! request span carries its `x-request-id`, so one trace shows queue →
+//! worker → engine per request.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,6 +23,7 @@ use dram_server::{serve, Limits, LogLevel, ServerConfig};
 struct Args {
     addr: String,
     config: ServerConfig,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
             log: LogLevel::Info,
             ..ServerConfig::default()
         },
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -70,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 args.config.log = LogLevel::parse(&v)
                     .ok_or_else(|| format!("bad log level `{v}` (off|error|info|debug)"))?;
             }
+            "--profile" => args.profile = Some(value_of("--profile")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -81,7 +88,7 @@ fn usage() {
     eprintln!(
         "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
          usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\
-             [--deadline-ms MS] [--log off|error|info|debug]\n\n\
+             [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]\n\n\
          defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
          \x20         --deadline-ms 15000 --log info\n\
          endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate, POST /v1/batch,\n\
@@ -145,6 +152,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.profile.is_some() {
+        dram_obs::set_enabled(true);
+    }
+
     let handle = match serve(&args.addr, args.config) {
         Ok(h) => h,
         Err(e) => {
@@ -176,5 +187,19 @@ fn main() -> ExitCode {
     println!("dram-serve: shutdown requested, draining in-flight requests");
     let served = handle.shutdown();
     println!("dram-serve: drained; {served} requests served");
+
+    if let Some(path) = args.profile {
+        dram_obs::set_enabled(false);
+        let profile = dram_obs::drain();
+        let spans = profile.spans.len();
+        let doc = dram_obs::chrome_trace(&profile).to_string();
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("dram-serve: wrote {spans} spans to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write profile {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

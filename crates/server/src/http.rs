@@ -52,11 +52,27 @@ pub struct Request {
     pub method: String,
     /// Request target path, query string stripped.
     pub path: String,
+    /// Raw query string (the part after `?`), without the `?`; empty
+    /// when the target had none.
+    pub query: String,
     /// Header fields, names lowercased; repeated fields joined with
     /// `", "` in arrival order.
     pub headers: HashMap<String, String>,
     /// Raw request body.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of query parameter `name`, if present: `?a=1&b=2`
+    /// style, no percent-decoding (the API's parameter values are plain
+    /// tokens). A bare `?name` yields an empty string.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be parsed; maps 1:1 to a 4xx status.
@@ -183,7 +199,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
-    let (method, path) = parse_request_line(request_line)?;
+    let (method, path, query) = parse_request_line(request_line)?;
 
     let mut headers: HashMap<String, String> = HashMap::new();
     for line in lines {
@@ -258,6 +274,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -279,7 +296,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError> {
     let mut parts = line.split(' ');
     let (Some(method), Some(target), Some(version), None) =
         (parts.next(), parts.next(), parts.next(), parts.next())
@@ -299,9 +316,13 @@ fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
     if !target.starts_with('/') {
         return Err(HttpError::BadRequest(format!("bad request target `{target}`")));
     }
-    // Strip any query string; the API is body-driven.
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok((method.to_string(), path))
+    // Split the query string off; the API is mostly body-driven but
+    // `/metrics` selects its format with `?format=...`.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok((method.to_string(), path, query))
 }
 
 /// An HTTP response ready to serialize.
@@ -418,11 +439,11 @@ mod tests {
     fn request_line_parses_and_rejects() {
         assert_eq!(
             parse_request_line("GET /healthz HTTP/1.1").unwrap(),
-            ("GET".into(), "/healthz".into())
+            ("GET".into(), "/healthz".into(), String::new())
         );
         assert_eq!(
             parse_request_line("POST /v1/evaluate?x=1 HTTP/1.0").unwrap(),
-            ("POST".into(), "/v1/evaluate".into())
+            ("POST".into(), "/v1/evaluate".into(), "x=1".into())
         );
         for bad in [
             "",
@@ -435,6 +456,27 @@ mod tests {
         ] {
             assert!(parse_request_line(bad).is_err(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn query_params_split_on_ampersand_and_equals() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: "format=prometheus&flag&x=a=b".into(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        // Only the first `=` separates key from value.
+        assert_eq!(req.query_param("x"), Some("a=b"));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = Request {
+            query: String::new(),
+            ..req
+        };
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]

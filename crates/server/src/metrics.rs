@@ -10,10 +10,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dram_core::EngineSnapshot;
 use dram_units::json::{obj, Value};
+
+pub use dram_obs::{bucket_index, bucket_upper_us, BUCKETS};
+use dram_obs::{Histogram, PromWriter, Registry};
 
 /// The routes the service exposes, used to label per-route counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,23 +75,8 @@ impl Route {
     }
 }
 
-/// Number of latency buckets: powers of two of microseconds, 1 µs up to
-/// ~2 s, plus an overflow bucket.
-const BUCKETS: usize = 23;
-
 /// Slowest-request samples retained per route.
 pub const SLOW_SAMPLES_PER_ROUTE: usize = 8;
-
-/// Histogram bucket for a latency in microseconds. Bucket `i` counts
-/// latencies in `[2^(i-1), 2^i)` µs; bucket 0 is sub-microsecond and the
-/// last bucket catches everything at or above `2^(BUCKETS-2)` µs.
-fn bucket_index(us: u64) -> usize {
-    if us == 0 {
-        0
-    } else {
-        (usize::try_from(u64::BITS - us.leading_zeros()).expect("≤ 64")).min(BUCKETS - 1)
-    }
-}
 
 /// Everything known about one served request, for
 /// [`Metrics::observe`] and the structured log line.
@@ -175,21 +163,43 @@ impl RouteSlow {
 }
 
 /// Thread-safe service counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     requests: [AtomicU64; Route::ALL.len()],
     errors_4xx: AtomicU64,
     errors_5xx: AtomicU64,
     rejected_busy: AtomicU64,
-    latency: [AtomicU64; BUCKETS],
+    latency: Histogram,
     slow: [RouteSlow; Route::ALL.len()],
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters; uptime starts counting now.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            requests: Default::default(),
+            errors_4xx: AtomicU64::new(0),
+            errors_5xx: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            latency: Histogram::new(),
+            slow: Default::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since these metrics were created (process start, in
+    /// practice).
+    #[must_use]
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Records one served request: route, response status and handling
@@ -201,8 +211,7 @@ impl Metrics {
         } else if status >= 500 {
             self.errors_5xx.fetch_add(1, Ordering::Relaxed);
         }
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(latency);
     }
 
     /// Records a fully-traced request: the counters of
@@ -267,14 +276,13 @@ impl Metrics {
 
         let mut upper_us: Vec<Value> = Vec::with_capacity(BUCKETS);
         let mut counts: Vec<Value> = Vec::with_capacity(BUCKETS);
-        for (i, c) in self.latency.iter().enumerate() {
-            if i + 1 < BUCKETS {
-                upper_us.push((1u64 << i).into());
-            } else {
+        for (i, c) in self.latency.counts().iter().enumerate() {
+            match bucket_upper_us(i) {
+                Some(upper) => upper_us.push(upper.into()),
                 // Overflow bucket: no finite upper bound.
-                upper_us.push(Value::Null);
+                None => upper_us.push(Value::Null),
             }
-            counts.push(c.load(Ordering::Relaxed).into());
+            counts.push((*c).into());
         }
 
         let slow: Vec<(String, Value)> = Route::ALL
@@ -330,6 +338,97 @@ impl Metrics {
                 ]),
             ),
         ])
+    }
+
+    /// Serializes the same state as [`Metrics::to_json`] in Prometheus
+    /// text exposition format (version 0.0.4), plus uptime, build info
+    /// and every metric in the process-wide [`Registry`].
+    ///
+    /// Serve it with `Content-Type: text/plain; version=0.0.4`
+    /// ([`PromWriter::CONTENT_TYPE`]).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn to_prometheus(&self, engine: EngineSnapshot) -> String {
+        let mut w = PromWriter::new();
+        w.counter(
+            "dram_serve_requests_total",
+            "Requests served, all routes.",
+            self.total(),
+        );
+        w.header(
+            "dram_serve_route_requests_total",
+            "Requests served, per route.",
+            "counter",
+        );
+        for r in Route::ALL {
+            w.sample(
+                "dram_serve_route_requests_total",
+                &[("route", r.label())],
+                self.requests[r.index()].load(Ordering::Relaxed) as f64,
+            );
+        }
+        w.counter(
+            "dram_serve_responses_4xx_total",
+            "Responses with a 4xx status.",
+            self.errors_4xx.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_serve_responses_5xx_total",
+            "Responses with a 5xx status.",
+            self.errors_5xx.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_serve_rejected_busy_total",
+            "Connections rejected with 503 because the accept queue was full.",
+            self.rejected(),
+        );
+        w.histogram_seconds(
+            "dram_serve_handle_seconds",
+            "Request handling latency (queue wait excluded).",
+            &self.latency,
+        );
+        w.gauge(
+            "dram_serve_uptime_seconds",
+            "Seconds since the service started.",
+            self.uptime_seconds(),
+        );
+        w.header(
+            "dram_serve_build_info",
+            "Constant 1, labeled with the crate version.",
+            "gauge",
+        );
+        w.sample(
+            "dram_serve_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
+        w.counter(
+            "dram_engine_cache_hits_total",
+            "Model-cache hits in the shared evaluation engine.",
+            engine.hits,
+        );
+        w.counter(
+            "dram_engine_cache_misses_total",
+            "Model-cache misses (models built) in the shared engine.",
+            engine.misses,
+        );
+        w.gauge(
+            "dram_engine_cache_entries",
+            "Models currently cached by the shared engine.",
+            engine.entries as f64,
+        );
+        w.gauge(
+            "dram_engine_cache_hit_rate",
+            "Fraction of engine lookups served from the cache.",
+            engine.hit_rate(),
+        );
+        w.gauge(
+            "dram_engine_threads",
+            "Worker threads the shared engine evaluates with.",
+            engine.threads as f64,
+        );
+        w.registry(Registry::global());
+        w.finish()
     }
 }
 

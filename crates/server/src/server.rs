@@ -212,10 +212,22 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
     } = conn;
     let queue_wait = queued_at.elapsed();
     let started = Instant::now();
+    // Accept-to-worker handoff time, attributed to this request. Manual
+    // because the interval crosses threads: the accept loop measured its
+    // start, this worker its end.
+    dram_obs::ManualSpan::new("server.queue", queued_at, started)
+        .arg("id", id)
+        .commit();
+    let mut request_span = dram_obs::span("server.request").arg("id", id);
     match http::read_request(&mut stream, &shared.limits) {
         Ok(req) => {
-            let (route, response, cache) = api::handle(&req, &shared.metrics);
+            let (route, response, cache) = {
+                let _s = dram_obs::span("server.handle").arg("id", id);
+                api::handle(&req, &shared.metrics)
+            };
             let handle_time = started.elapsed();
+            request_span.add_arg("route", route.label());
+            request_span.add_arg("status", response.status);
             let response = response.with_header("x-request-id", &id.to_string());
             let sent = response.send_within(&mut stream, shared.limits.io_timeout);
             let rendered_id = id.to_string();

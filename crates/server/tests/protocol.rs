@@ -583,6 +583,81 @@ fn metrics_slow_samples_correlate_with_response_ids() {
     server.shutdown();
 }
 
+/// The content-type of a raw reply, if present.
+fn content_type(reply: &str) -> Option<&str> {
+    reply
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("content-type: "))
+}
+
+/// `/metrics` over the wire in both formats: the JSON document with an
+/// explicit `application/json` content type, and the Prometheus text
+/// exposition behind `?format=prometheus` (and Accept negotiation) with
+/// the versioned `text/plain` content type.
+#[test]
+fn metrics_serves_both_json_and_prometheus_formats() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, _) = request(addr, "POST", "/v1/evaluate", r#"{"preset":"ddr2_1g_75nm"}"#);
+    assert_eq!(status, 200);
+
+    // Default: JSON, explicitly typed.
+    let reply = raw(addr, b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+    let (status, body) = split_reply(&reply);
+    assert_eq!(status, 200);
+    assert_eq!(content_type(&reply), Some("application/json"), "{reply}");
+    assert!(dram_units::json::Value::parse(&body).is_ok(), "{body}");
+
+    // Query-selected Prometheus exposition.
+    let reply = raw(
+        addr,
+        b"GET /metrics?format=prometheus HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    let (status, prom) = split_reply(&reply);
+    assert_eq!(status, 200);
+    assert_eq!(
+        content_type(&reply),
+        Some("text/plain; version=0.0.4"),
+        "{reply}"
+    );
+    for family in [
+        "# TYPE dram_serve_requests_total counter",
+        "# TYPE dram_serve_handle_seconds histogram",
+        "# TYPE dram_serve_uptime_seconds gauge",
+        "dram_serve_build_info{version=",
+        "dram_engine_cache_hits_total",
+        "dram_serve_handle_seconds_bucket{le=\"+Inf\"}",
+    ] {
+        assert!(prom.contains(family), "missing `{family}` in:\n{prom}");
+    }
+    // The evaluate request this test made is visible in the route family.
+    assert!(
+        prom.contains("dram_serve_route_requests_total{route=\"evaluate\"} 1"),
+        "{prom}"
+    );
+
+    // Accept-header negotiation selects Prometheus without a query.
+    let reply = raw(
+        addr,
+        b"GET /metrics HTTP/1.1\r\naccept: text/plain\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(
+        content_type(&reply),
+        Some("text/plain; version=0.0.4"),
+        "{reply}"
+    );
+
+    // Unknown formats are a 400, not a silent default.
+    let reply = raw(
+        addr,
+        b"GET /metrics?format=yaml HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    let (status, body) = split_reply(&reply);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown metrics format"), "{body}");
+    server.shutdown();
+}
+
 #[test]
 fn sweep_and_pattern_roundtrip_over_the_wire() {
     let server = start(4);

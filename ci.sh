@@ -122,6 +122,21 @@ if [[ $fast -eq 0 ]]; then
   ./target/release/serve-bench --requests 600 --clients 4 --threads 4 > /dev/null
   test -s BENCH_server.json
   echo "    BENCH_server.json written ($(wc -c < BENCH_server.json) bytes)"
+
+  echo "==> chaos-bench smoke (seeded faults, writes BENCH_chaos.json)"
+  # Fixed seed so the failure schedule (worker kills, build panics, slow
+  # reads, short writes, queue rejects) replays identically on every run.
+  # chaos-bench exits non-zero if any resilience invariant breaks: a lost
+  # or duplicated response, an unaccounted fault, a missing respawn, or a
+  # dirty drain.
+  ./target/release/chaos-bench --requests 200 --clients 4 --seed 7 > /dev/null
+  test -s BENCH_chaos.json
+  grep -q '"invariants_hold":true' BENCH_chaos.json \
+    || { echo "    BENCH_chaos.json does not report invariants_hold"; exit 1; }
+  respawns=$(sed -n 's|.*"worker_respawns":\([0-9]*\).*|\1|p' BENCH_chaos.json)
+  [[ -n "$respawns" && "$respawns" -ge 1 ]] \
+    || { echo "    chaos run saw no worker respawns (got: ${respawns:-none})"; exit 1; }
+  echo "    BENCH_chaos.json written (invariants hold, $respawns worker respawns)"
 fi
 
 echo "==> ci.sh: all green"

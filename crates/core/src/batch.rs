@@ -30,10 +30,10 @@
 //! assert_eq!(engine.cache_stats().misses, 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::params::{
     ActiveDuring, DramDescription, Electrical, LogicBlock, PhysicalFloorplan, SegmentSpec,
@@ -275,6 +275,10 @@ pub struct EngineSnapshot {
     pub entries: usize,
     /// Configured worker-thread count.
     pub threads: usize,
+    /// Lookups answered from the negative (known-bad) cache.
+    pub error_hits: u64,
+    /// Known-bad descriptions currently memoized.
+    pub error_entries: usize,
 }
 
 impl EngineSnapshot {
@@ -294,17 +298,75 @@ impl EngineSnapshot {
 /// One hash bucket: every cached description whose content hash collides.
 type Bucket = Vec<(DramDescription, Arc<Dram>)>;
 
+/// Capacity of the negative cache: enough to absorb a retry storm of
+/// known-bad descriptions, small enough that a hostile client cycling
+/// unique bad inputs cannot grow memory without bound.
+const ERROR_CACHE_CAP: usize = 256;
+
+/// Bounded FIFO of validation failures, keyed like the positive cache
+/// (content hash, collision-checked structurally). Only *validation*
+/// errors land here — a panic caught around an evaluation is transient
+/// by definition and must not be memoized.
+#[derive(Debug, Default)]
+struct ErrorCache {
+    buckets: HashMap<u64, Vec<(DramDescription, ModelError)>>,
+    /// Insertion order of keys, one entry per cached error, for FIFO
+    /// eviction at [`ERROR_CACHE_CAP`].
+    order: VecDeque<u64>,
+}
+
+impl ErrorCache {
+    fn lookup(&self, key: u64, desc: &DramDescription) -> Option<ModelError> {
+        self.buckets
+            .get(&key)?
+            .iter()
+            .find(|(d, _)| d == desc)
+            .map(|(_, e)| e.clone())
+    }
+
+    fn remember(&mut self, key: u64, desc: &DramDescription, err: &ModelError) {
+        let bucket = self.buckets.entry(key).or_default();
+        if bucket.iter().any(|(d, _)| d == desc) {
+            return;
+        }
+        bucket.push((desc.clone(), err.clone()));
+        self.order.push_back(key);
+        while self.order.len() > ERROR_CACHE_CAP {
+            let evict = self.order.pop_front().expect("order non-empty");
+            if let Some(bucket) = self.buckets.get_mut(&evict) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                }
+                if bucket.is_empty() {
+                    self.buckets.remove(&evict);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
 /// A memoizing store of built models keyed by description content.
 ///
 /// Thread-safe; lookups hold the lock only for the bucket scan, model
 /// construction runs outside it so concurrent builders do not serialize.
-/// Failed builds are **not** cached (they are cheap — validation rejects
-/// before the expensive geometry walk).
+/// Validation failures are memoized too, in a bounded negative cache, so
+/// a client retrying a known-bad description fails fast instead of
+/// re-running validation each time.
+///
+/// Locks are poison-tolerant: request handling upstream catches panics,
+/// so a panic unwinding past a lock holder must not turn every later
+/// cache access into a second panic.
 #[derive(Debug, Default)]
 pub struct ModelCache {
     buckets: Mutex<HashMap<u64, Bucket>>,
+    errors: Mutex<ErrorCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    error_hits: AtomicU64,
 }
 
 impl ModelCache {
@@ -348,9 +410,30 @@ impl ModelCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit, true));
         }
+        let known_bad = self
+            .errors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(key, desc);
+        if let Some(err) = known_bad {
+            self.error_hits.fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(Dram::new(desc.clone())?);
-        let mut buckets = self.buckets.lock().expect("cache lock");
+        // Fault site outside every lock: an injected build panic unwinds
+        // without poisoning either cache map.
+        dram_faults::trip("engine.build");
+        let built = match Dram::new(desc.clone()) {
+            Ok(model) => Arc::new(model),
+            Err(err) => {
+                self.errors
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remember(key, desc, &err);
+                return Err(err);
+            }
+        };
+        let mut buckets = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
         let bucket = buckets.entry(key).or_default();
         // A concurrent builder may have won the race; keep its model so
         // every caller shares one allocation. This call still built a
@@ -363,7 +446,7 @@ impl ModelCache {
     }
 
     fn lookup(&self, key: u64, desc: &DramDescription) -> Option<Arc<Dram>> {
-        let buckets = self.buckets.lock().expect("cache lock");
+        let buckets = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
         buckets
             .get(&key)?
             .iter()
@@ -380,11 +463,33 @@ impl ModelCache {
         }
     }
 
-    /// Drops every cached model and resets the counters.
+    /// Lookups answered from the negative cache (fail-fast rejections of
+    /// descriptions already known bad).
+    #[must_use]
+    pub fn error_hits(&self) -> u64 {
+        self.error_hits.load(Ordering::Relaxed)
+    }
+
+    /// Known-bad descriptions currently memoized.
+    #[must_use]
+    pub fn error_len(&self) -> usize {
+        self.errors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drops every cached model and memoized error and resets the
+    /// counters.
     pub fn clear(&self) {
-        self.buckets.lock().expect("cache lock").clear();
+        self.buckets
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        *self.errors.lock().unwrap_or_else(PoisonError::into_inner) = ErrorCache::default();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.error_hits.store(0, Ordering::Relaxed);
     }
 
     /// Number of cached models.
@@ -392,7 +497,7 @@ impl ModelCache {
     pub fn len(&self) -> usize {
         self.buckets
             .lock()
-            .expect("cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(Vec::len)
             .sum()
@@ -471,6 +576,8 @@ impl EvalEngine {
             misses: stats.misses,
             entries: self.cache.len(),
             threads: self.threads,
+            error_hits: self.cache.error_hits(),
+            error_entries: self.cache.error_len(),
         }
     }
 
@@ -501,23 +608,39 @@ impl EvalEngine {
     /// `out[i]` is the model for `descs[i]`; order is the input order
     /// regardless of thread count. Duplicate descriptions share one
     /// cached model.
+    ///
+    /// A panic while evaluating one item is isolated to that item: it
+    /// becomes [`ModelError::Panicked`] in that slot, the rest of the
+    /// batch completes normally. (The lower-level [`EvalEngine::map`]
+    /// keeps the propagate-panics contract for library callers.)
     pub fn evaluate_many(
         &self,
         descs: &[DramDescription],
     ) -> Vec<Result<Arc<Dram>, ModelError>> {
         let _s = dram_obs::span("engine.evaluate_many").arg("items", descs.len());
-        self.map(descs, |d| self.cache.get_or_build(d))
+        self.map(descs, |d| {
+            isolate(|| {
+                dram_faults::trip("engine.worker");
+                self.cache.get_or_build(d)
+            })
+        })
     }
 
     /// [`EvalEngine::evaluate_many`] with per-item cache-hit reporting:
     /// `out[i]` carries the model for `descs[i]` plus whether it was a
-    /// cache hit, in input order regardless of thread count.
+    /// cache hit, in input order regardless of thread count. Panics are
+    /// isolated per item exactly like [`EvalEngine::evaluate_many`].
     pub fn evaluate_many_traced(
         &self,
         descs: &[DramDescription],
     ) -> Vec<Result<(Arc<Dram>, bool), ModelError>> {
         let _s = dram_obs::span("engine.evaluate_many").arg("items", descs.len());
-        self.map(descs, |d| self.cache.get_or_build_traced(d))
+        self.map(descs, |d| {
+            isolate(|| {
+                dram_faults::trip("engine.worker");
+                self.cache.get_or_build_traced(d)
+            })
+        })
     }
 
     /// Applies `f` to every item on the worker pool and returns results
@@ -550,21 +673,26 @@ impl EvalEngine {
         let next = AtomicUsize::new(0);
         let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let start = next.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= items.len() {
-                                break;
+                .map(|w| {
+                    // Named threads: a panic message or an obs thread
+                    // attribution then identifies the failing worker.
+                    std::thread::Builder::new()
+                        .name(format!("engine-worker-{w}"))
+                        .spawn_scoped(s, || {
+                            let mut local = Vec::new();
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= items.len() {
+                                    break;
+                                }
+                                let end = (start + chunk).min(items.len());
+                                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                    local.push((i, f(item)));
+                                }
                             }
-                            let end = (start + chunk).min(items.len());
-                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                                local.push((i, f(item)));
-                            }
-                        }
-                        local
-                    })
+                            local
+                        })
+                        .expect("spawn engine worker")
                 })
                 .collect();
             handles
@@ -601,6 +729,32 @@ impl EvalEngine {
         static GLOBAL: OnceLock<EvalEngine> = OnceLock::new();
         GLOBAL.get_or_init(EvalEngine::new)
     }
+}
+
+/// Runs `f`, converting a panic into [`ModelError::Panicked`] instead of
+/// unwinding. `AssertUnwindSafe` is sound here because the only shared
+/// state `f` touches is the model cache, whose locks are poison-tolerant
+/// and whose fault trip sits outside them.
+fn isolate<T>(
+    f: impl FnOnce() -> Result<T, ModelError>,
+) -> Result<T, ModelError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(ModelError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -758,6 +912,78 @@ mod tests {
     }
 
     #[test]
+    fn known_bad_descriptions_fail_fast_from_the_negative_cache() {
+        let cache = ModelCache::new();
+        let mut bad = ddr3_1g_x16_55nm();
+        bad.spec.bank_address_bits = 5; // floorplan grid mismatch
+        let first = cache.get_or_build(&bad).expect_err("invalid");
+        assert_eq!(cache.stats().misses, 1, "first sight runs validation");
+        assert_eq!(cache.error_len(), 1);
+        let second = cache.get_or_build(&bad).expect_err("still invalid");
+        assert_eq!(first, second, "memoized error is the original error");
+        assert_eq!(cache.stats().misses, 1, "no second validation run");
+        assert_eq!(cache.error_hits(), 1);
+        // Good descriptions are unaffected by the negative entries.
+        assert!(cache.get_or_build(&ddr3_1g_x16_55nm()).is_ok());
+        cache.clear();
+        assert_eq!(cache.error_len(), 0);
+        assert_eq!(cache.error_hits(), 0);
+    }
+
+    #[test]
+    fn negative_cache_is_bounded_fifo() {
+        let cache = ModelCache::new();
+        // ERROR_CACHE_CAP + 1 distinct bad descriptions: the oldest must
+        // be evicted, everything else stays memoized.
+        let mut bads = Vec::new();
+        for i in 0..=ERROR_CACHE_CAP {
+            let mut bad = ddr3_1g_x16_55nm();
+            bad.spec.bank_address_bits = 5;
+            bad.name = format!("bad-{i}");
+            assert!(cache.get_or_build(&bad).is_err());
+            bads.push(bad);
+        }
+        assert_eq!(cache.error_len(), ERROR_CACHE_CAP);
+        let misses = cache.stats().misses;
+        // A survivor is served from the cache; the evicted (oldest)
+        // entry revalidates (and re-enters, evicting the next-oldest).
+        assert!(cache.get_or_build(&bads[1]).is_err());
+        assert_eq!(cache.stats().misses, misses, "survivor served from cache");
+        assert!(cache.get_or_build(&bads[0]).is_err());
+        assert_eq!(cache.stats().misses, misses + 1, "evicted entry rebuilt");
+    }
+
+    #[test]
+    fn evaluate_many_isolates_panics_per_item() {
+        // Panic on one item via the public API: a description that
+        // panics is not constructible from safe inputs, so go through
+        // `map`'s contract counterpart directly — evaluate_many wraps
+        // the same closure in `isolate`. Exercise `isolate` here.
+        let out: Result<(), ModelError> = super::isolate(|| panic!("boom {}", 7));
+        match out {
+            Err(ModelError::Panicked { message }) => {
+                assert!(message.contains("boom 7"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Display form used by the server's JSON error bodies.
+        let err = ModelError::Panicked { message: "boom".into() };
+        assert_eq!(err.to_string(), "evaluation panicked: boom");
+    }
+
+    #[test]
+    fn map_workers_are_named() {
+        let engine = EvalEngine::new().threads(2);
+        let items: Vec<u32> = (0..32).collect();
+        let names = engine.map(&items, |_| {
+            std::thread::current().name().map(ToString::to_string)
+        });
+        for name in names.into_iter().flatten() {
+            assert!(name.starts_with("engine-worker-"), "{name}");
+        }
+    }
+
+    #[test]
     fn global_engine_is_shared() {
         let a = EvalEngine::global();
         let b = EvalEngine::global();
@@ -768,7 +994,17 @@ mod tests {
     fn snapshot_reflects_cache_and_threads() {
         let engine = EvalEngine::new().threads(3);
         let empty = engine.snapshot();
-        assert_eq!(empty, EngineSnapshot { hits: 0, misses: 0, entries: 0, threads: 3 });
+        assert_eq!(
+            empty,
+            EngineSnapshot {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                threads: 3,
+                error_hits: 0,
+                error_entries: 0,
+            }
+        );
         assert_eq!(empty.hit_rate(), 0.0);
 
         let desc = ddr3_1g_x16_55nm();

@@ -64,6 +64,12 @@ pub enum ModelError {
     },
     /// A pattern is empty or otherwise unusable.
     EmptyPattern,
+    /// Evaluation of this item panicked; the panic was isolated to the
+    /// item instead of tearing down the whole batch.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A pattern violates a timing constraint.
     TimingViolation {
         /// Description of the violated constraint.
@@ -109,6 +115,9 @@ impl core::fmt::Display for ModelError {
                 grid.0, grid.1
             ),
             ModelError::EmptyPattern => write!(f, "operation pattern is empty"),
+            ModelError::Panicked { message } => {
+                write!(f, "evaluation panicked: {message}")
+            }
             ModelError::TimingViolation { message } => {
                 write!(f, "pattern violates timing: {message}")
             }

@@ -1,0 +1,133 @@
+//! Seeded mutation fuzz of the description parser: no input, however
+//! mangled, may panic it. Every preset's writer output is truncated,
+//! bit-flipped and token-duplicated under a fixed-seed RNG
+//! ([`SplitMix64`], the workspace's deterministic generator), and each
+//! variant must come back from [`dram_dsl::parse`] as `Ok` or `Err` —
+//! never an unwind. Deterministic by construction: a failure reproduces
+//! by re-running the test, and the panic message carries the offending
+//! input.
+
+use dram_units::rng::SplitMix64;
+
+const FUZZ_SEED: u64 = 0xD5A7_F00D;
+
+/// Per-class iteration counts, per preset.
+const TRUNCATIONS: usize = 50;
+const BIT_FLIPS: usize = 50;
+const DUPLICATIONS: usize = 30;
+
+/// Every preset the stack ships, as description-language source.
+fn preset_sources() -> Vec<(&'static str, String)> {
+    let mut out = vec![(
+        "ddr3_1g_x16_55nm",
+        dram_dsl::write(&dram_core::reference::ddr3_1g_x16_55nm(), None),
+    )];
+    use dram_scaling::presets as p;
+    for (name, desc) in [
+        ("sdr_128m_170nm", p::sdr_128m_170nm()),
+        ("ddr2_1g_75nm", p::ddr2_1g_75nm()),
+        ("ddr2_1g_65nm", p::ddr2_1g_65nm()),
+        ("ddr3_1g_65nm", p::ddr3_1g_65nm()),
+        ("ddr3_1g_55nm", p::ddr3_1g_55nm()),
+        ("ddr3_2g_55nm", p::ddr3_2g_55nm()),
+        ("ddr5_16g_18nm", p::ddr5_16g_18nm()),
+    ] {
+        out.push((name, dram_dsl::write(&desc, None)));
+    }
+    out
+}
+
+/// Feeds one mangled input through both parser entry points and fails
+/// the test (with the input attached) if either unwinds. `Err` results
+/// are the expected outcome; `Ok` is fine too — a mutation may land in
+/// a comment or produce a different-but-valid file.
+fn must_not_panic(label: &str, case: usize, input: &str) {
+    let outcome = std::panic::catch_unwind(|| {
+        let _ = dram_dsl::parse(input);
+        let _ = dram_dsl::parse_description(input);
+    });
+    assert!(
+        outcome.is_ok(),
+        "parser panicked on {label} case {case}; input:\n{input}"
+    );
+}
+
+/// A per-preset RNG stream: decorrelated across presets so adding one
+/// never shifts the cases another preset sees.
+fn stream_for(name: &str) -> SplitMix64 {
+    let mut salt: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        salt ^= u64::from(*b);
+        salt = salt.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SplitMix64::new(FUZZ_SEED ^ salt)
+}
+
+#[test]
+fn truncated_sources_error_instead_of_panicking() {
+    for (name, source) in preset_sources() {
+        assert!(source.is_ascii(), "{name}: writer output must stay ASCII");
+        let mut rng = stream_for(name);
+        for case in 0..TRUNCATIONS {
+            // Cutting at any byte is safe: the source is ASCII.
+            let cut = rng.range_usize(source.len());
+            must_not_panic(name, case, &source[..cut]);
+        }
+        // The degenerate edges, explicitly.
+        must_not_panic(name, usize::MAX, "");
+        must_not_panic(name, usize::MAX - 1, &source[..source.len() / 2]);
+    }
+}
+
+#[test]
+fn bit_flipped_sources_error_instead_of_panicking() {
+    for (name, source) in preset_sources() {
+        let mut rng = stream_for(name);
+        for case in 0..BIT_FLIPS {
+            let mut bytes = source.as_bytes().to_vec();
+            // Flip 1–4 bits; lossy re-decoding keeps the input valid
+            // UTF-8 even when a flip leaves the ASCII plane.
+            for _ in 0..=rng.range_usize(3) {
+                let at = rng.range_usize(bytes.len());
+                let bit = rng.range_u32(8);
+                bytes[at] ^= 1 << bit;
+            }
+            let mangled = String::from_utf8_lossy(&bytes);
+            must_not_panic(name, case, &mangled);
+        }
+    }
+}
+
+#[test]
+fn duplicated_tokens_error_instead_of_panicking() {
+    for (name, source) in preset_sources() {
+        let mut rng = stream_for(name);
+        let lines: Vec<&str> = source.lines().collect();
+        for case in 0..DUPLICATIONS {
+            let mut mutated: Vec<String> = lines.iter().map(|l| (*l).to_string()).collect();
+            if case % 2 == 0 {
+                // Duplicate a whole line in place.
+                let at = rng.range_usize(mutated.len());
+                let line = mutated[at].clone();
+                mutated.insert(at, line);
+            } else {
+                // Duplicate one whitespace-separated token within a line.
+                let at = rng.range_usize(mutated.len());
+                let tokens: Vec<&str> = mutated[at].split_whitespace().collect();
+                if tokens.is_empty() {
+                    continue;
+                }
+                let t = rng.range_usize(tokens.len());
+                let mut rebuilt: Vec<&str> = Vec::with_capacity(tokens.len() + 1);
+                for (i, tok) in tokens.iter().enumerate() {
+                    rebuilt.push(tok);
+                    if i == t {
+                        rebuilt.push(tok);
+                    }
+                }
+                mutated[at] = rebuilt.join(" ");
+            }
+            must_not_panic(name, case, &mutated.join("\n"));
+        }
+    }
+}

@@ -53,30 +53,25 @@ impl CacheActivity {
 #[must_use]
 pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivity) {
     let mut activity = CacheActivity::default();
-    let (route, response) = match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Route::Healthz, healthz()),
-        ("GET", "/v1/presets") => (Route::Presets, list_presets()),
-        ("POST", "/v1/evaluate") => (
-            Route::Evaluate,
-            with_body(req, |b| evaluate(b, &mut activity)),
-        ),
-        ("POST", "/v1/batch") => (Route::Batch, with_body(req, |b| batch(b, &mut activity))),
-        ("POST", "/v1/pattern") => (
-            Route::Pattern,
-            with_body(req, |b| pattern(b, &mut activity)),
-        ),
-        ("POST", "/v1/sweep") => (Route::Sweep, with_body(req, sweep_handler)),
-        ("GET", "/metrics") => (Route::Metrics, metrics_response(req, metrics)),
-        (_, "/healthz" | "/v1/presets" | "/metrics") => {
-            (Route::Other, method_not_allowed("GET"))
-        }
-        (_, "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep") => {
-            (Route::Other, method_not_allowed("POST"))
-        }
-        _ => (
-            Route::Other,
-            Response::error(404, &format!("no such route `{}`", req.path)),
-        ),
+    // Classification lives in `Route::classify` so the front end's
+    // load-shedding check and this dispatcher can never disagree about
+    // what a request is.
+    let route = Route::classify(req.method.as_str(), req.path.as_str());
+    let response = match route {
+        Route::Healthz => healthz(),
+        Route::Presets => list_presets(),
+        Route::Evaluate => with_body(req, |b| evaluate(b, &mut activity)),
+        Route::Batch => with_body(req, |b| batch(b, &mut activity)),
+        Route::Pattern => with_body(req, |b| pattern(b, &mut activity)),
+        Route::Sweep => with_body(req, sweep_handler),
+        Route::Metrics => metrics_response(req, metrics),
+        Route::Other => match req.path.as_str() {
+            "/healthz" | "/v1/presets" | "/metrics" => method_not_allowed("GET"),
+            "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep" => {
+                method_not_allowed("POST")
+            }
+            _ => Response::error(404, &format!("no such route `{}`", req.path)),
+        },
     };
     (route, response, activity)
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
 //!            [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]
+//!            [--shed-at N] [--faults SPEC]
 //! ```
 //!
 //! Binds (port `0` picks an ephemeral port, printed on startup), serves
@@ -13,6 +14,13 @@
 //! a Chrome-trace JSON (chrome://tracing, Perfetto) on shutdown; every
 //! request span carries its `x-request-id`, so one trace shows queue →
 //! worker → engine per request.
+//!
+//! `--shed-at N` turns on adaptive load shedding: once the request queue
+//! holds N or more entries, expensive routes (`/v1/sweep`, `/v1/batch`)
+//! are refused with 503 + `Retry-After` while cheap routes keep flowing.
+//! `--faults SPEC` (or the `DRAM_FAULTS` environment variable) arms the
+//! deterministic fault-injection plan described in docs/RESILIENCE.md,
+//! e.g. `seed=7;engine.worker=panic:p=0.05;http.read=delay:ms=40:p=0.2`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +32,7 @@ struct Args {
     addr: String,
     config: ServerConfig,
     profile: Option<String>,
+    faults: Option<dram_faults::Plan>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
             ..ServerConfig::default()
         },
         profile: None,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,8 +87,33 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad log level `{v}` (off|error|info|debug)"))?;
             }
             "--profile" => args.profile = Some(value_of("--profile")?),
+            "--shed-at" => {
+                let v = value_of("--shed-at")?;
+                args.config.shed_at = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad shed watermark `{v}`"))?,
+                );
+            }
+            "--faults" => {
+                let v = value_of("--faults")?;
+                args.faults = Some(
+                    dram_faults::Plan::parse(&v).map_err(|e| format!("bad fault spec: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.faults.is_none() {
+        if let Ok(spec) = std::env::var("DRAM_FAULTS") {
+            if !spec.trim().is_empty() {
+                args.faults = Some(
+                    dram_faults::Plan::parse(&spec)
+                        .map_err(|e| format!("bad DRAM_FAULTS spec: {e}"))?,
+                );
+            }
         }
     }
     Ok(args)
@@ -88,9 +123,14 @@ fn usage() {
     eprintln!(
         "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
          usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\
-             [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]\n\n\
+             [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]\n\
+             [--shed-at N] [--faults SPEC]\n\n\
          defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
-         \x20         --deadline-ms 15000 --log info\n\
+         \x20         --deadline-ms 15000 --log info (no shedding, no faults)\n\
+         resilience: --shed-at N sheds /v1/sweep + /v1/batch with 503 once the queue\n\
+         \x20         holds N entries; --faults SPEC (or env DRAM_FAULTS) arms the\n\
+         \x20         deterministic fault plan, e.g. `seed=7;engine.worker=panic:p=0.05`\n\
+         \x20         (see docs/RESILIENCE.md)\n\
          endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate, POST /v1/batch,\n\
          POST /v1/pattern, POST /v1/sweep, GET /metrics (see docs/SERVER.md)"
     );
@@ -156,6 +196,11 @@ fn main() -> ExitCode {
         dram_obs::set_enabled(true);
     }
 
+    if let Some(plan) = &args.faults {
+        dram_faults::arm(plan);
+        eprintln!("dram-serve: fault injection armed: {}", plan.render());
+    }
+
     let handle = match serve(&args.addr, args.config) {
         Ok(h) => h,
         Err(e) => {
@@ -187,6 +232,14 @@ fn main() -> ExitCode {
     println!("dram-serve: shutdown requested, draining in-flight requests");
     let served = handle.shutdown();
     println!("dram-serve: drained; {served} requests served");
+
+    if args.faults.is_some() {
+        let fired = dram_faults::injected();
+        dram_faults::disarm();
+        for (site, count) in fired {
+            println!("dram-serve: injected {count} faults at {site}");
+        }
+    }
 
     if let Some(path) = args.profile {
         dram_obs::set_enabled(false);

@@ -153,6 +153,13 @@ fn read_bounded(
     deadline: Instant,
     io_timeout: Duration,
 ) -> Result<usize, HttpError> {
+    // Fault site: a `delay` rule stalls this read (served inside the
+    // trip); a `short` rule caps it to one byte, turning the peer into
+    // an apparent trickler the deadline logic must still bound.
+    let cap = match dram_faults::trip("http.read") {
+        Some(inj) if inj.kind == dram_faults::Kind::Short => 1,
+        _ => chunk.len(),
+    };
     let remaining = deadline.saturating_duration_since(Instant::now());
     if remaining.is_zero() {
         return Err(HttpError::Timeout);
@@ -162,7 +169,7 @@ fn read_bounded(
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| io_to_http(&e))?;
-    stream.read(chunk).map_err(|e| io_to_http(&e))
+    stream.read(&mut chunk[..cap]).map_err(|e| io_to_http(&e))
 }
 
 /// Reads and parses one request from the stream under the given limits.
@@ -377,6 +384,7 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -418,7 +426,22 @@ impl Response {
     /// The first write/flush error, if any.
     pub fn send_within(&self, stream: &mut TcpStream, io_timeout: Duration) -> std::io::Result<()> {
         stream.set_write_timeout(Some(io_timeout.max(Duration::from_millis(1))))?;
-        stream.write_all(&self.to_bytes())?;
+        let bytes = self.to_bytes();
+        // Fault site: a `delay` rule stalls the write (served inside the
+        // trip); a `short` rule fragments it — the full response is
+        // still delivered, split mid-stream, so a client that can't
+        // reassemble partial writes is flushed out by chaos testing
+        // without ever corrupting a response.
+        if let Some(inj) = dram_faults::trip("http.write") {
+            if inj.kind == dram_faults::Kind::Short {
+                let split = bytes.len() / 2;
+                stream.write_all(&bytes[..split])?;
+                stream.flush()?;
+                stream.write_all(&bytes[split..])?;
+                return stream.flush();
+            }
+        }
+        stream.write_all(&bytes)?;
         stream.flush()
     }
 

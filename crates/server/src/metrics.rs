@@ -73,6 +73,32 @@ impl Route {
             .position(|r| *r == self)
             .expect("route in ALL")
     }
+
+    /// The route a (method, path) pair dispatches to; [`Route::Other`]
+    /// for anything without a handler. Single source of truth shared by
+    /// the API dispatcher and the load-shedding check, so the two can
+    /// never classify a request differently.
+    #[must_use]
+    pub fn classify(method: &str, path: &str) -> Route {
+        match (method, path) {
+            ("GET", "/healthz") => Route::Healthz,
+            ("GET", "/v1/presets") => Route::Presets,
+            ("POST", "/v1/evaluate") => Route::Evaluate,
+            ("POST", "/v1/batch") => Route::Batch,
+            ("POST", "/v1/pattern") => Route::Pattern,
+            ("POST", "/v1/sweep") => Route::Sweep,
+            ("GET", "/metrics") => Route::Metrics,
+            _ => Route::Other,
+        }
+    }
+
+    /// Whether the route does unbounded-ish work per request (a full
+    /// parameter sweep, a many-item batch). Under load these are shed
+    /// first, so cheap traffic keeps flowing while the queue recovers.
+    #[must_use]
+    pub fn expensive(self) -> bool {
+        matches!(self, Route::Sweep | Route::Batch)
+    }
 }
 
 /// Slowest-request samples retained per route.
@@ -169,6 +195,12 @@ pub struct Metrics {
     errors_4xx: AtomicU64,
     errors_5xx: AtomicU64,
     rejected_busy: AtomicU64,
+    shed_load: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    /// EWMA of queue wait in µs, α = 1/8, updated at worker pick-up.
+    /// Drives the adaptive `Retry-After` on 503 responses.
+    queue_ewma_us: AtomicU64,
     latency: Histogram,
     slow: [RouteSlow; Route::ALL.len()],
     started: Instant,
@@ -189,6 +221,10 @@ impl Metrics {
             errors_4xx: AtomicU64::new(0),
             errors_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            shed_load: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            queue_ewma_us: AtomicU64::new(0),
             latency: Histogram::new(),
             slow: Default::default(),
             started: Instant::now(),
@@ -231,6 +267,64 @@ impl Metrics {
     /// Records a connection rejected with 503 because the queue was full.
     pub fn record_rejected(&self) {
         self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an expensive request shed with 503 at the `--shed-at`
+    /// watermark.
+    pub fn record_shed(&self) {
+        self.shed_load.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request-handler panic that was caught and answered 500.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dead worker thread replaced by the supervisor.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one observed queue wait into the EWMA behind
+    /// [`Metrics::retry_after_secs`]. Racy read-modify-write by design:
+    /// a lost update skews a smoothed estimate, never an invariant.
+    pub fn note_queue_wait(&self, wait: Duration) {
+        let sample = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX / 8);
+        let prev = self.queue_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample
+        } else {
+            (prev.min(u64::MAX / 8) * 7 + sample) / 8
+        };
+        self.queue_ewma_us.store(next, Ordering::Relaxed);
+    }
+
+    /// The adaptive `Retry-After` for 503 responses: twice the observed
+    /// queue-wait EWMA, rounded up to whole seconds, clamped to
+    /// `[1, 30]`. An idle server advertises 1 s; a deeply backed-up one
+    /// pushes clients out up to half a minute.
+    #[must_use]
+    pub fn retry_after_secs(&self) -> u64 {
+        let ewma_us = self.queue_ewma_us.load(Ordering::Relaxed);
+        (2 * ewma_us).div_ceil(1_000_000).clamp(1, 30)
+    }
+
+    /// Expensive requests shed so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_load.load(Ordering::Relaxed)
+    }
+
+    /// Caught request-handler panics so far.
+    #[must_use]
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads respawned so far.
+    #[must_use]
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
     }
 
     /// Total requests served (all routes).
@@ -319,6 +413,10 @@ impl Metrics {
                 self.errors_5xx.load(Ordering::Relaxed).into(),
             ),
             ("rejected_busy", self.rejected().into()),
+            ("shed_load", self.shed().into()),
+            ("worker_panics", self.worker_panics().into()),
+            ("worker_respawns", self.worker_respawns().into()),
+            ("retry_after_s", self.retry_after_secs().into()),
             (
                 "latency_histogram",
                 obj(vec![
@@ -335,6 +433,8 @@ impl Metrics {
                     ("cache_entries", engine.entries.into()),
                     ("hit_rate", engine.hit_rate().into()),
                     ("threads", engine.threads.into()),
+                    ("error_cache_hits", engine.error_hits.into()),
+                    ("error_cache_entries", engine.error_entries.into()),
                 ]),
             ),
         ])
@@ -382,6 +482,26 @@ impl Metrics {
             "Connections rejected with 503 because the accept queue was full.",
             self.rejected(),
         );
+        w.counter(
+            "dram_serve_shed_load_total",
+            "Expensive requests shed with 503 at the shed-at watermark.",
+            self.shed(),
+        );
+        w.counter(
+            "dram_serve_worker_panics_total",
+            "Request-handler panics caught and answered with 500.",
+            self.worker_panics(),
+        );
+        w.counter(
+            "dram_serve_worker_respawns_total",
+            "Dead worker threads replaced by the supervisor.",
+            self.worker_respawns(),
+        );
+        w.gauge(
+            "dram_serve_retry_after_seconds",
+            "Current adaptive Retry-After advertised on 503 responses.",
+            self.retry_after_secs() as f64,
+        );
         w.histogram_seconds(
             "dram_serve_handle_seconds",
             "Request handling latency (queue wait excluded).",
@@ -426,6 +546,16 @@ impl Metrics {
             "dram_engine_threads",
             "Worker threads the shared engine evaluates with.",
             engine.threads as f64,
+        );
+        w.counter(
+            "dram_engine_error_cache_hits_total",
+            "Lookups answered from the engine's negative (known-bad) cache.",
+            engine.error_hits,
+        );
+        w.gauge(
+            "dram_engine_error_cache_entries",
+            "Known-bad descriptions currently memoized by the engine.",
+            engine.error_entries as f64,
         );
         w.registry(Registry::global());
         w.finish()

@@ -26,11 +26,11 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::api;
+use crate::api::{self, CacheActivity};
 use crate::http::{self, Limits, ReadError, Response};
 use crate::metrics::{Metrics, RequestRecord, Route};
 use crate::trace::{LogLevel, Logger, RequestId, RequestIdSource};
@@ -44,6 +44,11 @@ pub struct ServerConfig {
     /// server reject every request with 503 — useful for testing
     /// client backpressure handling.
     pub queue_depth: usize,
+    /// Load-shedding watermark: when the queue holds at least this many
+    /// connections, expensive routes ([`Route::expensive`]) are answered
+    /// 503 instead of handled, so cheap traffic keeps flowing while the
+    /// backlog clears. `None` disables shedding.
+    pub shed_at: Option<usize>,
     /// HTTP parsing limits and socket timeouts.
     pub limits: Limits,
     /// Structured-log verbosity (stderr). [`LogLevel::Off`] by default
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
         Self {
             threads: 4,
             queue_depth: 128,
+            shed_at: None,
             limits: Limits::default(),
             log: LogLevel::Off,
         }
@@ -71,7 +77,8 @@ struct QueuedConn {
     queued_at: Instant,
 }
 
-/// State shared between the accept thread, the workers and the handle.
+/// State shared between the accept thread, the workers, the supervisor
+/// and the handle.
 struct Shared {
     queue: Mutex<VecDeque<QueuedConn>>,
     available: Condvar,
@@ -81,6 +88,46 @@ struct Shared {
     metrics: Metrics,
     limits: Limits,
     logger: Logger,
+    shed_at: Option<usize>,
+    /// Slot indices of workers that died (panicked out of their loop),
+    /// pushed by the worker's drop-guard, drained by the supervisor.
+    deaths: Mutex<Vec<usize>>,
+    /// Wakes the supervisor when a death is recorded or shutdown starts.
+    reaper: Condvar,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<QueuedConn>> {
+        // Poison-tolerant: a worker that panics while holding the queue
+        // lock (it never should, but this file exists because "never
+        // should" still happens) must not wedge every other worker.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Arms a worker slot: if the worker thread unwinds out of its loop
+/// (anything but a clean exit disarms it first), `Drop` reports the slot
+/// to the supervisor for respawning. Runs during unwind, so it works for
+/// panics that escape the per-request `catch_unwind` — including
+/// deliberate `server.worker` injected faults.
+struct DeathSentinel<'a> {
+    shared: &'a Shared,
+    slot: usize,
+    armed: bool,
+}
+
+impl Drop for DeathSentinel<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.shared
+            .deaths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(self.slot);
+        self.shared.reaper.notify_all();
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -90,7 +137,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 /// Binds a listener and starts the accept loop plus worker pool.
@@ -113,17 +160,22 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         metrics: Metrics::new(),
         limits: config.limits,
         logger: Logger::new(config.log),
+        shed_at: config.shed_at,
+        deaths: Mutex::new(Vec::new()),
+        reaper: Condvar::new(),
     });
 
-    let workers = (0..config.threads.max(1))
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("dram-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
+    let workers: Vec<Option<JoinHandle<()>>> = (0..config.threads.max(1))
+        .map(|slot| Some(spawn_worker(&shared, slot, 0)))
         .collect();
+
+    // The supervisor owns the worker handles: it joins dead workers,
+    // respawns them, and performs the final drain-and-join on shutdown.
+    let supervisor_shared = Arc::clone(&shared);
+    let supervisor = std::thread::Builder::new()
+        .name("dram-serve-supervisor".to_string())
+        .spawn(move || supervisor_loop(&supervisor_shared, workers))
+        .expect("spawn supervisor");
 
     let accept_shared = Arc::clone(&shared);
     let queue_depth = config.queue_depth;
@@ -136,8 +188,84 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         addr: local,
         shared,
         accept_thread: Some(accept_thread),
-        workers,
+        supervisor: Some(supervisor),
     })
+}
+
+/// Spawns the worker for `slot`; `generation` counts respawns so thread
+/// names stay unique (`dram-serve-worker-2-r1` is slot 2's first
+/// replacement).
+fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = if generation == 0 {
+        format!("dram-serve-worker-{slot}")
+    } else {
+        format!("dram-serve-worker-{slot}-r{generation}")
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared, slot))
+        .expect("spawn worker")
+}
+
+/// Joins dead workers and replaces them. A worker death never shrinks
+/// the pool: even during shutdown a replacement is spawned while
+/// connections are still queued, so the drain guarantee (every accepted
+/// connection is served) survives injected worker kills.
+fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<Option<JoinHandle<()>>>) {
+    let mut generations = vec![0u64; workers.len()];
+    loop {
+        let dead: Vec<usize> = {
+            let mut deaths = shared
+                .deaths
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if !deaths.is_empty() {
+                    break std::mem::take(&mut *deaths);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break Vec::new();
+                }
+                deaths = shared
+                    .reaper
+                    .wait(deaths)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if dead.is_empty() {
+            // Shutdown: fall through to the final drain-and-join.
+            break;
+        }
+        for slot in dead {
+            if let Some(handle) = workers[slot].take() {
+                let _ = handle.join();
+            }
+            generations[slot] += 1;
+            shared.metrics.record_worker_respawn();
+            if let Some(line) = shared.logger.line(LogLevel::Error, "worker_respawned") {
+                line.field("slot", slot)
+                    .field("generation", generations[slot])
+                    .emit();
+            }
+            workers[slot] = Some(spawn_worker(shared, slot, generations[slot]));
+        }
+    }
+    // Shutdown join: workers exit once the queue is drained. A worker
+    // killed by an injected fault *while* draining is joined here too —
+    // if connections remain at that point, respawn it so they are still
+    // served; the replacement drains and exits cleanly.
+    for slot in 0..workers.len() {
+        while let Some(handle) = workers[slot].take() {
+            let died = handle.join().is_err();
+            if died && !shared.lock_queue().is_empty() {
+                generations[slot] += 1;
+                shared.metrics.record_worker_respawn();
+                workers[slot] = Some(spawn_worker(shared, slot, generations[slot]));
+                shared.available.notify_all();
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
@@ -150,25 +278,31 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
         let Ok(mut stream) = conn else { continue };
         shared.accepted.fetch_add(1, Ordering::SeqCst);
         let id = shared.ids.next_id();
-        let mut queue = shared.queue.lock().expect("queue lock");
-        if queue.len() >= queue_depth {
+        // Fault site: a `reject` rule makes this connection behave as if
+        // the queue were full — same 503 path, same accounting — so
+        // chaos runs exercise backpressure without needing real load.
+        let injected_full = dram_faults::trip("server.queue").is_some();
+        let mut queue = shared.lock_queue();
+        if queue.len() >= queue_depth || injected_full {
             drop(queue);
             // Backpressure: answer 503 inline and close — a rejected
             // client never costs worker time. Best-effort drain of the
             // request bytes first, so closing with an unread receive
             // buffer doesn't RST the response away.
             shared.metrics.record_rejected();
+            let retry_after = shared.metrics.retry_after_secs();
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
             let mut scratch = [0u8; 8192];
             let _ = io::Read::read(&mut stream, &mut scratch);
             let sent = Response::error(503, "server is at capacity, retry shortly")
-                .with_header("retry-after", "1")
+                .with_header("retry-after", &retry_after.to_string())
                 .with_header("x-request-id", &id.to_string())
                 .send_within(&mut stream, shared.limits.io_timeout);
             if let Some(line) = shared.logger.line(LogLevel::Error, "rejected") {
                 line.field("id", id)
                     .field("status", 503)
                     .field("queue_depth", queue_depth)
+                    .field("retry_after", retry_after)
                     .field("write_ok", sent.is_ok())
                     .emit();
             }
@@ -184,10 +318,15 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut sentinel = DeathSentinel {
+        shared,
+        slot,
+        armed: true,
+    };
     loop {
         let conn = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.lock_queue();
             loop {
                 if let Some(conn) = queue.pop_front() {
                     break Some(conn);
@@ -195,11 +334,23 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue lock");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let Some(conn) = conn else { return };
+        let Some(conn) = conn else {
+            // Clean exit (shutdown, queue drained): not a death.
+            sentinel.armed = false;
+            return;
+        };
         serve_connection(conn, shared);
+        // Fault site: a `panic` rule kills this worker *between*
+        // connections — the response above was already sent, so the
+        // death costs capacity, never a reply. The sentinel reports the
+        // slot and the supervisor respawns it.
+        dram_faults::trip("server.worker");
     }
 }
 
@@ -212,6 +363,7 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
     } = conn;
     let queue_wait = queued_at.elapsed();
     let started = Instant::now();
+    shared.metrics.note_queue_wait(queue_wait);
     // Accept-to-worker handoff time, attributed to this request. Manual
     // because the interval crosses threads: the accept loop measured its
     // start, this worker its end.
@@ -221,10 +373,7 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
     let mut request_span = dram_obs::span("server.request").arg("id", id);
     match http::read_request(&mut stream, &shared.limits) {
         Ok(req) => {
-            let (route, response, cache) = {
-                let _s = dram_obs::span("server.handle").arg("id", id);
-                api::handle(&req, &shared.metrics)
-            };
+            let (route, response, cache) = handle_request(&req, shared, id);
             let handle_time = started.elapsed();
             request_span.add_arg("route", route.label());
             request_span.add_arg("status", response.status);
@@ -306,6 +455,60 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
     }
 }
 
+/// Routes one parsed request: the load-shedding check first, then the
+/// API handler under `catch_unwind`.
+///
+/// Shedding: when a watermark is configured and the queue is at or above
+/// it, expensive routes are answered 503 with the adaptive `Retry-After`
+/// instead of handled — cheap routes still get through, so health checks
+/// and metrics scrapes keep working while a backlog clears.
+///
+/// Panic isolation: a panicking handler answers 500 (carrying
+/// `x-request-id` like every response, added by the caller) instead of
+/// unwinding through the worker; the panic is counted in
+/// `worker_panics_total` and logged with its message.
+fn handle_request(
+    req: &http::Request,
+    shared: &Shared,
+    id: RequestId,
+) -> (Route, Response, CacheActivity) {
+    let route = Route::classify(req.method.as_str(), req.path.as_str());
+    if let Some(watermark) = shared.shed_at {
+        if route.expensive() && shared.lock_queue().len() >= watermark {
+            shared.metrics.record_shed();
+            let retry_after = shared.metrics.retry_after_secs();
+            let response = Response::error(
+                503,
+                "server is shedding expensive requests, retry shortly",
+            )
+            .with_header("retry-after", &retry_after.to_string());
+            return (route, response, CacheActivity::default());
+        }
+    }
+    let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _s = dram_obs::span("server.handle").arg("id", id);
+        api::handle(req, &shared.metrics)
+    }));
+    match handled {
+        Ok(result) => result,
+        Err(payload) => {
+            shared.metrics.record_worker_panic();
+            let message = dram_core::batch::panic_message(payload.as_ref());
+            if let Some(line) = shared.logger.line(LogLevel::Error, "handler_panicked") {
+                line.field("id", id)
+                    .field("route", route.label())
+                    .field("panic", &message)
+                    .emit();
+            }
+            (
+                route,
+                Response::error(500, "internal error: request handler panicked"),
+                CacheActivity::default(),
+            )
+        }
+    }
+}
+
 /// Emits the one structured line a served request gets: `info` normally,
 /// escalated to `error` for 5xx responses or a failed response write.
 /// Exactly one response was (attempted to be) written before this —
@@ -374,11 +577,13 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Workers drain the queue, then observe the flag and exit.
+        // Workers drain the queue, then observe the flag and exit; the
+        // supervisor joins them all (respawning any that die mid-drain)
+        // before exiting itself.
         self.shared.available.notify_all();
-        for w in self.workers.drain(..) {
-            self.shared.available.notify_all();
-            let _ = w.join();
+        self.shared.reaper.notify_all();
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
         }
         self.shared.metrics.total()
     }
@@ -388,7 +593,6 @@ impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
             .finish_non_exhaustive()
     }
 }

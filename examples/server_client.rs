@@ -1,5 +1,12 @@
 //! Start `dram-serve` on an ephemeral port and query it with nothing but
-//! `std::net::TcpStream` — the whole client fits in one screen.
+//! `std::net::TcpStream` — including a production-shaped retry loop:
+//! exponential backoff with seeded jitter, a `Retry-After` header that
+//! is honored when the server sends one, and a hard attempt cap.
+//!
+//! To prove the retry path actually runs, the example arms a
+//! deterministic fault plan (`dram_energy::faults`) that rejects the
+//! first two connections with 503 — the client backs off twice, then
+//! succeeds.
 //!
 //! ```text
 //! cargo run --example server_client
@@ -7,13 +14,23 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use dram_energy::server::{serve, ServerConfig};
 use dram_energy::units::json::Value;
+use dram_energy::units::rng::SplitMix64;
+
+/// One parsed reply: status, body, and the `Retry-After` seconds if the
+/// server sent the header.
+struct Reply {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+}
 
 /// Minimal HTTP/1.1 exchange: one request, `Connection: close`.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
-    let mut conn = TcpStream::connect(addr).expect("connect");
+fn http_once(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<Reply> {
+    let mut conn = TcpStream::connect(addr)?;
     conn.write_all(
         format!(
             "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-type: application/json\r\n\
@@ -21,14 +38,94 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
             body.len()
         )
         .as_bytes(),
-    )
-    .expect("send");
+    )?;
     let mut reply = String::new();
-    conn.read_to_string(&mut reply).expect("recv");
-    reply
+    conn.read_to_string(&mut reply)?;
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let retry_after = reply
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("retry-after: "))
+        .and_then(|v| v.parse().ok());
+    let body = reply
         .split_once("\r\n\r\n")
         .map(|(_, b)| b.to_string())
-        .expect("response has a body")
+        .unwrap_or_default();
+    Ok(Reply {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+/// A client that retries 503s and transport errors with exponential
+/// backoff + jitter, honors `Retry-After`, and gives up after
+/// `max_attempts`. Everything else (2xx/4xx/5xx) is returned as-is —
+/// only "try again later" signals are worth retrying.
+struct RetryingClient {
+    addr: SocketAddr,
+    max_attempts: u32,
+    base_backoff: Duration,
+    /// Ceiling on any single wait, so a pessimistic `Retry-After`
+    /// cannot stall the caller indefinitely.
+    max_backoff: Duration,
+    rng: SplitMix64,
+}
+
+impl RetryingClient {
+    fn new(addr: SocketAddr, seed: u64) -> Self {
+        Self {
+            addr,
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(500),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    fn call(&mut self, method: &str, path: &str, body: &str) -> Result<Reply, String> {
+        let mut backoff = self.base_backoff;
+        for attempt in 1..=self.max_attempts {
+            let outcome = http_once(self.addr, method, path, body);
+            let wait = match &outcome {
+                Ok(r) if r.status == 503 => {
+                    // The server's own estimate wins over our schedule.
+                    let hinted = r.retry_after.map(Duration::from_secs);
+                    println!(
+                        "  attempt {attempt}: 503 (retry-after: {}) — backing off",
+                        r.retry_after.map_or("none".into(), |s| s.to_string()),
+                    );
+                    hinted.unwrap_or(backoff)
+                }
+                Ok(r) => {
+                    if attempt > 1 {
+                        println!("  attempt {attempt}: {} — recovered", r.status);
+                    }
+                    return outcome.map_err(|e| e.to_string());
+                }
+                Err(e) => {
+                    println!("  attempt {attempt}: transport error ({e}) — backing off");
+                    backoff
+                }
+            };
+            if attempt == self.max_attempts {
+                break;
+            }
+            // Full jitter over [wait/2, wait], capped: desynchronizes a
+            // fleet of clients hammering the same recovering server.
+            let capped = wait.min(self.max_backoff);
+            let jittered = capped.mul_f64(0.5 + self.rng.next_f64() * 0.5);
+            std::thread::sleep(jittered);
+            backoff = (backoff * 2).min(self.max_backoff);
+        }
+        Err(format!(
+            "{method} {path}: gave up after {} attempts",
+            self.max_attempts
+        ))
+    }
 }
 
 fn main() {
@@ -37,16 +134,21 @@ fn main() {
     let addr = handle.local_addr();
     println!("dram-serve on http://{addr}\n");
 
-    let presets = http(addr, "GET", "/v1/presets", "");
-    println!("GET /v1/presets\n  {presets}\n");
+    // Reject the first two connections so the retry loop has work to do.
+    let plan = dram_energy::faults::Plan::parse("seed=2;server.queue=reject:times=2")
+        .expect("valid fault spec");
+    dram_energy::faults::arm(&plan);
+    let mut client = RetryingClient::new(addr, 0x00C1_1E47);
 
-    let evaluated = http(
-        addr,
-        "POST",
-        "/v1/evaluate",
-        r#"{"preset":"ddr3_1g_x16_55nm"}"#,
-    );
-    let doc = Value::parse(&evaluated).expect("valid JSON");
+    println!("GET /v1/presets (first two connections are rejected with 503)");
+    let presets = client.call("GET", "/v1/presets", "").expect("presets");
+    println!("  {}\n", presets.body);
+    dram_energy::faults::disarm();
+
+    let evaluated = client
+        .call("POST", "/v1/evaluate", r#"{"preset":"ddr3_1g_x16_55nm"}"#)
+        .expect("evaluate");
+    let doc = Value::parse(&evaluated.body).expect("valid JSON");
     let idd = doc.get("idd_ma").expect("idd block");
     println!("POST /v1/evaluate preset=ddr3_1g_x16_55nm");
     for symbol in ["IDD0", "IDD2N", "IDD4R", "IDD4W"] {
@@ -54,24 +156,26 @@ fn main() {
         println!("  {symbol:6} = {ma:7.1} mA");
     }
 
-    let pattern = http(
-        addr,
-        "POST",
-        "/v1/pattern",
-        r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
-    );
-    let doc = Value::parse(&pattern).expect("valid JSON");
+    let pattern = client
+        .call(
+            "POST",
+            "/v1/pattern",
+            r#"{"preset":"ddr3_1g_x16_55nm","pattern":"act nop wrt nop rd nop pre nop"}"#,
+        )
+        .expect("pattern");
+    let doc = Value::parse(&pattern.body).expect("valid JSON");
     println!(
         "\nPOST /v1/pattern \"act nop wrt nop rd nop pre nop\"\n  power = {:.3} W",
         doc.get("power_w").and_then(Value::as_f64).expect("power")
     );
 
-    let metrics = http(addr, "GET", "/metrics", "");
-    let doc = Value::parse(&metrics).expect("valid JSON");
+    let metrics = client.call("GET", "/metrics", "").expect("metrics");
+    let doc = Value::parse(&metrics.body).expect("valid JSON");
     let engine = doc.get("engine").expect("engine block");
     println!(
-        "\nGET /metrics\n  requests_total = {}, cache hits = {}, misses = {}",
+        "\nGET /metrics\n  requests_total = {}, rejected_busy = {}, cache hits = {}, misses = {}",
         doc.get("requests_total").and_then(Value::as_f64).unwrap_or(0.0),
+        doc.get("rejected_busy").and_then(Value::as_f64).unwrap_or(0.0),
         engine.get("cache_hits").and_then(Value::as_f64).unwrap_or(0.0),
         engine.get("cache_misses").and_then(Value::as_f64).unwrap_or(0.0),
     );

@@ -23,6 +23,9 @@
 //!   trace-driven energy accounting with power-down policies.
 //! * [`server`] ([`dram_server`]) — `dram-serve`, the std-only HTTP/JSON
 //!   evaluation service on top of the shared [`EvalEngine`].
+//! * [`faults`] ([`dram_faults`]) — deterministic, seeded fault
+//!   injection at named sites of the engine and the server (see
+//!   `docs/RESILIENCE.md`).
 //! * [`units`] ([`dram_units`]) — typed physical quantities (including
 //!   the shared [`units::json`] encoder/decoder).
 //!
@@ -54,6 +57,7 @@ pub use dram_core::{
 pub use dram_core as model;
 pub use dram_datasheet as datasheet;
 pub use dram_dsl as dsl;
+pub use dram_faults as faults;
 pub use dram_scaling as scaling;
 pub use dram_schemes as schemes;
 pub use dram_sensitivity as sensitivity;

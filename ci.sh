@@ -137,6 +137,24 @@ if [[ $fast -eq 0 ]]; then
   [[ -n "$respawns" && "$respawns" -ge 1 ]] \
     || { echo "    chaos run saw no worker respawns (got: ${respawns:-none})"; exit 1; }
   echo "    BENCH_chaos.json written (invariants hold, $respawns worker respawns)"
+
+  echo "==> sweep-bench smoke (differential vs full rebuilds, writes BENCH_sweep.json)"
+  # A reduced run of both paths; sweep-bench itself exits non-zero if the
+  # differential results are not bit-identical to full rebuilds.
+  ./target/release/sweep-bench --quick > /dev/null
+  test -s BENCH_sweep.json
+  grep -q '"sweep": {.*"bit_identical": true' BENCH_sweep.json \
+    || { echo "    differential sweep is not bit-identical"; exit 1; }
+  grep -q '"interaction_matrix": {.*"bit_identical": true' BENCH_sweep.json \
+    || { echo "    differential interaction matrix is not bit-identical"; exit 1; }
+  phases_skipped=$(sed -n 's|.*"phases_skipped": \([0-9]*\).*|\1|p' BENCH_sweep.json)
+  [[ -n "$phases_skipped" && "$phases_skipped" -ge 1 ]] \
+    || { echo "    differential path skipped no build phases (got: ${phases_skipped:-none})"; exit 1; }
+  sweep_speedup=$(sed -n 's|.*"sweep": {.*"speedup": \([0-9.]*\).*|\1|p' BENCH_sweep.json)
+  matrix_speedup=$(sed -n 's|.*"interaction_matrix": {.*"speedup": \([0-9.]*\).*|\1|p' BENCH_sweep.json)
+  awk -v s="$sweep_speedup" -v m="$matrix_speedup" 'BEGIN { exit !(s >= 1.0 && m >= 1.0) }' \
+    || { echo "    differential path is slower than full rebuilds (sweep ${sweep_speedup}x, matrix ${matrix_speedup}x)"; exit 1; }
+  echo "    BENCH_sweep.json written (sweep ${sweep_speedup}x, matrix ${matrix_speedup}x, $phases_skipped phases skipped)"
 fi
 
 echo "==> ci.sh: all green"

@@ -30,16 +30,24 @@
 //! assert_eq!(engine.cache_stats().misses, 1);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
+use dram_units::{Joules, Seconds};
+
+use crate::charges::{ChargeBatch, ChargeModel};
+use crate::geometry::Geometry;
 use crate::params::{
     ActiveDuring, DramDescription, Electrical, LogicBlock, PhysicalFloorplan, SegmentSpec,
     SignalingFloorplan, Specification, Technology, Timing, WireCount,
 };
-use crate::{Dram, ModelError};
+use crate::pattern::Command;
+use crate::perturb::{BuildPhase, Perturbation};
+use crate::power::static_power;
+use crate::{Dram, ModelError, PowerSummary};
 
 /// Hashes an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
 /// that only risks a duplicate cache entry, never a wrong hit).
@@ -643,6 +651,108 @@ impl EvalEngine {
         })
     }
 
+    /// Evaluates the mixed-workload power of a batch of perturbed
+    /// descriptions via differential rebuilds — the sweep fast path.
+    ///
+    /// The base model is built (or fetched) through the cache once; each
+    /// perturbation then re-runs only the build phases its
+    /// [`Perturbation::dirty_set`] marks dirty, on the struct-of-arrays
+    /// charge kernel ([`ChargeBatch`]), with no per-item description
+    /// hashing, ledger allocation or cache traffic. Every `out[i]` is
+    /// bit-identical to
+    /// `Dram::new(perturbed_desc)?.mixed_workload_power()` — phases re-run
+    /// with the same arithmetic in the same order — and input order is
+    /// preserved regardless of thread count.
+    ///
+    /// Per-item failures (validation of an over-perturbed description,
+    /// a worker panic) land in that item's slot; the batch completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the *base* description fails to build.
+    pub fn evaluate_perturbations(
+        &self,
+        base: &DramDescription,
+        perts: &[Perturbation],
+    ) -> Result<Vec<Result<PowerSummary, ModelError>>, ModelError> {
+        let _s = dram_obs::span("engine.evaluate_perturbations").arg("items", perts.len());
+        let base_model = self.cache.get_or_build(base)?;
+        // The mixed workload is built from spec and timing, which no
+        // ParamId edits; the command sequence and loop rate are shared by
+        // the whole batch.
+        let pattern = base_model.mixed_workload();
+        let commands: Vec<Command> = pattern.commands().iter().map(|c| c.command).collect();
+        let f = base.spec.control_clock;
+        let loop_time = pattern.loop_cycles() as f64 / f.hertz();
+        let rate = Seconds::new(loop_time).to_hertz();
+        let base_batch = ChargeBatch::from_model(&ChargeModel::new(
+            base_model.description(),
+            base_model.geometry(),
+        ));
+
+        thread_local! {
+            static SCRATCH: RefCell<Option<(DramDescription, ChargeBatch)>> =
+                const { RefCell::new(None) };
+        }
+
+        Ok(self.map(perts, |pert| {
+            isolate(|| {
+                dram_faults::trip("engine.worker");
+                SCRATCH.with(|cell| {
+                    let mut slot = cell.borrow_mut();
+                    let (desc, batch) = slot
+                        .get_or_insert_with(|| (base.clone(), ChargeBatch::default()));
+                    let _span =
+                        dram_obs::span("model.rebuild").arg("edits", pert.edits().len());
+                    crate::model::model_rebuilds_total().inc();
+                    desc.clone_from(base);
+                    pert.apply(desc);
+                    let dirty = pert.dirty_set();
+                    crate::model::validate(desc)?;
+                    let geometry_dirty = dirty.contains(BuildPhase::Geometry);
+                    let owned_geom;
+                    let geom = if geometry_dirty {
+                        owned_geom = Geometry::new(desc)?;
+                        &owned_geom
+                    } else {
+                        base_model.geometry()
+                    };
+                    let charges_dirty = dirty.contains(BuildPhase::Devices)
+                        || dirty.contains(BuildPhase::Charges);
+                    let (ops, skipped) = if charges_dirty {
+                        let m = ChargeModel::new(desc, geom);
+                        batch.fill(&m);
+                        (batch.op_externals(&desc.electrical), u64::from(!geometry_dirty))
+                    } else {
+                        // Geometry, devices and charges all clean: the
+                        // base charge lanes re-convert at the new
+                        // operating point.
+                        (base_batch.op_externals(&desc.electrical), 3)
+                    };
+                    crate::model::rebuild_phases_skipped_total().add(skipped);
+                    let command_energy: Joules = commands
+                        .iter()
+                        .map(|&c| match c {
+                            Command::Activate => ops[0],
+                            Command::Precharge => ops[1],
+                            Command::Read => ops[2],
+                            Command::Write => ops[3],
+                            Command::Nop => Joules::ZERO,
+                        })
+                        .sum();
+                    let e = &desc.electrical;
+                    let background = ops[4] * f + static_power(e);
+                    let power = background + command_energy * rate;
+                    Ok(PowerSummary {
+                        power,
+                        current: power / e.vdd,
+                        background,
+                    })
+                })
+            })
+        }))
+    }
+
     /// Applies `f` to every item on the worker pool and returns results
     /// in input order.
     ///
@@ -951,6 +1061,98 @@ mod tests {
         assert_eq!(cache.stats().misses, misses, "survivor served from cache");
         assert!(cache.get_or_build(&bads[0]).is_err());
         assert_eq!(cache.stats().misses, misses + 1, "evicted entry rebuilt");
+    }
+
+    #[test]
+    fn evaluate_perturbations_matches_full_rebuild_bitwise() {
+        let base = ddr3_1g_x16_55nm();
+        let engine = EvalEngine::new().threads(1);
+        let perts: Vec<Perturbation> = crate::perturb::ParamId::ALL
+            .iter()
+            .flat_map(|&p| [Perturbation::single(p, 1.2), Perturbation::single(p, 0.8)])
+            .collect();
+        let fast = engine
+            .evaluate_perturbations(&base, &perts)
+            .expect("base builds");
+        for (pert, got) in perts.iter().zip(&fast) {
+            let mut desc = base.clone();
+            pert.apply(&mut desc);
+            let want = Dram::new(desc).expect("perturbed builds").mixed_workload_power();
+            let got = got.as_ref().expect("fast path builds");
+            assert_eq!(
+                got.power.watts().to_bits(),
+                want.power.watts().to_bits(),
+                "power differs for {:?}",
+                pert.edits()
+            );
+            assert_eq!(got.current.amperes().to_bits(), want.current.amperes().to_bits());
+            assert_eq!(
+                got.background.watts().to_bits(),
+                want.background.watts().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_perturbations_is_bit_identical_across_thread_counts() {
+        let base = ddr3_1g_x16_55nm();
+        let perts: Vec<Perturbation> = crate::perturb::ParamId::ALL
+            .iter()
+            .map(|&p| Perturbation::single(p, 1.1))
+            .collect();
+        let serial = EvalEngine::new()
+            .threads(1)
+            .evaluate_perturbations(&base, &perts)
+            .expect("base builds");
+        let parallel = EvalEngine::new()
+            .threads(8)
+            .evaluate_perturbations(&base, &perts)
+            .expect("base builds");
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
+            assert_eq!(a.power.watts().to_bits(), b.power.watts().to_bits());
+            assert_eq!(a.current.amperes().to_bits(), b.current.amperes().to_bits());
+            assert_eq!(a.background.watts().to_bits(), b.background.watts().to_bits());
+        }
+    }
+
+    #[test]
+    fn evaluate_perturbations_isolates_invalid_items() {
+        let base = ddr3_1g_x16_55nm();
+        let engine = EvalEngine::new();
+        // Collapsing Vpp below Vbl invalidates the description; the bad
+        // item errors, its neighbors still evaluate.
+        let perts = vec![
+            Perturbation::single(crate::perturb::ParamId::Vint, 1.1),
+            Perturbation::single(crate::perturb::ParamId::Vpp, 0.3),
+            Perturbation::single(crate::perturb::ParamId::Vbl, 0.9),
+        ];
+        let out = engine
+            .evaluate_perturbations(&base, &perts)
+            .expect("base builds");
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err(), "over-perturbed Vpp must fail validation");
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn evaluate_perturbations_increments_rebuild_counters() {
+        let base = ddr3_1g_x16_55nm();
+        let engine = EvalEngine::new().threads(1);
+        let rebuilds_before = crate::model::model_rebuilds_total().get();
+        let skipped_before = crate::model::rebuild_phases_skipped_total().get();
+        let perts = vec![
+            Perturbation::single(crate::perturb::ParamId::Vdd, 1.1), // power-only: 3 skips
+            Perturbation::single(crate::perturb::ParamId::BitlineCap, 1.1), // charges: 1 skip
+        ];
+        engine
+            .evaluate_perturbations(&base, &perts)
+            .expect("base builds");
+        assert_eq!(crate::model::model_rebuilds_total().get() - rebuilds_before, 2);
+        assert_eq!(
+            crate::model::rebuild_phases_skipped_total().get() - skipped_before,
+            4
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! The bitline midlevel precharge is adiabatic (true and complement are
 //! shorted), exactly as §III.A notes, and therefore books no charge.
 
-use dram_units::{Coulombs, Farads, Meters, Volts};
+use dram_units::{Coulombs, Farads, Joules, Meters, Volts};
 
 use crate::devices::{
     cell_access_gate, gate_capacitance, junction_capacitance, BufferLoads, SenseAmpLoads,
@@ -21,8 +21,8 @@ use crate::devices::{
 };
 use crate::geometry::Geometry;
 use crate::params::{
-    ActiveDuring, DeviceGeometry, DramDescription, LogicBlock, SegmentSpec, SignalClass,
-    SignalSpec, WireCount,
+    ActiveDuring, DeviceGeometry, DramDescription, Electrical, LogicBlock, SegmentSpec,
+    SignalClass, SignalSpec, WireCount,
 };
 use crate::voltage::VoltageDomain;
 
@@ -163,6 +163,175 @@ impl OperationCharges {
             domain,
             charge,
         });
+    }
+}
+
+/// Label of a charge event before materialization. The itemized ledger
+/// turns it into a `String`; the batch kernel drops it, so the hot path
+/// never allocates.
+#[derive(Debug, Clone, Copy)]
+enum ChargeLabel<'a> {
+    /// A fixed contributor name.
+    Static(&'static str),
+    /// A per-block logic item, labelled `logic: {name}`.
+    Logic(&'a str),
+}
+
+impl ChargeLabel<'_> {
+    fn materialize(self) -> String {
+        match self {
+            ChargeLabel::Static(s) => s.to_string(),
+            ChargeLabel::Logic(name) => format!("logic: {name}"),
+        }
+    }
+}
+
+/// Destination of the charge events one operation emits. The emit
+/// functions below book every event exactly once through this trait, so
+/// the itemized ledger ([`OperationCharges`]) and the struct-of-arrays
+/// kernel ([`ChargeBatch`]) are fed the *same* charges by construction.
+trait ChargeSink {
+    fn push(
+        &mut self,
+        label: ChargeLabel<'_>,
+        group: ContributorGroup,
+        domain: VoltageDomain,
+        charge: Coulombs,
+    );
+}
+
+impl ChargeSink for OperationCharges {
+    fn push(
+        &mut self,
+        label: ChargeLabel<'_>,
+        group: ContributorGroup,
+        domain: VoltageDomain,
+        charge: Coulombs,
+    ) {
+        OperationCharges::push(self, label.materialize(), group, domain, charge);
+    }
+}
+
+/// Index of a domain in the flat rail tables of [`ChargeBatch`]; follows
+/// [`VoltageDomain::ALL`] order (Vpp, Vbl, Vint, Vdd).
+fn domain_code(domain: VoltageDomain) -> u8 {
+    match domain {
+        VoltageDomain::Vpp => 0,
+        VoltageDomain::Vbl => 1,
+        VoltageDomain::Vint => 2,
+        VoltageDomain::Vdd => 3,
+    }
+}
+
+struct BatchSink<'b> {
+    q: &'b mut Vec<f64>,
+    domain: &'b mut Vec<u8>,
+}
+
+impl ChargeSink for BatchSink<'_> {
+    fn push(
+        &mut self,
+        label: ChargeLabel<'_>,
+        _group: ContributorGroup,
+        domain: VoltageDomain,
+        charge: Coulombs,
+    ) {
+        debug_assert!(
+            charge.coulombs() >= 0.0,
+            "negative charge for `{}`: {charge:?}",
+            label.materialize()
+        );
+        self.q.push(charge.coulombs());
+        self.domain.push(domain_code(domain));
+    }
+}
+
+/// Struct-of-arrays charge ledger over all five operations of one device:
+/// contiguous f64 charge lanes plus a parallel rail-code lane, segmented
+/// by operation in [`crate::Operation::ALL`] order.
+///
+/// This is the sweep-kernel representation: [`ChargeBatch::fill`] books
+/// the exact charges of [`ChargeModel`]'s itemized operations without
+/// label allocation, and [`ChargeBatch::op_externals`] converts the lanes
+/// to external energy for any [`Electrical`] operating point. Conversion
+/// is elementwise over the lanes; the per-operation reduction deliberately
+/// stays in ledger order so the result is bit-identical to summing
+/// [`crate::OperationEnergy`] items (no float reassociation).
+#[derive(Debug, Clone, Default)]
+pub struct ChargeBatch {
+    q: Vec<f64>,
+    domain: Vec<u8>,
+    ends: [usize; 5],
+}
+
+impl ChargeBatch {
+    /// Books the charges of every operation of `model`, reusing existing
+    /// lane capacity.
+    pub fn fill(&mut self, model: &ChargeModel<'_>) {
+        self.q.clear();
+        self.domain.clear();
+        let mut ends = [0usize; 5];
+        {
+            let mut sink = BatchSink {
+                q: &mut self.q,
+                domain: &mut self.domain,
+            };
+            model.emit_activate(&mut sink);
+            ends[0] = sink.q.len();
+            model.emit_precharge(&mut sink);
+            ends[1] = sink.q.len();
+            model.emit_read(&mut sink);
+            ends[2] = sink.q.len();
+            model.emit_write(&mut sink);
+            ends[3] = sink.q.len();
+            model.emit_clock_cycle(&mut sink);
+            ends[4] = sink.q.len();
+        }
+        self.ends = ends;
+    }
+
+    /// A filled batch for `model`.
+    #[must_use]
+    pub fn from_model(model: &ChargeModel<'_>) -> Self {
+        let mut batch = Self::default();
+        batch.fill(model);
+        batch
+    }
+
+    /// Total number of booked charge events across all operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the batch holds no events (i.e. was never filled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// External (supply) energy of each operation at the given operating
+    /// point, in [`crate::Operation::ALL`] order.
+    ///
+    /// Each event converts as `(q · Vdd) / η(domain)` — exactly
+    /// [`VoltageDomain::external_energy`] — and events sum in ledger
+    /// order, so every value is bit-identical to
+    /// `OperationEnergy::from_charges(..).external()`.
+    #[must_use]
+    pub fn op_externals(&self, e: &Electrical) -> [Joules; 5] {
+        let vdd = e.vdd.volts();
+        let effs = [e.eff_vpp, e.eff_vbl, e.eff_vint, 1.0];
+        let mut out = [Joules::ZERO; 5];
+        let mut start = 0usize;
+        for (op, end) in self.ends.into_iter().enumerate() {
+            let mut acc = 0.0;
+            for k in start..end {
+                acc += (self.q[k] * vdd) / effs[usize::from(self.domain[k])];
+            }
+            out[op] = Joules::new(acc);
+            start = end;
+        }
+        out
     }
 }
 
@@ -317,13 +486,13 @@ impl<'a> ChargeModel<'a> {
         (device_per_gate + wire_cap_per_gate) * f64::from(b.gates)
     }
 
-    /// Pushes one charge item per logic block matching `filter`, for one
+    /// Emits one charge item per logic block matching `filter`, for one
     /// triggering event (one command, or one clock cycle for background
     /// blocks). Itemizing per block keeps the §III.B.5 fit parameters
     /// visible in every breakdown.
-    fn push_logic_items(
+    fn emit_logic_items(
         &self,
-        op: &mut OperationCharges,
+        sink: &mut impl ChargeSink,
         group: ContributorGroup,
         filter: impl Fn(&ActiveDuring) -> bool,
     ) {
@@ -334,7 +503,7 @@ impl<'a> ChargeModel<'a> {
             .filter(|b| filter(&b.active_during))
         {
             let q = (self.logic_block_capacitance(b) * self.vint()) * b.toggle_rate;
-            op.push(format!("logic: {}", b.name), group, VoltageDomain::Vint, q);
+            sink.push(ChargeLabel::Logic(&b.name), group, VoltageDomain::Vint, q);
         }
     }
 
@@ -409,26 +578,31 @@ impl<'a> ChargeModel<'a> {
     #[must_use]
     pub fn activate(&self) -> OperationCharges {
         let mut op = OperationCharges::default();
+        self.emit_activate(&mut op);
+        op
+    }
+
+    fn emit_activate(&self, sink: &mut impl ChargeSink) {
         let tech = &self.desc.technology;
         let spec = &self.desc.spec;
         let page = spec.page_bits() as f64;
         let sub_cols = f64::from(self.geom.sub_cols);
 
         // --- addressing -------------------------------------------------
-        op.push(
-            "row address bus",
+        sink.push(
+            ChargeLabel::Static("row address bus"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::RowAddress),
         );
-        op.push(
-            "bank address bus",
+        sink.push(
+            ChargeLabel::Static("bank address bus"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::BankAddress),
         );
-        op.push(
-            "command on control bus",
+        sink.push(
+            ChargeLabel::Static("command on control bus"),
             ContributorGroup::ClockControl,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::Control),
@@ -436,8 +610,8 @@ impl<'a> ChargeModel<'a> {
         // Predecode wires run the height of the row-logic stripe.
         let predecode_wires = tech.mwl_predecode_ratio * 2.0 * f64::from(spec.row_address_bits);
         let c_predecode = tech.c_wire_signal * self.geom.block_along_bl * predecode_wires;
-        op.push(
-            "row predecode wires",
+        sink.push(
+            ChargeLabel::Static("row predecode wires"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             c_predecode * self.vint(),
@@ -458,14 +632,14 @@ impl<'a> ChargeModel<'a> {
             },
             tech.tox_high_voltage,
         );
-        op.push(
-            "master wordline decoder",
+        sink.push(
+            ChargeLabel::Static("master wordline decoder"),
             ContributorGroup::Wordlines,
             VoltageDomain::Vpp,
             (dec_gates * tech.mwl_decoder_switching) * self.vpp(),
         );
-        op.push(
-            "master wordline",
+        sink.push(
+            ChargeLabel::Static("master wordline"),
             ContributorGroup::Wordlines,
             VoltageDomain::Vpp,
             self.master_wordline_capacitance() * self.vpp(),
@@ -487,14 +661,14 @@ impl<'a> ChargeModel<'a> {
         );
         let c_select =
             tech.c_wire_signal * self.geom.master_wordline_length() + ctrl_gates * (sub_cols + 1.0);
-        op.push(
-            "wordline driver select",
+        sink.push(
+            ChargeLabel::Static("wordline driver select"),
             ContributorGroup::Wordlines,
             VoltageDomain::Vpp,
             c_select * self.vpp(),
         );
-        op.push(
-            "local wordlines",
+        sink.push(
+            ChargeLabel::Static("local wordlines"),
             ContributorGroup::Wordlines,
             VoltageDomain::Vpp,
             (self.local_wordline_capacitance() * sub_cols) * self.vpp(),
@@ -504,14 +678,14 @@ impl<'a> ChargeModel<'a> {
         // One bitline of each sensed pair charges from the equalize
         // midlevel to Vbl.
         let half_vbl = self.vbl() * 0.5;
-        op.push(
-            "bitline sensing",
+        sink.push(
+            ChargeLabel::Static("bitline sensing"),
             ContributorGroup::Bitlines,
             VoltageDomain::Vbl,
             (tech.bitline_cap * page) * half_vbl,
         );
-        op.push(
-            "cell restore",
+        sink.push(
+            ChargeLabel::Static("cell restore"),
             ContributorGroup::Bitlines,
             VoltageDomain::Vbl,
             (tech.cell_cap * (page * DATA_ACTIVITY)) * half_vbl,
@@ -520,25 +694,23 @@ impl<'a> ChargeModel<'a> {
         // --- sense amplifier set ------------------------------------------
         let set_junction = (self.sa.nset_junction + self.sa.pset_junction) * page;
         let set_wires = tech.c_wire_signal * self.geom.master_wordline_length() * 2.0;
-        op.push(
-            "sense amplifier set lines",
+        sink.push(
+            ChargeLabel::Static("sense amplifier set lines"),
             ContributorGroup::SenseAmps,
             VoltageDomain::Vbl,
             (set_junction + set_wires) * half_vbl,
         );
         // One set-driver pair per activated stripe segment, two stripes
         // (above/below) per sub-array.
-        op.push(
-            "set drivers",
+        sink.push(
+            ChargeLabel::Static("set drivers"),
             ContributorGroup::SenseAmps,
             VoltageDomain::Vint,
             (self.sa.set_driver_gate * (2.0 * sub_cols)) * self.vint(),
         );
 
         // --- row logic -----------------------------------------------------
-        self.push_logic_items(&mut op, ContributorGroup::RowLogic, |a| a.activate);
-
-        op
+        self.emit_logic_items(sink, ContributorGroup::RowLogic, |a| a.activate);
     }
 
     /// Charges of one precharge command: equalize line recharge, decoder
@@ -547,6 +719,11 @@ impl<'a> ChargeModel<'a> {
     #[must_use]
     pub fn precharge(&self) -> OperationCharges {
         let mut op = OperationCharges::default();
+        self.emit_precharge(&mut op);
+        op
+    }
+
+    fn emit_precharge(&self, sink: &mut impl ChargeSink) {
         let tech = &self.desc.technology;
         let spec = &self.desc.spec;
         let page = spec.page_bits() as f64;
@@ -555,8 +732,8 @@ impl<'a> ChargeModel<'a> {
         // Equalize lines rise back to Vpp over the whole page.
         let eq_gates = self.sa.equalize_gate * page;
         let eq_wires = tech.c_wire_signal * (self.geom.local_dataline_length() * (2.0 * sub_cols));
-        op.push(
-            "equalize lines",
+        sink.push(
+            ChargeLabel::Static("equalize lines"),
             ContributorGroup::SenseAmps,
             VoltageDomain::Vpp,
             (eq_gates + eq_wires) * self.vpp(),
@@ -578,57 +755,55 @@ impl<'a> ChargeModel<'a> {
             },
             tech.tox_high_voltage,
         );
-        op.push(
-            "master wordline decoder deselect",
+        sink.push(
+            ChargeLabel::Static("master wordline decoder deselect"),
             ContributorGroup::Wordlines,
             VoltageDomain::Vpp,
             (dec_gates * (0.5 * tech.mwl_decoder_switching)) * self.vpp(),
         );
 
-        op.push(
-            "bank address bus",
+        sink.push(
+            ChargeLabel::Static("bank address bus"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::BankAddress),
         );
-        op.push(
-            "command on control bus",
+        sink.push(
+            ChargeLabel::Static("command on control bus"),
             ContributorGroup::ClockControl,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::Control),
         );
-        self.push_logic_items(&mut op, ContributorGroup::RowLogic, |a| a.precharge);
-
-        op
+        self.emit_logic_items(sink, ContributorGroup::RowLogic, |a| a.precharge);
     }
 
     /// Shared column-access charges (read and write): column addressing,
     /// column select line, local and master datalines, column logic.
-    fn column_common(&self, op: &mut OperationCharges) {
+    fn column_common(&self, sink: &mut impl ChargeSink) {
         let tech = &self.desc.technology;
         let spec = &self.desc.spec;
         let bits = f64::from(spec.bits_per_column_access());
 
-        op.push(
-            "column address bus",
+        sink.push(
+            ChargeLabel::Static("column address bus"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::ColumnAddress),
         );
-        op.push(
-            "bank address bus",
+        sink.push(
+            ChargeLabel::Static("bank address bus"),
             ContributorGroup::AddressBus,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::BankAddress),
         );
-        op.push(
-            "command on control bus",
+        sink.push(
+            ChargeLabel::Static("command on control bus"),
             ContributorGroup::ClockControl,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::Control),
         );
-        op.push(
-            "column select line",
+        sink.push(
+            ChargeLabel::Static("column select line"),
             ContributorGroup::ColumnLogic,
             VoltageDomain::Vint,
             self.column_select_capacitance() * self.vint(),
@@ -637,8 +812,8 @@ impl<'a> ChargeModel<'a> {
         // stripe at the array voltage; one line of each pair swings.
         let c_ldq =
             tech.c_wire_signal * self.geom.local_dataline_length() + self.sa.bit_switch_gate; // switch junctions ≈ gate-order load
-        op.push(
-            "local datalines",
+        sink.push(
+            ChargeLabel::Static("local datalines"),
             ContributorGroup::DataPath,
             VoltageDomain::Vbl,
             (c_ldq * bits) * self.vbl(),
@@ -646,8 +821,8 @@ impl<'a> ChargeModel<'a> {
         // Master datalines: long differential pairs to the column logic;
         // precharged, so one line swings for every transferred bit.
         let c_mdq = tech.c_wire_signal * self.geom.master_dataline_length();
-        op.push(
-            "master datalines",
+        sink.push(
+            ChargeLabel::Static("master datalines"),
             ContributorGroup::DataPath,
             VoltageDomain::Vint,
             (c_mdq * bits) * self.vint(),
@@ -659,16 +834,20 @@ impl<'a> ChargeModel<'a> {
     #[must_use]
     pub fn read(&self) -> OperationCharges {
         let mut op = OperationCharges::default();
+        self.emit_read(&mut op);
+        op
+    }
+
+    fn emit_read(&self, sink: &mut impl ChargeSink) {
         let bits = f64::from(self.desc.spec.bits_per_column_access());
-        self.column_common(&mut op);
-        op.push(
-            "read data bus",
+        self.column_common(sink);
+        sink.push(
+            ChargeLabel::Static("read data bus"),
             ContributorGroup::DataPath,
             VoltageDomain::Vint,
             self.class_charge_per_bit(SignalClass::ReadData) * bits,
         );
-        self.push_logic_items(&mut op, ContributorGroup::ColumnLogic, |a| a.read);
-        op
+        self.emit_logic_items(sink, ContributorGroup::ColumnLogic, |a| a.read);
     }
 
     /// Charges of one write command transferring `io_width × prefetch`
@@ -677,11 +856,16 @@ impl<'a> ChargeModel<'a> {
     #[must_use]
     pub fn write(&self) -> OperationCharges {
         let mut op = OperationCharges::default();
+        self.emit_write(&mut op);
+        op
+    }
+
+    fn emit_write(&self, sink: &mut impl ChargeSink) {
         let tech = &self.desc.technology;
         let bits = f64::from(self.desc.spec.bits_per_column_access());
-        self.column_common(&mut op);
-        op.push(
-            "write data bus",
+        self.column_common(sink);
+        sink.push(
+            ChargeLabel::Static("write data bus"),
             ContributorGroup::DataPath,
             VoltageDomain::Vint,
             self.class_charge_per_bit(SignalClass::WriteData) * bits,
@@ -689,14 +873,13 @@ impl<'a> ChargeModel<'a> {
         // Half the written bits flip their sense amplifier: the newly-high
         // bitline charges rail-to-rail, and the cell is rewritten.
         let flips = bits * DATA_ACTIVITY;
-        op.push(
-            "bitline write flip",
+        sink.push(
+            ChargeLabel::Static("bitline write flip"),
             ContributorGroup::Bitlines,
             VoltageDomain::Vbl,
             ((tech.bitline_cap + tech.cell_cap) * flips) * self.vbl(),
         );
-        self.push_logic_items(&mut op, ContributorGroup::ColumnLogic, |a| a.write);
-        op
+        self.emit_logic_items(sink, ContributorGroup::ColumnLogic, |a| a.write);
     }
 
     /// Background charges of one control-clock cycle: clock distribution,
@@ -705,14 +888,18 @@ impl<'a> ChargeModel<'a> {
     #[must_use]
     pub fn clock_cycle(&self) -> OperationCharges {
         let mut op = OperationCharges::default();
-        op.push(
-            "clock distribution",
+        self.emit_clock_cycle(&mut op);
+        op
+    }
+
+    fn emit_clock_cycle(&self, sink: &mut impl ChargeSink) {
+        sink.push(
+            ChargeLabel::Static("clock distribution"),
             ContributorGroup::ClockControl,
             VoltageDomain::Vint,
             self.class_charge_per_event(SignalClass::Clock),
         );
-        self.push_logic_items(&mut op, ContributorGroup::PeripheralLogic, |a| a.always);
-        op
+        self.emit_logic_items(sink, ContributorGroup::PeripheralLogic, |a| a.always);
     }
 }
 
@@ -1009,6 +1196,51 @@ mod tests {
             (delta_ff - 10.5).abs() < 0.2,
             "coupling delta {delta_ff} fF"
         );
+    }
+
+    #[test]
+    fn charge_batch_matches_itemized_ledger_bitwise() {
+        let (desc, geom) = model_fixture();
+        let m = ChargeModel::new(&desc, &geom);
+        let batch = ChargeBatch::from_model(&m);
+        let ops = [
+            m.activate(),
+            m.precharge(),
+            m.read(),
+            m.write(),
+            m.clock_cycle(),
+        ];
+        assert_eq!(
+            batch.len(),
+            ops.iter().map(|o| o.items.len()).sum::<usize>()
+        );
+        assert!(!batch.is_empty());
+        let ext = batch.op_externals(&desc.electrical);
+        for (i, op) in ops.iter().enumerate() {
+            let expected: Joules = op
+                .items
+                .iter()
+                .map(|it| it.domain.external_energy(it.charge, &desc.electrical))
+                .sum();
+            assert_eq!(
+                ext[i].joules().to_bits(),
+                expected.joules().to_bits(),
+                "operation #{i} external energy differs"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_batch_refill_is_idempotent() {
+        let (desc, geom) = model_fixture();
+        let m = ChargeModel::new(&desc, &geom);
+        let mut batch = ChargeBatch::from_model(&m);
+        let first = batch.op_externals(&desc.electrical);
+        batch.fill(&m);
+        let second = batch.op_externals(&desc.electrical);
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.joules().to_bits(), b.joules().to_bits());
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod lowpower;
 mod model;
 pub mod params;
 pub mod pattern;
+pub mod perturb;
 pub mod power;
 pub mod reference;
 pub mod timing;
@@ -59,5 +60,6 @@ pub use model::{
 };
 pub use params::DramDescription;
 pub use pattern::{Command, Pattern};
+pub use perturb::{BuildPhase, DirtySet, ParamCategory, ParamId, Perturbation};
 pub use power::{Operation, OperationEnergy};
 pub use voltage::VoltageDomain;

@@ -14,6 +14,7 @@ use crate::error::ModelError;
 use crate::geometry::Geometry;
 use crate::params::DramDescription;
 use crate::pattern::{Command, Pattern};
+use crate::perturb::{BuildPhase, DirtySet};
 use crate::power::{static_power, Operation, OperationEnergy};
 use crate::timing::{TimedCommand, TimedPattern};
 
@@ -25,6 +26,33 @@ fn model_builds_total() -> &'static std::sync::Arc<dram_obs::Counter> {
         dram_obs::Registry::global().counter(
             "dram_model_builds_total",
             "DRAM models built from a description (cache misses included).",
+        )
+    })
+}
+
+/// Process-wide count of differential rebuilds ([`Dram::rebuild_from`]
+/// and the engine's perturbation fast path), registered once.
+pub(crate) fn model_rebuilds_total() -> &'static std::sync::Arc<dram_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<dram_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_model_rebuilds_total",
+            "Differential model rebuilds (dirty phases only, base model reused).",
+        )
+    })
+}
+
+/// Process-wide count of build phases skipped by differential rebuilds
+/// (phases whose outputs were reused from the base model), registered
+/// once. Validation is never counted: every rebuild re-validates.
+pub(crate) fn rebuild_phases_skipped_total() -> &'static std::sync::Arc<dram_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<dram_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_rebuild_phases_skipped_total",
+            "Build phases reused from the base model across differential rebuilds.",
         )
     })
 }
@@ -235,6 +263,82 @@ impl Dram {
         };
         Ok(Self {
             desc,
+            geom,
+            activate,
+            precharge,
+            read,
+            write,
+            clock_cycle,
+        })
+    }
+
+    /// Rebuilds the model for an edited description, re-running only the
+    /// dirty build phases and reusing this model's outputs for the rest.
+    ///
+    /// `dirty` must cover every phase whose inputs differ between
+    /// `self.description()` and `desc` — [`crate::Perturbation::dirty_set`]
+    /// derives exactly that for parameter edits. Phases re-run with the
+    /// same code as [`Dram::new`], so the result is bit-identical to a
+    /// fresh build of `desc`. Validation always re-runs (any edit can push
+    /// a parameter out of range); the devices and charges phases share the
+    /// charge-model construction and re-run together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] exactly when `Dram::new(desc.clone())`
+    /// would.
+    pub fn rebuild_from(&self, desc: &DramDescription, dirty: DirtySet) -> Result<Self, ModelError> {
+        let _build = dram_obs::span("model.rebuild").arg("dirty", dirty.len());
+        model_rebuilds_total().inc();
+        validate(desc)?;
+        let geometry_dirty = dirty.contains(BuildPhase::Geometry);
+        let geom = if geometry_dirty {
+            Geometry::new(desc)?
+        } else {
+            self.geom.clone()
+        };
+        let charges_dirty =
+            dirty.contains(BuildPhase::Devices) || dirty.contains(BuildPhase::Charges);
+        let e = &desc.electrical;
+        let (energies, skipped) = if charges_dirty {
+            let m = ChargeModel::new(desc, &geom);
+            let energies = (
+                OperationEnergy::from_charges(Operation::Activate, &m.activate(), e),
+                OperationEnergy::from_charges(Operation::Precharge, &m.precharge(), e),
+                OperationEnergy::from_charges(Operation::Read, &m.read(), e),
+                OperationEnergy::from_charges(Operation::Write, &m.write(), e),
+                OperationEnergy::from_charges(Operation::ClockCycle, &m.clock_cycle(), e),
+            );
+            (energies, u64::from(!geometry_dirty))
+        } else if dirty.contains(BuildPhase::Power) {
+            // Charges are clean: re-run only the charge-to-energy
+            // conversion on the stored ledgers.
+            (
+                (
+                    self.activate.with_electrical(e),
+                    self.precharge.with_electrical(e),
+                    self.read.with_electrical(e),
+                    self.write.with_electrical(e),
+                    self.clock_cycle.with_electrical(e),
+                ),
+                3,
+            )
+        } else {
+            (
+                (
+                    self.activate.clone(),
+                    self.precharge.clone(),
+                    self.read.clone(),
+                    self.write.clone(),
+                    self.clock_cycle.clone(),
+                ),
+                4,
+            )
+        };
+        rebuild_phases_skipped_total().add(skipped);
+        let (activate, precharge, read, write, clock_cycle) = energies;
+        Ok(Self {
+            desc: desc.clone(),
             geom,
             activate,
             precharge,
@@ -515,7 +619,7 @@ impl Dram {
 }
 
 /// Validates parameter ranges that the geometry pass does not cover.
-fn validate(desc: &DramDescription) -> Result<(), ModelError> {
+pub(crate) fn validate(desc: &DramDescription) -> Result<(), ModelError> {
     let e = &desc.electrical;
     let bad = |name: &'static str, reason: String| ModelError::BadParameter { name, reason };
 
@@ -664,6 +768,51 @@ mod tests {
 
     fn model() -> Dram {
         Dram::new(ddr3_1g_x16_55nm()).expect("reference builds")
+    }
+
+    #[test]
+    fn rebuild_from_equals_fresh_build_per_dirty_tier() {
+        use crate::perturb::{ParamId, Perturbation};
+        let base = model();
+        // One representative parameter per dirty tier: geometry, devices,
+        // charges, power, and the empty set.
+        for (param, factor) in [
+            (ParamId::SaStripeWidth, 1.3),
+            (ParamId::SenseAmpDeviceWidth, 1.2),
+            (ParamId::BitlineCap, 0.8),
+            (ParamId::EffVpp, 0.9),
+            (ParamId::ConstantCurrent, 1.5),
+        ] {
+            let pert = Perturbation::single(param, factor);
+            let mut desc = ddr3_1g_x16_55nm();
+            pert.apply(&mut desc);
+            let fresh = Dram::new(desc.clone()).expect("perturbed builds");
+            let diff = base
+                .rebuild_from(&desc, pert.dirty_set())
+                .expect("rebuild succeeds");
+            assert_eq!(diff.geometry(), fresh.geometry(), "{param}");
+            for op in Operation::ALL {
+                assert_eq!(
+                    diff.operation_energy(op),
+                    fresh.operation_energy(op),
+                    "{param} {op}"
+                );
+            }
+            let (a, b) = (diff.mixed_workload_power(), fresh.mixed_workload_power());
+            assert_eq!(a.power.watts().to_bits(), b.power.watts().to_bits(), "{param}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_revalidates_unconditionally() {
+        use crate::perturb::{ParamId, Perturbation};
+        let base = model();
+        // EffVpp only dirties the power phase, but pushing it negative
+        // must still be rejected by the always-on validation.
+        let pert = Perturbation::single(ParamId::EffVpp, -1.0);
+        let mut desc = ddr3_1g_x16_55nm();
+        pert.apply(&mut desc);
+        assert!(base.rebuild_from(&desc, pert.dirty_set()).is_err());
     }
 
     #[test]

@@ -1,8 +1,141 @@
-//! The perturbable-parameter registry: every scalar model input of
-//! Table I that the §IV.B Pareto varies, addressable by a stable
-//! identifier and applied as a multiplicative factor.
+//! Phase-level dirty tracking for differential model rebuilds, and the
+//! perturbable-parameter registry of the §IV.B sensitivity analysis.
+//!
+//! [`crate::Dram::new`] runs five phases in a fixed dependency chain —
+//! validate → geometry → devices → charges → power — and every scalar
+//! model input of Table I feeds a known *earliest* phase. A perturbation
+//! of one parameter therefore only dirties that phase and everything
+//! downstream of it: changing a wire capacitance re-books charges and
+//! re-converts power but reuses the resolved geometry and device loads;
+//! changing a rail efficiency re-runs only the power conversion.
+//!
+//! [`ParamId`] names each perturbable parameter (moved here from the
+//! sensitivity crate so the core engine can reason about dirty sets),
+//! [`DirtySet`] is the downstream-closed set of phases a change invalidates,
+//! and [`Perturbation`] is a small edit list (parameter × factor) that
+//! [`crate::EvalEngine::evaluate_perturbations`] and
+//! [`crate::Dram::rebuild_from`] consume.
 
-use dram_core::params::DramDescription;
+use crate::params::{DramDescription, SegmentSpec};
+
+/// One of the five build phases of [`crate::Dram::new`], in dependency
+/// order. Each phase consumes the outputs of every phase before it, so
+/// dirtying a phase transitively dirties all downstream phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuildPhase {
+    /// Parameter-range and consistency validation.
+    Validate,
+    /// Floorplan resolution (sub-array grid, block extents, wire lengths).
+    Geometry,
+    /// Device-load extraction (sense-amplifier and wordline-driver loads).
+    Devices,
+    /// Per-operation charge booking.
+    Charges,
+    /// Charge-to-energy conversion at the rail voltages and efficiencies.
+    Power,
+}
+
+impl BuildPhase {
+    /// All phases, in dependency order.
+    pub const ALL: [BuildPhase; 5] = [
+        BuildPhase::Validate,
+        BuildPhase::Geometry,
+        BuildPhase::Devices,
+        BuildPhase::Charges,
+        BuildPhase::Power,
+    ];
+
+    /// Position in the dependency chain (0 = validate … 4 = power).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            BuildPhase::Validate => 0,
+            BuildPhase::Geometry => 1,
+            BuildPhase::Devices => 2,
+            BuildPhase::Charges => 3,
+            BuildPhase::Power => 4,
+        }
+    }
+
+    /// The phase name as it appears in the obs span names
+    /// (`model.validate` … `model.power`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BuildPhase::Validate => "validate",
+            BuildPhase::Geometry => "geometry",
+            BuildPhase::Devices => "devices",
+            BuildPhase::Charges => "charges",
+            BuildPhase::Power => "power",
+        }
+    }
+}
+
+impl core::fmt::Display for BuildPhase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A downstream-closed set of dirty build phases.
+///
+/// Closure is an invariant, not a convention: the only constructors are
+/// [`DirtySet::EMPTY`], [`DirtySet::ALL`], [`DirtySet::from_phase`]
+/// (a phase plus everything after it) and [`DirtySet::union`], all of
+/// which preserve it. A rebuild can therefore find the work to redo by
+/// locating the *earliest* dirty phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DirtySet(u8);
+
+impl DirtySet {
+    /// Nothing dirty: the rebuilt model is a clone of the base.
+    pub const EMPTY: DirtySet = DirtySet(0);
+
+    /// Everything dirty: equivalent to a full [`crate::Dram::new`].
+    pub const ALL: DirtySet = DirtySet(0b1_1111);
+
+    /// The set containing `phase` and every phase downstream of it (the
+    /// dependency chain makes anything less inconsistent).
+    #[must_use]
+    pub fn from_phase(phase: BuildPhase) -> Self {
+        DirtySet((Self::ALL.0 >> phase.index()) << phase.index())
+    }
+
+    /// Whether `phase` is dirty.
+    #[must_use]
+    pub fn contains(self, phase: BuildPhase) -> bool {
+        self.0 & (1 << phase.index()) != 0
+    }
+
+    /// The union of two dirty sets (still downstream-closed).
+    #[must_use]
+    pub fn union(self, other: DirtySet) -> Self {
+        DirtySet(self.0 | other.0)
+    }
+
+    /// Whether no phase is dirty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of dirty phases.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The dirty phases, in dependency order.
+    pub fn phases(self) -> impl Iterator<Item = BuildPhase> {
+        BuildPhase::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    /// The earliest dirty phase, if any.
+    #[must_use]
+    pub fn earliest(self) -> Option<BuildPhase> {
+        self.phases().next()
+    }
+}
 
 /// Input group of a perturbable parameter (the Table I grouping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -260,6 +393,64 @@ impl ParamId {
         self != ParamId::Vdd
     }
 
+    /// The build phases a change of this parameter invalidates: the
+    /// earliest phase that reads the parameter, closed downstream.
+    ///
+    /// The mapping follows where each input is consumed: stripe widths
+    /// enter the floorplan resolution; the device widths, oxides and
+    /// junction capacitances that form the sense-amplifier and
+    /// wordline-driver loads enter the devices phase; wire capacitances,
+    /// toggle rates, logic blocks and the internal rail voltages (which
+    /// set `Q = C·V`) enter the charge booking; Vdd and the generator
+    /// efficiencies only scale charges into external energy. The constant
+    /// current adder is read at query time, never during the build, so
+    /// its dirty set is empty. Validation is *not* tracked here — every
+    /// rebuild path re-validates unconditionally, because any edit can
+    /// push a parameter out of range.
+    #[must_use]
+    pub fn dirty_set(self) -> DirtySet {
+        match self {
+            ParamId::Vdd | ParamId::EffVint | ParamId::EffVbl | ParamId::EffVpp => {
+                DirtySet::from_phase(BuildPhase::Power)
+            }
+            ParamId::ConstantCurrent => DirtySet::EMPTY,
+            ParamId::Vint
+            | ParamId::Vbl
+            | ParamId::Vpp
+            | ParamId::ToxCell
+            | ParamId::LminLogic
+            | ParamId::CellAccessWidth
+            | ParamId::CellAccessLength
+            | ParamId::BitlineCap
+            | ParamId::CellCap
+            | ParamId::BlToWlShare
+            | ParamId::CWireMwl
+            | ParamId::CWireLwl
+            | ParamId::CWireSignal
+            | ParamId::PredecodeRatio
+            | ParamId::MwlDecoderSwitching
+            | ParamId::MwlDecoderWidth
+            | ParamId::WlControllerWidth
+            | ParamId::LogicGates
+            | ParamId::LogicNmosWidth
+            | ParamId::LogicPmosWidth
+            | ParamId::LogicGateDensity
+            | ParamId::LogicWiringDensity
+            | ParamId::SignalToggleRate
+            | ParamId::BufferWidth => DirtySet::from_phase(BuildPhase::Charges),
+            ParamId::ToxLogic
+            | ParamId::ToxHighVoltage
+            | ParamId::LminHighVoltage
+            | ParamId::JunctionCapLogic
+            | ParamId::JunctionCapHighVoltage
+            | ParamId::SwdWidth
+            | ParamId::SenseAmpDeviceWidth => DirtySet::from_phase(BuildPhase::Devices),
+            ParamId::SaStripeWidth | ParamId::LwdStripeWidth => {
+                DirtySet::from_phase(BuildPhase::Geometry)
+            }
+        }
+    }
+
     /// Applies a multiplicative factor to this parameter.
     pub fn apply(self, desc: &mut DramDescription, factor: f64) {
         let e = &mut desc.electrical;
@@ -358,7 +549,6 @@ impl ParamId {
                 }
             }
             ParamId::BufferWidth => {
-                use dram_core::params::SegmentSpec;
                 for s in &mut desc.signaling.signals {
                     for seg in &mut s.segments {
                         let buffer = match seg {
@@ -382,10 +572,67 @@ impl core::fmt::Display for ParamId {
     }
 }
 
+/// An ordered list of multiplicative parameter edits applied to a base
+/// description — the unit of work of
+/// [`crate::EvalEngine::evaluate_perturbations`].
+///
+/// Edits apply in list order, which matters for repeated edits of the
+/// same parameter and mirrors the call order of sequential
+/// [`ParamId::apply`] invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    edits: Vec<(ParamId, f64)>,
+}
+
+impl Perturbation {
+    /// A perturbation from an explicit edit list.
+    #[must_use]
+    pub fn new(edits: Vec<(ParamId, f64)>) -> Self {
+        Self { edits }
+    }
+
+    /// A single-parameter edit.
+    #[must_use]
+    pub fn single(param: ParamId, factor: f64) -> Self {
+        Self {
+            edits: vec![(param, factor)],
+        }
+    }
+
+    /// A two-parameter edit (`a` applied before `b`).
+    #[must_use]
+    pub fn pair(a: ParamId, factor_a: f64, b: ParamId, factor_b: f64) -> Self {
+        Self {
+            edits: vec![(a, factor_a), (b, factor_b)],
+        }
+    }
+
+    /// The edits, in application order.
+    #[must_use]
+    pub fn edits(&self) -> &[(ParamId, f64)] {
+        &self.edits
+    }
+
+    /// Applies every edit to `desc`, in order.
+    pub fn apply(&self, desc: &mut DramDescription) {
+        for (param, factor) in &self.edits {
+            param.apply(desc, *factor);
+        }
+    }
+
+    /// The union of the edited parameters' dirty sets.
+    #[must_use]
+    pub fn dirty_set(&self) -> DirtySet {
+        self.edits
+            .iter()
+            .fold(DirtySet::EMPTY, |acc, (p, _)| acc.union(p.dirty_set()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dram_core::reference::ddr3_1g_x16_55nm;
+    use crate::reference::ddr3_1g_x16_55nm;
 
     #[test]
     fn all_list_is_deduplicated() {
@@ -445,5 +692,95 @@ mod tests {
         assert!(d.electrical.eff_vint <= 1.0);
         ParamId::LogicGateDensity.apply(&mut d, 100.0);
         assert!(d.logic_blocks.iter().all(|b| b.gate_density <= 1.0));
+    }
+
+    #[test]
+    fn dirty_sets_are_downstream_closed() {
+        for p in ParamId::ALL {
+            let d = p.dirty_set();
+            if let Some(earliest) = d.earliest() {
+                assert_eq!(d, DirtySet::from_phase(earliest), "{p} not closed");
+            } else {
+                assert_eq!(p, ParamId::ConstantCurrent, "only the adder is clean");
+            }
+        }
+    }
+
+    #[test]
+    fn from_phase_contains_self_and_downstream() {
+        let d = DirtySet::from_phase(BuildPhase::Devices);
+        assert!(!d.contains(BuildPhase::Validate));
+        assert!(!d.contains(BuildPhase::Geometry));
+        assert!(d.contains(BuildPhase::Devices));
+        assert!(d.contains(BuildPhase::Charges));
+        assert!(d.contains(BuildPhase::Power));
+        assert_eq!(d.len(), 3);
+        assert_eq!(DirtySet::from_phase(BuildPhase::Validate), DirtySet::ALL);
+        assert_eq!(
+            DirtySet::from_phase(BuildPhase::Power).phases().collect::<Vec<_>>(),
+            vec![BuildPhase::Power]
+        );
+        assert!(DirtySet::EMPTY.is_empty());
+        assert_eq!(DirtySet::EMPTY.earliest(), None);
+    }
+
+    #[test]
+    fn union_takes_the_earliest_phase() {
+        let a = DirtySet::from_phase(BuildPhase::Power);
+        let b = DirtySet::from_phase(BuildPhase::Geometry);
+        assert_eq!(a.union(b), DirtySet::from_phase(BuildPhase::Geometry));
+        assert_eq!(a.union(DirtySet::EMPTY), a);
+    }
+
+    #[test]
+    fn dirty_phase_population_matches_the_build() {
+        // Spot-check the mapping against where Dram::new actually reads
+        // each parameter.
+        use BuildPhase::{Charges, Devices, Geometry, Power};
+        assert_eq!(ParamId::Vdd.dirty_set(), DirtySet::from_phase(Power));
+        assert_eq!(ParamId::EffVpp.dirty_set(), DirtySet::from_phase(Power));
+        assert_eq!(ParamId::Vint.dirty_set(), DirtySet::from_phase(Charges));
+        assert_eq!(ParamId::BitlineCap.dirty_set(), DirtySet::from_phase(Charges));
+        assert_eq!(
+            ParamId::SenseAmpDeviceWidth.dirty_set(),
+            DirtySet::from_phase(Devices)
+        );
+        assert_eq!(
+            ParamId::SaStripeWidth.dirty_set(),
+            DirtySet::from_phase(Geometry)
+        );
+        assert!(ParamId::ConstantCurrent.dirty_set().is_empty());
+        // Every parameter that leaves geometry clean must not feed the
+        // floorplan resolution (which reads floorplan + spec only).
+        for p in ParamId::ALL {
+            if !p.dirty_set().contains(Geometry) {
+                assert_ne!(p.category(), ParamCategory::Floorplan, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_applies_in_order_and_unions_dirt() {
+        let base = ddr3_1g_x16_55nm();
+        let pert = Perturbation::pair(ParamId::Vint, 1.2, ParamId::BitlineCap, 0.8);
+        let mut d = base.clone();
+        pert.apply(&mut d);
+        let mut manual = base.clone();
+        ParamId::Vint.apply(&mut manual, 1.2);
+        ParamId::BitlineCap.apply(&mut manual, 0.8);
+        assert_eq!(d, manual);
+        assert_eq!(
+            pert.dirty_set(),
+            DirtySet::from_phase(BuildPhase::Charges)
+        );
+        assert_eq!(
+            Perturbation::single(ParamId::Vdd, 1.1).dirty_set(),
+            DirtySet::from_phase(BuildPhase::Power)
+        );
+        assert_eq!(pert.edits().len(), 2);
+        assert_eq!(
+            Perturbation::new(vec![(ParamId::Vdd, 1.1)]),
+            Perturbation::single(ParamId::Vdd, 1.1)
+        );
     }
 }

@@ -97,6 +97,28 @@ impl OperationEnergy {
         Self { op, items }
     }
 
+    /// Re-runs the charge-to-energy conversion of the stored ledger at a
+    /// different operating point — the power phase of a differential
+    /// rebuild. Item order, labels, groups and charges are preserved, so
+    /// the result is bit-identical to [`OperationEnergy::from_charges`]
+    /// on the same charges.
+    #[must_use]
+    pub fn with_electrical(&self, e: &Electrical) -> Self {
+        let items = self
+            .items
+            .iter()
+            .map(|i| EnergyItem {
+                label: i.label.clone(),
+                group: i.group,
+                domain: i.domain,
+                charge: i.charge,
+                internal: i.domain.internal_energy(i.charge, e),
+                external: i.domain.external_energy(i.charge, e),
+            })
+            .collect();
+        Self { op: self.op, items }
+    }
+
     /// Total energy at the external supply for one occurrence.
     #[must_use]
     pub fn external(&self) -> Joules {

@@ -1,0 +1,175 @@
+//! Differential-rebuild identity: for every shipped description — the
+//! two `.dram` files, the in-code calibration reference and the full
+//! scaling roadmap — and every [`ParamId`], rebuilding only the dirty
+//! phases from a base model must reproduce a fresh [`Dram::new`]
+//! bit-for-bit. The same contract is checked through
+//! [`EvalEngine::evaluate_perturbations`] at 1 and 8 worker threads,
+//! and under a seeded random multi-edit fuzz loop.
+
+use dram_core::reference::ddr3_1g_x16_55nm;
+use dram_core::{
+    Dram, DramDescription, EvalEngine, Operation, ParamId, Perturbation, PowerSummary,
+};
+use dram_units::rng::SplitMix64;
+
+/// Every description the workspace ships, by name.
+fn presets() -> Vec<(String, DramDescription)> {
+    let mut out = vec![("reference/ddr3_1g_x16_55nm".to_string(), ddr3_1g_x16_55nm())];
+    for (name, text) in [
+        (
+            "dsl/ddr3_1gb_x16_55nm",
+            include_str!("../descriptions/ddr3_1gb_x16_55nm.dram"),
+        ),
+        (
+            "dsl/ddr5_16gb_x16_18nm",
+            include_str!("../descriptions/ddr5_16gb_x16_18nm.dram"),
+        ),
+    ] {
+        let parsed = dram_dsl::parse(text).expect("shipped description parses");
+        out.push((name.to_string(), parsed.description));
+    }
+    for (node, desc) in dram_scaling::ROADMAP
+        .iter()
+        .zip(dram_scaling::presets::all_generations())
+    {
+        out.push((format!("roadmap/{node}"), desc));
+    }
+    out
+}
+
+fn assert_same_model(label: &str, fresh: &Dram, rebuilt: &Dram) {
+    assert_eq!(fresh.geometry(), rebuilt.geometry(), "{label}: geometry");
+    for op in Operation::ALL {
+        assert_eq!(
+            fresh.operation_energy(op),
+            rebuilt.operation_energy(op),
+            "{label}: {op} energy table"
+        );
+    }
+    assert_same_power(
+        label,
+        &fresh.mixed_workload_power(),
+        &rebuilt.mixed_workload_power(),
+    );
+}
+
+fn assert_same_power(label: &str, a: &PowerSummary, b: &PowerSummary) {
+    assert_eq!(
+        a.power.watts().to_bits(),
+        b.power.watts().to_bits(),
+        "{label}: power"
+    );
+    assert_eq!(
+        a.current.amperes().to_bits(),
+        b.current.amperes().to_bits(),
+        "{label}: current"
+    );
+    assert_eq!(
+        a.background.watts().to_bits(),
+        b.background.watts().to_bits(),
+        "{label}: background"
+    );
+}
+
+/// `rebuild_from` with a parameter's dirty set equals a fresh build, for
+/// every preset × parameter × direction.
+#[test]
+fn rebuild_from_matches_fresh_build_for_every_preset_and_param() {
+    for (name, desc) in presets() {
+        let base = Dram::new(desc.clone()).expect("preset builds");
+        for &param in &ParamId::ALL {
+            for factor in [1.15, 0.85] {
+                let mut edited = desc.clone();
+                param.apply(&mut edited, factor);
+                let label = format!("{name}: {param} ×{factor}");
+                let fresh = Dram::new(edited.clone())
+                    .unwrap_or_else(|e| panic!("{label}: fresh build failed: {e}"));
+                let rebuilt = base
+                    .rebuild_from(&edited, param.dirty_set())
+                    .unwrap_or_else(|e| panic!("{label}: rebuild failed: {e}"));
+                assert_same_model(&label, &fresh, &rebuilt);
+            }
+        }
+    }
+}
+
+/// The engine's batched fast path agrees with fresh builds for every
+/// preset × parameter, at 1 and 8 worker threads.
+#[test]
+fn evaluate_perturbations_matches_fresh_builds_at_1_and_8_threads() {
+    for (name, desc) in presets() {
+        let perts: Vec<Perturbation> = ParamId::ALL
+            .iter()
+            .map(|&p| Perturbation::single(p, 1.1))
+            .collect();
+        let expected: Vec<PowerSummary> = perts
+            .iter()
+            .map(|pert| {
+                let mut edited = desc.clone();
+                pert.apply(&mut edited);
+                Dram::new(edited)
+                    .expect("perturbed preset builds")
+                    .mixed_workload_power()
+            })
+            .collect();
+        for threads in [1, 8] {
+            let engine = EvalEngine::new().threads(threads);
+            let got = engine
+                .evaluate_perturbations(&desc, &perts)
+                .expect("batch runs");
+            assert_eq!(got.len(), expected.len());
+            for ((pert, want), have) in perts.iter().zip(&expected).zip(got) {
+                let label = format!("{name}: {pert:?} (threads={threads})");
+                let have = have.expect("perturbation is valid");
+                assert_same_power(&label, want, &have);
+            }
+        }
+    }
+}
+
+/// Seeded random multi-edit fuzz: 1–3 stacked edits with factors near
+/// 1.0 must either rebuild bit-identically or fail identically.
+#[test]
+fn random_multi_edit_perturbations_stay_bit_identical() {
+    let mut rng = SplitMix64::new(0x5eed_d1ff);
+    let desc = ddr3_1g_x16_55nm();
+    let base = Dram::new(desc.clone()).expect("reference builds");
+    let engine = EvalEngine::new().threads(4);
+    let mut perts = Vec::new();
+    for _ in 0..64 {
+        let n_edits = 1 + rng.range_usize(3);
+        let mut edits = Vec::with_capacity(n_edits);
+        for _ in 0..n_edits {
+            let param = *rng.pick(&ParamId::ALL);
+            edits.push((param, rng.range_f64(0.9, 1.1)));
+        }
+        perts.push(Perturbation::new(edits));
+    }
+    let got = engine
+        .evaluate_perturbations(&desc, &perts)
+        .expect("batch runs");
+    for (pert, have) in perts.iter().zip(got) {
+        let label = format!("{pert:?}");
+        let mut edited = desc.clone();
+        pert.apply(&mut edited);
+        match Dram::new(edited.clone()) {
+            Ok(fresh) => {
+                // Both the engine path and the direct rebuild agree with
+                // the fresh build.
+                let have = have.unwrap_or_else(|e| panic!("{label}: batch errored: {e}"));
+                assert_same_power(&label, &fresh.mixed_workload_power(), &have);
+                let rebuilt = base
+                    .rebuild_from(&edited, pert.dirty_set())
+                    .unwrap_or_else(|e| panic!("{label}: rebuild failed: {e}"));
+                assert_same_model(&label, &fresh, &rebuilt);
+            }
+            Err(_) => {
+                assert!(have.is_err(), "{label}: batch accepted an invalid edit");
+                assert!(
+                    base.rebuild_from(&edited, pert.dirty_set()).is_err(),
+                    "{label}: rebuild accepted an invalid edit"
+                );
+            }
+        }
+    }
+}

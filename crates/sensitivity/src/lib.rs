@@ -19,11 +19,11 @@
 //! ```
 #![warn(missing_docs)]
 
-mod params;
 mod sweep;
 
-pub use params::{ParamCategory, ParamId};
+pub use dram_core::{ParamCategory, ParamId, Perturbation};
 pub use sweep::{
-    interaction, interaction_matrix, interaction_matrix_with, interaction_with, sweep, sweep_with,
-    Interaction, InteractionMatrix, Sensitivity, Sweep,
+    interaction, interaction_matrix, interaction_matrix_with,
+    interaction_matrix_with_full_rebuild, interaction_with, sweep, sweep_with,
+    sweep_with_full_rebuild, Interaction, InteractionMatrix, Sensitivity, Sweep,
 };

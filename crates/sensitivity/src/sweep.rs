@@ -3,9 +3,9 @@
 //! Idd7 pattern but with half of the read operations replaced by write
 //! operations"), and rank by impact.
 
-use dram_core::{DramDescription, EvalEngine, ModelError};
+use dram_core::{DramDescription, EvalEngine, ModelError, Perturbation};
 
-use crate::params::ParamId;
+use crate::ParamId;
 
 /// Sensitivity of the workload power to one parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,10 +122,13 @@ pub fn sweep(desc: &DramDescription, variation: f64) -> Result<Sweep, ModelError
 /// [`sweep`] on an explicit engine (thread count and cache under caller
 /// control).
 ///
-/// The 2×|[`ParamId::ALL`]| perturbed models evaluate concurrently on the
-/// engine's worker pool; entries are reduced in [`ParamId::ALL`] order,
-/// so the result is bit-identical to the serial path for any thread
-/// count.
+/// The 2×|[`ParamId::ALL`]| perturbations evaluate through the engine's
+/// differential fast path ([`EvalEngine::evaluate_perturbations`]): only
+/// the build phases each parameter dirties re-run, on the
+/// struct-of-arrays charge kernel. Entries are reduced in
+/// [`ParamId::ALL`] order and every perturbed power is bit-identical to
+/// a full rebuild, so the result matches
+/// [`sweep_with_full_rebuild`] bit-for-bit at any thread count.
 ///
 /// # Errors
 ///
@@ -139,6 +142,48 @@ pub fn sweep_with(
     let baseline = power_of(engine, desc)?;
     // One up and one down variant per parameter, interleaved, so the
     // result index i maps to (ParamId::ALL[i / 2], i % 2 == 0).
+    let perts: Vec<Perturbation> = ParamId::ALL
+        .iter()
+        .flat_map(|&param| {
+            [
+                Perturbation::single(param, 1.0 + variation),
+                Perturbation::single(param, 1.0 - variation),
+            ]
+        })
+        .collect();
+    let powers = engine.evaluate_perturbations(desc, &perts)?;
+
+    let mut entries = Vec::with_capacity(ParamId::ALL.len());
+    for (i, &param) in ParamId::ALL.iter().enumerate() {
+        let up = powers[2 * i].clone()?.power.watts() / baseline - 1.0;
+        let down = powers[2 * i + 1].clone()?.power.watts() / baseline - 1.0;
+        entries.push(Sensitivity { param, up, down });
+    }
+    Ok(Sweep {
+        variation,
+        baseline_watts: baseline,
+        entries,
+    })
+}
+
+/// [`sweep_with`] through full model rebuilds (one complete
+/// [`dram_core::Dram::new`] per perturbation, via the engine's model
+/// cache).
+///
+/// This is the reference path the differential sweep is validated
+/// against — benchmarks and CI compare the two for bit-identity and
+/// speedup. Production callers should prefer [`sweep_with`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the base description is invalid or a
+/// perturbed description fails validation.
+pub fn sweep_with_full_rebuild(
+    engine: &EvalEngine,
+    desc: &DramDescription,
+    variation: f64,
+) -> Result<Sweep, ModelError> {
+    let baseline = power_of(engine, desc)?;
     let descs: Vec<DramDescription> = ParamId::ALL
         .iter()
         .flat_map(|&param| {
@@ -331,14 +376,15 @@ pub fn interaction_with(
     let baseline = power_of(engine, desc)?;
     let factor = 1.0 + variation;
 
-    let mut dab = desc.clone();
-    a.apply(&mut dab, factor);
-    b.apply(&mut dab, factor);
-    let descs = [perturbed(desc, a, factor), perturbed(desc, b, factor), dab];
-    let powers = engine.map(&descs, |d| power_of(engine, d));
-    let ra = powers[0].clone()? / baseline;
-    let rb = powers[1].clone()? / baseline;
-    let rab = powers[2].clone()? / baseline;
+    let perts = [
+        Perturbation::single(a, factor),
+        Perturbation::single(b, factor),
+        Perturbation::pair(a, factor, b, factor),
+    ];
+    let powers = engine.evaluate_perturbations(desc, &perts)?;
+    let ra = powers[0].clone()?.power.watts() / baseline;
+    let rb = powers[1].clone()?.power.watts() / baseline;
+    let rab = powers[2].clone()?.power.watts() / baseline;
 
     Ok(Interaction {
         a,
@@ -410,7 +456,11 @@ pub fn interaction_matrix(
 ///
 /// Every pair entry carries exactly the numbers a pairwise
 /// [`interaction`] call would produce (same arithmetic, same reduction
-/// order), so the matrix agrees bit-for-bit with individual calls.
+/// order), so the matrix agrees bit-for-bit with individual calls. All
+/// ~N²/2 evaluations run through the differential fast path
+/// ([`EvalEngine::evaluate_perturbations`]), which re-runs only the
+/// dirty build phases per pair — this is the hottest loop in the
+/// workspace and the reason the fast path exists.
 ///
 /// # Errors
 ///
@@ -429,6 +479,64 @@ pub fn interaction_matrix_with(
         .collect();
 
     // Single-parameter ratios, shared across every pair they appear in.
+    let single_perts: Vec<Perturbation> = params
+        .iter()
+        .map(|&p| Perturbation::single(p, factor))
+        .collect();
+    let single_powers = engine.evaluate_perturbations(desc, &single_perts)?;
+    let mut singles = Vec::with_capacity(params.len());
+    for p in single_powers {
+        singles.push(p?.power.watts() / baseline);
+    }
+
+    // Joint evaluations for every unordered pair, in parallel.
+    let pairs: Vec<(usize, usize)> = (0..params.len())
+        .flat_map(|i| (i + 1..params.len()).map(move |j| (i, j)))
+        .collect();
+    let pair_perts: Vec<Perturbation> = pairs
+        .iter()
+        .map(|&(i, j)| Perturbation::pair(params[i], factor, params[j], factor))
+        .collect();
+    let pair_powers = engine.evaluate_perturbations(desc, &pair_perts)?;
+
+    let mut entries = Vec::with_capacity(pairs.len());
+    for (&(i, j), power) in pairs.iter().zip(pair_powers) {
+        entries.push(Interaction {
+            a: params[i],
+            b: params[j],
+            joint: power?.power.watts() / baseline,
+            composed: singles[i] * singles[j],
+        });
+    }
+    Ok(InteractionMatrix {
+        variation,
+        baseline_watts: baseline,
+        params,
+        entries,
+    })
+}
+
+/// [`interaction_matrix_with`] through full model rebuilds — the
+/// reference path benchmarks and CI compare the differential matrix
+/// against. Production callers should prefer
+/// [`interaction_matrix_with`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if any perturbed description fails validation.
+pub fn interaction_matrix_with_full_rebuild(
+    engine: &EvalEngine,
+    desc: &DramDescription,
+    variation: f64,
+) -> Result<InteractionMatrix, ModelError> {
+    let baseline = power_of(engine, desc)?;
+    let factor = 1.0 + variation;
+    let params: Vec<ParamId> = ParamId::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.in_pareto_chart())
+        .collect();
+
     let single_descs: Vec<DramDescription> = params
         .iter()
         .map(|&p| perturbed(desc, p, factor))
@@ -439,7 +547,6 @@ pub fn interaction_matrix_with(
         singles.push(p? / baseline);
     }
 
-    // Joint models for every unordered pair, evaluated in parallel.
     let pairs: Vec<(usize, usize)> = (0..params.len())
         .flat_map(|i| (i + 1..params.len()).map(move |j| (i, j)))
         .collect();
@@ -630,6 +737,40 @@ mod engine_tests {
         assert_eq!(top.len(), 5);
         for pair in top.windows(2) {
             assert!(pair[0].strength().abs() >= pair[1].strength().abs());
+        }
+    }
+
+    /// The differential fast path reproduces the full-rebuild sweep
+    /// bit-for-bit, at 1 and 8 threads (the tentpole identity contract).
+    #[test]
+    fn differential_sweep_matches_full_rebuild_bitwise() {
+        let desc = ddr3_1g_x16_55nm();
+        for n in [1, 8] {
+            let fast = sweep_with(&EvalEngine::new().threads(n), &desc, 0.2).expect("runs");
+            let full = sweep_with_full_rebuild(&EvalEngine::new().threads(n), &desc, 0.2)
+                .expect("runs");
+            assert_eq!(fast.baseline_watts.to_bits(), full.baseline_watts.to_bits());
+            for (a, b) in fast.entries.iter().zip(&full.entries) {
+                assert_eq!(a.param, b.param);
+                assert_eq!(a.up.to_bits(), b.up.to_bits(), "{} threads={n}", a.param);
+                assert_eq!(a.down.to_bits(), b.down.to_bits(), "{} threads={n}", a.param);
+            }
+        }
+    }
+
+    /// Same contract for the all-pairs interaction matrix.
+    #[test]
+    fn differential_matrix_matches_full_rebuild_bitwise() {
+        let desc = ddr3_1g_x16_55nm();
+        let fast = interaction_matrix_with(&EvalEngine::new(), &desc, 0.2).expect("runs");
+        let full =
+            interaction_matrix_with_full_rebuild(&EvalEngine::new(), &desc, 0.2).expect("runs");
+        assert_eq!(fast.params, full.params);
+        assert_eq!(fast.entries.len(), full.entries.len());
+        for (a, b) in fast.entries.iter().zip(&full.entries) {
+            assert_eq!((a.a, a.b), (b.a, b.b));
+            assert_eq!(a.joint.to_bits(), b.joint.to_bits(), "{} × {}", a.a, a.b);
+            assert_eq!(a.composed.to_bits(), b.composed.to_bits(), "{} × {}", a.a, a.b);
         }
     }
 

@@ -16,7 +16,7 @@ use dram_core::EngineSnapshot;
 use dram_units::json::{obj, Value};
 
 pub use dram_obs::{bucket_index, bucket_upper_us, BUCKETS};
-use dram_obs::{Histogram, PromWriter, Registry};
+use dram_obs::{Histogram, Metric, PromWriter, Registry};
 
 /// The routes the service exposes, used to label per-route counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,6 +401,26 @@ impl Metrics {
             })
             .collect();
 
+        // The process-wide registry (model builds, differential rebuilds,
+        // skipped phases, fault-injection counters, ...), flattened into
+        // one name → value object so JSON consumers see the same series
+        // the Prometheus endpoint exports.
+        let registry: Vec<(String, Value)> = Registry::global()
+            .metrics()
+            .into_iter()
+            .map(|(name, metric, _help)| {
+                let value = match metric {
+                    Metric::Counter(c) => c.get().into(),
+                    Metric::Gauge(g) => g.get().into(),
+                    Metric::Histogram(h) => obj(vec![
+                        ("count", h.count().into()),
+                        ("sum_us", h.sum_us().into()),
+                    ]),
+                };
+                (name, value)
+            })
+            .collect();
+
         obj(vec![
             ("requests_total", self.total().into()),
             ("requests_by_route", Value::Obj(routes)),
@@ -437,6 +457,7 @@ impl Metrics {
                     ("error_cache_entries", engine.error_entries.into()),
                 ]),
             ),
+            ("registry", Value::Obj(registry)),
         ])
     }
 

@@ -658,6 +658,59 @@ fn metrics_serves_both_json_and_prometheus_formats() {
     server.shutdown();
 }
 
+/// A `/v1/sweep` runs through the engine's differential fast path, and
+/// the rebuild counters it drives are visible on `/metrics` in both the
+/// JSON document (`registry` section) and the Prometheus exposition.
+#[test]
+fn sweep_drives_rebuild_counters_onto_both_metrics_formats() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"preset":"ddr3_1g_x16_55nm","top":5}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = dram_units::json::Value::parse(&body).expect("metrics JSON parses");
+    let registry = doc.get("registry").expect("registry section");
+    let rebuilds = registry
+        .get("dram_model_rebuilds_total")
+        .and_then(|v| v.as_f64())
+        .expect("rebuild counter exported");
+    let skipped = registry
+        .get("dram_rebuild_phases_skipped_total")
+        .and_then(|v| v.as_f64())
+        .expect("skipped-phase counter exported");
+    // 38 params × up/down, every one a differential rebuild; each skips
+    // at least one build phase.
+    assert!(rebuilds >= 76.0, "rebuilds {rebuilds}");
+    assert!(skipped >= rebuilds, "skipped {skipped} < rebuilds {rebuilds}");
+
+    let reply = raw(
+        addr,
+        b"GET /metrics?format=prometheus HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    let (status, prom) = split_reply(&reply);
+    assert_eq!(status, 200);
+    for family in [
+        "# TYPE dram_model_rebuilds_total counter",
+        "# TYPE dram_rebuild_phases_skipped_total counter",
+    ] {
+        assert!(prom.contains(family), "missing `{family}` in:\n{prom}");
+    }
+    // The exported samples carry the same non-zero counts.
+    let sample = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("dram_model_rebuilds_total "))
+        .expect("rebuild sample line");
+    assert!(sample.trim().parse::<f64>().expect("numeric") >= 76.0, "{sample}");
+    server.shutdown();
+}
+
 #[test]
 fn sweep_and_pattern_roundtrip_over_the_wire() {
     let server = start(4);

@@ -49,9 +49,9 @@
 #![warn(missing_docs)]
 
 pub use dram_core::{
-    CacheStats, Command, Dram, DramDescription, EngineSnapshot, EvalEngine, IddKind, IddReport,
-    ModelCache, ModelError, Operation, OperationEnergy, Pattern, PowerState, PowerSummary,
-    TemperatureRange, VoltageDomain,
+    BuildPhase, CacheStats, Command, DirtySet, Dram, DramDescription, EngineSnapshot, EvalEngine,
+    IddKind, IddReport, ModelCache, ModelError, Operation, OperationEnergy, ParamCategory,
+    ParamId, Pattern, Perturbation, PowerState, PowerSummary, TemperatureRange, VoltageDomain,
 };
 
 pub use dram_core as model;

@@ -71,6 +71,45 @@ if [[ $fast -eq 0 ]]; then
   smoke POST /v1/evaluate '{"preset":"ddr3_1g_x16_55nm"}'
   smoke POST /v1/batch '{"requests":[{"preset":"ddr3_1g_x16_55nm"},{"preset":"ddr2_1g_75nm"}]}'
 
+  # Stream a generated command trace through /v1/trace with chunked
+  # transfer-encoding (the one route that folds chunks incrementally).
+  # 200 plus a self-refresh breakdown proves the five-state machine ran;
+  # the counters must then be visible in the Prometheus scrape below.
+  trace_file=$(mktemp)
+  {
+    printf '!preset ddr3_1g_x16_55nm\n!policy aggressive\n'
+    awk 'BEGIN {
+      t = 0
+      for (i = 0; i < 250; i++) {
+        b = i % 8
+        printf "%d act %d\n%d rd %d\n%d wr %d\n%d pre %d\n", t, b, t+6, b, t+10, b, t+14, b
+        t += 120
+      }
+      printf "%d pde\n%d pdx\n%d sre\n%d srx\n", t, t+2000, t+4000, t+90000
+      printf "!length %d\n", t+100000
+    }'
+  } > "$trace_file"
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST /v1/trace HTTP/1.1\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n' >&3
+  # One chunk per 1000-byte slice of the trace, then the 0 terminator.
+  split -b 1000 "$trace_file" "$trace_file.chunk."
+  for chunk in "$trace_file".chunk.*; do
+    printf '%x\r\n' "$(wc -c < "$chunk")" >&3
+    cat "$chunk" >&3
+    printf '\r\n' >&3
+  done
+  printf '0\r\n\r\n' >&3
+  trace_reply=$(cat <&3)
+  exec 3<&- 3>&-
+  rm -f "$trace_file" "$trace_file".chunk.*
+  [[ "${trace_reply:0:12}" == "HTTP/1.1 200" ]] \
+    || { echo "    POST /v1/trace -> ${trace_reply:0:12} (want 200)"; exit 1; }
+  grep -q '"commands":1004,' <<<"$trace_reply" \
+    || { echo "    /v1/trace reply did not count 1004 commands"; exit 1; }
+  grep -q '"self_refresh":{"cycles":' <<<"$trace_reply" \
+    || { echo "    /v1/trace reply has no self_refresh breakdown"; exit 1; }
+  echo "    POST /v1/trace (chunked) -> 200 (1004 commands, self-refresh billed)"
+
   # After traffic, /metrics must surface at least one slow-request sample
   # (with its request id) for the evaluate route.
   exec 3<>"/dev/tcp/127.0.0.1/$port"
@@ -95,7 +134,13 @@ if [[ $fast -eq 0 ]]; then
     || { echo "    prometheus /metrics has no uptime gauge"; exit 1; }
   grep -q '^dram_serve_build_info{version=' <<<"$prom" \
     || { echo "    prometheus /metrics has no build info"; exit 1; }
-  echo "    GET /metrics?format=prometheus -> text exposition v0.0.4 present"
+  # The streamed trace above must be visible in the registry families.
+  trace_total=$(sed -n 's|^dram_trace_commands_total \([0-9]*\)$|\1|p' <<<"$prom")
+  [[ -n "$trace_total" && "$trace_total" -ge 1004 ]] \
+    || { echo "    prometheus /metrics: dram_trace_commands_total is ${trace_total:-absent} (want >= 1004)"; exit 1; }
+  grep -q '^dram_trace_state_cycles_self_refresh_total ' <<<"$prom" \
+    || { echo "    prometheus /metrics has no per-state trace cycle counters"; exit 1; }
+  echo "    GET /metrics?format=prometheus -> text exposition v0.0.4 present ($trace_total trace commands counted)"
 
   # Slowloris regression: a client trickling one byte at a time must be
   # answered 408 once the 1 s request deadline expires, not held forever.
@@ -155,6 +200,23 @@ if [[ $fast -eq 0 ]]; then
   awk -v s="$sweep_speedup" -v m="$matrix_speedup" 'BEGIN { exit !(s >= 1.0 && m >= 1.0) }' \
     || { echo "    differential path is slower than full rebuilds (sweep ${sweep_speedup}x, matrix ${matrix_speedup}x)"; exit 1; }
   echo "    BENCH_sweep.json written (sweep ${sweep_speedup}x, matrix ${matrix_speedup}x, $phases_skipped phases skipped)"
+
+  echo "==> trace-bench smoke (streams 1M commands, writes BENCH_trace.json)"
+  # trace-bench boots the server in-process, streams a seeded trace with
+  # chunked framing and exits non-zero unless the served report is
+  # byte-identical to an in-memory StreamFold of the same bytes and the
+  # peak-RSS delta stays bounded (the O(1)-memory claim).
+  trace_bench_out=$(./target/release/trace-bench --commands 1000000)
+  grep -q 'bit-identical to in-memory fold: yes' <<<"$trace_bench_out" \
+    || { echo "    trace-bench did not report bit-identity"; exit 1; }
+  test -s BENCH_trace.json
+  grep -q '"bit_identical":true' BENCH_trace.json \
+    || { echo "    BENCH_trace.json does not record bit_identical"; exit 1; }
+  trace_rss=$(sed -n 's|.*"peak_rss_delta_kb":\([0-9]*\).*|\1|p' BENCH_trace.json)
+  [[ -n "$trace_rss" && "$trace_rss" -le 262144 ]] \
+    || { echo "    trace-bench peak RSS delta ${trace_rss:-unknown} kB exceeds the 256 MiB bound"; exit 1; }
+  trace_rate=$(sed -n 's|.*"mb_per_s":\([0-9.]*\).*|\1|p' BENCH_trace.json)
+  echo "    BENCH_trace.json written (bit-identical, ${trace_rate:-?} MB/s, peak RSS delta ${trace_rss} kB)"
 fi
 
 echo "==> ci.sh: all green"

@@ -737,7 +737,20 @@ impl EvalEngine {
                             Command::Precharge => ops[1],
                             Command::Read => ops[2],
                             Command::Write => ops[3],
-                            Command::Nop => Joules::ZERO,
+                            // Mixed workloads never schedule refresh, but
+                            // price it like `Dram::refresh_command_energy`
+                            // so the replay can never silently diverge.
+                            Command::Refresh => {
+                                (ops[0] + ops[1])
+                                    * crate::lowpower::rows_per_refresh(
+                                        u64::from(desc.spec.banks()) * desc.spec.rows_per_bank(),
+                                    )
+                            }
+                            Command::Nop
+                            | Command::PowerDownEnter
+                            | Command::PowerDownExit
+                            | Command::SelfRefreshEnter
+                            | Command::SelfRefreshExit => Joules::ZERO,
                         })
                         .sum();
                     let e = &desc.electrical;

@@ -22,6 +22,13 @@ pub const POWER_DOWN_ACTIVITY: f64 = 0.05;
 /// (references stay biased; DLL bias is gated).
 pub const POWER_DOWN_STATIC_SHARE: f64 = 0.5;
 
+/// Rows covered by one auto-refresh command when `total_rows` are spread
+/// over the [`REFRESH_COMMANDS_PER_WINDOW`] commands of a refresh window.
+#[must_use]
+pub fn rows_per_refresh(total_rows: u64) -> f64 {
+    (total_rows / REFRESH_COMMANDS_PER_WINDOW).max(1) as f64
+}
+
 /// Operating temperature range, which sets the required refresh rate
 /// (retention halves in the extended range; the refresh-power lever Emma
 /// et al. \[12\] exploit in the other direction by refreshing less often
@@ -110,20 +117,27 @@ impl Dram {
         }
     }
 
+    /// External energy of one auto-refresh command: the activate +
+    /// precharge of every row the command refreshes
+    /// ([`rows_per_refresh`] of them). This is what a
+    /// [`crate::Command::Refresh`] in a trace costs.
+    #[must_use]
+    pub fn refresh_command_energy(&self) -> dram_units::Joules {
+        let spec = &self.description().spec;
+        let act = self.operation_energy(crate::Operation::Activate).external();
+        let pre = self
+            .operation_energy(crate::Operation::Precharge)
+            .external();
+        (act + pre) * rows_per_refresh(u64::from(spec.banks()) * spec.rows_per_bank())
+    }
+
     /// Average power of refreshing the whole device once per refresh
     /// window with refreshes spread at tREFI (the self-refresh and
     /// auto-refresh background cost).
     #[must_use]
     pub fn distributed_refresh_power(&self) -> Watts {
-        let spec = &self.description().spec;
         let timing = &self.description().timing;
-        let total_rows = u64::from(spec.banks()) * spec.rows_per_bank();
-        let rows_per_refresh = (total_rows / REFRESH_COMMANDS_PER_WINDOW).max(1) as f64;
-        let act = self.operation_energy(crate::Operation::Activate).external();
-        let pre = self
-            .operation_energy(crate::Operation::Precharge)
-            .external();
-        ((act + pre) * rows_per_refresh) * timing.trefi.to_hertz()
+        self.refresh_command_energy() * timing.trefi.to_hertz()
     }
 
     /// Distributed refresh power at a temperature range, and with an

@@ -380,7 +380,11 @@ impl Dram {
     }
 
     /// External energy of one command occurrence (nop costs only the
-    /// background cycle, which is accounted separately).
+    /// background cycle, which is accounted separately). CKE state
+    /// transitions are free as *commands* — their cost is the time spent
+    /// in the state, billed by [`Dram::state_power`]; one auto-refresh
+    /// prices the activate+precharge of every row it refreshes
+    /// ([`Dram::refresh_command_energy`]).
     #[must_use]
     pub fn command_energy(&self, cmd: Command) -> Joules {
         match cmd {
@@ -388,7 +392,12 @@ impl Dram {
             Command::Precharge => self.precharge.external(),
             Command::Read => self.read.external(),
             Command::Write => self.write.external(),
-            Command::Nop => Joules::ZERO,
+            Command::Refresh => self.refresh_command_energy(),
+            Command::Nop
+            | Command::PowerDownEnter
+            | Command::PowerDownExit
+            | Command::SelfRefreshEnter
+            | Command::SelfRefreshExit => Joules::ZERO,
         }
     }
 

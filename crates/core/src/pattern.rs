@@ -21,16 +21,33 @@ pub enum Command {
     Write,
     /// No operation (`nop`).
     Nop,
+    /// CKE-low power-down entry (`pde`): the clock tree gates off and
+    /// the device holds at IDD2P/IDD3P until [`Command::PowerDownExit`].
+    PowerDownEnter,
+    /// CKE-high power-down exit (`pdx`).
+    PowerDownExit,
+    /// Self-refresh entry (`sre`): CKE low with the device refreshing
+    /// itself from its internal oscillator (IDD6).
+    SelfRefreshEnter,
+    /// Self-refresh exit (`srx`).
+    SelfRefreshExit,
+    /// One auto-refresh command (`ref`), refreshing a batch of rows.
+    Refresh,
 }
 
 impl Command {
     /// All commands, in display order.
-    pub const ALL: [Command; 5] = [
+    pub const ALL: [Command; 10] = [
         Command::Activate,
         Command::Precharge,
         Command::Read,
         Command::Write,
         Command::Nop,
+        Command::PowerDownEnter,
+        Command::PowerDownExit,
+        Command::SelfRefreshEnter,
+        Command::SelfRefreshExit,
+        Command::Refresh,
     ];
 
     /// The mnemonic used in pattern strings (the paper's spelling).
@@ -42,6 +59,11 @@ impl Command {
             Command::Read => "rd",
             Command::Write => "wrt",
             Command::Nop => "nop",
+            Command::PowerDownEnter => "pde",
+            Command::PowerDownExit => "pdx",
+            Command::SelfRefreshEnter => "sre",
+            Command::SelfRefreshExit => "srx",
+            Command::Refresh => "ref",
         }
     }
 
@@ -55,8 +77,28 @@ impl Command {
             "rd" | "read" => Some(Command::Read),
             "wrt" | "wr" | "write" => Some(Command::Write),
             "nop" | "-" => Some(Command::Nop),
+            "pde" => Some(Command::PowerDownEnter),
+            "pdx" => Some(Command::PowerDownExit),
+            "sre" => Some(Command::SelfRefreshEnter),
+            "srx" => Some(Command::SelfRefreshExit),
+            "ref" => Some(Command::Refresh),
             _ => None,
         }
+    }
+
+    /// Whether this command only moves the CKE power state (power-down
+    /// and self-refresh entries/exits) — no row or column work, so the
+    /// charge model prices it at zero and the state machine bills the
+    /// *time* spent in the state instead.
+    #[must_use]
+    pub fn is_state_transition(self) -> bool {
+        matches!(
+            self,
+            Command::PowerDownEnter
+                | Command::PowerDownExit
+                | Command::SelfRefreshEnter
+                | Command::SelfRefreshExit
+        )
     }
 }
 
@@ -247,5 +289,15 @@ mod tests {
             assert_eq!(Command::from_mnemonic(cmd.mnemonic()), Some(cmd));
         }
         assert_eq!(Command::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn state_transitions_are_classified() {
+        assert!(Command::PowerDownEnter.is_state_transition());
+        assert!(Command::SelfRefreshExit.is_state_transition());
+        assert!(!Command::Refresh.is_state_transition());
+        assert!(!Command::Activate.is_state_transition());
+        assert!(!Command::Nop.is_state_transition());
+        assert_eq!(Command::from_mnemonic("REF"), Some(Command::Refresh));
     }
 }

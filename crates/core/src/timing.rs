@@ -368,7 +368,21 @@ impl TimedPattern {
                         }
                         last_column = t;
                     }
-                    Command::Nop => {}
+                    Command::Refresh => {
+                        // Auto-refresh requires every bank precharged;
+                        // tRFC is not modeled at pattern granularity.
+                        if strict && state.iter().any(|b| b.open) {
+                            return fail(format!("refresh with open banks at cycle {t}"));
+                        }
+                    }
+                    // CKE transitions have no bank-timing footprint here;
+                    // their legality (matched enter/exit, no commands
+                    // while asleep) is enforced by the stream fold.
+                    Command::Nop
+                    | Command::PowerDownEnter
+                    | Command::PowerDownExit
+                    | Command::SelfRefreshEnter
+                    | Command::SelfRefreshExit => {}
                 }
             }
         }

@@ -11,10 +11,16 @@
 //! ([`CacheActivity`]) so the front end can attribute hits and model
 //! builds to individual request ids in logs and slow-request samples.
 
+use std::net::TcpStream;
+
 use dram_core::{Dram, DramDescription, EvalEngine, IddKind, ModelError, Operation, Pattern};
 use dram_units::json::{obj, Value};
+use dram_workload::{
+    PowerDownPolicy, StreamFold, TraceDecoder, TraceError, TraceErrorKind, TraceEvent, TraceReport,
+    TraceState,
+};
 
-use crate::http::{Request, Response};
+use crate::http::{ChunkedBody, Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::presets;
 
@@ -64,10 +70,11 @@ pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivi
         Route::Batch => with_body(req, |b| batch(b, &mut activity)),
         Route::Pattern => with_body(req, |b| pattern(b, &mut activity)),
         Route::Sweep => with_body(req, sweep_handler),
+        Route::Trace => trace_buffered(req, &mut activity),
         Route::Metrics => metrics_response(req, metrics),
         Route::Other => match req.path.as_str() {
             "/healthz" | "/v1/presets" | "/metrics" => method_not_allowed("GET"),
-            "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep" => {
+            "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep" | "/v1/trace" => {
                 method_not_allowed("POST")
             }
             _ => Response::error(404, &format!("no such route `{}`", req.path)),
@@ -432,6 +439,261 @@ fn sweep_handler(body: &Value) -> Response {
         Ok(doc) => Response::json(200, doc.to_string()),
         Err(r) => r,
     }
+}
+
+/// The `/v1/trace` response document: whole-trace totals plus the
+/// per-state cycle/energy breakdown of the five-state power machine.
+///
+/// Public so the trace benchmark can assert the streamed response is
+/// bit-identical to a local [`StreamFold`] over the same commands.
+#[must_use]
+pub fn trace_document(name: &str, report: &TraceReport, commands: u64, trace_bytes: u64) -> Value {
+    let states: Vec<(String, Value)> = TraceState::ALL
+        .iter()
+        .map(|&s| {
+            (
+                s.label().to_string(),
+                obj(vec![
+                    ("cycles", report.states.cycles(s).into()),
+                    (
+                        "energy_pj",
+                        (report.states.energy(s).joules() * 1e12).into(),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    obj(vec![
+        ("name", name.into()),
+        ("commands", commands.into()),
+        ("trace_bytes", trace_bytes.into()),
+        ("cycles", report.states.total_cycles().into()),
+        ("energy_pj", (report.energy.joules() * 1e12).into()),
+        ("duration_s", report.duration.seconds().into()),
+        ("average_power_w", report.average_power.watts().into()),
+        (
+            "energy_per_bit_pj",
+            (report.energy_per_bit.joules() * 1e12).into(),
+        ),
+        (
+            "command_energy_pj",
+            (report.command_energy.joules() * 1e12).into(),
+        ),
+        (
+            "background_energy_pj",
+            (report.background_energy.joules() * 1e12).into(),
+        ),
+        (
+            "power_down_energy_pj",
+            (report.power_down_energy.joules() * 1e12).into(),
+        ),
+        (
+            "self_refresh_energy_pj",
+            (report.self_refresh_energy.joules() * 1e12).into(),
+        ),
+        ("power_down_cycles", report.power_down_cycles.into()),
+        ("self_refresh_cycles", report.self_refresh_cycles.into()),
+        ("bits", report.bits.into()),
+        ("states", Value::Obj(states)),
+    ])
+}
+
+fn trace_err(kind: TraceErrorKind, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line: 0,
+        kind,
+        message: message.into(),
+    }
+}
+
+/// The 400 body for a typed trace error: the rendered message plus the
+/// machine-checkable kind and the 1-based source line (0 if unknown).
+fn trace_error_response(e: &TraceError) -> Response {
+    Response::json(
+        400,
+        obj(vec![
+            ("error", e.to_string().as_str().into()),
+            ("kind", e.kind.label().into()),
+            ("line", e.line.into()),
+        ])
+        .to_string(),
+    )
+}
+
+/// Event-application state of one `/v1/trace` request: resolves the
+/// device from the `?preset=` query or the `!preset` directive, defers
+/// building the [`StreamFold`] to the first command (directives may
+/// still change the device or policy before then), and accumulates the
+/// cache activity its one model lookup causes.
+struct TraceSession {
+    activity: CacheActivity,
+    desc: Option<(String, DramDescription)>,
+    policy: PowerDownPolicy,
+    fold: Option<StreamFold>,
+    length: Option<u64>,
+}
+
+impl TraceSession {
+    fn new(req: &Request) -> Result<Self, Response> {
+        let desc = match req.query_param("preset") {
+            Some(name) => match presets::by_name(name) {
+                Some(d) => Some((name.to_string(), d)),
+                None => {
+                    return Err(Response::error(
+                        400,
+                        &format!(
+                            "unknown preset `{name}`; valid presets: {}",
+                            presets::NAMES.join(", ")
+                        ),
+                    ))
+                }
+            },
+            None => None,
+        };
+        Ok(Self {
+            activity: CacheActivity::default(),
+            desc,
+            policy: PowerDownPolicy::NEVER,
+            fold: None,
+            length: None,
+        })
+    }
+
+    fn apply(&mut self, event: TraceEvent) -> Result<(), TraceError> {
+        match event {
+            TraceEvent::Preset(name) => {
+                if self.fold.is_some() {
+                    return Err(trace_err(
+                        TraceErrorKind::BadTransition,
+                        "!preset must precede the first command",
+                    ));
+                }
+                let desc = presets::by_name(&name).ok_or_else(|| {
+                    trace_err(TraceErrorKind::Syntax, format!("unknown preset `{name}`"))
+                })?;
+                self.desc = Some((name, desc));
+                Ok(())
+            }
+            TraceEvent::Policy(policy) => match self.fold.as_mut() {
+                Some(fold) => fold.set_policy(policy),
+                None => {
+                    self.policy = policy;
+                    Ok(())
+                }
+            },
+            TraceEvent::Length(cycles) => {
+                self.length = Some(cycles);
+                Ok(())
+            }
+            TraceEvent::Command(c) => {
+                if self.fold.is_none() {
+                    let Some((_, desc)) = self.desc.as_ref() else {
+                        return Err(trace_err(
+                            TraceErrorKind::Syntax,
+                            "trace needs a `!preset` directive or `?preset=` query parameter",
+                        ));
+                    };
+                    let dram = match EvalEngine::global().model_traced(desc) {
+                        Ok((model, hit)) => {
+                            self.activity.note(hit);
+                            model
+                        }
+                        Err(e) => {
+                            return Err(trace_err(
+                                TraceErrorKind::Syntax,
+                                model_error_message(&e),
+                            ))
+                        }
+                    };
+                    self.fold = Some(StreamFold::new(&dram, self.policy));
+                }
+                self.fold.as_mut().expect("fold built above").push(c)
+            }
+        }
+    }
+
+    /// Closes the fold into the response, leaving the session usable so
+    /// the caller can still collect [`Self::activity`] afterwards.
+    fn finish_response(&mut self, trace_bytes: u64) -> Response {
+        let Some(fold) = self.fold.take() else {
+            return trace_error_response(&trace_err(
+                TraceErrorKind::Syntax,
+                "trace contains no commands",
+            ));
+        };
+        let name = self
+            .desc
+            .as_ref()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        let commands = fold.commands();
+        match fold.finish(self.length) {
+            Ok(report) => Response::json(
+                200,
+                trace_document(&name, &report, commands, trace_bytes).to_string(),
+            ),
+            Err(e) => trace_error_response(&e),
+        }
+    }
+}
+
+/// `POST /v1/trace` with the body already in memory (a request framed
+/// with `Content-Length`). The decoder and fold are the same as the
+/// streaming path, so results are byte-identical whatever the framing.
+fn trace_buffered(req: &Request, activity: &mut CacheActivity) -> Response {
+    let mut session = match TraceSession::new(req) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let mut decoder = TraceDecoder::new();
+    let fed = decoder
+        .feed(&req.body, &mut |e| session.apply(e))
+        .and_then(|()| decoder.finish(&mut |e| session.apply(e)));
+    let response = match fed {
+        Ok(()) => session.finish_response(decoder.bytes_fed()),
+        Err(e) => trace_error_response(&e),
+    };
+    activity.hits += session.activity.hits;
+    activity.misses += session.activity.misses;
+    response
+}
+
+/// `POST /v1/trace` with a chunked body still on the wire: decoded
+/// chunks feed the trace decoder as they arrive, so memory stays O(1)
+/// in the trace length (one network chunk plus one partial line).
+///
+/// Called by the server front end instead of [`handle`] when the
+/// request streams; the returned activity is attributed to the request
+/// exactly like the buffered path's.
+#[must_use]
+pub fn handle_trace_stream(
+    req: &Request,
+    stream: &mut TcpStream,
+    body: &mut ChunkedBody,
+) -> (Response, CacheActivity) {
+    let mut session = match TraceSession::new(req) {
+        Ok(s) => s,
+        Err(r) => return (r, CacheActivity::default()),
+    };
+    let mut buf = Vec::with_capacity(16 * 1024);
+    let mut decoder = TraceDecoder::new();
+    let response = loop {
+        buf.clear();
+        let more = match body.read_chunk(stream, &mut buf) {
+            Ok(more) => more,
+            Err(e) => break Response::error(e.status(), &e.message()),
+        };
+        if let Err(e) = decoder.feed(&buf, &mut |e| session.apply(e)) {
+            break trace_error_response(&e);
+        }
+        if !more {
+            match decoder.finish(&mut |e| session.apply(e)) {
+                Ok(()) => break session.finish_response(decoder.bytes_fed()),
+                Err(e) => break trace_error_response(&e),
+            }
+        }
+    };
+    (response, session.activity)
 }
 
 #[cfg(test)]

@@ -32,6 +32,11 @@ pub struct Limits {
     /// per-read timeout on every byte — still gets `408` when this
     /// expires.
     pub request_deadline: Duration,
+    /// Maximum total decoded size of a streamed (chunked) request body,
+    /// in bytes. Streaming endpoints never buffer the body, so this can
+    /// be far above [`Limits::max_body`]; it bounds how long one
+    /// connection can keep a worker, alongside the deadline.
+    pub max_stream: usize,
 }
 
 impl Default for Limits {
@@ -41,6 +46,7 @@ impl Default for Limits {
             max_body: 1024 * 1024,
             io_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(15),
+            max_stream: 256 * 1024 * 1024,
         }
     }
 }
@@ -172,16 +178,110 @@ fn read_bounded(
     stream.read(&mut chunk[..cap]).map_err(|e| io_to_http(&e))
 }
 
-/// Reads and parses one request from the stream under the given limits.
+/// How the request body is framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Framing {
+    /// `Content-Length` (or no body at all).
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// One request coming off a connection: either fully buffered, or a
+/// parsed head whose chunked body is still on the wire.
+///
+/// Streaming endpoints take the [`Inbound::Streaming`] arm and pull
+/// decoded body bytes incrementally through [`ChunkedBody::read_chunk`];
+/// every other route drains the body into memory first (bounded by
+/// [`Limits::max_body`]) and proceeds exactly as before.
+#[derive(Debug)]
+pub enum Inbound {
+    /// Head and complete body are in memory.
+    Buffered(Request),
+    /// Head is parsed; `request.body` is empty and the chunked body is
+    /// read on demand.
+    Streaming {
+        /// The parsed head (empty `body`).
+        request: Request,
+        /// The resumable body reader.
+        body: ChunkedBody,
+    },
+}
+
+/// Reads and parses one request from the stream under the given limits,
+/// without buffering a chunked body.
 ///
 /// # Errors
 ///
 /// Returns [`ReadError::Closed`] for a silent probe (nothing to answer)
 /// or [`ReadError::Http`] classifying the protocol failure; the caller
 /// converts the latter to a 4xx response.
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+pub fn read_inbound(stream: &mut TcpStream, limits: &Limits) -> Result<Inbound, ReadError> {
     let deadline = Instant::now() + limits.request_deadline;
+    let (mut request, leftover, framing) = read_head(stream, limits, deadline)?;
+    match framing {
+        Framing::Length(content_length) => {
+            if content_length > limits.max_body {
+                return Err(HttpError::PayloadTooLarge.into());
+            }
+            let mut body = leftover;
+            if body.len() > content_length {
+                return Err(HttpError::BadRequest("body longer than content-length".into()).into());
+            }
+            while body.len() < content_length {
+                let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
+                let n = read_bounded(stream, &mut chunk, deadline, limits.io_timeout)?;
+                if n == 0 {
+                    return Err(HttpError::BadRequest("truncated request body".into()).into());
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            request.body = body;
+            Ok(Inbound::Buffered(request))
+        }
+        Framing::Chunked => Ok(Inbound::Streaming {
+            request,
+            body: ChunkedBody::new(leftover, deadline, limits),
+        }),
+    }
+}
 
+/// Reads one complete request, buffering chunked bodies in memory
+/// (bounded by [`Limits::max_body`]).
+///
+/// # Errors
+///
+/// As [`read_inbound`].
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    match read_inbound(stream, limits)? {
+        Inbound::Buffered(request) => Ok(request),
+        Inbound::Streaming {
+            mut request,
+            mut body,
+        } => {
+            let mut buffered = Vec::new();
+            loop {
+                let more = body.read_chunk(stream, &mut buffered)?;
+                if buffered.len() > limits.max_body {
+                    return Err(HttpError::PayloadTooLarge.into());
+                }
+                if !more {
+                    break;
+                }
+            }
+            request.body = buffered;
+            Ok(request)
+        }
+    }
+}
+
+/// Reads and parses the request head; returns the request (empty body),
+/// any body bytes pulled in by the head reads, and the body framing.
+fn read_head(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    deadline: Instant,
+) -> Result<(Request, Vec<u8>, Framing), ReadError> {
     // Accumulate until the blank line that ends the head section.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let head_end = loop {
@@ -248,43 +348,279 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         }
     }
 
-    // Body framing: Content-Length only. Chunked encoding is out of
-    // scope for this service and answered with 400.
-    if headers
+    // Body framing: Content-Length or `Transfer-Encoding: chunked`. A
+    // request carrying *both* is a smuggling vector (RFC 9112 §6.3) and
+    // is rejected outright rather than letting one header win.
+    let framing = match headers
         .get("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+        .map(|v| v.trim().to_ascii_lowercase())
     {
-        return Err(HttpError::BadRequest("transfer-encoding is not supported".into()).into());
-    }
-    let content_length = match headers.get("content-length") {
-        None => 0,
-        Some(v) => parse_content_length(v)?,
+        Some(te) if te == "chunked" => {
+            if headers.contains_key("content-length") {
+                return Err(HttpError::BadRequest(
+                    "content-length conflicts with chunked transfer-encoding".into(),
+                )
+                .into());
+            }
+            Framing::Chunked
+        }
+        Some(te) if te != "identity" => {
+            return Err(
+                HttpError::BadRequest(format!("unsupported transfer-encoding `{te}`")).into(),
+            );
+        }
+        _ => {
+            let content_length = match headers.get("content-length") {
+                None => 0,
+                Some(v) => parse_content_length(v)?,
+            };
+            Framing::Length(content_length)
+        }
     };
-    if content_length > limits.max_body {
-        return Err(HttpError::PayloadTooLarge.into());
-    }
 
     // The head read may have pulled in the start of the body already.
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(HttpError::BadRequest("body longer than content-length".into()).into());
-    }
-    while body.len() < content_length {
-        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
-        let n = read_bounded(stream, &mut chunk, deadline, limits.io_timeout)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("truncated request body".into()).into());
+    let leftover = buf[head_end + 4..].to_vec();
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        leftover,
+        framing,
+    ))
+}
+
+/// Incremental decoder for `Transfer-Encoding: chunked` (RFC 9112 §7.1):
+/// hex chunk-size lines (extensions after `;` ignored), chunk data, the
+/// `0`-size terminator, and trailer fields (parsed and discarded). Pure
+/// state machine over bytes — callers own the socket.
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkState,
+    max_chunk: usize,
+    trailer_bytes: usize,
+}
+
+#[derive(Debug)]
+enum ChunkState {
+    /// Accumulating a chunk-size line up to its LF.
+    Size(Vec<u8>),
+    /// Copying chunk data.
+    Data(usize),
+    /// Expecting the CRLF that closes a chunk's data.
+    DataEnd { cr_seen: bool },
+    /// Accumulating a trailer line (after the 0-size chunk).
+    Trailer(Vec<u8>),
+    /// The terminating empty trailer line was consumed.
+    Done,
+}
+
+impl ChunkedDecoder {
+    /// Longest accepted chunk-size line (hex digits plus extensions).
+    pub const MAX_SIZE_LINE: usize = 256;
+    /// Total trailer bytes tolerated before the request is rejected.
+    pub const MAX_TRAILER_BYTES: usize = 16 * 1024;
+
+    /// A decoder that rejects any single chunk larger than `max_chunk`.
+    #[must_use]
+    pub fn new(max_chunk: usize) -> Self {
+        Self {
+            state: ChunkState::Size(Vec::new()),
+            max_chunk,
+            trailer_bytes: 0,
         }
-        body.extend_from_slice(&chunk[..n]);
     }
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+    /// Whether the terminating chunk and trailers have been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ChunkState::Done)
+    }
+
+    /// Consumes bytes from `input`, appending decoded body bytes to
+    /// `out`; returns how many input bytes were consumed. Consumption
+    /// stops at the end of the encoding — bytes after it are left for
+    /// the caller to judge.
+    ///
+    /// # Errors
+    ///
+    /// `400` for malformed framing, `413` for a chunk beyond
+    /// `max_chunk`, `431` for oversized trailers.
+    pub fn advance(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<usize, HttpError> {
+        let mut i = 0;
+        while i < input.len() {
+            match &mut self.state {
+                ChunkState::Size(line) => {
+                    let b = input[i];
+                    i += 1;
+                    if b == b'\n' {
+                        let size = parse_chunk_size(line)?;
+                        if size > self.max_chunk {
+                            return Err(HttpError::PayloadTooLarge);
+                        }
+                        self.state = if size == 0 {
+                            ChunkState::Trailer(Vec::new())
+                        } else {
+                            ChunkState::Data(size)
+                        };
+                    } else {
+                        if line.len() >= Self::MAX_SIZE_LINE {
+                            return Err(HttpError::BadRequest("chunk-size line too long".into()));
+                        }
+                        line.push(b);
+                    }
+                }
+                ChunkState::Data(remaining) => {
+                    let take = (*remaining).min(input.len() - i);
+                    out.extend_from_slice(&input[i..i + take]);
+                    i += take;
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        self.state = ChunkState::DataEnd { cr_seen: false };
+                    }
+                }
+                ChunkState::DataEnd { cr_seen } => {
+                    let b = input[i];
+                    i += 1;
+                    match (b, *cr_seen) {
+                        (b'\r', false) => *cr_seen = true,
+                        (b'\n', true) => self.state = ChunkState::Size(Vec::new()),
+                        _ => {
+                            return Err(HttpError::BadRequest(
+                                "chunk data not terminated by CRLF".into(),
+                            ));
+                        }
+                    }
+                }
+                ChunkState::Trailer(line) => {
+                    let b = input[i];
+                    i += 1;
+                    self.trailer_bytes += 1;
+                    if self.trailer_bytes > Self::MAX_TRAILER_BYTES {
+                        return Err(HttpError::HeadersTooLarge);
+                    }
+                    if b == b'\n' {
+                        // Trailer fields are legal but meaningless here;
+                        // only the terminating empty line matters.
+                        let empty = line.iter().all(|&c| c == b'\r');
+                        if empty {
+                            self.state = ChunkState::Done;
+                        } else {
+                            line.clear();
+                        }
+                    } else {
+                        line.push(b);
+                    }
+                }
+                ChunkState::Done => break,
+            }
+        }
+        Ok(i)
+    }
+}
+
+/// Parses a chunk-size line: hex digits, optionally followed by
+/// `;extension` (ignored), with an optional trailing CR.
+fn parse_chunk_size(line: &[u8]) -> Result<usize, HttpError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("chunk-size line is not UTF-8".into()))?;
+    let text = text.trim_end_matches('\r');
+    let digits = text.split(';').next().unwrap_or("").trim();
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(HttpError::BadRequest(format!("bad chunk size `{digits}`")));
+    }
+    usize::from_str_radix(digits, 16)
+        .map_err(|_| HttpError::BadRequest(format!("bad chunk size `{digits}`")))
+}
+
+/// A chunked request body still (partially) on the wire: feeds socket
+/// reads through a [`ChunkedDecoder`] on demand, under the original
+/// request deadline and a total-size cap of [`Limits::max_stream`].
+#[derive(Debug)]
+pub struct ChunkedBody {
+    decoder: ChunkedDecoder,
+    /// Bytes read past the head before the body reader took over.
+    buffered: Vec<u8>,
+    buf_pos: usize,
+    deadline: Instant,
+    io_timeout: Duration,
+    max_stream: usize,
+    total: usize,
+}
+
+impl ChunkedBody {
+    fn new(leftover: Vec<u8>, deadline: Instant, limits: &Limits) -> Self {
+        Self {
+            decoder: ChunkedDecoder::new(limits.max_stream),
+            buffered: leftover,
+            buf_pos: 0,
+            deadline,
+            io_timeout: limits.io_timeout,
+            max_stream: limits.max_stream,
+            total: 0,
+        }
+    }
+
+    /// Total decoded body bytes produced so far.
+    #[must_use]
+    pub fn bytes_read(&self) -> usize {
+        self.total
+    }
+
+    /// Appends the next run of decoded body bytes to `out`, reading
+    /// from the socket as needed. Returns `false` once the terminating
+    /// chunk (and trailers) have been fully consumed — the final call
+    /// may both append bytes *and* return `false`.
+    ///
+    /// # Errors
+    ///
+    /// `400` on malformed framing or bytes after the terminator, `408`
+    /// past the request deadline, `413` past [`Limits::max_stream`].
+    pub fn read_chunk(
+        &mut self,
+        stream: &mut TcpStream,
+        out: &mut Vec<u8>,
+    ) -> Result<bool, HttpError> {
+        loop {
+            // Drain what we already hold before touching the socket.
+            if self.buf_pos < self.buffered.len() {
+                let before = out.len();
+                let used = self
+                    .decoder
+                    .advance(&self.buffered[self.buf_pos..], out)?;
+                self.buf_pos += used;
+                self.total += out.len() - before;
+                if self.total > self.max_stream {
+                    return Err(HttpError::PayloadTooLarge);
+                }
+                if self.decoder.is_done() {
+                    if self.buf_pos < self.buffered.len() {
+                        return Err(HttpError::BadRequest(
+                            "bytes after the final chunk".into(),
+                        ));
+                    }
+                    return Ok(false);
+                }
+                if out.len() > before {
+                    return Ok(true);
+                }
+            }
+            if self.decoder.is_done() {
+                return Ok(false);
+            }
+            self.buffered.clear();
+            self.buf_pos = 0;
+            let mut chunk = [0u8; 16 * 1024];
+            let n = read_bounded(stream, &mut chunk, self.deadline, self.io_timeout)?;
+            if n == 0 {
+                return Err(HttpError::BadRequest("truncated chunked body".into()));
+            }
+            self.buffered.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 /// Parses a `content-length` value: ASCII digits only (the surrounding
@@ -519,6 +855,123 @@ mod tests {
         assert_eq!(HttpError::Timeout.status(), 408);
         assert_eq!(HttpError::PayloadTooLarge.status(), 413);
         assert_eq!(HttpError::HeadersTooLarge.status(), 431);
+    }
+
+    fn decode_chunked(input: &[u8], piece: usize) -> Result<Vec<u8>, HttpError> {
+        let mut d = ChunkedDecoder::new(1024 * 1024);
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < input.len() && !d.is_done() {
+            let end = (offset + piece.max(1)).min(input.len());
+            let used = d.advance(&input[offset..end], &mut out)?;
+            offset += used;
+            if used == 0 {
+                break;
+            }
+        }
+        if !d.is_done() {
+            return Err(HttpError::BadRequest("incomplete".into()));
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn chunked_decoder_reassembles_across_any_split() {
+        let wire = b"4\r\nWiki\r\n5\r\npedia\r\nF\r\n in \r\n\r\nchunks.\r\n0\r\n\r\n";
+        let whole = decode_chunked(wire, wire.len()).unwrap();
+        assert_eq!(whole, b"Wikipedia in \r\n\r\nchunks.");
+        for piece in 1..=7 {
+            assert_eq!(decode_chunked(wire, piece).unwrap(), whole, "piece {piece}");
+        }
+    }
+
+    #[test]
+    fn chunked_decoder_ignores_extensions_and_trailers() {
+        let wire = b"5;ext=1;x\r\nhello\r\n0\r\nx-trailer: ignored\r\nanother: one\r\n\r\n";
+        assert_eq!(decode_chunked(wire, 3).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_malformed_framing() {
+        // Non-hex size.
+        let err = decode_chunked(b"zz\r\nhi\r\n0\r\n\r\n", 100).unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Missing CRLF after chunk data.
+        let err = decode_chunked(b"2\r\nhiX\r\n0\r\n\r\n", 100).unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Empty size line.
+        let err = decode_chunked(b"\r\n\r\n", 100).unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Oversized size line.
+        let long = vec![b'1'; 2 * ChunkedDecoder::MAX_SIZE_LINE];
+        let err = decode_chunked(&long, 100).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn chunked_decoder_enforces_limits() {
+        // A chunk larger than the decoder's cap → 413 before any data.
+        let mut d = ChunkedDecoder::new(16);
+        let mut out = Vec::new();
+        let err = d.advance(b"FFFF\r\n", &mut out).unwrap_err();
+        assert_eq!(err, HttpError::PayloadTooLarge);
+        assert!(out.is_empty());
+        // Unbounded trailers → 431.
+        let mut d = ChunkedDecoder::new(16);
+        d.advance(b"0\r\n", &mut out).unwrap();
+        let spam = vec![b'x'; ChunkedDecoder::MAX_TRAILER_BYTES + 2];
+        let err = d.advance(&spam, &mut out).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn chunked_decoder_stops_at_terminator() {
+        let mut d = ChunkedDecoder::new(1024);
+        let mut out = Vec::new();
+        let wire = b"2\r\nok\r\n0\r\n\r\ngarbage after";
+        let used = d.advance(wire, &mut out).unwrap();
+        assert!(d.is_done());
+        assert_eq!(out, b"ok");
+        // The decoder refuses to consume past the end; the leftover is
+        // the caller's evidence of trailing garbage.
+        assert_eq!(&wire[used..], b"garbage after");
+    }
+
+    /// Seeded fuzz over arbitrary byte splits: the decoder must never
+    /// panic and never emit more bytes than it consumed.
+    #[test]
+    fn fuzz_chunked_decoder_never_panics() {
+        let mut state = 0xfeed_f00d_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..500 {
+            let len = (next() % 200) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| match next() % 6 {
+                    0 => b'\r',
+                    1 => b'\n',
+                    2..=3 => b"0123456789abcdef"[(next() % 16) as usize],
+                    4 => b';',
+                    _ => (next() % 256) as u8,
+                })
+                .collect();
+            let mut d = ChunkedDecoder::new(4096);
+            let mut out = Vec::new();
+            let mut offset = 0;
+            while offset < bytes.len() {
+                let end = (offset + 1 + (next() % 9) as usize).min(bytes.len());
+                match d.advance(&bytes[offset..end], &mut out) {
+                    Ok(0) => break,
+                    Ok(used) => offset += used,
+                    Err(_) => break,
+                }
+            }
+            assert!(out.len() <= bytes.len());
+        }
     }
 
     #[test]

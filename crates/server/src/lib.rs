@@ -20,6 +20,7 @@
 //! | `POST /v1/batch` | array of evaluate requests in one parallel pass |
 //! | `POST /v1/pattern` | IDD-style command-loop pattern power |
 //! | `POST /v1/sweep` | ±variation sensitivity ranking |
+//! | `POST /v1/trace` | streamed command trace → power-state energy report (chunked bodies stream; see `docs/TRACES.md`) |
 //! | `GET /metrics` | request counters, latency histogram, slow samples, cache stats |
 //!
 //! Every response (including 4xx and the backpressure 503) carries a

@@ -33,6 +33,8 @@ pub enum Route {
     Pattern,
     /// `POST /v1/sweep`.
     Sweep,
+    /// `POST /v1/trace` (buffered or chunked streaming).
+    Trace,
     /// `GET /metrics`.
     Metrics,
     /// Anything else (404/405/parse failures).
@@ -41,13 +43,14 @@ pub enum Route {
 
 impl Route {
     /// All routes, in display order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 9] = [
         Route::Healthz,
         Route::Presets,
         Route::Evaluate,
         Route::Batch,
         Route::Pattern,
         Route::Sweep,
+        Route::Trace,
         Route::Metrics,
         Route::Other,
     ];
@@ -62,6 +65,7 @@ impl Route {
             Route::Batch => "batch",
             Route::Pattern => "pattern",
             Route::Sweep => "sweep",
+            Route::Trace => "trace",
             Route::Metrics => "metrics",
             Route::Other => "other",
         }
@@ -87,17 +91,19 @@ impl Route {
             ("POST", "/v1/batch") => Route::Batch,
             ("POST", "/v1/pattern") => Route::Pattern,
             ("POST", "/v1/sweep") => Route::Sweep,
+            ("POST", "/v1/trace") => Route::Trace,
             ("GET", "/metrics") => Route::Metrics,
             _ => Route::Other,
         }
     }
 
     /// Whether the route does unbounded-ish work per request (a full
-    /// parameter sweep, a many-item batch). Under load these are shed
+    /// parameter sweep, a many-item batch, a streamed trace that holds
+    /// its worker for the whole upload). Under load these are shed
     /// first, so cheap traffic keeps flowing while the queue recovers.
     #[must_use]
     pub fn expensive(self) -> bool {
-        matches!(self, Route::Sweep | Route::Batch)
+        matches!(self, Route::Sweep | Route::Batch | Route::Trace)
     }
 }
 

@@ -355,6 +355,11 @@ fn worker_loop(shared: &Shared, slot: usize) {
 }
 
 /// Parses one request off the connection, routes it, answers, closes.
+///
+/// Chunked-transfer requests to the streaming trace endpoint are handed
+/// their still-on-the-wire body ([`serve_trace_stream`]); chunked
+/// requests to any other route are drained into memory first (bounded
+/// by [`Limits::max_body`]) and served exactly like buffered ones.
 fn serve_connection(conn: QueuedConn, shared: &Shared) {
     let QueuedConn {
         mut stream,
@@ -371,35 +376,43 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
         .arg("id", id)
         .commit();
     let mut request_span = dram_obs::span("server.request").arg("id", id);
-    match http::read_request(&mut stream, &shared.limits) {
-        Ok(req) => {
-            let (route, response, cache) = handle_request(&req, shared, id);
-            let handle_time = started.elapsed();
-            request_span.add_arg("route", route.label());
-            request_span.add_arg("status", response.status);
-            let response = response.with_header("x-request-id", &id.to_string());
-            let sent = response.send_within(&mut stream, shared.limits.io_timeout);
-            let rendered_id = id.to_string();
-            shared.metrics.observe(&RequestRecord {
-                id: &rendered_id,
-                route,
-                status: response.status,
-                queue_wait,
-                handle: handle_time,
-                cache_hits: cache.hits,
-                cache_misses: cache.misses,
-            });
-            log_request(
-                shared,
-                &rendered_id,
-                route.label(),
-                response.status,
-                queue_wait,
-                handle_time,
-                cache.hits,
-                cache.misses,
-                &sent,
-            );
+    match http::read_inbound(&mut stream, &shared.limits) {
+        Ok(http::Inbound::Buffered(req)) => {
+            serve_buffered(&req, &mut stream, shared, id, queue_wait, started, &mut request_span);
+        }
+        Ok(http::Inbound::Streaming {
+            mut request,
+            mut body,
+        }) => {
+            let route = Route::classify(request.method.as_str(), request.path.as_str());
+            if route == Route::Trace {
+                serve_trace_stream(
+                    &request,
+                    &mut stream,
+                    &mut body,
+                    shared,
+                    id,
+                    queue_wait,
+                    started,
+                    &mut request_span,
+                );
+            } else {
+                match drain_chunked(&mut stream, &mut body, shared.limits.max_body) {
+                    Ok(bytes) => {
+                        request.body = bytes;
+                        serve_buffered(
+                            &request,
+                            &mut stream,
+                            shared,
+                            id,
+                            queue_wait,
+                            started,
+                            &mut request_span,
+                        );
+                    }
+                    Err(e) => answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started),
+                }
+            }
         }
         Err(ReadError::Closed) => {
             // Port probe / health check that never sent bytes: nothing
@@ -411,46 +424,200 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) {
             }
         }
         Err(ReadError::Http(e)) => {
-            let handle_time = started.elapsed();
-            let response = Response::error(e.status(), &e.message())
-                .with_header("x-request-id", &id.to_string());
-            let sent = response.send_within(&mut stream, shared.limits.io_timeout);
-            let rendered_id = id.to_string();
-            shared.metrics.observe(&RequestRecord {
-                id: &rendered_id,
-                route: Route::Other,
-                status: e.status(),
-                queue_wait,
-                handle: handle_time,
-                cache_hits: 0,
-                cache_misses: 0,
-            });
-            log_request(
-                shared,
-                &rendered_id,
-                Route::Other.label(),
-                e.status(),
-                queue_wait,
-                handle_time,
-                0,
-                0,
-                &sent,
-            );
-            // The request was not fully read; drain what the client
-            // already sent so closing the socket doesn't RST the
-            // response out of its receive buffer. The drain has its own
-            // hard cap — a client that keeps trickling after its 408
-            // must not keep holding the worker it just timed out on.
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
-            let drain_until = Instant::now() + std::time::Duration::from_millis(500);
-            let mut scratch = [0u8; 8192];
-            while Instant::now() < drain_until {
-                match io::Read::read(&mut stream, &mut scratch) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {}
+            answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started);
+        }
+    }
+}
+
+/// Answers a fully-buffered request: route, handle, send, record.
+#[allow(clippy::too_many_arguments)]
+fn serve_buffered(
+    req: &http::Request,
+    stream: &mut TcpStream,
+    shared: &Shared,
+    id: RequestId,
+    queue_wait: std::time::Duration,
+    started: Instant,
+    request_span: &mut dram_obs::SpanGuard,
+) {
+    let (route, response, cache) = handle_request(req, shared, id);
+    let handle_time = started.elapsed();
+    request_span.add_arg("route", route.label());
+    request_span.add_arg("status", response.status);
+    let response = response.with_header("x-request-id", &id.to_string());
+    let sent = response.send_within(stream, shared.limits.io_timeout);
+    let rendered_id = id.to_string();
+    shared.metrics.observe(&RequestRecord {
+        id: &rendered_id,
+        route,
+        status: response.status,
+        queue_wait,
+        handle: handle_time,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    });
+    log_request(
+        shared,
+        &rendered_id,
+        route.label(),
+        response.status,
+        queue_wait,
+        handle_time,
+        cache.hits,
+        cache.misses,
+        &sent,
+    );
+}
+
+/// Answers `POST /v1/trace` with a chunked body still on the wire: the
+/// handler pulls decoded chunks through the trace decoder as they
+/// arrive, so the body is never buffered whole. The route counts as
+/// expensive for load shedding (it holds its worker for the entire
+/// upload) and the handler runs under the same `catch_unwind` as the
+/// buffered path.
+#[allow(clippy::too_many_arguments)]
+fn serve_trace_stream(
+    req: &http::Request,
+    stream: &mut TcpStream,
+    body: &mut http::ChunkedBody,
+    shared: &Shared,
+    id: RequestId,
+    queue_wait: std::time::Duration,
+    started: Instant,
+    request_span: &mut dram_obs::SpanGuard,
+) {
+    let route = Route::Trace;
+    let (response, cache) = if let Some(response) = shed_response(shared, route) {
+        (response, CacheActivity::default())
+    } else {
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _s = dram_obs::span("server.trace_stream").arg("id", id);
+            api::handle_trace_stream(req, stream, body)
+        }));
+        match handled {
+            Ok(result) => result,
+            Err(payload) => {
+                shared.metrics.record_worker_panic();
+                let message = dram_core::batch::panic_message(payload.as_ref());
+                if let Some(line) = shared.logger.line(LogLevel::Error, "handler_panicked") {
+                    line.field("id", id)
+                        .field("route", route.label())
+                        .field("panic", &message)
+                        .emit();
                 }
+                (
+                    Response::error(500, "internal error: request handler panicked"),
+                    CacheActivity::default(),
+                )
             }
+        }
+    };
+    let handle_time = started.elapsed();
+    request_span.add_arg("route", route.label());
+    request_span.add_arg("status", response.status);
+    let response = response.with_header("x-request-id", &id.to_string());
+    let sent = response.send_within(stream, shared.limits.io_timeout);
+    let rendered_id = id.to_string();
+    shared.metrics.observe(&RequestRecord {
+        id: &rendered_id,
+        route,
+        status: response.status,
+        queue_wait,
+        handle: handle_time,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    });
+    log_request(
+        shared,
+        &rendered_id,
+        route.label(),
+        response.status,
+        queue_wait,
+        handle_time,
+        cache.hits,
+        cache.misses,
+        &sent,
+    );
+    if response.status >= 400 {
+        // The upload was cut short (shed, protocol error, trace error)
+        // and the client may still be sending: drain briefly so closing
+        // doesn't RST the response out of its receive buffer.
+        drain_after_error(stream);
+    }
+}
+
+/// Drains a chunked body into memory for a non-streaming route.
+fn drain_chunked(
+    stream: &mut TcpStream,
+    body: &mut http::ChunkedBody,
+    max_body: usize,
+) -> Result<Vec<u8>, http::HttpError> {
+    let mut buffered = Vec::new();
+    loop {
+        let more = body.read_chunk(stream, &mut buffered)?;
+        if buffered.len() > max_body {
+            return Err(http::HttpError::PayloadTooLarge);
+        }
+        if !more {
+            return Ok(buffered);
+        }
+    }
+}
+
+/// Answers a protocol-level failure (bad framing, oversized payload,
+/// deadline) with its 4xx, records it under [`Route::Other`], and
+/// drains what the client already sent.
+fn answer_protocol_error(
+    e: &http::HttpError,
+    stream: &mut TcpStream,
+    shared: &Shared,
+    id: RequestId,
+    queue_wait: std::time::Duration,
+    started: Instant,
+) {
+    let handle_time = started.elapsed();
+    let response =
+        Response::error(e.status(), &e.message()).with_header("x-request-id", &id.to_string());
+    let sent = response.send_within(stream, shared.limits.io_timeout);
+    let rendered_id = id.to_string();
+    shared.metrics.observe(&RequestRecord {
+        id: &rendered_id,
+        route: Route::Other,
+        status: e.status(),
+        queue_wait,
+        handle: handle_time,
+        cache_hits: 0,
+        cache_misses: 0,
+    });
+    log_request(
+        shared,
+        &rendered_id,
+        Route::Other.label(),
+        e.status(),
+        queue_wait,
+        handle_time,
+        0,
+        0,
+        &sent,
+    );
+    // The request was not fully read; drain what the client already
+    // sent so closing the socket doesn't RST the response out of its
+    // receive buffer.
+    drain_after_error(stream);
+}
+
+/// Bounded post-error drain. The hard cap matters: a client that keeps
+/// trickling after its 408 must not keep holding the worker it just
+/// timed out on.
+fn drain_after_error(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let drain_until = Instant::now() + std::time::Duration::from_millis(500);
+    let mut scratch = [0u8; 8192];
+    while Instant::now() < drain_until {
+        match io::Read::read(stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
         }
     }
 }
@@ -473,17 +640,8 @@ fn handle_request(
     id: RequestId,
 ) -> (Route, Response, CacheActivity) {
     let route = Route::classify(req.method.as_str(), req.path.as_str());
-    if let Some(watermark) = shared.shed_at {
-        if route.expensive() && shared.lock_queue().len() >= watermark {
-            shared.metrics.record_shed();
-            let retry_after = shared.metrics.retry_after_secs();
-            let response = Response::error(
-                503,
-                "server is shedding expensive requests, retry shortly",
-            )
-            .with_header("retry-after", &retry_after.to_string());
-            return (route, response, CacheActivity::default());
-        }
+    if let Some(response) = shed_response(shared, route) {
+        return (route, response, CacheActivity::default());
     }
     let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _s = dram_obs::span("server.handle").arg("id", id);
@@ -507,6 +665,22 @@ fn handle_request(
             )
         }
     }
+}
+
+/// The load-shedding check: when a watermark is configured and the
+/// queue is at or above it, expensive routes are answered 503 with the
+/// adaptive `Retry-After` instead of handled.
+fn shed_response(shared: &Shared, route: Route) -> Option<Response> {
+    let watermark = shared.shed_at?;
+    if route.expensive() && shared.lock_queue().len() >= watermark {
+        shared.metrics.record_shed();
+        let retry_after = shared.metrics.retry_after_secs();
+        return Some(
+            Response::error(503, "server is shedding expensive requests, retry shortly")
+                .with_header("retry-after", &retry_after.to_string()),
+        );
+    }
+    None
 }
 
 /// Emits the one structured line a served request gets: `info` normally,

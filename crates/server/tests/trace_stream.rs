@@ -1,0 +1,357 @@
+//! End-to-end tests of `POST /v1/trace`: chunked-transfer streaming,
+//! framing equivalence with buffered uploads, smuggling rejection for
+//! requests that carry both `Content-Length` and `Transfer-Encoding`,
+//! typed trace errors over the wire, and bit-identity of streamed
+//! reports against a local [`dram_workload::StreamFold`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dram_core::Dram;
+use dram_server::{serve, ServerConfig, ServerHandle};
+use dram_workload::{StreamFold, TraceDecoder, TraceEvent};
+
+fn start(threads: usize) -> ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral")
+}
+
+fn split_reply(reply: &str) -> (u16, String) {
+    let status = reply
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable reply: {reply:?}"));
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn raw(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let _ = s.write_all(bytes);
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("recv");
+    reply
+}
+
+/// Streams `payload` to `path` with chunked transfer encoding, cut into
+/// wire chunks of `chunk` bytes. Write errors are tolerated: the server
+/// may answer (and close) mid-upload on a trace error.
+fn chunked(addr: SocketAddr, path: &str, payload: &[u8], chunk: usize) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n"
+    );
+    let mut ok = s.write_all(head.as_bytes()).is_ok();
+    if ok {
+        for piece in payload.chunks(chunk.max(1)) {
+            let framed = format!("{:x}\r\n", piece.len());
+            if s.write_all(framed.as_bytes()).is_err()
+                || s.write_all(piece).is_err()
+                || s.write_all(b"\r\n").is_err()
+            {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        let _ = s.write_all(b"0\r\n\r\n");
+    }
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("recv");
+    split_reply(&reply)
+}
+
+/// Uploads `payload` with ordinary `Content-Length` framing.
+fn buffered(addr: SocketAddr, path: &str, payload: &[u8]) -> (u16, String) {
+    let mut bytes = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(payload);
+    split_reply(&raw(addr, &bytes))
+}
+
+/// A trace that visits every power state: bursts of work, an explicit
+/// power-down window, then a long self-refresh sleep and an idle tail.
+fn sample_trace() -> String {
+    let mut t = String::from("# exercise all five states\n!preset ddr3_1g_x16_55nm\n!policy aggressive\n");
+    for i in 0..200u64 {
+        let c = i * 100;
+        let bank = i % 8;
+        t.push_str(&format!(
+            "{c} act {bank}\n{} rd {bank}\n{} wr {bank}\n{} pre {bank}\n",
+            c + 12,
+            c + 20,
+            c + 40
+        ));
+    }
+    t.push_str("20050 pde\n24000 pdx\n25000 sre\n90000 srx\n!length 100000\n");
+    t
+}
+
+/// The report the library computes for the same bytes — the reference
+/// for over-the-wire bit-identity.
+fn reference_body(payload: &[u8]) -> String {
+    let dram = Dram::new(dram_core::reference::ddr3_1g_x16_55nm()).expect("builds");
+    let mut decoder = TraceDecoder::new();
+    let mut fold: Option<StreamFold> = None;
+    let mut length = None;
+    let mut policy = dram_workload::PowerDownPolicy::NEVER;
+    let mut sink = |e: TraceEvent| {
+        match e {
+            TraceEvent::Command(c) => fold
+                .get_or_insert_with(|| StreamFold::new(&dram, policy))
+                .push(c)?,
+            TraceEvent::Policy(p) => policy = p,
+            TraceEvent::Length(n) => length = Some(n),
+            TraceEvent::Preset(_) => {}
+        }
+        Ok(())
+    };
+    decoder.feed(payload, &mut sink).expect("decodes");
+    decoder.finish(&mut sink).expect("decodes");
+    let fold = fold.expect("has commands");
+    let commands = fold.commands();
+    let report = fold.finish(length).expect("bills");
+    dram_server::api::trace_document(
+        "ddr3_1g_x16_55nm",
+        &report,
+        commands,
+        payload.len() as u64,
+    )
+    .to_string()
+}
+
+#[test]
+fn streamed_trace_reports_per_state_breakdown() {
+    let server = start(2);
+    let payload = sample_trace();
+    let (status, body) = chunked(server.local_addr(), "/v1/trace", payload.as_bytes(), 1024);
+    assert_eq!(status, 200, "{body}");
+    let doc = dram_units::json::Value::parse(&body).expect("trace JSON");
+    assert_eq!(doc.get("commands").and_then(|v| v.as_f64()), Some(804.0));
+    assert_eq!(doc.get("cycles").and_then(|v| v.as_f64()), Some(100_000.0));
+    assert_eq!(
+        doc.get("trace_bytes").and_then(|v| v.as_f64()),
+        Some(payload.len() as f64)
+    );
+    assert!(doc.get("energy_pj").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    let states = doc.get("states").expect("states object");
+    for label in [
+        "active",
+        "standby",
+        "precharge_power_down",
+        "active_power_down",
+        "self_refresh",
+    ] {
+        assert!(states.get(label).is_some(), "missing state `{label}`: {body}");
+    }
+    let sr = states
+        .get("self_refresh")
+        .and_then(|s| s.get("cycles"))
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(sr > 60_000.0, "self-refresh window missing: {body}");
+    server.shutdown();
+}
+
+/// Chunked and buffered framings, any chunk size, one or eight worker
+/// threads: every served body is byte-identical to the local fold.
+#[test]
+fn streamed_reports_are_bit_identical_to_the_library_fold() {
+    let payload = sample_trace();
+    let expected = reference_body(payload.as_bytes());
+    for threads in [1, 8] {
+        let server = start(threads);
+        let addr = server.local_addr();
+        let (status, body) = buffered(addr, "/v1/trace", payload.as_bytes());
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected, "buffered framing diverged at {threads} threads");
+        for chunk in [7, 256, 4096, payload.len()] {
+            let (status, body) = chunked(addr, "/v1/trace", payload.as_bytes(), chunk);
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(
+                body, expected,
+                "chunk size {chunk} diverged at {threads} threads"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+/// Satellite: a request carrying both `Content-Length` and
+/// `Transfer-Encoding: chunked` is a smuggling vector — rejected with
+/// 400 before any body handling, and the server stays alive.
+#[test]
+fn content_length_with_chunked_transfer_encoding_is_400() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let reply = raw(
+        addr,
+        b"POST /v1/trace HTTP/1.1\r\nhost: t\r\ncontent-length: 5\r\n\
+          transfer-encoding: chunked\r\nconnection: close\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+    );
+    let (status, body) = split_reply(&reply);
+    assert_eq!(status, 400, "{reply}");
+    assert!(body.contains("conflicts"), "{body}");
+    // Unknown transfer codings are refused too, not half-applied.
+    let reply = raw(
+        addr,
+        b"POST /v1/trace HTTP/1.1\r\nhost: t\r\ntransfer-encoding: gzip\r\nconnection: close\r\n\r\n",
+    );
+    let (status, _) = split_reply(&reply);
+    assert_eq!(status, 400, "{reply}");
+    // The server survived both.
+    let reply = raw(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    server.shutdown();
+}
+
+/// Chunked bodies on non-streaming routes are drained and served
+/// exactly like buffered requests.
+#[test]
+fn chunked_bodies_work_on_buffered_routes() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let body = br#"{"preset":"ddr3_1g_x16_55nm"}"#;
+    let (status, chunked_body) = chunked(addr, "/v1/evaluate", body, 3);
+    assert_eq!(status, 200, "{chunked_body}");
+    let (status, plain_body) = buffered(addr, "/v1/evaluate", body);
+    assert_eq!(status, 200);
+    assert_eq!(chunked_body, plain_body, "framing changed the answer");
+    server.shutdown();
+}
+
+#[test]
+fn trace_errors_carry_kind_and_line_over_the_wire() {
+    let server = start(1);
+    let addr = server.local_addr();
+    // A malformed line mid-trace: typed 400 with the 1-based line.
+    let payload = b"!preset ddr3_1g_x16_55nm\n0 act 0\nbogus line\n";
+    let (status, body) = buffered(addr, "/v1/trace", payload);
+    assert_eq!(status, 400, "{body}");
+    let doc = dram_units::json::Value::parse(&body).expect("error JSON");
+    assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("syntax"));
+    assert_eq!(doc.get("line").and_then(|v| v.as_f64()), Some(3.0));
+    // A state-machine violation: refresh while self-refreshing.
+    let payload = b"!preset ddr3_1g_x16_55nm\n0 sre\n100 ref\n";
+    let (status, body) = buffered(addr, "/v1/trace", payload);
+    assert_eq!(status, 400, "{body}");
+    let doc = dram_units::json::Value::parse(&body).expect("error JSON");
+    assert_eq!(
+        doc.get("kind").and_then(|v| v.as_str()),
+        Some("refresh_during_self_refresh")
+    );
+    // No device selected at the first command.
+    let (status, body) = buffered(addr, "/v1/trace", b"0 act 0\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("!preset"), "{body}");
+    // The same error also answers the streaming path mid-upload.
+    let (status, body) = chunked(addr, "/v1/trace", b"0 act 0\n", 2);
+    assert_eq!(status, 400, "{body}");
+    // The worker survived every rejection.
+    let reply = raw(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    server.shutdown();
+}
+
+/// The `?preset=` query selects the device without a `!preset`
+/// directive, and `GET /v1/trace` is a 405 like the other POST routes.
+#[test]
+fn query_preset_and_method_discipline() {
+    let server = start(1);
+    let addr = server.local_addr();
+    let (status, body) = buffered(
+        addr,
+        "/v1/trace?preset=ddr3_1g_x16_55nm",
+        b"0 act 0\n40 pre 0\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = dram_units::json::Value::parse(&body).expect("trace JSON");
+    assert_eq!(
+        doc.get("name").and_then(|v| v.as_str()),
+        Some("ddr3_1g_x16_55nm")
+    );
+    let (status, body) = buffered(addr, "/v1/trace?preset=bogus", b"0 act 0\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown preset"), "{body}");
+    let reply = raw(addr, b"GET /v1/trace HTTP/1.1\r\nconnection: close\r\n\r\n");
+    let (status, _) = split_reply(&reply);
+    assert_eq!(status, 405, "{reply}");
+    server.shutdown();
+}
+
+/// Streamed traffic lands in the trace route counter and the registry
+/// counters, visible in both `/metrics` formats.
+#[test]
+fn trace_counters_reach_both_metrics_formats() {
+    let server = start(2);
+    let addr = server.local_addr();
+    let payload = sample_trace();
+    let (status, _) = chunked(addr, "/v1/trace", payload.as_bytes(), 512);
+    assert_eq!(status, 200);
+
+    let (status, body) = buffered(addr, "/metrics", b"");
+    // /metrics is GET-only; ask properly.
+    assert_eq!(status, 405, "{body}");
+    let reply = raw(addr, b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+    let (status, json) = split_reply(&reply);
+    assert_eq!(status, 200);
+    let doc = dram_units::json::Value::parse(&json).expect("metrics JSON");
+    let trace_requests = doc
+        .get("requests_by_route")
+        .and_then(|r| r.get("trace"))
+        .and_then(|v| v.as_f64())
+        .expect("trace route counter");
+    assert!(trace_requests >= 1.0, "{json}");
+    let registry = doc.get("registry").expect("registry section");
+    // The registry is process-global, so counts are cumulative across
+    // tests in this binary: assert presence and a sane floor.
+    assert!(
+        registry
+            .get("dram_trace_commands_total")
+            .and_then(|v| v.as_f64())
+            .expect("commands counter")
+            >= 804.0,
+        "{json}"
+    );
+    assert!(
+        registry
+            .get("dram_trace_state_cycles_self_refresh_total")
+            .and_then(|v| v.as_f64())
+            .expect("self-refresh cycle counter")
+            >= 1.0,
+        "{json}"
+    );
+
+    let reply = raw(
+        addr,
+        b"GET /metrics?format=prometheus HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    let (status, prom) = split_reply(&reply);
+    assert_eq!(status, 200);
+    for family in [
+        "dram_trace_commands_total",
+        "dram_trace_bytes_total",
+        "dram_trace_state_cycles_self_refresh_total",
+        "dram_serve_route_requests_total{route=\"trace\"}",
+    ] {
+        assert!(prom.contains(family), "missing `{family}` in:\n{prom}");
+    }
+    server.shutdown();
+}

@@ -27,11 +27,18 @@
 mod energy;
 mod generator;
 mod io;
+mod stream;
 mod trace;
 
-pub use energy::{row_energy_share, simulate, PowerDownPolicy, TraceReport};
+pub use energy::{
+    row_energy_share, simulate, PowerDownPolicy, StateBreakdown, TraceReport, TraceState,
+};
 pub use generator::{
     generate, generate_validated, GeneratedWorkload, GeneratorStats, PagePolicy, WorkloadSpec,
 };
 pub use io::{parse_trace, write_trace};
+pub use stream::{
+    trace_bytes_total, trace_commands_total, StreamFold, TraceDecoder, TraceError, TraceErrorKind,
+    TraceEvent,
+};
 pub use trace::{Trace, TraceCommand};

@@ -1,0 +1,1206 @@
+//! Streaming trace ingestion: an incremental line decoder and a
+//! power-state-machine energy fold, both O(1) in trace length.
+//!
+//! The batch path ([`crate::parse_trace`] → [`crate::Trace`] →
+//! [`crate::simulate`]) buffers the whole trace; this module is the
+//! substrate of the server's `POST /v1/trace` endpoint, which feeds
+//! network chunks straight through [`TraceDecoder::feed`] into a
+//! [`StreamFold`] without ever materializing the command list. The fold
+//! runs the explicit five-state CKE machine of `docs/TRACES.md`:
+//! `Active`, `Standby`, `PrechargePowerDown`, `ActivePowerDown` and
+//! `SelfRefresh`, with entry/exit latencies and per-state powers from
+//! the charge model.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use dram_core::{Command, Dram};
+use dram_units::{Joules, Seconds, Watts};
+
+use crate::energy::{CommandEnergyTable, PowerDownPolicy, StateBreakdown, TraceState, TraceReport};
+use crate::trace::TraceCommand;
+
+/// Process-wide count of commands folded from streamed traces.
+pub fn trace_commands_total() -> &'static Arc<dram_obs::Counter> {
+    static COUNTER: OnceLock<Arc<dram_obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_trace_commands_total",
+            "Commands folded from streamed traces.",
+        )
+    })
+}
+
+/// Process-wide count of trace bytes fed through streaming decoders.
+pub fn trace_bytes_total() -> &'static Arc<dram_obs::Counter> {
+    static COUNTER: OnceLock<Arc<dram_obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        dram_obs::Registry::global().counter(
+            "dram_trace_bytes_total",
+            "Bytes fed through streaming trace decoders.",
+        )
+    })
+}
+
+/// Process-wide per-state cycle counters of streamed-trace accounting.
+fn state_cycles_total() -> &'static [Arc<dram_obs::Counter>; 5] {
+    static COUNTERS: OnceLock<[Arc<dram_obs::Counter>; 5]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        TraceState::ALL.map(|s| {
+            dram_obs::Registry::global().counter(
+                &format!("dram_trace_state_cycles_{}_total", s.label()),
+                "Cycles billed to this power state across streamed traces.",
+            )
+        })
+    })
+}
+
+/// What went wrong in a streamed trace, as a machine-checkable kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceErrorKind {
+    /// A line failed to parse (bad integer, unknown mnemonic, wrong
+    /// token count).
+    Syntax,
+    /// A `!directive` the decoder does not know.
+    UnknownDirective,
+    /// A line exceeded [`TraceDecoder::MAX_LINE_BYTES`].
+    LineTooLong,
+    /// A command cycle went backwards.
+    NonMonotonicCycle,
+    /// A work command was issued while the device was in a CKE-low
+    /// state (only the matching exit command may wake it).
+    CommandWhileAsleep,
+    /// An auto-refresh command while the device refreshes itself.
+    RefreshDuringSelfRefresh,
+    /// An illegal state-machine transition (unpaired exit, entry while
+    /// banks are open, command inside an exit-latency window, ...).
+    BadTransition,
+    /// The declared trace length ends before the last billed cycle.
+    TraceTooShort,
+}
+
+impl TraceErrorKind {
+    /// Stable snake_case label (used in error JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceErrorKind::Syntax => "syntax",
+            TraceErrorKind::UnknownDirective => "unknown_directive",
+            TraceErrorKind::LineTooLong => "line_too_long",
+            TraceErrorKind::NonMonotonicCycle => "non_monotonic_cycle",
+            TraceErrorKind::CommandWhileAsleep => "command_while_asleep",
+            TraceErrorKind::RefreshDuringSelfRefresh => "refresh_during_self_refresh",
+            TraceErrorKind::BadTransition => "bad_transition",
+            TraceErrorKind::TraceTooShort => "trace_too_short",
+        }
+    }
+}
+
+/// A typed decode/billing error with the 1-based source line (0 when
+/// the error is not tied to a line, e.g. raised at `finish`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number, 0 if unknown.
+    pub line: u64,
+    /// The machine-checkable kind.
+    pub kind: TraceErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl TraceError {
+    fn new(kind: TraceErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            line: 0,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn at(line: u64, kind: TraceErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Stamps a line number if the error does not carry one yet.
+    #[must_use]
+    pub fn with_line(mut self, line: u64) -> Self {
+        if self.line == 0 {
+            self.line = line;
+        }
+        self
+    }
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One decoded event of the streaming trace format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A `cycle command [bank]` line.
+    Command(TraceCommand),
+    /// A `!preset <name>` directive (device selection).
+    Preset(String),
+    /// A `!policy ...` directive (controller power-down policy).
+    Policy(PowerDownPolicy),
+    /// A `!length <cycles>` directive (declared trace length).
+    Length(u64),
+}
+
+/// A resumable decoder for the line-oriented streaming trace format.
+///
+/// Feed it byte chunks in any split — commands may straddle chunk
+/// boundaries — and it emits [`TraceEvent`]s through a sink closure.
+/// Memory is O(1): the only buffered state is the partial last line,
+/// bounded by [`Self::MAX_LINE_BYTES`].
+///
+/// Grammar (one event per line, `#` comments and blank lines ignored):
+///
+/// ```text
+/// !preset ddr3_1g_x16_55nm        # device selection
+/// !policy aggressive              # or: never | <thr> <exit> [<sr_thr> <sr_exit>]
+/// !length 100000                  # declared trace length in cycles
+/// 0 act 0                         # cycle mnemonic [bank]
+/// 12 rd 0
+/// 28 pre 0
+/// 40 pde                          # CKE-low entry (no bank operand)
+/// 900 pdx
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceDecoder {
+    carry: Vec<u8>,
+    line: u64,
+    last_cycle: Option<u64>,
+    bytes: u64,
+}
+
+impl TraceDecoder {
+    /// Longest accepted line, which bounds the decoder's memory.
+    pub const MAX_LINE_BYTES: usize = 256;
+
+    /// A fresh decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes buffered for a line still awaiting its newline — bounded
+    /// by [`Self::MAX_LINE_BYTES`] (the O(1)-memory invariant).
+    #[must_use]
+    pub fn carry_len(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Total bytes fed so far.
+    #[must_use]
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Lines parsed so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.line
+    }
+
+    /// Feeds one chunk, emitting every completed event into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] from parsing or from the sink
+    /// (sink errors are stamped with the current line number).
+    pub fn feed<F>(&mut self, chunk: &[u8], sink: &mut F) -> Result<(), TraceError>
+    where
+        F: FnMut(TraceEvent) -> Result<(), TraceError>,
+    {
+        self.bytes += chunk.len() as u64;
+        trace_bytes_total().add(chunk.len() as u64);
+        let mut rest = chunk;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..];
+            if self.carry.is_empty() {
+                self.parse_line(head, sink)?;
+            } else {
+                self.check_line_budget(head.len())?;
+                let mut carried = core::mem::take(&mut self.carry);
+                carried.extend_from_slice(head);
+                let result = self.parse_line(&carried, sink);
+                carried.clear();
+                self.carry = carried;
+                result?;
+            }
+        }
+        self.check_line_budget(rest.len())?;
+        self.carry.extend_from_slice(rest);
+        Ok(())
+    }
+
+    /// Flushes a final line that arrived without a trailing newline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] from parsing or from the sink.
+    pub fn finish<F>(&mut self, sink: &mut F) -> Result<(), TraceError>
+    where
+        F: FnMut(TraceEvent) -> Result<(), TraceError>,
+    {
+        if self.carry.is_empty() {
+            return Ok(());
+        }
+        let mut carried = core::mem::take(&mut self.carry);
+        let result = self.parse_line(&carried, sink);
+        carried.clear();
+        self.carry = carried;
+        result
+    }
+
+    fn check_line_budget(&self, incoming: usize) -> Result<(), TraceError> {
+        if self.carry.len() + incoming > Self::MAX_LINE_BYTES {
+            return Err(TraceError::at(
+                self.line + 1,
+                TraceErrorKind::LineTooLong,
+                format!(
+                    "line exceeds {} bytes",
+                    Self::MAX_LINE_BYTES
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn parse_line<F>(&mut self, raw: &[u8], sink: &mut F) -> Result<(), TraceError>
+    where
+        F: FnMut(TraceEvent) -> Result<(), TraceError>,
+    {
+        self.line += 1;
+        let line = self.line;
+        let text = core::str::from_utf8(raw)
+            .map_err(|_| TraceError::at(line, TraceErrorKind::Syntax, "line is not UTF-8"))?;
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            return Ok(());
+        }
+        let event = if let Some(directive) = text.strip_prefix('!') {
+            Self::parse_directive(line, directive)?
+        } else {
+            self.parse_command(line, text)?
+        };
+        sink(event).map_err(|e| e.with_line(line))
+    }
+
+    fn parse_directive(line: u64, directive: &str) -> Result<TraceEvent, TraceError> {
+        let mut tokens = directive.split_whitespace();
+        let name = tokens.next().unwrap_or("");
+        let rest: Vec<&str> = tokens.collect();
+        let syntax = |m: String| TraceError::at(line, TraceErrorKind::Syntax, m);
+        match name {
+            "preset" => match rest.as_slice() {
+                [p] => Ok(TraceEvent::Preset((*p).to_string())),
+                _ => Err(syntax("!preset takes exactly one name".into())),
+            },
+            "length" => match rest.as_slice() {
+                [n] => n
+                    .parse::<u64>()
+                    .map(TraceEvent::Length)
+                    .map_err(|_| syntax(format!("bad !length value {n:?}"))),
+                _ => Err(syntax("!length takes exactly one cycle count".into())),
+            },
+            "policy" => {
+                let policy = match rest.as_slice() {
+                    ["never"] => PowerDownPolicy::NEVER,
+                    ["aggressive"] => PowerDownPolicy::AGGRESSIVE,
+                    [thr, exit] | [thr, exit, "-", "-"] => PowerDownPolicy {
+                        threshold_cycles: parse_u64(line, "threshold", thr)?,
+                        exit_latency_cycles: parse_u64(line, "exit latency", exit)?,
+                        ..PowerDownPolicy::NEVER
+                    },
+                    [thr, exit, sr_thr, sr_exit] => PowerDownPolicy {
+                        threshold_cycles: parse_u64(line, "threshold", thr)?,
+                        exit_latency_cycles: parse_u64(line, "exit latency", exit)?,
+                        self_refresh_threshold_cycles: parse_u64(
+                            line,
+                            "self-refresh threshold",
+                            sr_thr,
+                        )?,
+                        self_refresh_exit_latency_cycles: parse_u64(
+                            line,
+                            "self-refresh exit latency",
+                            sr_exit,
+                        )?,
+                    },
+                    _ => {
+                        return Err(syntax(
+                            "!policy takes never | aggressive | <thr> <exit> [<sr_thr> <sr_exit>]"
+                                .into(),
+                        ))
+                    }
+                };
+                Ok(TraceEvent::Policy(policy))
+            }
+            other => Err(TraceError::at(
+                line,
+                TraceErrorKind::UnknownDirective,
+                format!("unknown directive !{other}"),
+            )),
+        }
+    }
+
+    fn parse_command(&mut self, line: u64, text: &str) -> Result<TraceEvent, TraceError> {
+        let syntax = |m: String| TraceError::at(line, TraceErrorKind::Syntax, m);
+        let mut tokens = text.split_whitespace();
+        let cycle_tok = tokens.next().unwrap_or("");
+        let cycle = cycle_tok
+            .parse::<u64>()
+            .map_err(|_| syntax(format!("bad cycle {cycle_tok:?}")))?;
+        let mnemonic = tokens
+            .next()
+            .ok_or_else(|| syntax("missing command mnemonic".into()))?;
+        let command = Command::from_mnemonic(mnemonic)
+            .ok_or_else(|| syntax(format!("unknown command {mnemonic:?}")))?;
+        let bank = match tokens.next() {
+            Some(b) => b
+                .parse::<u32>()
+                .map_err(|_| syntax(format!("bad bank {b:?}")))?,
+            None => 0,
+        };
+        if tokens.next().is_some() {
+            return Err(syntax(format!("trailing tokens after {text:?}")));
+        }
+        if let Some(last) = self.last_cycle {
+            if cycle < last {
+                return Err(TraceError::at(
+                    line,
+                    TraceErrorKind::NonMonotonicCycle,
+                    format!("cycle {cycle} after cycle {last}"),
+                ));
+            }
+        }
+        self.last_cycle = Some(cycle);
+        Ok(TraceEvent::Command(TraceCommand {
+            cycle,
+            bank,
+            command,
+        }))
+    }
+}
+
+fn parse_u64(line: u64, what: &str, token: &str) -> Result<u64, TraceError> {
+    token
+        .parse::<u64>()
+        .map_err(|_| TraceError::at(line, TraceErrorKind::Syntax, format!("bad {what} {token:?}")))
+}
+
+/// The device's explicit CKE-low residency, while commands say so.
+#[derive(Debug, Clone, Copy)]
+struct Sleep {
+    /// State billed once the entry latency has elapsed.
+    state: TraceState,
+    /// State the entry-latency cycles bill at (the clock tree is still
+    /// running while the device falls asleep).
+    pre_state: TraceState,
+    /// Entry-latency cycles not yet billed.
+    entry_remaining: u64,
+}
+
+/// A single-pass energy fold over a streamed command sequence, with an
+/// explicit five-state power-state machine.
+///
+/// Unlike [`crate::simulate`], which needs the whole [`crate::Trace`] in
+/// memory, the fold consumes one [`TraceCommand`] at a time and keeps
+/// O(1) state: per-state powers and command energies are hoisted from
+/// the charge model at construction, so [`StreamFold::push`] never
+/// touches the model again. Explicit CKE commands
+/// ([`Command::PowerDownEnter`] and friends) drive the machine directly;
+/// idle gaps while awake are tiered by the [`PowerDownPolicy`] exactly
+/// like the batch path.
+///
+/// Billing rules (also in `docs/TRACES.md`):
+///
+/// * Every command cycle bills at the awake state in force *before* the
+///   command executes (`Active` if any bank is open, else `Standby`).
+/// * Explicit entries bill [`Self::PD_ENTRY_CYCLES`] /
+///   [`Self::SR_ENTRY_CYCLES`] at the pre-entry state before the CKE-low
+///   power applies; explicit exits bill the policy's exit latency at the
+///   awake state, and any non-nop command inside that window is a
+///   [`TraceErrorKind::BadTransition`].
+/// * Awake idle gaps tier into power-down past `threshold_cycles` and —
+///   only with all banks precharged — into self-refresh past
+///   `self_refresh_threshold_cycles`, each minus its exit latency.
+#[derive(Debug)]
+pub struct StreamFold {
+    policy: PowerDownPolicy,
+    table: CommandEnergyTable,
+    state_power: [Watts; 5],
+    cycle_time: f64,
+    bits_per_column: f64,
+    banks: u32,
+    open: Vec<bool>,
+    open_count: u32,
+    cursor: u64,
+    last_cycle: Option<u64>,
+    sleep: Option<Sleep>,
+    states: StateBreakdown,
+    command_energy: Joules,
+    row_energy: Joules,
+    column_accesses: u64,
+    commands: u64,
+    started: Instant,
+}
+
+impl StreamFold {
+    /// Cycles to fall into power-down after the entry command (billed
+    /// at the pre-entry state).
+    pub const PD_ENTRY_CYCLES: u64 = 3;
+    /// Cycles to fall into self-refresh after the entry command.
+    pub const SR_ENTRY_CYCLES: u64 = 8;
+
+    /// Builds a fold for one device; all model lookups happen here.
+    #[must_use]
+    pub fn new(dram: &Dram, policy: PowerDownPolicy) -> Self {
+        let spec = &dram.description().spec;
+        Self {
+            policy,
+            table: CommandEnergyTable::new(dram),
+            state_power: TraceState::ALL.map(|s| s.power(dram)),
+            cycle_time: 1.0 / spec.control_clock.hertz(),
+            bits_per_column: f64::from(spec.bits_per_column_access()),
+            banks: spec.banks(),
+            open: vec![false; spec.banks() as usize],
+            open_count: 0,
+            cursor: 0,
+            last_cycle: None,
+            sleep: None,
+            states: StateBreakdown::default(),
+            command_energy: Joules::ZERO,
+            row_energy: Joules::ZERO,
+            column_accesses: 0,
+            commands: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The policy in force (directives may have replaced the initial
+    /// one before the first command).
+    #[must_use]
+    pub fn policy(&self) -> PowerDownPolicy {
+        self.policy
+    }
+
+    /// Replaces the policy. Only legal before the first command.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceErrorKind::BadTransition`] after the first command — the
+    /// already-billed prefix used the old tiering.
+    pub fn set_policy(&mut self, policy: PowerDownPolicy) -> Result<(), TraceError> {
+        if self.commands > 0 {
+            return Err(TraceError::new(
+                TraceErrorKind::BadTransition,
+                "!policy must precede the first command",
+            ));
+        }
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Commands folded so far.
+    #[must_use]
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    fn bill(&mut self, state: TraceState, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let energy =
+            self.state_power[state.index()] * Seconds::new(cycles as f64 * self.cycle_time);
+        self.states.add(state, cycles, energy);
+    }
+
+    fn awake_state(&self) -> TraceState {
+        if self.open_count > 0 {
+            TraceState::Active
+        } else {
+            TraceState::Standby
+        }
+    }
+
+    /// Bills an awake idle window with the policy's tiering.
+    fn bill_awake_gap(&mut self, gap: u64) {
+        let awake = self.awake_state();
+        // The self-refresh tier needs all banks precharged; power-down
+        // has an open-bank variant.
+        let sr = if self.open_count == 0 && gap > self.policy.self_refresh_threshold_cycles {
+            gap.saturating_sub(self.policy.self_refresh_threshold_cycles)
+                .saturating_sub(self.policy.self_refresh_exit_latency_cycles)
+        } else {
+            0
+        };
+        let pd = if gap > self.policy.threshold_cycles {
+            gap.saturating_sub(self.policy.threshold_cycles)
+                .saturating_sub(self.policy.exit_latency_cycles)
+                .saturating_sub(sr)
+        } else {
+            0
+        };
+        let pd_state = if self.open_count > 0 {
+            TraceState::ActivePowerDown
+        } else {
+            TraceState::PrechargePowerDown
+        };
+        self.bill(awake, gap - pd - sr);
+        self.bill(pd_state, pd);
+        self.bill(TraceState::SelfRefresh, sr);
+    }
+
+    /// Bills an explicitly-slept window: entry latency at the pre-entry
+    /// state, the rest at the CKE-low state.
+    fn bill_sleep_gap(&mut self, gap: u64) {
+        let Some(sleep) = self.sleep.as_mut() else {
+            return;
+        };
+        let entry = gap.min(sleep.entry_remaining);
+        sleep.entry_remaining -= entry;
+        let (pre, state) = (sleep.pre_state, sleep.state);
+        self.bill(pre, entry);
+        self.bill(state, gap - entry);
+    }
+
+    /// Folds one command into the accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] (line 0 — the decoder stamps it) on any
+    /// state-machine violation; see [`TraceErrorKind`].
+    pub fn push(&mut self, c: TraceCommand) -> Result<(), TraceError> {
+        if c.command == Command::Nop {
+            return Ok(());
+        }
+        if let Some(last) = self.last_cycle {
+            if c.cycle < last {
+                return Err(TraceError::new(
+                    TraceErrorKind::NonMonotonicCycle,
+                    format!("cycle {} after cycle {last}", c.cycle),
+                ));
+            }
+        }
+        if c.bank >= self.banks && Self::addresses_bank(c.command) {
+            return Err(TraceError::new(
+                TraceErrorKind::Syntax,
+                format!("bank {} of {}", c.bank, self.banks),
+            ));
+        }
+
+        if self.sleep.is_some() {
+            self.push_asleep(c)?;
+        } else {
+            self.push_awake(c)?;
+        }
+
+        self.last_cycle = Some(c.cycle);
+        self.commands += 1;
+        let e = self.table.energy(c.command);
+        self.command_energy += e;
+        if matches!(c.command, Command::Activate | Command::Precharge) {
+            self.row_energy += e;
+        }
+        Ok(())
+    }
+
+    fn addresses_bank(command: Command) -> bool {
+        matches!(
+            command,
+            Command::Activate | Command::Precharge | Command::Read | Command::Write
+        )
+    }
+
+    fn push_asleep(&mut self, c: TraceCommand) -> Result<(), TraceError> {
+        let sleep = self.sleep.expect("asleep");
+        let in_self_refresh = sleep.state == TraceState::SelfRefresh;
+        let exit_latency = match c.command {
+            Command::PowerDownExit if !in_self_refresh => self.policy.exit_latency_cycles,
+            Command::SelfRefreshExit if in_self_refresh => {
+                self.policy.self_refresh_exit_latency_cycles
+            }
+            Command::PowerDownExit | Command::SelfRefreshExit => {
+                return Err(TraceError::new(
+                    TraceErrorKind::BadTransition,
+                    format!(
+                        "{} does not exit {}",
+                        c.command.mnemonic(),
+                        sleep.state.label()
+                    ),
+                ));
+            }
+            Command::Refresh if in_self_refresh => {
+                return Err(TraceError::new(
+                    TraceErrorKind::RefreshDuringSelfRefresh,
+                    format!("refresh at cycle {}: device is refreshing itself", c.cycle),
+                ));
+            }
+            other => {
+                return Err(TraceError::new(
+                    TraceErrorKind::CommandWhileAsleep,
+                    format!(
+                        "{} at cycle {} while in {}",
+                        other.mnemonic(),
+                        c.cycle,
+                        sleep.state.label()
+                    ),
+                ));
+            }
+        };
+        if c.cycle < self.cursor {
+            return Err(TraceError::new(
+                TraceErrorKind::BadTransition,
+                format!("exit at cycle {} overlaps the entry command", c.cycle),
+            ));
+        }
+        self.bill_sleep_gap(c.cycle - self.cursor);
+        self.sleep = None;
+        // The exit command cycle and the wake latency run with the
+        // clock tree restarting: billed at the awake state.
+        let awake = self.awake_state();
+        self.bill(awake, 1 + exit_latency);
+        self.cursor = c.cycle + 1 + exit_latency;
+        Ok(())
+    }
+
+    fn push_awake(&mut self, c: TraceCommand) -> Result<(), TraceError> {
+        if c.cycle < self.cursor {
+            // Same-cycle pile-up is legal (the cycle is already
+            // billed); anything earlier sits inside an exit-latency
+            // window.
+            if self.last_cycle != Some(c.cycle) {
+                return Err(TraceError::new(
+                    TraceErrorKind::BadTransition,
+                    format!(
+                        "command at cycle {} inside an exit-latency window ending at {}",
+                        c.cycle, self.cursor
+                    ),
+                ));
+            }
+        } else {
+            self.bill_awake_gap(c.cycle - self.cursor);
+            let awake = self.awake_state();
+            self.bill(awake, 1);
+            self.cursor = c.cycle + 1;
+        }
+        match c.command {
+            Command::Activate => {
+                let slot = &mut self.open[c.bank as usize];
+                if !*slot {
+                    *slot = true;
+                    self.open_count += 1;
+                }
+            }
+            Command::Precharge => {
+                let slot = &mut self.open[c.bank as usize];
+                if *slot {
+                    *slot = false;
+                    self.open_count -= 1;
+                }
+            }
+            Command::Read | Command::Write => {
+                self.column_accesses += 1;
+            }
+            Command::Refresh => {
+                if self.open_count > 0 {
+                    return Err(TraceError::new(
+                        TraceErrorKind::BadTransition,
+                        format!("refresh at cycle {} with open banks", c.cycle),
+                    ));
+                }
+            }
+            Command::PowerDownEnter => {
+                let pre = self.awake_state();
+                self.sleep = Some(Sleep {
+                    state: if self.open_count > 0 {
+                        TraceState::ActivePowerDown
+                    } else {
+                        TraceState::PrechargePowerDown
+                    },
+                    pre_state: pre,
+                    entry_remaining: Self::PD_ENTRY_CYCLES,
+                });
+            }
+            Command::SelfRefreshEnter => {
+                if self.open_count > 0 {
+                    return Err(TraceError::new(
+                        TraceErrorKind::BadTransition,
+                        format!("self-refresh entry at cycle {} with open banks", c.cycle),
+                    ));
+                }
+                self.sleep = Some(Sleep {
+                    state: TraceState::SelfRefresh,
+                    pre_state: TraceState::Standby,
+                    entry_remaining: Self::SR_ENTRY_CYCLES,
+                });
+            }
+            Command::PowerDownExit | Command::SelfRefreshExit => {
+                return Err(TraceError::new(
+                    TraceErrorKind::BadTransition,
+                    format!("{} at cycle {} while awake", c.command.mnemonic(), c.cycle),
+                ));
+            }
+            Command::Nop => {}
+        }
+        Ok(())
+    }
+
+    /// Bills the idle tail and closes the accounting into a
+    /// [`TraceReport`]. `length` is the declared trace length (from a
+    /// `!length` directive); without one the trace ends right after its
+    /// last billed cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceErrorKind::TraceTooShort`] if `length` ends before a
+    /// cycle that was already billed.
+    pub fn finish(mut self, length: Option<u64>) -> Result<TraceReport, TraceError> {
+        let end = match length {
+            Some(l) if l < self.cursor => {
+                return Err(TraceError::new(
+                    TraceErrorKind::TraceTooShort,
+                    format!("!length {l} ends before billed cycle {}", self.cursor),
+                ));
+            }
+            Some(l) => l,
+            None => self.cursor,
+        };
+        let tail = end - self.cursor;
+        if self.sleep.is_some() {
+            // The device is left asleep: no exit latency is billed.
+            self.bill_sleep_gap(tail);
+        } else {
+            self.bill_awake_gap(tail);
+        }
+        self.cursor = end;
+
+        let states = self.states;
+        let command_energy = self.command_energy;
+        let background_energy = states.energy(TraceState::Active) + states.energy(TraceState::Standby);
+        let power_down_energy = states.energy(TraceState::PrechargePowerDown)
+            + states.energy(TraceState::ActivePowerDown);
+        let self_refresh_energy = states.energy(TraceState::SelfRefresh);
+        let power_down_cycles = states.cycles(TraceState::PrechargePowerDown)
+            + states.cycles(TraceState::ActivePowerDown);
+        let self_refresh_cycles = states.cycles(TraceState::SelfRefresh);
+        let energy =
+            command_energy + background_energy + power_down_energy + self_refresh_energy;
+        let duration = Seconds::new(end as f64 * self.cycle_time);
+        let bits = self.column_accesses as f64 * self.bits_per_column;
+        let average_power = if duration.seconds() > 0.0 {
+            Watts::new(energy.joules() / duration.seconds())
+        } else {
+            Watts::ZERO
+        };
+        let energy_per_bit = if bits > 0.0 {
+            energy / bits
+        } else {
+            Joules::ZERO
+        };
+
+        trace_commands_total().add(self.commands);
+        let cycle_counters = state_cycles_total();
+        for s in TraceState::ALL {
+            cycle_counters[s.index()].add(states.cycles(s));
+        }
+        dram_obs::ManualSpan::new("workload.fold", self.started, Instant::now())
+            .arg("commands", self.commands)
+            .arg("cycles", end)
+            .commit();
+
+        Ok(TraceReport {
+            energy,
+            duration,
+            average_power,
+            energy_per_bit,
+            command_energy,
+            background_energy,
+            power_down_energy,
+            power_down_cycles,
+            bits,
+            row_energy: self.row_energy,
+            self_refresh_energy,
+            self_refresh_cycles,
+            states,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::reference::ddr3_1g_x16_55nm;
+
+    fn model() -> Dram {
+        Dram::new(ddr3_1g_x16_55nm()).expect("valid")
+    }
+
+    fn decode_all(input: &[u8], chunk: usize) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut events = Vec::new();
+        let mut decoder = TraceDecoder::new();
+        let mut sink = |e: TraceEvent| {
+            events.push(e);
+            Ok(())
+        };
+        for piece in input.chunks(chunk.max(1)) {
+            decoder.feed(piece, &mut sink)?;
+            assert!(decoder.carry_len() <= TraceDecoder::MAX_LINE_BYTES);
+        }
+        decoder.finish(&mut sink)?;
+        Ok(events)
+    }
+
+    #[test]
+    fn decoder_is_split_invariant() {
+        let input = b"# comment\n!preset ddr3_1g_x16_55nm\n!policy aggressive\n0 act 2\n12 rd 2\n28 pre 2\n!length 100\n";
+        let whole = decode_all(input, input.len()).expect("whole");
+        for chunk in [1, 2, 3, 7, 16] {
+            assert_eq!(decode_all(input, chunk).expect("split"), whole, "chunk {chunk}");
+        }
+        assert_eq!(whole.len(), 6);
+        assert!(matches!(&whole[0], TraceEvent::Preset(p) if p == "ddr3_1g_x16_55nm"));
+        assert!(matches!(whole[1], TraceEvent::Policy(p) if p == PowerDownPolicy::AGGRESSIVE));
+        assert!(matches!(
+            whole[2],
+            TraceEvent::Command(TraceCommand {
+                cycle: 0,
+                bank: 2,
+                command: Command::Activate
+            })
+        ));
+        assert!(matches!(whole[5], TraceEvent::Length(100)));
+    }
+
+    #[test]
+    fn decoder_accepts_final_line_without_newline() {
+        let events = decode_all(b"0 act 0\n5 pre 0", 4).expect("ok");
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_with_line_numbers() {
+        let err = decode_all(b"0 act 0\nbogus line here\n", 5).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::Syntax);
+        assert_eq!(err.line, 2);
+        let err = decode_all(b"!teleport now\n", 3).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::UnknownDirective);
+        let err = decode_all(b"5 act 0\n3 act 1\n", 100).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::NonMonotonicCycle);
+        assert_eq!(err.line, 2);
+        let long = vec![b'x'; 2 * TraceDecoder::MAX_LINE_BYTES];
+        let err = decode_all(&long, 64).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::LineTooLong);
+    }
+
+    #[test]
+    fn decoder_parses_custom_policy() {
+        let events = decode_all(b"!policy 32 8 1000 100\n", 100).expect("ok");
+        assert_eq!(
+            events,
+            vec![TraceEvent::Policy(PowerDownPolicy {
+                threshold_cycles: 32,
+                exit_latency_cycles: 8,
+                self_refresh_threshold_cycles: 1000,
+                self_refresh_exit_latency_cycles: 100,
+            })]
+        );
+    }
+
+    /// Hand-computed power-down micro-trace: entry and exit latencies
+    /// straddle the billing exactly as documented in docs/TRACES.md.
+    #[test]
+    fn power_down_billing_matches_hand_computation() {
+        let dram = model();
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+        for (cycle, command, bank) in [
+            (0, Command::Activate, 0),
+            (10, Command::Precharge, 0),
+            (20, Command::PowerDownEnter, 0),
+            (100, Command::PowerDownExit, 0),
+        ] {
+            fold.push(TraceCommand {
+                cycle,
+                bank,
+                command,
+            })
+            .expect("legal");
+        }
+        let r = fold.finish(Some(200)).expect("report");
+        // act@0 bills its cycle at Standby (banks closed before it);
+        // cycles 1..9 are Active; pre@10 bills at Active. 11..19 are
+        // Standby; pde@20 at Standby; of the 79 asleep cycles 21..99,
+        // 3 are entry latency (Standby) and 76 PrechargePowerDown;
+        // pdx@100 bills 1+6 exit cycles at Standby. The 93-cycle tail
+        // 107..199 tiers into 16 threshold + 6 exit at Standby and 71
+        // in power-down.
+        assert_eq!(r.states.cycles, [10, 43, 147, 0, 0]);
+        assert_eq!(r.states.total_cycles(), 200);
+        assert_eq!(r.power_down_cycles, 147);
+        assert_eq!(r.self_refresh_cycles, 0);
+        let ct = 1.0 / dram.description().spec.control_clock.hertz();
+        let expect = |s: TraceState, cycles: u64| {
+            (s.power(&dram) * Seconds::new(cycles as f64 * ct)).joules()
+        };
+        assert!((r.states.energy(TraceState::Active).joules() - expect(TraceState::Active, 10)).abs() < 1e-18);
+        assert!((r.states.energy(TraceState::Standby).joules() - expect(TraceState::Standby, 43)).abs() < 1e-18);
+        assert!(
+            (r.power_down_energy.joules() - expect(TraceState::PrechargePowerDown, 147)).abs()
+                < 1e-18
+        );
+        let cmd = dram.command_energy(Command::Activate) + dram.command_energy(Command::Precharge);
+        assert!((r.command_energy.joules() - cmd.joules()).abs() < 1e-21);
+    }
+
+    /// Hand-computed self-refresh micro-trace.
+    #[test]
+    fn self_refresh_billing_matches_hand_computation() {
+        let dram = model();
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+        fold.push(TraceCommand {
+            cycle: 0,
+            bank: 0,
+            command: Command::SelfRefreshEnter,
+        })
+        .expect("legal");
+        fold.push(TraceCommand {
+            cycle: 5000,
+            bank: 0,
+            command: Command::SelfRefreshExit,
+        })
+        .expect("legal");
+        let r = fold.finish(Some(6000)).expect("report");
+        // sre@0 at Standby; 8 entry cycles at Standby then 4991 in
+        // self-refresh; srx@5000 bills 1+512 at Standby (cursor 5513);
+        // the 487-cycle tail tiers 22 Standby + 465 power-down.
+        assert_eq!(r.self_refresh_cycles, 4991);
+        assert_eq!(r.states.cycles, [0, 544, 465, 0, 4991]);
+        assert_eq!(r.states.total_cycles(), 6000);
+    }
+
+    #[test]
+    fn state_machine_rejects_illegal_transitions() {
+        let dram = model();
+        let cmd = |cycle, command| TraceCommand {
+            cycle,
+            bank: 0,
+            command,
+        };
+        // Refresh while the device refreshes itself: the typed error.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        fold.push(cmd(0, Command::SelfRefreshEnter)).expect("ok");
+        let err = fold.push(cmd(100, Command::Refresh)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::RefreshDuringSelfRefresh);
+        // Work while asleep.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        fold.push(cmd(0, Command::PowerDownEnter)).expect("ok");
+        let err = fold.push(cmd(50, Command::Activate)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::CommandWhileAsleep);
+        // Mismatched exit.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        fold.push(cmd(0, Command::PowerDownEnter)).expect("ok");
+        let err = fold.push(cmd(50, Command::SelfRefreshExit)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::BadTransition);
+        // Exit while awake.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        let err = fold.push(cmd(0, Command::PowerDownExit)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::BadTransition);
+        // Self-refresh entry with an open bank.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        fold.push(cmd(0, Command::Activate)).expect("ok");
+        let err = fold.push(cmd(10, Command::SelfRefreshEnter)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::BadTransition);
+        // Command inside the exit-latency window.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+        fold.push(cmd(0, Command::PowerDownEnter)).expect("ok");
+        fold.push(cmd(50, Command::PowerDownExit)).expect("ok");
+        let err = fold.push(cmd(53, Command::Activate)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::BadTransition);
+        // ...but legal exactly at the end of the window (50 + 1 + 6).
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+        fold.push(cmd(0, Command::PowerDownEnter)).expect("ok");
+        fold.push(cmd(50, Command::PowerDownExit)).expect("ok");
+        fold.push(cmd(57, Command::Activate)).expect("legal");
+        // Declared length shorter than billed cycles.
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::NEVER);
+        fold.push(cmd(90, Command::Activate)).expect("ok");
+        let err = fold.finish(Some(10)).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::TraceTooShort);
+    }
+
+    /// Without explicit CKE commands the fold's totals agree with the
+    /// batch simulate() path (modulo float association order).
+    #[test]
+    fn fold_agrees_with_batch_simulate() {
+        use crate::generator::{generate_validated, WorkloadSpec};
+        let dram = model();
+        for (spec, policy) in [
+            (WorkloadSpec::sparse(150, 13), PowerDownPolicy::AGGRESSIVE),
+            (WorkloadSpec::random(300, 7), PowerDownPolicy::NEVER),
+            (WorkloadSpec::streaming(300, 5), PowerDownPolicy::AGGRESSIVE),
+        ] {
+            let w = generate_validated(&dram, &spec).expect("ok");
+            let batch = crate::energy::simulate(&dram, &w.trace, policy);
+            let mut fold = StreamFold::new(&dram, policy);
+            for c in w.trace.commands() {
+                fold.push(*c).expect("legal");
+            }
+            let streamed = fold.finish(Some(w.trace.length_cycles())).expect("report");
+            assert_eq!(streamed.power_down_cycles, batch.power_down_cycles);
+            assert_eq!(streamed.self_refresh_cycles, batch.self_refresh_cycles);
+            let rel = (streamed.energy.joules() - batch.energy.joules()).abs()
+                / batch.energy.joules();
+            assert!(rel < 1e-9, "relative divergence {rel}");
+            assert_eq!(
+                streamed.command_energy.joules().to_bits(),
+                batch.command_energy.joules().to_bits()
+            );
+            assert_eq!(streamed.bits, batch.bits);
+        }
+    }
+
+    /// The decoder's carry — the only state that could grow with the
+    /// trace — stays bounded across a 100k-command stream.
+    #[test]
+    fn streaming_memory_is_constant() {
+        let dram = model();
+        let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+        let mut decoder = TraceDecoder::new();
+        let mut line = String::new();
+        let mut max_carry = 0usize;
+        for i in 0..100_000u64 {
+            use core::fmt::Write as _;
+            line.clear();
+            let cycle = i * 40;
+            let (mnemonic, bank) = match i % 4 {
+                0 => ("act", i % 8),
+                1 => ("rd", i % 8),
+                2 => ("wr", i % 8),
+                _ => ("pre", i % 8),
+            };
+            let _ = writeln!(line, "{cycle} {mnemonic} {bank}");
+            // Feed in deliberately awkward 7-byte chunks.
+            for piece in line.as_bytes().chunks(7) {
+                decoder
+                    .feed(piece, &mut |e| match e {
+                        TraceEvent::Command(c) => fold.push(c),
+                        _ => Ok(()),
+                    })
+                    .expect("legal");
+                max_carry = max_carry.max(decoder.carry_len());
+            }
+        }
+        assert!(max_carry <= TraceDecoder::MAX_LINE_BYTES);
+        assert_eq!(fold.commands(), 100_000);
+        let report = fold.finish(None).expect("report");
+        assert_eq!(report.states.total_cycles(), 100_000 * 40 - 39);
+    }
+
+    /// Identical folds on 8 threads produce bit-identical reports —
+    /// the accounting has no hidden shared state.
+    #[test]
+    fn fold_is_deterministic_across_threads() {
+        let dram = model();
+        let run = |dram: &Dram| {
+            let mut fold = StreamFold::new(dram, PowerDownPolicy::AGGRESSIVE);
+            for (cycle, command) in [
+                (0, Command::Activate),
+                (12, Command::Read),
+                (28, Command::Precharge),
+                (40, Command::PowerDownEnter),
+                (900, Command::PowerDownExit),
+                (1000, Command::Refresh),
+                (1100, Command::SelfRefreshEnter),
+                (90_000, Command::SelfRefreshExit),
+            ] {
+                fold.push(TraceCommand {
+                    cycle,
+                    bank: 0,
+                    command,
+                })
+                .expect("legal");
+            }
+            fold.finish(Some(100_000)).expect("report")
+        };
+        let reference = run(&dram);
+        let reports: Vec<TraceReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| run(&dram))).collect();
+            handles.into_iter().map(|h| h.join().expect("join")).collect()
+        });
+        for r in reports {
+            assert_eq!(
+                r.energy.joules().to_bits(),
+                reference.energy.joules().to_bits()
+            );
+            assert_eq!(r.states.cycles, reference.states.cycles);
+            for s in TraceState::ALL {
+                assert_eq!(
+                    r.states.energy(s).joules().to_bits(),
+                    reference.states.energy(s).joules().to_bits()
+                );
+            }
+        }
+        assert_eq!(reference.states.total_cycles(), 100_000);
+        assert!(reference.self_refresh_cycles > 80_000);
+    }
+
+    /// Seeded fuzz: arbitrary byte chunks must never panic the decoder
+    /// (mirrors crates/dsl/tests/fuzz_no_panic.rs).
+    #[test]
+    fn fuzz_decoder_never_panics() {
+        let mut state = 0x5eed_cafe_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..500 {
+            let len = (next() % 300) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    // Bias toward trace-ish bytes so parsing goes deep.
+                    match next() % 8 {
+                        0 => b'\n',
+                        1 => b' ',
+                        2 => b'!',
+                        3..=5 => b'0' + (next() % 10) as u8,
+                        6 => b"actprewr#"[(next() % 9) as usize],
+                        _ => (next() % 256) as u8,
+                    }
+                })
+                .collect();
+            let mut decoder = TraceDecoder::new();
+            let mut sink = |_: TraceEvent| Ok(());
+            let mut offset = 0usize;
+            while offset < bytes.len() {
+                let take = 1 + (next() % 40) as usize;
+                let end = (offset + take).min(bytes.len());
+                if decoder.feed(&bytes[offset..end], &mut sink).is_err() {
+                    break;
+                }
+                assert!(decoder.carry_len() <= TraceDecoder::MAX_LINE_BYTES);
+                offset = end;
+            }
+            let _ = decoder.finish(&mut sink);
+        }
+    }
+}

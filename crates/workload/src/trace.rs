@@ -168,7 +168,20 @@ impl Trace {
                     }
                     last_column = t;
                 }
-                Command::Nop => {}
+                Command::Refresh => {
+                    // Auto-refresh requires all banks precharged; tRFC
+                    // is not modeled at trace granularity.
+                    if bank_state.iter().any(|b| b.open) {
+                        return fail(format!("refresh with open banks at {t}"));
+                    }
+                }
+                // CKE transitions carry no bank-timing constraints; the
+                // stream fold enforces their pairing and legality.
+                Command::Nop
+                | Command::PowerDownEnter
+                | Command::PowerDownExit
+                | Command::SelfRefreshEnter
+                | Command::SelfRefreshExit => {}
             }
         }
         Ok(())

@@ -1,0 +1,129 @@
+//! Stream a command trace through `POST /v1/trace` with chunked
+//! transfer-encoding — the server folds each chunk as it arrives, so a
+//! trace of any length costs O(1) server memory — then check the served
+//! report is byte-identical to folding the same bytes locally with
+//! [`dram_energy::workload::StreamFold`].
+//!
+//! The upload deliberately uses a tiny chunk size so commands split
+//! across chunk boundaries mid-line; the decoder reassembles them.
+//!
+//! ```text
+//! cargo run --example trace_streaming
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use dram_energy::server::{serve, ServerConfig};
+use dram_energy::units::json::Value;
+use dram_energy::workload::{PowerDownPolicy, StreamFold, TraceDecoder, TraceEvent};
+use dram_energy::Dram;
+
+/// A small but state-rich trace: open-page bursts over two banks, an
+/// explicit power-down nap, a long self-refresh sleep, and a declared
+/// tail the policy tiers on its own.
+const TRACE: &str = "\
+!preset ddr3_1g_x16_55nm
+!policy aggressive
+# burst on banks 0 and 1
+0 act 0
+6 rd 0
+10 rd 0
+14 pre 0
+40 act 1
+46 wr 1
+50 pre 1
+# explicit CKE-low nap
+500 pde
+2500 pdx
+# deep sleep: self-refresh
+4000 sre
+60000 srx
+# auto-refresh, then idle to the declared length
+61000 ref
+!length 100000
+";
+
+fn main() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.local_addr();
+    println!("dram-serve on http://{addr}\n");
+
+    // Stream the trace in 24-byte chunks: most lines straddle a chunk
+    // boundary, which is exactly what a real network upload looks like.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(
+        b"POST /v1/trace HTTP/1.1\r\nhost: example\r\n\
+          transfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+    )
+    .expect("head");
+    for chunk in TRACE.as_bytes().chunks(24) {
+        conn.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())
+            .expect("size");
+        conn.write_all(chunk).expect("data");
+        conn.write_all(b"\r\n").expect("end");
+    }
+    conn.write_all(b"0\r\n\r\n").expect("terminator");
+
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("response");
+    assert!(reply.starts_with("HTTP/1.1 200"), "rejected: {reply}");
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+
+    // Fold the same bytes locally — the wire must add nothing.
+    let dram = Dram::new(dram_energy::model::reference::ddr3_1g_x16_55nm()).expect("preset");
+    let mut fold = StreamFold::new(&dram, PowerDownPolicy::AGGRESSIVE);
+    let mut length = None;
+    let mut decoder = TraceDecoder::new();
+    let mut sink = |e: TraceEvent| {
+        match e {
+            TraceEvent::Command(c) => fold.push(c)?,
+            TraceEvent::Length(n) => length = Some(n),
+            TraceEvent::Policy(_) | TraceEvent::Preset(_) => {}
+        }
+        Ok(())
+    };
+    decoder.feed(TRACE.as_bytes(), &mut sink).expect("legal");
+    decoder.finish(&mut sink).expect("legal");
+    let commands = fold.commands();
+    let report = fold.finish(length).expect("bills");
+    let expected = dram_energy::server::api::trace_document(
+        "ddr3_1g_x16_55nm",
+        &report,
+        commands,
+        TRACE.len() as u64,
+    )
+    .to_string();
+    assert_eq!(body, expected, "served report diverged from local fold");
+    println!("served report is byte-identical to the local StreamFold\n");
+
+    let doc = Value::parse(&body).expect("valid JSON");
+    let f = |k: &str| doc.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    println!("POST /v1/trace ({} bytes, {commands} commands)", TRACE.len());
+    println!("  cycles          = {:.0}", f("cycles"));
+    println!("  total energy    = {:9.1} pJ", f("energy_pj"));
+    println!("  average power   = {:9.6} W", f("average_power_w"));
+    println!("  energy per bit  = {:9.1} pJ", f("energy_per_bit_pj"));
+    println!("\n  per-state breakdown:");
+    let states = doc.get("states").expect("states block");
+    for state in [
+        "active",
+        "standby",
+        "precharge_power_down",
+        "active_power_down",
+        "self_refresh",
+    ] {
+        let s = states.get(state).expect(state);
+        println!(
+            "    {state:22} {:7.0} cycles {:12.1} pJ",
+            s.get("cycles").and_then(Value::as_f64).unwrap_or(0.0),
+            s.get("energy_pj").and_then(Value::as_f64).unwrap_or(0.0),
+        );
+    }
+
+    let served = handle.shutdown();
+    println!("\nserver drained after {served} request(s)");
+}

@@ -158,15 +158,32 @@ if [[ $fast -eq 0 ]]; then
   [[ $trickle_s -le 5 ]] || { echo "    trickling client held the server ${trickle_s}s"; exit 1; }
   echo "    trickling client -> 408 after ${trickle_s}s (deadline 1s)"
 
-  kill -TERM "$serve_pid"
+  # Keep-alive soak against the same booted server: park a crowd of idle
+  # connections in the reactor, assert /healthz still answers instantly
+  # from a fresh connection, then let serve-bench SIGTERM the server and
+  # verify the drain closes every parked connection losslessly (clean
+  # EOF, zero stray bytes). The count is derived from `ulimit -n` with
+  # headroom for both processes' other fds.
+  soak_limit=$(ulimit -n)
+  soak=$(( soak_limit / 3 ))
+  [[ $soak -gt 800 ]] && soak=800
+  [[ $soak -lt 64 ]] && soak=64
+  echo "==> keep-alive soak ($soak idle connections, ulimit -n $soak_limit)"
+  ./target/release/serve-bench --soak "$soak" --soak-addr "127.0.0.1:$port" --soak-kill "$serve_pid" \
+    | sed 's/^/    /'
   wait "$serve_pid"
   trap - EXIT
   rm -f "$serve_log"
 
   echo "==> serve-bench smoke (writes BENCH_server.json)"
+  # The bench itself asserts the keep-alive stage reaches >= 2x the
+  # close-per-request throughput on /healthz and that bodies stay
+  # bit-identical across 1 vs N server threads.
   ./target/release/serve-bench --requests 600 --clients 4 --threads 4 > /dev/null
   test -s BENCH_server.json
-  echo "    BENCH_server.json written ($(wc -c < BENCH_server.json) bytes)"
+  grep -q '"keepalive_speedup"' BENCH_server.json \
+    || { echo "    BENCH_server.json records no keepalive_speedup"; exit 1; }
+  echo "    BENCH_server.json written ($(wc -c < BENCH_server.json) bytes, keep-alive >= 2x verified)"
 
   echo "==> chaos-bench smoke (seeded faults, writes BENCH_chaos.json)"
   # Fixed seed so the failure schedule (worker kills, build panics, slow

@@ -11,22 +11,38 @@
 //!
 //! ```text
 //! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] [--profile]
+//! serve-bench --soak N --soak-addr HOST:PORT [--soak-kill PID]
 //! ```
 //!
 //! `--profile` enables span recording for the run and prints a
 //! per-stage rollup of the server-side spans (queue wait, request,
 //! handler, engine) after each stage. The default run stays
 //! unprofiled so recorded throughput is not perturbed.
+//!
+//! The bench runs a keep-alive stage next to the close-per-request
+//! stages: each client holds one connection and pipelines its requests
+//! in small batches. Connection reuse must buy at least 2× requests/s
+//! on the small-request path — the run fails otherwise.
+//!
+//! `--soak N` switches to soak mode against an already-running server
+//! (`--soak-addr`): open N keep-alive connections, leave them idle,
+//! assert `/healthz` on a fresh connection still answers within its
+//! deadline, then (with `--soak-kill PID`) SIGTERM the server and
+//! assert the drain closes every idle connection with zero stray bytes.
 
 use std::collections::HashSet;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dram_server::{serve, ServerConfig, ServerHandle};
 use dram_units::json::{obj, Value};
 
 const OUT_FILE: &str = "BENCH_server.json";
+
+/// Requests written per batch on a keep-alive connection before reading
+/// the responses back.
+const PIPELINE_BATCH: usize = 16;
 
 struct Args {
     requests: usize,
@@ -34,6 +50,9 @@ struct Args {
     threads: usize,
     out: String,
     profile: bool,
+    soak: Option<usize>,
+    soak_addr: Option<String>,
+    soak_kill: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
         threads: 8,
         out: OUT_FILE.to_string(),
         profile: false,
+        soak: None,
+        soak_addr: None,
+        soak_kill: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -70,6 +92,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value_of("--out")?,
             "--profile" => args.profile = true,
+            "--soak" => {
+                let v = value_of("--soak")?;
+                args.soak = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad soak connection count `{v}`"))?,
+                );
+            }
+            "--soak-addr" => args.soak_addr = Some(value_of("--soak-addr")?),
+            "--soak-kill" => args.soak_kill = Some(value_of("--soak-kill")?),
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -108,6 +141,50 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Str
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, payload, id)
+}
+
+/// One parsed response off a persistent connection.
+struct Reply {
+    status: u16,
+    id: String,
+    body: String,
+}
+
+/// Reads exactly one `content-length`-framed response, leaving the
+/// reader positioned at the next one.
+fn read_reply(s: &mut impl std::io::BufRead) -> Reply {
+    let mut head = String::new();
+    loop {
+        let before = head.len();
+        s.read_line(&mut head).expect("head line");
+        let line = &head[before..];
+        assert!(!line.is_empty(), "connection ended mid-response: {head:?}");
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let status = s_field(&head, 1).parse().expect("status line");
+    let id = head
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("x-request-id: "))
+        .unwrap_or_else(|| panic!("response without x-request-id: {head}"))
+        .to_string();
+    let length: usize = head
+        .split("\r\n")
+        .find_map(|line| line.strip_prefix("content-length: "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("response without content-length: {head}"));
+    let mut body = vec![0u8; length];
+    s.read_exact(&mut body).expect("body");
+    Reply {
+        status,
+        id,
+        body: String::from_utf8(body).expect("utf-8 body"),
+    }
+}
+
+fn s_field(head: &str, n: usize) -> &str {
+    head.split(' ').nth(n).expect("status line field")
 }
 
 /// One measured load stage against a running server.
@@ -211,6 +288,179 @@ fn run_stage(
     }
 }
 
+/// The keep-alive counterpart of [`run_stage`]: each client opens one
+/// connection and drives all its requests over it, pipelined in batches
+/// of [`PIPELINE_BATCH`]. Latency samples measure batch-start to each
+/// response. The same 200/identical-body/unique-id assertions apply.
+fn run_keepalive_stage(
+    name: &str,
+    handle: &ServerHandle,
+    server_threads: usize,
+    clients: usize,
+    requests: usize,
+    call: &Call<'_>,
+) -> StageResult {
+    let addr = handle.local_addr();
+    let per_client = requests.div_ceil(clients);
+    assert!(
+        (per_client as u64) < ServerConfig::default().max_requests_per_conn,
+        "per-client request count exceeds the server's per-connection budget"
+    );
+    let wire_request = format!(
+        "{} {} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{}",
+        call.method,
+        call.path,
+        call.body.len(),
+        call.body
+    );
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u128>, String, Vec<String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let wire_request = wire_request.as_str();
+                s.spawn(move || {
+                    let conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("timeout");
+                    let _ = conn.set_nodelay(true);
+                    let mut conn = std::io::BufReader::new(conn);
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut ids = Vec::with_capacity(per_client);
+                    let mut canonical: Option<String> = None;
+                    let mut remaining = per_client;
+                    while remaining > 0 {
+                        let batch = remaining.min(PIPELINE_BATCH);
+                        let wire = wire_request.repeat(batch);
+                        let t0 = Instant::now();
+                        conn.get_mut().write_all(wire.as_bytes()).expect("send batch");
+                        for _ in 0..batch {
+                            let reply = read_reply(&mut conn);
+                            latencies.push(t0.elapsed().as_micros());
+                            assert_eq!(reply.status, 200, "request failed: {}", reply.body);
+                            ids.push(reply.id);
+                            match &canonical {
+                                None => canonical = Some(reply.body),
+                                Some(c) => assert_eq!(
+                                    c, &reply.body,
+                                    "response bodies diverged within one client"
+                                ),
+                            }
+                        }
+                        remaining -= batch;
+                    }
+                    (latencies, canonical.expect("at least one request"), ids)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let total_s = started.elapsed().as_secs_f64();
+
+    let first_body = results[0].1.clone();
+    let mut latencies: Vec<u128> = Vec::with_capacity(clients * per_client);
+    let mut seen_ids: HashSet<String> = HashSet::with_capacity(clients * per_client);
+    for (ls, body, ids) in results.drain(..) {
+        assert_eq!(body, first_body, "response bodies diverged across clients");
+        latencies.extend(ls);
+        for id in ids {
+            assert!(seen_ids.insert(id.clone()), "request id `{id}` repeated");
+        }
+    }
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let pct = |p: f64| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (((n - 1) as f64) * p).round() as usize;
+        latencies[idx] as f64
+    };
+    #[allow(clippy::cast_precision_loss)]
+    StageResult {
+        name: name.to_string(),
+        server_threads,
+        clients,
+        requests: n,
+        total_s,
+        throughput_rps: n as f64 / total_s,
+        mean_us: latencies.iter().sum::<u128>() as f64 / n as f64,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: pct(1.0),
+        body: first_body,
+    }
+}
+
+/// Soak mode: `count` idle keep-alive connections against an external
+/// server must not degrade `/healthz`, and (with `kill_pid`) a SIGTERM
+/// drain must close them all losslessly — EOF on every connection with
+/// zero stray bytes after its served response.
+fn run_soak(addr: SocketAddr, count: usize, kill_pid: Option<&str>) {
+    let mut conns = Vec::with_capacity(count);
+    let opened = Instant::now();
+    for i in 0..count {
+        let s = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("soak connect {i}/{count}: {e}"));
+        s.set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let mut s = std::io::BufReader::new(s);
+        s.get_mut()
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: soak\r\n\r\n")
+            .expect("send");
+        let reply = read_reply(&mut s);
+        assert_eq!(reply.status, 200, "soak connection {i} got {}", reply.body);
+        conns.push(s);
+    }
+    println!(
+        "soak: {count} keep-alive connections opened and parked in {:.2}s",
+        opened.elapsed().as_secs_f64()
+    );
+
+    // The parked horde must not slow the front door: a fresh connection
+    // gets its health answer well inside the request deadline.
+    let deadline = Duration::from_millis(1000);
+    let mut worst = Duration::ZERO;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let (status, body, _id) = exchange(addr, "GET", "/healthz", "");
+        let took = t0.elapsed();
+        assert_eq!(status, 200, "healthz under soak: {body}");
+        assert!(
+            took < deadline,
+            "healthz took {took:?} with {count} idle connections parked"
+        );
+        worst = worst.max(took);
+    }
+    println!("soak: /healthz worst-case {worst:?} with all connections parked");
+
+    let Some(pid) = kill_pid else {
+        return;
+    };
+    // Ask the server to drain; every parked connection must see clean
+    // EOF with no bytes it never asked for.
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", pid])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -TERM {pid} failed");
+    let mut stray = 0usize;
+    for mut s in conns {
+        s.get_ref()
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut scratch = [0u8; 256];
+        loop {
+            match s.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => stray += n,
+                Err(e) => panic!("soak drain read: {e}"),
+            }
+        }
+    }
+    assert_eq!(stray, 0, "drain pushed {stray} stray bytes to idle connections");
+    println!("soak: drain closed all {count} idle connections, zero stray bytes");
+}
+
 /// Drains the spans the stage just recorded (server side: queue wait,
 /// request, handler, engine) and prints their per-name rollup. Draining
 /// also clears the sink, so each stage reports only its own spans.
@@ -264,11 +514,22 @@ fn main() {
             }
             eprintln!(
                 "usage: serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] \
-                 [--profile]"
+                 [--profile]\n       serve-bench --soak N --soak-addr HOST:PORT [--soak-kill PID]"
             );
             std::process::exit(i32::from(!msg.is_empty()));
         }
     };
+
+    if let Some(count) = args.soak {
+        let addr = args
+            .soak_addr
+            .as_deref()
+            .expect("--soak needs --soak-addr HOST:PORT")
+            .parse::<SocketAddr>()
+            .expect("bad --soak-addr");
+        run_soak(addr, count, args.soak_kill.as_deref());
+        return;
+    }
 
     if args.profile {
         dram_obs::set_enabled(true);
@@ -347,6 +608,21 @@ fn main() {
         if args.profile {
             print_stage_rollup(&stages.last().expect("just pushed").name);
         }
+        stages.push(run_keepalive_stage(
+            &format!("server/healthz_keepalive/threads={threads}"),
+            &handle,
+            threads,
+            args.clients,
+            args.requests,
+            &Call {
+                method: "GET",
+                path: "/healthz",
+                body: "",
+            },
+        ));
+        if args.profile {
+            print_stage_rollup(&stages.last().expect("just pushed").name);
+        }
         handle.shutdown();
     }
     if args.profile {
@@ -380,12 +656,43 @@ fn main() {
     }
     println!("bit-identical across 1 vs {} server threads: yes", args.threads);
 
+    // Acceptance: connection reuse must pay. Pipelined keep-alive on the
+    // small-request path has to beat close-per-request by at least 2×.
+    let stage_rps = |name: String| {
+        stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing stage {name}"))
+            .throughput_rps
+    };
+    let mut speedups = Vec::new();
+    for threads in [1, args.threads] {
+        let close_rps = stage_rps(format!("server/healthz/threads={threads}"));
+        let ka_rps = stage_rps(format!("server/healthz_keepalive/threads={threads}"));
+        let speedup = ka_rps / close_rps;
+        println!(
+            "keep-alive speedup at {threads} server threads: {speedup:.1}x \
+             ({close_rps:.0} -> {ka_rps:.0} rps)"
+        );
+        assert!(
+            speedup >= 2.0,
+            "keep-alive must be >= 2x close-per-request, got {speedup:.2}x at {threads} threads"
+        );
+        speedups.push(obj(vec![
+            ("server_threads", threads.into()),
+            ("close_rps", close_rps.into()),
+            ("keepalive_rps", ka_rps.into()),
+            ("speedup", speedup.into()),
+        ]));
+    }
+
     let doc = obj(vec![
         (
             "server_bench",
             Value::Arr(stages.iter().map(stage_json).collect()),
         ),
         ("bit_identical_across_thread_counts", true.into()),
+        ("keepalive_speedup", Value::Arr(speedups)),
         (
             "evaluate_request",
             Value::parse(eval_body).expect("literal is valid"),

@@ -80,7 +80,8 @@ pub const SITES: [(&str, &[Kind]); 6] = [
     ("engine.build", &[Kind::Delay, Kind::Panic]),
     // A batch worker item panics or stalls inside `evaluate_many`.
     ("engine.worker", &[Kind::Delay, Kind::Panic]),
-    // The accept loop behaves as if the connection queue were full.
+    // The reactor's dispatch behaves as if the connection queue were
+    // full (503 + retry-after, connection closed).
     ("server.queue", &[Kind::Reject]),
     // A server worker thread dies between connections (respawn path).
     ("server.worker", &[Kind::Panic]),

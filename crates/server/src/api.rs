@@ -116,6 +116,7 @@ fn metrics_response(req: &Request, metrics: &Metrics) -> Response {
             headers: Vec::new(),
             body: metrics.to_prometheus(snapshot).into_bytes(),
             content_type: dram_obs::PromWriter::CONTENT_TYPE,
+            keep_alive: false,
         }
     } else {
         Response::json(200, metrics.to_json(snapshot).to_string())
@@ -708,6 +709,7 @@ mod tests {
             query: String::new(),
             headers: HashMap::new(),
             body: body.as_bytes().to_vec(),
+            http11: true,
         }
     }
 
@@ -718,6 +720,7 @@ mod tests {
             query: String::new(),
             headers: HashMap::new(),
             body: Vec::new(),
+            http11: true,
         }
     }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
-//!            [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]
+//!            [--deadline-ms MS] [--idle-ms MS] [--max-requests N]
+//!            [--log off|error|info|debug] [--profile FILE]
 //!            [--shed-at N] [--faults SPEC]
 //! ```
 //!
@@ -81,6 +82,23 @@ fn parse_args() -> Result<Args, String> {
                     .map(Duration::from_millis)
                     .ok_or_else(|| format!("bad request deadline `{v}`"))?;
             }
+            "--idle-ms" => {
+                let v = value_of("--idle-ms")?;
+                args.config.idle_timeout = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms >= 1)
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| format!("bad idle timeout `{v}`"))?;
+            }
+            "--max-requests" => {
+                let v = value_of("--max-requests")?;
+                args.config.max_requests_per_conn = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad per-connection request cap `{v}`"))?;
+            }
             "--log" => {
                 let v = value_of("--log")?;
                 args.config.log = LogLevel::parse(&v)
@@ -123,10 +141,14 @@ fn usage() {
     eprintln!(
         "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
          usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\
-             [--deadline-ms MS] [--log off|error|info|debug] [--profile FILE]\n\
+             [--deadline-ms MS] [--idle-ms MS] [--max-requests N]\n\
+             [--log off|error|info|debug] [--profile FILE]\n\
              [--shed-at N] [--faults SPEC]\n\n\
          defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
-         \x20         --deadline-ms 15000 --log info (no shedding, no faults)\n\
+         \x20         --deadline-ms 15000 --idle-ms 60000 --max-requests 10000\n\
+         \x20         --log info (no shedding, no faults)\n\
+         keep-alive: connections persist across requests; --idle-ms bounds how long\n\
+         \x20         one may sit idle, --max-requests how many requests it may carry\n\
          resilience: --shed-at N sheds /v1/sweep + /v1/batch with 503 once the queue\n\
          \x20         holds N entries; --faults SPEC (or env DRAM_FAULTS) arms the\n\
          \x20         deterministic fault plan, e.g. `seed=7;engine.worker=panic:p=0.05`\n\

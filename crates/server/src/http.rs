@@ -2,13 +2,18 @@
 //!
 //! The workspace must build with an empty registry, so there is no hyper;
 //! this module implements exactly the slice of HTTP the service needs —
-//! one request per connection, `Connection: close` semantics — with the
-//! robustness a network front end cannot skip: a header-size cap, a body
-//! size limit enforced *before* allocation, per-read socket timeouts
-//! **and** an overall per-request deadline (a client trickling one byte
-//! per read interval cannot park a worker past
-//! [`Limits::request_deadline`]), and precise 4xx classification of
-//! malformed input.
+//! persistent (keep-alive) connections with pipelining, `Connection`
+//! header token semantics, `Expect: 100-continue` — with the robustness
+//! a network front end cannot skip: a header-size cap, a body size limit
+//! enforced *before* allocation, per-read socket timeouts **and** an
+//! overall per-request deadline (a client trickling one byte per read
+//! interval cannot park a worker past [`Limits::request_deadline`]), and
+//! precise 4xx classification of malformed input.
+//!
+//! Pipelining support is carried through the `leftover` byte buffers:
+//! every parse entry point accepts bytes already pulled off the wire by
+//! a previous request's reads and returns whatever it over-read in turn,
+//! so no byte of a later pipelined request is ever dropped or re-parsed.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -66,6 +71,11 @@ pub struct Request {
     pub headers: HashMap<String, String>,
     /// Raw request body.
     pub body: Vec<u8>,
+    /// Whether the request line declared `HTTP/1.1` (as opposed to
+    /// `HTTP/1.0`). Decides the keep-alive default: 1.1 connections
+    /// persist unless `Connection: close`, 1.0 connections close unless
+    /// `Connection: keep-alive`.
+    pub http11: bool,
 }
 
 impl Request {
@@ -79,6 +89,40 @@ impl Request {
             (k == name).then_some(v)
         })
     }
+
+    /// Whether the client is willing to reuse this connection for
+    /// another request (RFC 9112 §9.3). `Connection` is a
+    /// case-insensitive comma-separated token list; `close` wins over
+    /// `keep-alive` if a confused client sends both, and the absence of
+    /// either token falls back to the HTTP-version default.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.headers.get("connection") {
+            Some(v) if header_has_token(v, "close") => false,
+            Some(v) if header_has_token(v, "keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// Whether the client declared `Expect: 100-continue` and is holding
+    /// the body back until the server commits to reading it.
+    #[must_use]
+    pub fn expects_continue(&self) -> bool {
+        self.headers
+            .get("expect")
+            .is_some_and(|v| header_has_token(v, "100-continue"))
+    }
+}
+
+/// Whether a comma-separated header value contains `token`, compared
+/// case-insensitively with surrounding whitespace ignored (RFC 9110
+/// §5.6.1 list syntax). `Connection: Keep-Alive, TE` contains
+/// `keep-alive`; `Transfer-Encoding: Chunked` contains `chunked`.
+#[must_use]
+pub fn header_has_token(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case(token))
 }
 
 /// Why a request could not be parsed; maps 1:1 to a 4xx status.
@@ -197,7 +241,13 @@ enum Framing {
 #[derive(Debug)]
 pub enum Inbound {
     /// Head and complete body are in memory.
-    Buffered(Request),
+    Buffered {
+        /// The parsed request, body included.
+        request: Request,
+        /// Bytes read past the end of this request's body — the start
+        /// of the next pipelined request, owed to the next parse.
+        leftover: Vec<u8>,
+    },
     /// Head is parsed; `request.body` is empty and the chunked body is
     /// read on demand.
     Streaming {
@@ -217,17 +267,50 @@ pub enum Inbound {
 /// or [`ReadError::Http`] classifying the protocol failure; the caller
 /// converts the latter to a 4xx response.
 pub fn read_inbound(stream: &mut TcpStream, limits: &Limits) -> Result<Inbound, ReadError> {
+    read_inbound_after(stream, limits, Vec::new())
+}
+
+/// [`read_inbound`] resuming from `carry` — bytes a previous request on
+/// the same connection over-read (the pipelining path). The carry is
+/// parsed before the socket is touched, so a fully buffered pipelined
+/// request costs no reads at all.
+///
+/// Honors `Expect: 100-continue`: once the head passes the framing and
+/// size checks and body bytes are still owed, an interim
+/// `HTTP/1.1 100 Continue` is written so a compliant client releases
+/// the body instead of stalling until its own timeout. Requests whose
+/// declared body already fails a check get the final 4xx straight away,
+/// never the interim reply.
+///
+/// # Errors
+///
+/// As [`read_inbound`].
+pub fn read_inbound_after(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    carry: Vec<u8>,
+) -> Result<Inbound, ReadError> {
     let deadline = Instant::now() + limits.request_deadline;
-    let (mut request, leftover, framing) = read_head(stream, limits, deadline)?;
+    let (mut request, leftover, framing) = read_head(stream, limits, deadline, carry)?;
     match framing {
         Framing::Length(content_length) => {
             if content_length > limits.max_body {
                 return Err(HttpError::PayloadTooLarge.into());
             }
             let mut body = leftover;
-            if body.len() > content_length {
-                return Err(HttpError::BadRequest("body longer than content-length".into()).into());
+            if body.len() < content_length {
+                send_continue_if_expected(stream, &request, limits)?;
             }
+            // Anything past the declared length is the next pipelined
+            // request, not part of this body.
+            let next = if body.len() > content_length {
+                body.split_off(content_length)
+            } else {
+                Vec::new()
+            };
+            // Each read is capped at the bytes still owed, so the loop
+            // can never pull in the next pipelined request from the
+            // socket — `next` stays the only source of over-read bytes.
             while body.len() < content_length {
                 let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
                 let n = read_bounded(stream, &mut chunk, deadline, limits.io_timeout)?;
@@ -237,13 +320,39 @@ pub fn read_inbound(stream: &mut TcpStream, limits: &Limits) -> Result<Inbound, 
                 body.extend_from_slice(&chunk[..n]);
             }
             request.body = body;
-            Ok(Inbound::Buffered(request))
+            Ok(Inbound::Buffered {
+                request,
+                leftover: next,
+            })
         }
-        Framing::Chunked => Ok(Inbound::Streaming {
-            request,
-            body: ChunkedBody::new(leftover, deadline, limits),
-        }),
+        Framing::Chunked => {
+            send_continue_if_expected(stream, &request, limits)?;
+            Ok(Inbound::Streaming {
+                request,
+                body: ChunkedBody::new(leftover, deadline, limits),
+            })
+        }
     }
+}
+
+/// Writes the interim `100 Continue` reply when the request asked for
+/// one. Called only after the head has passed every early rejection
+/// (framing, declared size), per RFC 9110 §10.1.1.
+fn send_continue_if_expected(
+    stream: &mut TcpStream,
+    request: &Request,
+    limits: &Limits,
+) -> Result<(), HttpError> {
+    if !request.expects_continue() {
+        return Ok(());
+    }
+    stream
+        .set_write_timeout(Some(limits.io_timeout.max(Duration::from_millis(1))))
+        .map_err(|e| io_to_http(&e))?;
+    stream
+        .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| HttpError::BadRequest(format!("interim write failed: {}", e.kind())))
 }
 
 /// Reads one complete request, buffering chunked bodies in memory
@@ -254,7 +363,7 @@ pub fn read_inbound(stream: &mut TcpStream, limits: &Limits) -> Result<Inbound, 
 /// As [`read_inbound`].
 pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
     match read_inbound(stream, limits)? {
-        Inbound::Buffered(request) => Ok(request),
+        Inbound::Buffered { request, .. } => Ok(request),
         Inbound::Streaming {
             mut request,
             mut body,
@@ -277,14 +386,22 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
 
 /// Reads and parses the request head; returns the request (empty body),
 /// any body bytes pulled in by the head reads, and the body framing.
+/// `carry` seeds the buffer with bytes a previous request over-read.
 fn read_head(
     stream: &mut TcpStream,
     limits: &Limits,
     deadline: Instant,
+    carry: Vec<u8>,
 ) -> Result<(Request, Vec<u8>, Framing), ReadError> {
     // Accumulate until the blank line that ends the head section.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut buf: Vec<u8> = carry;
     let head_end = loop {
+        // RFC 9112 §2.2: ignore blank lines before the request line —
+        // clients commonly emit a stray CRLF after a body, which would
+        // otherwise desync every pipelined request behind it.
+        while buf.starts_with(b"\r\n") {
+            buf.drain(..2);
+        }
         if let Some(pos) = find_head_end(&buf) {
             break pos;
         }
@@ -306,7 +423,7 @@ fn read_head(
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
-    let (method, path, query) = parse_request_line(request_line)?;
+    let (method, path, query, http11) = parse_request_line(request_line)?;
 
     let mut headers: HashMap<String, String> = HashMap::new();
     for line in lines {
@@ -350,12 +467,24 @@ fn read_head(
 
     // Body framing: Content-Length or `Transfer-Encoding: chunked`. A
     // request carrying *both* is a smuggling vector (RFC 9112 §6.3) and
-    // is rejected outright rather than letting one header win.
-    let framing = match headers
-        .get("transfer-encoding")
-        .map(|v| v.trim().to_ascii_lowercase())
-    {
-        Some(te) if te == "chunked" => {
+    // is rejected outright rather than letting one header win. The
+    // transfer-encoding value is a case-insensitive token list (RFC 9110
+    // §5.6.1): `Chunked` and `identity, chunked` both mean chunked, and
+    // any coding this server cannot reverse is a 400, not a silent
+    // pass-through to the content-length branch.
+    let framing = match headers.get("transfer-encoding") {
+        Some(te) if header_has_token(te, "chunked") => {
+            let stacked = te
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty() && !t.eq_ignore_ascii_case("identity"))
+                .count();
+            if stacked != 1 {
+                return Err(HttpError::BadRequest(format!(
+                    "unsupported transfer-encoding stack `{te}`"
+                ))
+                .into());
+            }
             if headers.contains_key("content-length") {
                 return Err(HttpError::BadRequest(
                     "content-length conflicts with chunked transfer-encoding".into(),
@@ -364,7 +493,12 @@ fn read_head(
             }
             Framing::Chunked
         }
-        Some(te) if te != "identity" => {
+        Some(te)
+            if !te
+                .split(',')
+                .map(str::trim)
+                .all(|t| t.is_empty() || t.eq_ignore_ascii_case("identity")) =>
+        {
             return Err(
                 HttpError::BadRequest(format!("unsupported transfer-encoding `{te}`")).into(),
             );
@@ -387,6 +521,7 @@ fn read_head(
             query,
             headers,
             body: Vec::new(),
+            http11,
         },
         leftover,
         framing,
@@ -573,12 +708,14 @@ impl ChunkedBody {
     /// Appends the next run of decoded body bytes to `out`, reading
     /// from the socket as needed. Returns `false` once the terminating
     /// chunk (and trailers) have been fully consumed — the final call
-    /// may both append bytes *and* return `false`.
+    /// may both append bytes *and* return `false`. Bytes past the
+    /// terminator are not an error: they are the next pipelined request,
+    /// retained for [`ChunkedBody::take_leftover`].
     ///
     /// # Errors
     ///
-    /// `400` on malformed framing or bytes after the terminator, `408`
-    /// past the request deadline, `413` past [`Limits::max_stream`].
+    /// `400` on malformed framing, `408` past the request deadline,
+    /// `413` past [`Limits::max_stream`].
     pub fn read_chunk(
         &mut self,
         stream: &mut TcpStream,
@@ -597,11 +734,6 @@ impl ChunkedBody {
                     return Err(HttpError::PayloadTooLarge);
                 }
                 if self.decoder.is_done() {
-                    if self.buf_pos < self.buffered.len() {
-                        return Err(HttpError::BadRequest(
-                            "bytes after the final chunk".into(),
-                        ));
-                    }
                     return Ok(false);
                 }
                 if out.len() > before {
@@ -621,6 +753,17 @@ impl ChunkedBody {
             self.buffered.extend_from_slice(&chunk[..n]);
         }
     }
+
+    /// The bytes read past the chunked terminator — the start of the
+    /// next pipelined request. Meaningful only once `read_chunk` has
+    /// returned `false`; draining resets the reader's buffer.
+    #[must_use]
+    pub fn take_leftover(&mut self) -> Vec<u8> {
+        let rest = self.buffered.split_off(self.buf_pos);
+        self.buffered.clear();
+        self.buf_pos = 0;
+        rest
+    }
 }
 
 /// Parses a `content-length` value: ASCII digits only (the surrounding
@@ -639,7 +782,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError> {
+fn parse_request_line(line: &str) -> Result<(String, String, String, bool), HttpError> {
     let mut parts = line.split(' ');
     let (Some(method), Some(target), Some(version), None) =
         (parts.next(), parts.next(), parts.next(), parts.next())
@@ -653,6 +796,7 @@ fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError>
             "unsupported protocol `{version}`"
         )));
     }
+    let http11 = version != "HTTP/1.0";
     if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
         return Err(HttpError::BadRequest(format!("bad method `{method}`")));
     }
@@ -665,7 +809,7 @@ fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError>
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    Ok((method.to_string(), path, query))
+    Ok((method.to_string(), path, query, http11))
 }
 
 /// An HTTP response ready to serialize.
@@ -679,6 +823,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Whether serialization advertises `connection: keep-alive`
+    /// (the server will read another request off this connection)
+    /// instead of the default `connection: close`.
+    pub keep_alive: bool,
 }
 
 impl Response {
@@ -690,6 +838,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into_bytes(),
             content_type: "application/json",
+            keep_alive: false,
         }
     }
 
@@ -706,6 +855,16 @@ impl Response {
     #[must_use]
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
         self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the connection disposition the serialized response
+    /// advertises. The emitted header always matches what the server
+    /// then does: callers decide, the response never promises reuse the
+    /// connection handler won't honor.
+    #[must_use]
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
         self
     }
 
@@ -730,11 +889,12 @@ impl Response {
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -798,11 +958,11 @@ mod tests {
     fn request_line_parses_and_rejects() {
         assert_eq!(
             parse_request_line("GET /healthz HTTP/1.1").unwrap(),
-            ("GET".into(), "/healthz".into(), String::new())
+            ("GET".into(), "/healthz".into(), String::new(), true)
         );
         assert_eq!(
             parse_request_line("POST /v1/evaluate?x=1 HTTP/1.0").unwrap(),
-            ("POST".into(), "/v1/evaluate".into(), "x=1".into())
+            ("POST".into(), "/v1/evaluate".into(), "x=1".into(), false)
         );
         for bad in [
             "",
@@ -825,6 +985,7 @@ mod tests {
             query: "format=prometheus&flag&x=a=b".into(),
             headers: HashMap::new(),
             body: Vec::new(),
+            http11: true,
         };
         assert_eq!(req.query_param("format"), Some("prometheus"));
         assert_eq!(req.query_param("flag"), Some(""));
@@ -847,6 +1008,52 @@ mod tests {
         assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        // Opting into reuse flips the advertised disposition.
+        let kept = Response::json(200, "{}".into()).with_keep_alive(true);
+        let text = String::from_utf8(kept.to_bytes()).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(!text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn header_token_lists_are_case_insensitive() {
+        assert!(header_has_token("Chunked", "chunked"));
+        assert!(header_has_token("identity, Chunked", "chunked"));
+        assert!(header_has_token("Keep-Alive, TE", "keep-alive"));
+        assert!(header_has_token(" close ", "close"));
+        assert!(!header_has_token("keep-alive-ish", "keep-alive"));
+        assert!(!header_has_token("chunk", "chunked"));
+        assert!(!header_has_token("", "chunked"));
+    }
+
+    fn req_with(version11: bool, connection: Option<&str>) -> Request {
+        let mut headers = HashMap::new();
+        if let Some(v) = connection {
+            headers.insert("connection".to_string(), v.to_string());
+        }
+        Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            query: String::new(),
+            headers,
+            body: Vec::new(),
+            http11: version11,
+        }
+    }
+
+    #[test]
+    fn keep_alive_follows_tokens_then_version_default() {
+        // HTTP/1.1 persists by default; 1.0 closes by default.
+        assert!(req_with(true, None).wants_keep_alive());
+        assert!(!req_with(false, None).wants_keep_alive());
+        // Tokens are case-insensitive list members and beat the default.
+        assert!(!req_with(true, Some("Close")).wants_keep_alive());
+        assert!(req_with(false, Some("Keep-Alive, TE")).wants_keep_alive());
+        // `close` wins when a confused client sends both.
+        assert!(!req_with(true, Some("keep-alive, close")).wants_keep_alive());
+        // Unrelated connection options fall back to the version default.
+        assert!(req_with(true, Some("TE")).wants_keep_alive());
+        assert!(!req_with(false, Some("TE")).wants_keep_alive());
     }
 
     #[test]

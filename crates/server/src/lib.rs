@@ -28,6 +28,11 @@
 //! structured log line (see [`trace`]) and any slow-request sample in
 //! `/metrics`.
 //!
+//! Connections are persistent: an epoll reactor parks idle HTTP/1.1
+//! keep-alive connections without holding a worker, and pipelined
+//! requests are answered in order. See the connection-lifecycle section
+//! of `docs/SERVER.md` for the budgets and close rules.
+//!
 //! ## In-process quickstart
 //!
 //! ```
@@ -49,6 +54,7 @@ pub mod api;
 pub mod http;
 pub mod metrics;
 pub mod presets;
+mod reactor;
 mod server;
 pub mod trace;
 

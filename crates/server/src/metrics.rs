@@ -204,6 +204,9 @@ pub struct Metrics {
     shed_load: AtomicU64,
     worker_panics: AtomicU64,
     worker_respawns: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    pipelined_requests: AtomicU64,
+    idle_closed: AtomicU64,
     /// EWMA of queue wait in µs, α = 1/8, updated at worker pick-up.
     /// Drives the adaptive `Retry-After` on 503 responses.
     queue_ewma_us: AtomicU64,
@@ -230,6 +233,9 @@ impl Metrics {
             shed_load: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
             queue_ewma_us: AtomicU64::new(0),
             latency: Histogram::new(),
             slow: Default::default(),
@@ -291,6 +297,24 @@ impl Metrics {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request served on a reused (kept-alive) connection —
+    /// any request after the first on one connection.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pipelined request: one parsed from bytes a previous
+    /// request on the same connection had already over-read.
+    pub fn record_pipelined(&self) {
+        self.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a parked keep-alive connection closed by the reactor's
+    /// idle-timeout sweep.
+    pub fn record_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds one observed queue wait into the EWMA behind
     /// [`Metrics::retry_after_secs`]. Racy read-modify-write by design:
     /// a lost update skews a smoothed estimate, never an invariant.
@@ -331,6 +355,25 @@ impl Metrics {
     #[must_use]
     pub fn worker_respawns(&self) -> u64 {
         self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on reused keep-alive connections so far.
+    #[must_use]
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Pipelined requests (served from a connection's carry buffer
+    /// without returning to the reactor) so far.
+    #[must_use]
+    pub fn pipelined_requests(&self) -> u64 {
+        self.pipelined_requests.load(Ordering::Relaxed)
+    }
+
+    /// Idle keep-alive connections closed by the reactor so far.
+    #[must_use]
+    pub fn idle_closed(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
     }
 
     /// Total requests served (all routes).
@@ -442,6 +485,9 @@ impl Metrics {
             ("shed_load", self.shed().into()),
             ("worker_panics", self.worker_panics().into()),
             ("worker_respawns", self.worker_respawns().into()),
+            ("keepalive_reuses", self.keepalive_reuses().into()),
+            ("pipelined_requests", self.pipelined_requests().into()),
+            ("idle_closed", self.idle_closed().into()),
             ("retry_after_s", self.retry_after_secs().into()),
             (
                 "latency_histogram",
@@ -523,6 +569,21 @@ impl Metrics {
             "dram_serve_worker_respawns_total",
             "Dead worker threads replaced by the supervisor.",
             self.worker_respawns(),
+        );
+        w.counter(
+            "dram_serve_keepalive_reuses_total",
+            "Requests served on reused keep-alive connections.",
+            self.keepalive_reuses(),
+        );
+        w.counter(
+            "dram_serve_pipelined_requests_total",
+            "Pipelined requests served from a connection's carry buffer.",
+            self.pipelined_requests(),
+        );
+        w.counter(
+            "dram_serve_idle_closed_total",
+            "Parked keep-alive connections closed by the idle-timeout sweep.",
+            self.idle_closed(),
         );
         w.gauge(
             "dram_serve_retry_after_seconds",

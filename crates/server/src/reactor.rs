@@ -1,0 +1,250 @@
+//! Minimal `epoll` + `eventfd` bindings for the connection reactor.
+//!
+//! The workspace builds with an empty registry, so — like the signal
+//! handling in `dram-serve` — the kernel interface is declared directly
+//! with a handful of `extern "C"` prototypes instead of pulling in
+//! `libc`/`mio`. Only the slice the reactor needs is bound: create an
+//! epoll instance, add/remove fds with a `u64` token, wait with a
+//! timeout, and an `eventfd` so other threads (workers handing back
+//! idle connections, shutdown) can interrupt the wait.
+//!
+//! Safety lives entirely in this module: the wrappers own their file
+//! descriptors (closed on drop), `epoll_wait` writes only into the
+//! buffer we size for it, and tokens are plain data — the event loop in
+//! `server.rs` never touches a raw pointer.
+
+use std::io;
+use std::time::Duration;
+
+/// Readable / peer-hung-up / edge-triggered event bits, re-exported for
+/// the event loop.
+pub const EPOLLIN: u32 = 0x001;
+/// Peer closed its write half (or the whole connection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery: one notification per readiness transition.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+/// `EPOLL_CLOEXEC` == `O_CLOEXEC`.
+const EPOLL_CLOEXEC: i32 = 0o2_000_000;
+/// `EFD_CLOEXEC` | `EFD_NONBLOCK` == `O_CLOEXEC` | `O_NONBLOCK`.
+const EFD_FLAGS: i32 = 0o2_000_000 | 0o4_000;
+
+/// `struct epoll_event`; packed on x86-64 only, matching the kernel ABI
+/// (`include/uapi/linux/eventpoll.h`).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for the `epoll_wait` output buffer.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+
+    /// The `(event bits, registration token)` pair, copied out of the
+    /// (possibly unaligned) kernel-filled struct.
+    #[must_use]
+    pub fn parts(self) -> (u32, u64) {
+        // `self` is a by-value copy, so reading packed fields is safe.
+        let Self { events, data } = self;
+        (events, data)
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Creates the epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` errno, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers; returns an fd or -1.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// Registers `fd` for `events`, tagging notifications with `token`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno — `EMFILE`/`ENOMEM` under fd pressure; the
+    /// caller closes the connection rather than losing track of it.
+    pub fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &raw mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Deregisters `fd`. Best-effort: the fd may already be gone, and
+    /// closing an fd removes it from every epoll set anyway.
+    pub fn del(&self, fd: i32) {
+        let mut ev = EpollEvent::zeroed();
+        // SAFETY: the event argument is ignored for DEL on modern
+        // kernels but must be non-null for pre-2.6.9 compatibility.
+        let _ = unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &raw mut ev) };
+    }
+
+    /// Waits up to `timeout` for events, filling `events` from the
+    /// front; returns how many slots were filled. `EINTR` (a signal
+    /// landed mid-wait) is reported as zero events, not an error — the
+    /// caller's loop re-checks its own state and waits again.
+    ///
+    /// # Errors
+    ///
+    /// Any `epoll_wait` errno other than `EINTR`.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+        let millis = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let cap = events.len().min(i32::MAX as usize) as i32;
+        // SAFETY: the out-buffer is sized by `cap`; the kernel writes at
+        // most that many entries.
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), cap, millis) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        #[allow(clippy::cast_sign_loss)]
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A level-triggered wakeup channel (an `eventfd`): any thread can
+/// [`Wake::signal`] to interrupt the reactor's `epoll_wait`; the
+/// reactor [`Wake::drain`]s it so the next wait blocks again.
+#[derive(Debug)]
+pub struct Wake {
+    fd: i32,
+}
+
+impl Wake {
+    /// Creates the eventfd (nonblocking, close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` errno, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers; returns an fd or -1.
+        let fd = unsafe { eventfd(0, EFD_FLAGS) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// The fd to register with [`Epoll::add`].
+    #[must_use]
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Makes the eventfd readable, waking a blocked `epoll_wait`.
+    /// Best-effort: the counter saturating (`EAGAIN`) already means a
+    /// wake is pending, which is all a signal needs.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly the 8 bytes an eventfd requires.
+        let _ = unsafe { write(self.fd, (&raw const one).cast::<u8>(), 8) };
+    }
+
+    /// Consumes pending wakes so the next `epoll_wait` can block.
+    pub fn drain(&self) {
+        let mut counter = [0u8; 8];
+        // SAFETY: reads into an 8-byte buffer; nonblocking, so this
+        // returns -1/EAGAIN once the counter is empty.
+        while unsafe { read(self.fd, counter.as_mut_ptr(), 8) } == 8 {}
+    }
+}
+
+impl Drop for Wake {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+// The fds are plain kernel handles; both types are used from exactly
+// one thread at a time for waits and from many for signal/ctl, all of
+// which are thread-safe syscalls.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+unsafe impl Send for Wake {}
+unsafe impl Sync for Wake {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_interrupts_and_drains() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let wake = Wake::new().expect("eventfd");
+        epoll.add(wake.fd(), 7, EPOLLIN).expect("register wake");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing pending: the wait times out empty.
+        let n = epoll
+            .wait(&mut events, Duration::from_millis(10))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        // A signal (even several) surfaces as one readable event with
+        // the registration token.
+        wake.signal();
+        wake.signal();
+        let n = epoll
+            .wait(&mut events, Duration::from_millis(1000))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].parts().1, 7);
+
+        // Draining clears it; the next wait blocks again.
+        wake.drain();
+        let n = epoll
+            .wait(&mut events, Duration::from_millis(10))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+}

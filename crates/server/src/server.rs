@@ -1,38 +1,64 @@
-//! The TCP front end: accept loop, bounded worker pool, backpressure,
-//! request tracing and graceful shutdown.
+//! The TCP front end: epoll reactor, bounded worker pool, keep-alive,
+//! backpressure, request tracing and graceful shutdown.
 //!
-//! Architecture: one accept thread feeds a bounded connection queue; a
-//! fixed pool of worker threads pops connections, parses one request
-//! each (HTTP/1.1, `Connection: close`) and answers through the route
-//! table. When the queue is full the accept thread answers `503` with a
-//! `Retry-After` header itself — a rejected client costs one small write,
-//! never a worker.
+//! Architecture: one reactor thread owns a nonblocking listener and a
+//! raw `epoll` set ([`crate::reactor`] — no crates, same `extern "C"`
+//! approach as `dram-serve`'s signal handling). Idle connections are
+//! parked in the epoll set (edge-triggered, readable + peer-hangup);
+//! the moment one turns readable it is *dispatched*: deregistered and
+//! pushed onto the bounded connection queue for the worker pool. A
+//! worker parses requests with blocking reads under the usual deadlines
+//! and keeps serving until the connection goes quiet, then hands it
+//! back to the reactor to park again. Idle sockets therefore cost no
+//! worker and no thread — concurrency is bounded by fds, not by the
+//! pool — while a *talking* connection is always owned by exactly one
+//! worker, which keeps the HTTP parsing, fault-site, and deadline
+//! machinery single-threaded and simple.
 //!
-//! Tracing: the accept thread stamps every connection with a
-//! [`RequestId`] the moment it is taken. The id rides through the queue
-//! and the worker, is echoed back on every response (including 4xx and
-//! the accept-loop 503) as the `x-request-id` header, labels the
-//! request's structured log line ([`crate::trace`]) and any
-//! slow-request sample in `/metrics`. Queue wait and handling time are
-//! measured separately so a slow request can be blamed on load or on
-//! work.
+//! Keep-alive and pipelining: HTTP/1.1 connections persist by default
+//! (`Connection` token lists decide, see
+//! [`crate::http::Request::wants_keep_alive`]) subject to the
+//! [`ServerConfig::idle_timeout`] and
+//! [`ServerConfig::max_requests_per_conn`] budgets. A worker serves
+//! pipelined requests back-to-back in arrival order from the carry
+//! buffer of over-read bytes; responses are written in the same order
+//! on the same thread, so pipeline ordering is structural. Any failed
+//! request (4xx, handler panic 500, shed 503) poisons its own
+//! connection: the response says `connection: close`, buffered
+//! pipelined bytes are discarded, and the socket closes — a desynced
+//! parser can never interpret attacker-positioned leftovers as a fresh
+//! request.
+//!
+//! When the queue is full the reactor answers `503` with `Retry-After`
+//! itself — a rejected client costs one small write, never a worker.
+//!
+//! Tracing: every *request* (not connection) gets a [`RequestId`] the
+//! moment a worker starts parsing it, echoed back as `x-request-id`,
+//! labeling the structured log line and any slow-request sample. The
+//! reactor stamps its inline 503s the same way. Queue wait and handling
+//! time are measured separately so a slow request can be blamed on load
+//! or on work.
 //!
 //! Shutdown is cooperative and *draining*: [`ServerHandle::shutdown`]
-//! stops the accept loop, then lets the workers finish every connection
-//! already accepted or queued before joining them. No in-flight request
-//! is dropped.
+//! wakes the reactor, which stops accepting, gives parked connections a
+//! short grace to flush bytes already in flight (dispatching any that
+//! are readable), closes the rest, and exits; workers then finish every
+//! dispatched connection before joining. No in-flight request is
+//! dropped.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::api::{self, CacheActivity};
 use crate::http::{self, Limits, ReadError, Response};
 use crate::metrics::{Metrics, RequestRecord, Route};
+use crate::reactor::{Epoll, EpollEvent, Wake, EPOLLET, EPOLLIN, EPOLLRDHUP};
 use crate::trace::{LogLevel, Logger, RequestId, RequestIdSource};
 
 /// Server construction parameters.
@@ -55,6 +81,14 @@ pub struct ServerConfig {
     /// so embedding the server in tests stays quiet; `dram-serve`
     /// defaults to [`LogLevel::Info`] via `--log`.
     pub log: LogLevel,
+    /// How long a keep-alive connection may sit parked in the reactor
+    /// with no readable bytes before it is closed. Swept with ~100 ms
+    /// granularity.
+    pub idle_timeout: Duration,
+    /// Requests one connection may carry before the server forces
+    /// `connection: close` on the final response — bounds how long a
+    /// single client can monopolize connection state.
+    pub max_requests_per_conn: u64,
 }
 
 impl Default for ServerConfig {
@@ -65,19 +99,36 @@ impl Default for ServerConfig {
             shed_at: None,
             limits: Limits::default(),
             log: LogLevel::Off,
+            idle_timeout: Duration::from_secs(60),
+            max_requests_per_conn: 10_000,
         }
     }
 }
 
-/// A connection waiting for (or being served by) a worker: the stream,
-/// its identity, and when it entered the queue.
+/// A connection dispatched to the worker pool: the stream, bytes a
+/// previous request on it over-read (the pipelining carry), how many
+/// requests it has already answered, and when it entered the queue.
 struct QueuedConn {
     stream: TcpStream,
-    id: RequestId,
+    carry: Vec<u8>,
+    served: u64,
     queued_at: Instant,
 }
 
-/// State shared between the accept thread, the workers, the supervisor
+/// A quiet keep-alive connection a worker hands back to the reactor.
+struct ReturnedConn {
+    stream: TcpStream,
+    served: u64,
+}
+
+/// A connection parked in the reactor's epoll set.
+struct ParkedConn {
+    stream: TcpStream,
+    served: u64,
+    since: Instant,
+}
+
+/// State shared between the reactor thread, the workers, the supervisor
 /// and the handle.
 struct Shared {
     queue: Mutex<VecDeque<QueuedConn>>,
@@ -89,6 +140,17 @@ struct Shared {
     limits: Limits,
     logger: Logger,
     shed_at: Option<usize>,
+    max_requests_per_conn: u64,
+    /// Quiet keep-alive connections handed back by workers, adopted by
+    /// the reactor on its next loop turn (after a `wake` signal).
+    returns: Mutex<Vec<ReturnedConn>>,
+    /// Interrupts the reactor's `epoll_wait`: workers signal it when
+    /// returning a connection, shutdown signals it to start the drain.
+    wake: Wake,
+    /// Set (only) by the reactor as it exits; workers may not leave
+    /// their pop loop before this, or a connection dispatched during the
+    /// drain could be left unserved in the queue.
+    reactor_done: AtomicBool,
     /// Slot indices of workers that died (panicked out of their loop),
     /// pushed by the worker's drop-guard, drained by the supervisor.
     deaths: Mutex<Vec<usize>>,
@@ -136,21 +198,24 @@ impl Drop for DeathSentinel<'_> {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
 }
 
-/// Binds a listener and starts the accept loop plus worker pool.
+/// Binds a listener and starts the reactor plus worker pool.
 ///
 /// Bind to port `0` for an ephemeral port; [`ServerHandle::local_addr`]
 /// reports the actual one.
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the errno
+/// if the epoll instance / wakeup eventfd cannot be created.
 pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    let epoll = Epoll::new()?;
+    let wake = Wake::new()?;
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -161,6 +226,10 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         limits: config.limits,
         logger: Logger::new(config.log),
         shed_at: config.shed_at,
+        max_requests_per_conn: config.max_requests_per_conn.max(1),
+        returns: Mutex::new(Vec::new()),
+        wake,
+        reactor_done: AtomicBool::new(false),
         deaths: Mutex::new(Vec::new()),
         reaper: Condvar::new(),
     });
@@ -177,17 +246,18 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         .spawn(move || supervisor_loop(&supervisor_shared, workers))
         .expect("spawn supervisor");
 
-    let accept_shared = Arc::clone(&shared);
+    let reactor_shared = Arc::clone(&shared);
     let queue_depth = config.queue_depth;
-    let accept_thread = std::thread::Builder::new()
-        .name("dram-serve-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_shared, queue_depth))
-        .expect("spawn accept thread");
+    let idle_timeout = config.idle_timeout;
+    let reactor_thread = std::thread::Builder::new()
+        .name("dram-serve-reactor".to_string())
+        .spawn(move || reactor_loop(&listener, &epoll, &reactor_shared, queue_depth, idle_timeout))
+        .expect("spawn reactor thread");
 
     Ok(ServerHandle {
         addr: local,
         shared,
-        accept_thread: Some(accept_thread),
+        reactor_thread: Some(reactor_thread),
         supervisor: Some(supervisor),
     })
 }
@@ -251,10 +321,11 @@ fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<Option<JoinHandle<()>>
             workers[slot] = Some(spawn_worker(shared, slot, generations[slot]));
         }
     }
-    // Shutdown join: workers exit once the queue is drained. A worker
-    // killed by an injected fault *while* draining is joined here too —
-    // if connections remain at that point, respawn it so they are still
-    // served; the replacement drains and exits cleanly.
+    // Shutdown join: workers exit once the reactor has finished its
+    // drain and the queue is empty. A worker killed by an injected
+    // fault *while* draining is joined here too — if connections remain
+    // at that point, respawn it so they are still served; the
+    // replacement drains and exits cleanly.
     for slot in 0..workers.len() {
         while let Some(handle) = workers[slot].take() {
             let died = handle.join().is_err();
@@ -268,53 +339,251 @@ fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<Option<JoinHandle<()>>
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize) {
-    for conn in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            // The wake-up connection (or a late client) during shutdown:
-            // drop it; already-queued connections still drain.
-            break;
-        }
-        let Ok(mut stream) = conn else { continue };
-        shared.accepted.fetch_add(1, Ordering::SeqCst);
-        let id = shared.ids.next_id();
-        // Fault site: a `reject` rule makes this connection behave as if
-        // the queue were full — same 503 path, same accounting — so
-        // chaos runs exercise backpressure without needing real load.
-        let injected_full = dram_faults::trip("server.queue").is_some();
-        let mut queue = shared.lock_queue();
-        if queue.len() >= queue_depth || injected_full {
-            drop(queue);
-            // Backpressure: answer 503 inline and close — a rejected
-            // client never costs worker time. Best-effort drain of the
-            // request bytes first, so closing with an unread receive
-            // buffer doesn't RST the response away.
-            shared.metrics.record_rejected();
-            let retry_after = shared.metrics.retry_after_secs();
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
-            let mut scratch = [0u8; 8192];
-            let _ = io::Read::read(&mut stream, &mut scratch);
-            let sent = Response::error(503, "server is at capacity, retry shortly")
-                .with_header("retry-after", &retry_after.to_string())
-                .with_header("x-request-id", &id.to_string())
-                .send_within(&mut stream, shared.limits.io_timeout);
-            if let Some(line) = shared.logger.line(LogLevel::Error, "rejected") {
-                line.field("id", id)
-                    .field("status", 503)
-                    .field("queue_depth", queue_depth)
-                    .field("retry_after", retry_after)
-                    .field("write_ok", sent.is_ok())
-                    .emit();
+/// Registration token of the wakeup eventfd.
+const TOKEN_WAKE: u64 = 0;
+/// Registration token of the listening socket.
+const TOKEN_LISTENER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+/// How long parked connections get to flush in-flight bytes once
+/// shutdown starts before the reactor closes them.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+/// The event bits a parked connection registers for: readable or peer
+/// hangup, edge-triggered (one notification per transition — the
+/// connection is dispatched and deregistered on the first).
+const CONN_EVENTS: u32 = EPOLLIN | EPOLLRDHUP | EPOLLET;
+
+/// The reactor: owns the listener and the epoll set, parks idle
+/// connections, dispatches readable ones to the worker queue, rejects
+/// with 503 when the queue is full, sweeps idle timeouts, and performs
+/// the shutdown drain. Runs until shutdown; the listener closes (and
+/// the port frees) when this returns.
+fn reactor_loop(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    shared: &Arc<Shared>,
+    queue_depth: usize,
+    idle_timeout: Duration,
+) {
+    if let Err(e) = listener.set_nonblocking(true) {
+        log_reactor_error(shared, "reactor_listener_nonblocking_failed", &e);
+        // Degraded but not broken: accept() may block the loop between
+        // events, yet every connection is still served.
+    }
+    let _ = epoll.add(shared.wake.fd(), TOKEN_WAKE, EPOLLIN);
+    if let Err(e) = epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN) {
+        // Without listener events the server cannot accept at all;
+        // surface loudly and park until shutdown.
+        log_reactor_error(shared, "reactor_listener_register_failed", &e);
+    }
+    let mut parked: HashMap<u64, ParkedConn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = vec![EpollEvent::zeroed(); 256];
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let timeout = if drain_deadline.is_some() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(100)
+        };
+        let n = match epoll.wait(&mut events, timeout) {
+            Ok(n) => n,
+            Err(e) => {
+                log_reactor_error(shared, "reactor_epoll_wait_failed", &e);
+                break;
             }
-            continue;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            // Stop accepting; everything already parked gets the grace
+            // period to show readable bytes and be served.
+            drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            epoll.del(listener.as_raw_fd());
         }
-        queue.push_back(QueuedConn {
-            stream,
-            id,
-            queued_at: Instant::now(),
-        });
+        for ev in &events[..n] {
+            let (_bits, token) = ev.parts();
+            match token {
+                TOKEN_WAKE => shared.wake.drain(),
+                TOKEN_LISTENER => {
+                    if drain_deadline.is_none() {
+                        accept_burst(listener, epoll, shared, &mut parked, &mut next_token);
+                    }
+                }
+                token => {
+                    // Readable (or hung up): hand the connection to a
+                    // worker. Deregistered first so no second event can
+                    // race the dispatch.
+                    if let Some(conn) = parked.remove(&token) {
+                        epoll.del(conn.stream.as_raw_fd());
+                        dispatch_conn(conn, shared, queue_depth);
+                    }
+                }
+            }
+        }
+        // Adopt quiet keep-alive connections handed back by workers.
+        let returned: Vec<ReturnedConn> = std::mem::take(
+            &mut *shared
+                .returns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for conn in returned {
+            if drain_deadline.is_some() {
+                // Shutting down: the response promising keep-alive was
+                // already sent, but a server may close an idle
+                // connection at any time. Dropping closes it.
+                continue;
+            }
+            park_conn(conn.stream, conn.served, epoll, shared, &mut parked, &mut next_token);
+        }
+        let now = Instant::now();
+        if let Some(deadline) = drain_deadline {
+            if parked.is_empty() || now >= deadline {
+                for (_, conn) in parked.drain() {
+                    epoll.del(conn.stream.as_raw_fd());
+                }
+                break;
+            }
+        } else if !parked.is_empty() {
+            let expired: Vec<u64> = parked
+                .iter()
+                .filter(|(_, c)| now.duration_since(c.since) >= idle_timeout)
+                .map(|(t, _)| *t)
+                .collect();
+            for token in expired {
+                if let Some(conn) = parked.remove(&token) {
+                    epoll.del(conn.stream.as_raw_fd());
+                    shared.metrics.record_idle_closed();
+                    if let Some(line) = shared.logger.line(LogLevel::Debug, "idle_closed") {
+                        line.field("served", conn.served)
+                            .field("idle_ms", now.duration_since(conn.since).as_millis())
+                            .emit();
+                    }
+                }
+            }
+        }
+    }
+    // Workers may only exit once this is visible, or a connection
+    // dispatched during the drain could be stranded in the queue.
+    shared.reactor_done.store(true, Ordering::SeqCst);
+    shared.available.notify_all();
+}
+
+/// Accepts until the listener would block, parking each connection.
+/// Errors other than `WouldBlock` (fd exhaustion, aborted handshakes)
+/// back off until the next listener event rather than spinning.
+fn accept_burst(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    shared: &Shared,
+    parked: &mut HashMap<u64, ParkedConn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.accepted.fetch_add(1, Ordering::SeqCst);
+                // Nagle would hold each small pipelined response until
+                // the previous one is ACKed — a 40 ms delayed-ACK stall
+                // per response. Responses are written whole, so there is
+                // nothing for Nagle to coalesce anyway.
+                let _ = stream.set_nodelay(true);
+                park_conn(stream, 0, epoll, shared, parked, next_token);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                log_reactor_error(shared, "reactor_accept_failed", &e);
+                break;
+            }
+        }
+    }
+}
+
+/// Registers a connection in the epoll set and parks it. If the fd
+/// cannot be registered (fd pressure) the connection is dropped —
+/// closed — rather than leaked outside the reactor's bookkeeping.
+fn park_conn(
+    stream: TcpStream,
+    served: u64,
+    epoll: &Epoll,
+    shared: &Shared,
+    parked: &mut HashMap<u64, ParkedConn>,
+    next_token: &mut u64,
+) {
+    if let Err(e) = stream.set_nonblocking(true) {
+        log_reactor_error(shared, "reactor_nonblocking_failed", &e);
+        return;
+    }
+    let token = *next_token;
+    *next_token += 1;
+    match epoll.add(stream.as_raw_fd(), token, CONN_EVENTS) {
+        Ok(()) => {
+            parked.insert(
+                token,
+                ParkedConn {
+                    stream,
+                    served,
+                    since: Instant::now(),
+                },
+            );
+        }
+        Err(e) => log_reactor_error(shared, "reactor_register_failed", &e),
+    }
+}
+
+/// Logs a reactor-side I/O failure at `error` level.
+fn log_reactor_error(shared: &Shared, event: &str, e: &io::Error) {
+    if let Some(line) = shared.logger.line(LogLevel::Error, event) {
+        line.field("error", e.kind()).emit();
+    }
+}
+
+/// Hands a readable connection to the worker pool, or answers 503
+/// inline when the queue is full (or the `server.queue` fault fires).
+fn dispatch_conn(conn: ParkedConn, shared: &Shared, queue_depth: usize) {
+    let ParkedConn { stream, served, .. } = conn;
+    // Fault site: a `reject` rule makes this dispatch behave as if the
+    // queue were full — same 503 path, same accounting — so chaos runs
+    // exercise backpressure without needing real load.
+    let injected_full = dram_faults::trip("server.queue").is_some();
+    let mut queue = shared.lock_queue();
+    if queue.len() >= queue_depth || injected_full {
         drop(queue);
-        shared.available.notify_one();
+        reject_busy(stream, shared, queue_depth);
+        return;
+    }
+    queue.push_back(QueuedConn {
+        stream,
+        carry: Vec::new(),
+        served,
+        queued_at: Instant::now(),
+    });
+    drop(queue);
+    shared.available.notify_one();
+}
+
+/// Backpressure: answer 503 inline on the reactor thread and close — a
+/// rejected client never costs worker time. The dispatch was triggered
+/// by readability, so one nonblocking read drains the request bytes
+/// already here and closing doesn't RST the response away.
+fn reject_busy(mut stream: TcpStream, shared: &Shared, queue_depth: usize) {
+    shared.metrics.record_rejected();
+    let id = shared.ids.next_id();
+    let retry_after = shared.metrics.retry_after_secs();
+    let mut scratch = [0u8; 8192];
+    let _ = io::Read::read(&mut stream, &mut scratch);
+    let _ = stream.set_nonblocking(false);
+    let sent = Response::error(503, "server is at capacity, retry shortly")
+        .with_header("retry-after", &retry_after.to_string())
+        .with_header("x-request-id", &id.to_string())
+        .send_within(&mut stream, shared.limits.io_timeout);
+    if let Some(line) = shared.logger.line(LogLevel::Error, "rejected") {
+        line.field("id", id)
+            .field("status", 503)
+            .field("queue_depth", queue_depth)
+            .field("retry_after", retry_after)
+            .field("write_ok", sent.is_ok())
+            .emit();
     }
 }
 
@@ -331,7 +600,12 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 if let Some(conn) = queue.pop_front() {
                     break Some(conn);
                 }
-                if shared.shutting_down.load(Ordering::SeqCst) {
+                // Exit requires the reactor to be done: until then a
+                // drain dispatch can still land in the queue, and a
+                // worker that left early would strand it.
+                if shared.shutting_down.load(Ordering::SeqCst)
+                    && shared.reactor_done.load(Ordering::SeqCst)
+                {
                     break None;
                 }
                 queue = shared
@@ -345,106 +619,209 @@ fn worker_loop(shared: &Shared, slot: usize) {
             sentinel.armed = false;
             return;
         };
-        serve_connection(conn, shared);
+        if let Some(returned) = serve_connection(conn, shared) {
+            shared
+                .returns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(returned);
+            shared.wake.signal();
+        }
         // Fault site: a `panic` rule kills this worker *between*
-        // connections — the response above was already sent, so the
-        // death costs capacity, never a reply. The sentinel reports the
-        // slot and the supervisor respawns it.
+        // connections — responses were already sent and a quiet
+        // connection already handed back, so the death costs capacity,
+        // never a reply. The sentinel reports the slot and the
+        // supervisor respawns it.
         dram_faults::trip("server.worker");
     }
 }
 
-/// Parses one request off the connection, routes it, answers, closes.
+/// What one served request decided about its connection.
+enum Verdict {
+    /// Serve another request: the connection stays open and these are
+    /// the over-read bytes of the next pipelined request (often empty).
+    Keep(Vec<u8>),
+    /// Close: the client asked, a budget expired, the response failed
+    /// to send, or the request failed and poisoned the connection.
+    Close,
+}
+
+/// Serves requests off a dispatched connection until it goes quiet.
+///
+/// Pipelined requests (bytes already in the carry) are parsed and
+/// answered back-to-back in order without returning to the reactor;
+/// once the carry is empty after a kept-alive response, the connection
+/// is handed back (`Some`) to be parked. `None` means the connection
+/// was closed here.
 ///
 /// Chunked-transfer requests to the streaming trace endpoint are handed
 /// their still-on-the-wire body ([`serve_trace_stream`]); chunked
 /// requests to any other route are drained into memory first (bounded
 /// by [`Limits::max_body`]) and served exactly like buffered ones.
-fn serve_connection(conn: QueuedConn, shared: &Shared) {
+fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
     let QueuedConn {
         mut stream,
-        id,
+        mut carry,
+        mut served,
         queued_at,
     } = conn;
-    let queue_wait = queued_at.elapsed();
-    let started = Instant::now();
+    // The reactor parks streams nonblocking; workers parse with
+    // blocking reads under `read_bounded`'s timeout regime.
+    if stream.set_nonblocking(false).is_err() {
+        return None;
+    }
+    let mut queue_wait = queued_at.elapsed();
     shared.metrics.note_queue_wait(queue_wait);
-    // Accept-to-worker handoff time, attributed to this request. Manual
-    // because the interval crosses threads: the accept loop measured its
-    // start, this worker its end.
-    dram_obs::ManualSpan::new("server.queue", queued_at, started)
-        .arg("id", id)
-        .commit();
-    let mut request_span = dram_obs::span("server.request").arg("id", id);
-    match http::read_inbound(&mut stream, &shared.limits) {
-        Ok(http::Inbound::Buffered(req)) => {
-            serve_buffered(&req, &mut stream, shared, id, queue_wait, started, &mut request_span);
+    let mut first_of_dispatch = true;
+    loop {
+        let started = Instant::now();
+        let id = shared.ids.next_id();
+        if first_of_dispatch {
+            // Reactor-to-worker handoff time, attributed to the first
+            // request of the dispatch. Manual because the interval
+            // crosses threads: the reactor measured its start, this
+            // worker its end.
+            dram_obs::ManualSpan::new("server.queue", queued_at, started)
+                .arg("id", id)
+                .commit();
+            first_of_dispatch = false;
+        } else {
+            shared.metrics.record_pipelined();
         }
-        Ok(http::Inbound::Streaming {
-            mut request,
-            mut body,
-        }) => {
-            let route = Route::classify(request.method.as_str(), request.path.as_str());
-            if route == Route::Trace {
-                serve_trace_stream(
+        let mut request_span = dram_obs::span("server.request").arg("id", id);
+        let inbound =
+            http::read_inbound_after(&mut stream, &shared.limits, std::mem::take(&mut carry));
+        let verdict = match inbound {
+            Ok(http::Inbound::Buffered { request, leftover }) => {
+                if served > 0 {
+                    shared.metrics.record_keepalive_reuse();
+                }
+                serve_buffered(
                     &request,
+                    leftover,
                     &mut stream,
-                    &mut body,
                     shared,
                     id,
                     queue_wait,
                     started,
                     &mut request_span,
-                );
-            } else {
-                match drain_chunked(&mut stream, &mut body, shared.limits.max_body) {
-                    Ok(bytes) => {
-                        request.body = bytes;
-                        serve_buffered(
-                            &request,
-                            &mut stream,
-                            shared,
-                            id,
-                            queue_wait,
-                            started,
-                            &mut request_span,
-                        );
+                    served,
+                )
+            }
+            Ok(http::Inbound::Streaming {
+                mut request,
+                mut body,
+            }) => {
+                if served > 0 {
+                    shared.metrics.record_keepalive_reuse();
+                }
+                let route = Route::classify(request.method.as_str(), request.path.as_str());
+                if route == Route::Trace {
+                    serve_trace_stream(
+                        &request,
+                        &mut stream,
+                        &mut body,
+                        shared,
+                        id,
+                        queue_wait,
+                        started,
+                        &mut request_span,
+                        served,
+                    )
+                } else {
+                    match drain_chunked(&mut stream, &mut body, shared.limits.max_body) {
+                        Ok(bytes) => {
+                            request.body = bytes;
+                            let leftover = body.take_leftover();
+                            serve_buffered(
+                                &request,
+                                leftover,
+                                &mut stream,
+                                shared,
+                                id,
+                                queue_wait,
+                                started,
+                                &mut request_span,
+                                served,
+                            )
+                        }
+                        Err(e) => {
+                            answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started);
+                            Verdict::Close
+                        }
                     }
-                    Err(e) => answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started),
                 }
             }
-        }
-        Err(ReadError::Closed) => {
-            // Port probe / health check that never sent bytes: nothing
-            // to answer, nothing to count, no slow sample. `ReadError`
-            // keeps this path type-safe — `Closed` carries no status, so
-            // no response can even be constructed for it.
-            if let Some(line) = shared.logger.line(LogLevel::Debug, "probe_closed") {
-                line.field("id", id).emit();
+            Err(ReadError::Closed) => {
+                // Never-spoke probe, or a keep-alive peer hanging up
+                // cleanly between requests: nothing to answer, nothing
+                // to count, no slow sample. `ReadError` keeps this path
+                // type-safe — `Closed` carries no status, so no response
+                // can even be constructed for it.
+                if let Some(line) = shared.logger.line(LogLevel::Debug, "peer_closed") {
+                    line.field("id", id).field("served", served).emit();
+                }
+                Verdict::Close
+            }
+            Err(ReadError::Http(e)) => {
+                answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started);
+                Verdict::Close
+            }
+        };
+        match verdict {
+            Verdict::Close => return None,
+            Verdict::Keep(next) => {
+                served += 1;
+                carry = next;
+                // Tolerate a stray CRLF after a body (RFC 9112 §2.2) —
+                // it is not the start of a pipelined request, and a
+                // worker must not block waiting to complete one.
+                while carry.starts_with(b"\r\n") {
+                    carry.drain(..2);
+                }
+                if carry.is_empty() {
+                    return Some(ReturnedConn { stream, served });
+                }
+                // A pipelined request is already (partially) buffered:
+                // keep the worker and serve it immediately, in order.
+                queue_wait = Duration::ZERO;
             }
         }
-        Err(ReadError::Http(e)) => {
-            answer_protocol_error(&e, &mut stream, shared, id, queue_wait, started);
-        }
     }
+}
+
+/// Whether the connection survives this response: the client must want
+/// it, the request budget must allow it, every error poisons it
+/// (pipelined bytes behind a failed request are never trusted — the
+/// parsers may have desynced), and a draining server closes everything.
+fn keep_decision(req: &http::Request, status: u16, served: u64, shared: &Shared) -> bool {
+    req.wants_keep_alive()
+        && status < 400
+        && served + 1 < shared.max_requests_per_conn
+        && !shared.shutting_down.load(Ordering::SeqCst)
 }
 
 /// Answers a fully-buffered request: route, handle, send, record.
 #[allow(clippy::too_many_arguments)]
 fn serve_buffered(
     req: &http::Request,
+    leftover: Vec<u8>,
     stream: &mut TcpStream,
     shared: &Shared,
     id: RequestId,
     queue_wait: std::time::Duration,
     started: Instant,
     request_span: &mut dram_obs::SpanGuard,
-) {
+    served: u64,
+) -> Verdict {
     let (route, response, cache) = handle_request(req, shared, id);
     let handle_time = started.elapsed();
+    let keep = keep_decision(req, response.status, served, shared);
     request_span.add_arg("route", route.label());
     request_span.add_arg("status", response.status);
-    let response = response.with_header("x-request-id", &id.to_string());
+    let response = response
+        .with_header("x-request-id", &id.to_string())
+        .with_keep_alive(keep);
     let sent = response.send_within(stream, shared.limits.io_timeout);
     let rendered_id = id.to_string();
     shared.metrics.observe(&RequestRecord {
@@ -467,6 +844,11 @@ fn serve_buffered(
         cache.misses,
         &sent,
     );
+    if keep && sent.is_ok() {
+        Verdict::Keep(leftover)
+    } else {
+        Verdict::Close
+    }
 }
 
 /// Answers `POST /v1/trace` with a chunked body still on the wire: the
@@ -485,7 +867,8 @@ fn serve_trace_stream(
     queue_wait: std::time::Duration,
     started: Instant,
     request_span: &mut dram_obs::SpanGuard,
-) {
+    served: u64,
+) -> Verdict {
     let route = Route::Trace;
     let (response, cache) = if let Some(response) = shed_response(shared, route) {
         (response, CacheActivity::default())
@@ -513,9 +896,12 @@ fn serve_trace_stream(
         }
     };
     let handle_time = started.elapsed();
+    let keep = keep_decision(req, response.status, served, shared);
     request_span.add_arg("route", route.label());
     request_span.add_arg("status", response.status);
-    let response = response.with_header("x-request-id", &id.to_string());
+    let response = response
+        .with_header("x-request-id", &id.to_string())
+        .with_keep_alive(keep);
     let sent = response.send_within(stream, shared.limits.io_timeout);
     let rendered_id = id.to_string();
     shared.metrics.observe(&RequestRecord {
@@ -543,6 +929,14 @@ fn serve_trace_stream(
         // and the client may still be sending: drain briefly so closing
         // doesn't RST the response out of its receive buffer.
         drain_after_error(stream);
+        return Verdict::Close;
+    }
+    if keep && sent.is_ok() {
+        // The stream was fully consumed; anything past the chunked
+        // terminator is the next pipelined request.
+        Verdict::Keep(body.take_leftover())
+    } else {
+        Verdict::Close
     }
 }
 
@@ -566,7 +960,9 @@ fn drain_chunked(
 
 /// Answers a protocol-level failure (bad framing, oversized payload,
 /// deadline) with its 4xx, records it under [`Route::Other`], and
-/// drains what the client already sent.
+/// drains what the client already sent. Always followed by a close:
+/// after a framing error the connection's byte stream cannot be
+/// trusted, so any buffered pipelined requests die with it.
 fn answer_protocol_error(
     e: &http::HttpError,
     stream: &mut TcpStream,
@@ -741,19 +1137,20 @@ impl ServerHandle {
     }
 
     /// Gracefully shuts down: stop accepting, serve everything already
-    /// accepted or queued, join all threads. Returns the number of
-    /// requests served over the server's lifetime.
+    /// dispatched or showing readable bytes, close parked idle
+    /// connections, join all threads. Returns the number of requests
+    /// served over the server's lifetime.
     pub fn shutdown(mut self) -> u64 {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection; harmless
-        // if a real client raced us to it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        // Interrupt the reactor's wait; it runs the drain and exits,
+        // which also closes the listener (the port frees here).
+        self.shared.wake.signal();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
-        // Workers drain the queue, then observe the flag and exit; the
-        // supervisor joins them all (respawning any that die mid-drain)
-        // before exiting itself.
+        // Workers drain the queue, then observe both flags and exit;
+        // the supervisor joins them all (respawning any that die
+        // mid-drain) before exiting itself.
         self.shared.available.notify_all();
         self.shared.reaper.notify_all();
         if let Some(t) = self.supervisor.take() {

@@ -1,12 +1,13 @@
 //! Request identity and structured logging.
 //!
-//! Every connection the accept loop takes gets a [`RequestId`] — the
-//! accept wall-clock timestamp plus a process-wide atomic counter — that
-//! follows it through the bounded queue, the worker pool and the route
-//! handlers, is echoed back as the `x-request-id` response header, and
-//! labels the request's structured log line and any slow-request sample
-//! in `/metrics`. Clients (and `serve-bench`) can therefore correlate a
-//! wire-level response with exactly one server-side log line.
+//! Every request a worker parses gets a [`RequestId`] — a wall-clock
+//! timestamp plus a process-wide atomic counter — so each request on a
+//! kept-alive connection has its own identity. The id follows the
+//! request through the route handlers, is echoed back as the
+//! `x-request-id` response header, and labels the request's structured
+//! log line and any slow-request sample in `/metrics`. Clients (and
+//! `serve-bench`) can therefore correlate a wire-level response with
+//! exactly one server-side log line.
 //!
 //! Log lines are single-line `key=value` pairs on stderr, one per
 //! request, behind a [`LogLevel`] threshold (`--log` on `dram-serve`):
@@ -22,8 +23,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// Per-request identity: accept timestamp (milliseconds since the Unix
-/// epoch) plus a process-wide sequence number.
+/// Per-request identity: parse-start timestamp (milliseconds since the
+/// Unix epoch) plus a process-wide sequence number.
 ///
 /// The sequence number alone guarantees uniqueness within a server; the
 /// timestamp makes ids sortable and human-datable. Rendered as

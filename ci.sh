@@ -142,6 +142,46 @@ if [[ $fast -eq 0 ]]; then
     || { echo "    prometheus /metrics has no per-state trace cycle counters"; exit 1; }
   echo "    GET /metrics?format=prometheus -> text exposition v0.0.4 present ($trace_total trace commands counted)"
 
+  # Flight-recorder smoke: the default --journal 16384 is armed, so the
+  # x-request-id captured from a fresh evaluate must reconstruct into a
+  # complete accept -> dispatch -> worker_start -> response timeline via
+  # the loopback-only debug family, and a live 100 ms profiling window
+  # must return Chrome-trace JSON (full dram_units::json round-trip
+  # coverage lives in the serve-bench --journal stage below).
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST /v1/evaluate HTTP/1.1\r\ncontent-length: 29\r\nconnection: close\r\n\r\n{"preset":"ddr3_1g_x16_55nm"}' >&3
+  eval_reply=$(cat <&3)
+  exec 3<&- 3>&-
+  debug_id=$(sed -n 's|^x-request-id: \([0-9a-f-]*\).*|\1|p' <<<"$eval_reply" | tr -d '\r')
+  [[ -n "$debug_id" ]] || { echo "    evaluate reply carried no x-request-id"; exit 1; }
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET /debug/requests/%s HTTP/1.1\r\nconnection: close\r\n\r\n' "$debug_id" >&3
+  timeline=$(cat <&3)
+  exec 3<&- 3>&-
+  [[ "${timeline:0:12}" == "HTTP/1.1 200" ]] \
+    || { echo "    GET /debug/requests/$debug_id -> ${timeline:0:12} (want 200)"; exit 1; }
+  grep -q '"complete":true' <<<"$timeline" \
+    || { echo "    timeline for $debug_id is not complete"; exit 1; }
+  for kind in accept dispatch worker_start response; do
+    grep -q "\"kind\":\"$kind\"" <<<"$timeline" \
+      || { echo "    timeline for $debug_id is missing the $kind event"; exit 1; }
+  done
+  # The lifecycle kinds must appear in causal order in the (time-sorted)
+  # event stream.
+  kinds=$(grep -o '"kind":"[a-z_]*"' <<<"$timeline" | tr -d '"' | cut -d: -f2 | tr '\n' ' ')
+  [[ "$kinds" == *"accept"*"dispatch"*"worker_start"*"response"* ]] \
+    || { echo "    timeline kinds out of order: $kinds"; exit 1; }
+  echo "    GET /debug/requests/$debug_id -> complete ordered timeline ($kinds)"
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET /debug/profile?ms=100 HTTP/1.1\r\nconnection: close\r\n\r\n' >&3
+  profile_reply=$(cat <&3)
+  exec 3<&- 3>&-
+  [[ "${profile_reply:0:12}" == "HTTP/1.1 200" ]] \
+    || { echo "    GET /debug/profile?ms=100 -> ${profile_reply:0:12} (want 200)"; exit 1; }
+  grep -q '"traceEvents"' <<<"$profile_reply" \
+    || { echo "    /debug/profile returned no traceEvents array"; exit 1; }
+  echo "    GET /debug/profile?ms=100 -> Chrome-trace JSON returned"
+
   # Slowloris regression: a client trickling one byte at a time must be
   # answered 408 once the 1 s request deadline expires, not held forever.
   trickle_start=$(date +%s)
@@ -184,6 +224,13 @@ if [[ $fast -eq 0 ]]; then
   grep -q '"keepalive_speedup"' BENCH_server.json \
     || { echo "    BENCH_server.json records no keepalive_speedup"; exit 1; }
   echo "    BENCH_server.json written ($(wc -c < BENCH_server.json) bytes, keep-alive >= 2x verified)"
+
+  echo "==> serve-bench --journal (timeline completeness under concurrency)"
+  # Boots its own in-process server with the journal armed, drives an
+  # 8-thread concurrent keep-alive run, and exits non-zero unless every
+  # sampled request reconstructs a complete, ordered, byte-stable
+  # timeline and /debug/profile round-trips through dram_units::json.
+  ./target/release/serve-bench --journal --clients 8 --threads 8 | sed 's/^/    /'
 
   echo "==> chaos-bench smoke (seeded faults, writes BENCH_chaos.json)"
   # Fixed seed so the failure schedule (worker kills, build panics, slow

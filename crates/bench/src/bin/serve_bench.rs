@@ -12,6 +12,7 @@
 //! ```text
 //! serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] [--profile]
 //! serve-bench --soak N --soak-addr HOST:PORT [--soak-kill PID]
+//! serve-bench --journal
 //! ```
 //!
 //! `--profile` enables span recording for the run and prints a
@@ -23,6 +24,16 @@
 //! stages: each client holds one connection and pipelines its requests
 //! in small batches. Connection reuse must buy at least 2× requests/s
 //! on the small-request path — the run fails otherwise.
+//!
+//! `--journal` switches to flight-recorder verification: boot an
+//! in-process server with the journal armed, drive a concurrent
+//! keep-alive load from `--clients` client threads against `--threads`
+//! server threads, then assert that `GET /debug/requests/<id>`
+//! reconstructs a *complete*, *ordered* timeline (accept → dispatch →
+//! worker-start → response) for a sample of the served requests — and
+//! that fetching the same timeline twice returns byte-identical JSON.
+//! Also smoke-tests `GET /debug/profile?ms=N` by round-tripping the
+//! returned Chrome-trace document through `dram_units::json`.
 //!
 //! `--soak N` switches to soak mode against an already-running server
 //! (`--soak-addr`): open N keep-alive connections, leave them idle,
@@ -50,6 +61,7 @@ struct Args {
     threads: usize,
     out: String,
     profile: bool,
+    journal: bool,
     soak: Option<usize>,
     soak_addr: Option<String>,
     soak_kill: Option<String>,
@@ -62,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 8,
         out: OUT_FILE.to_string(),
         profile: false,
+        journal: false,
         soak: None,
         soak_addr: None,
         soak_kill: None,
@@ -92,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value_of("--out")?,
             "--profile" => args.profile = true,
+            "--journal" => args.journal = true,
             "--soak" => {
                 let v = value_of("--soak")?;
                 args.soak = Some(
@@ -484,6 +498,142 @@ fn print_stage_rollup(stage: &str) {
     }
 }
 
+/// Events the flight recorder must capture for every verified request,
+/// in the order they must appear in its reconstructed timeline.
+const TIMELINE_KINDS: [&str; 4] = ["accept", "dispatch", "worker_start", "response"];
+
+/// `--journal` mode: drive a concurrent keep-alive run with the journal
+/// armed, then hold `GET /debug/requests/<id>` to its contract — the
+/// timeline is complete (worker-start and response both present),
+/// ordered (monotone timestamps, lifecycle kinds in causal order) and
+/// byte-stable across two identical replays. Panics on any violation.
+fn run_journal_verification(threads: usize, clients: usize) {
+    const PER_CLIENT: usize = 25;
+    // Sized so the reactor's shard alone holds the whole run: every
+    // accept/park/wake/dispatch lands on the one reactor thread, and an
+    // evicted `accept` would (correctly, but unhelpfully) fail the
+    // completeness assertion below.
+    dram_obs::journal::configure(32_768);
+    // Spans on too: the timelines must join journal events with the
+    // span tree, so give them a span tree to join.
+    dram_obs::set_enabled(true);
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral");
+    let addr = handle.local_addr();
+
+    // Concurrent load: each client holds one keep-alive connection and
+    // serializes its requests on it, so every request exercises the
+    // full accept/park/wake/dispatch cycle at least once per conn.
+    let sampled_ids: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("timeout");
+                    let mut conn = std::io::BufReader::new(conn);
+                    let mut last_id = String::new();
+                    for _ in 0..PER_CLIENT {
+                        conn.get_mut()
+                            .write_all(
+                                b"POST /v1/evaluate HTTP/1.1\r\nhost: bench\r\n\
+                                  content-type: application/json\r\n\
+                                  content-length: 25\r\n\r\n\
+                                  {\"preset\":\"ddr3_1g_55nm\"}",
+                            )
+                            .expect("send");
+                        let reply = read_reply(&mut conn);
+                        assert_eq!(reply.status, 200, "evaluate failed: {}", reply.body);
+                        last_id = reply.id;
+                    }
+                    last_id
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    dram_obs::set_enabled(false);
+
+    // Each sampled request must reconstruct completely, in order, and
+    // byte-stably.
+    for id in &sampled_ids {
+        let path = format!("/debug/requests/{id}");
+        let (status, first, _) = exchange(addr, "GET", &path, "");
+        let (status2, second, _) = exchange(addr, "GET", &path, "");
+        assert_eq!(status, 200, "timeline fetch failed: {first}");
+        assert_eq!(status2, 200, "timeline re-fetch failed: {second}");
+        assert_eq!(
+            first, second,
+            "timeline for {id} not byte-stable across two replays"
+        );
+        let doc = Value::parse(&first).expect("timeline JSON parses");
+        assert_eq!(
+            doc.get("complete").and_then(Value::as_bool),
+            Some(true),
+            "timeline for {id} incomplete: {first}"
+        );
+        let events = doc
+            .get("events")
+            .and_then(Value::as_array)
+            .expect("timeline has events");
+        assert!(!events.is_empty(), "timeline for {id} has no events");
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(Value::as_str))
+            .collect();
+        let mut cursor = 0usize;
+        for want in TIMELINE_KINDS {
+            let found = kinds[cursor..].iter().position(|k| *k == want);
+            cursor += found.unwrap_or_else(|| {
+                panic!("timeline for {id} missing `{want}` after position {cursor}: {kinds:?}")
+            });
+        }
+        let stamps: Vec<f64> = events
+            .iter()
+            .filter_map(|e| e.get("ts_us").and_then(Value::as_f64))
+            .collect();
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "timeline for {id} not time-ordered: {stamps:?}"
+        );
+        let spans = doc
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("timeline has spans");
+        assert!(
+            spans.iter().any(|s| {
+                s.get("name").and_then(Value::as_str) == Some("server.request")
+            }),
+            "timeline for {id} did not join the request span: {first}"
+        );
+    }
+    println!(
+        "journal: {} timelines complete, ordered and byte-stable ({} clients x {PER_CLIENT} \
+         requests, {threads} server threads)",
+        sampled_ids.len(),
+        clients
+    );
+
+    // On-demand profiling round-trips through the JSON codec.
+    let (status, body, _) = exchange(addr, "GET", "/debug/profile?ms=50", "");
+    assert_eq!(status, 200, "profile fetch failed: {body}");
+    let doc = Value::parse(&body).expect("profile output is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("profile output has traceEvents");
+    println!("journal: /debug/profile?ms=50 returned {} trace events", events.len());
+
+    handle.shutdown();
+    dram_obs::journal::configure(0);
+}
+
 fn stage_json(s: &StageResult) -> Value {
     obj(vec![
         ("name", s.name.as_str().into()),
@@ -514,11 +664,16 @@ fn main() {
             }
             eprintln!(
                 "usage: serve-bench [--requests N] [--clients C] [--threads T] [--out FILE] \
-                 [--profile]\n       serve-bench --soak N --soak-addr HOST:PORT [--soak-kill PID]"
+                 [--profile]\n       serve-bench --soak N --soak-addr HOST:PORT [--soak-kill PID]\n                        serve-bench --journal [--clients C] [--threads T]"
             );
             std::process::exit(i32::from(!msg.is_empty()));
         }
     };
+
+    if args.journal {
+        run_journal_verification(args.threads, args.clients);
+        return;
+    }
 
     if let Some(count) = args.soak {
         let addr = args

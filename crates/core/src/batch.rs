@@ -416,6 +416,7 @@ impl ModelCache {
         };
         if let Some(hit) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dram_obs::journal::note(dram_obs::journal::EventKind::CacheHit, 0);
             return Ok((hit, true));
         }
         let known_bad = self
@@ -428,6 +429,7 @@ impl ModelCache {
             return Err(err);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        dram_obs::journal::note(dram_obs::journal::EventKind::CacheMiss, 0);
         // Fault site outside every lock: an injected build panic unwinds
         // without poisoning either cache map.
         dram_faults::trip("engine.build");
@@ -730,6 +732,12 @@ impl EvalEngine {
                         (base_batch.op_externals(&desc.electrical), 3)
                     };
                     crate::model::rebuild_phases_skipped_total().add(skipped);
+                    if skipped > 0 {
+                        dram_obs::journal::note(
+                            dram_obs::journal::EventKind::RebuildSkip,
+                            skipped,
+                        );
+                    }
                     let command_energy: Joules = commands
                         .iter()
                         .map(|&c| match c {

@@ -441,6 +441,13 @@ pub fn trip(site: &str) -> Option<Injection> {
 
     state.fired.fetch_add(1, Ordering::Relaxed);
     state.counter.inc();
+    // Flight-recorder breadcrumb: which site fired, attributed to the
+    // request the calling thread is serving (if any).
+    let site_index = SITES.iter().position(|(name, _)| *name == site).unwrap_or(0);
+    dram_obs::journal::note(
+        dram_obs::journal::EventKind::FaultFire,
+        site_index as u64,
+    );
     match state.rule.kind {
         Kind::Delay => {
             std::thread::sleep(state.rule.delay);

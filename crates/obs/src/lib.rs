@@ -18,6 +18,12 @@
 //! * [`chrome_trace`] serializes a drained [`Profile`] into a file
 //!   `chrome://tracing` / Perfetto loads; [`PromWriter`] renders metrics
 //!   in Prometheus text exposition version 0.0.4.
+//! * [`journal`] is the always-on flight recorder: a fixed-size,
+//!   lock-light ring buffer of typed lifecycle events (accepts,
+//!   dispatches, cache hits, fault fires, responses, …) written through
+//!   per-thread shards with zero allocation, read back by the server's
+//!   `/debug/*` endpoints. Sized 0 (the default) it costs one relaxed
+//!   load per call site.
 //!
 //! ```
 //! dram_obs::set_enabled(true);
@@ -36,14 +42,15 @@
 #![warn(missing_docs)]
 
 mod export;
+pub mod journal;
 pub mod metrics;
 pub mod span;
 
 pub use export::{chrome_trace, escape_help, escape_label, PromWriter};
 pub use metrics::{bucket_index, bucket_upper_us, Counter, Gauge, Histogram, Metric, Registry, BUCKETS};
 pub use span::{
-    clear, drain, enabled, rollup, set_enabled, span, ManualSpan, Profile, Rollup, SpanGuard,
-    SpanRecord, ThreadInfo,
+    clear, drain, enabled, register_thread, rollup, set_enabled, snapshot, span, ManualSpan,
+    Profile, Rollup, SpanGuard, SpanRecord, ThreadInfo,
 };
 
 #[cfg(test)]
@@ -332,6 +339,82 @@ mod tests {
             assert!(v >= last, "{line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn prom_writer_handles_empty_label_values() {
+        let mut w = PromWriter::new();
+        w.header("dram_edge_total", "Edge cases.", "counter");
+        w.sample("dram_edge_total", &[("route", "")], 1.0);
+        w.sample("dram_edge_total", &[("route", "\\\n\"")], 2.0);
+        let text = w.finish();
+        // An empty label value renders as route="" — present, not
+        // dropped, so series identity survives.
+        assert!(text.contains("dram_edge_total{route=\"\"} 1\n"), "{text}");
+        assert!(
+            text.contains("dram_edge_total{route=\"\\\\\\n\\\"\"} 2\n"),
+            "{text}"
+        );
+        // Every sample line still splits into exactly name-and-value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn prom_histogram_bucket_boundary_counts_land_one_bucket_up() {
+        // A sample exactly on a bucket's upper bound belongs to the NEXT
+        // bucket: uppers are exclusive in the log₂-µs scheme, while
+        // Prometheus `le` is inclusive — so the cumulative count at
+        // le="0.000004" must NOT include a 4 µs observation.
+        let h = Histogram::new();
+        h.observe_us(4); // == bucket_upper_us(2); lands in bucket 3
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_upper_us(2), Some(4));
+        let mut w = PromWriter::new();
+        w.histogram_seconds("dram_edge_seconds", "Boundary.", &h);
+        let text = w.finish();
+        assert!(text.contains("dram_edge_seconds_bucket{le=\"0.000004\"} 0\n"), "{text}");
+        assert!(text.contains("dram_edge_seconds_bucket{le=\"0.000008\"} 1\n"), "{text}");
+        assert!(text.contains("dram_edge_seconds_bucket{le=\"+Inf\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn prom_histogram_inf_bucket_equals_count_and_sum_is_consistent() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 2, 1024, 1_000_000] {
+            h.observe_us(us);
+        }
+        let mut w = PromWriter::new();
+        w.histogram_seconds("dram_sum_seconds", "Sum check.", &h);
+        let text = w.finish();
+        let value_of = |needle: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap_or_else(|| panic!("{needle} missing in {text}"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        // +Inf cumulative count == _count == total observations.
+        let inf = value_of("dram_sum_seconds_bucket{le=\"+Inf\"}");
+        let count = value_of("dram_sum_seconds_count");
+        assert_eq!(inf, 5.0);
+        assert_eq!(count, 5.0);
+        // _sum is the µs sum scaled to seconds.
+        let sum = value_of("dram_sum_seconds_sum");
+        assert!((sum - 1_001_027e-6).abs() < 1e-12, "sum {sum}");
+        // And the cumulative bucket sequence never decreases, ending at
+        // exactly the +Inf value.
+        let mut last = 0.0;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+        assert_eq!(last, inf);
     }
 
     #[test]

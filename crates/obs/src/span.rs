@@ -117,6 +117,30 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Registers the calling thread in the dense-thread-id table right
+/// away, instead of on its first recorded span.
+///
+/// Threads that never open a span — the server's epoll reactor lives in
+/// its own loop and records journal events, not spans — would otherwise
+/// appear as an anonymous `thread-<n>` (or not at all) in Chrome traces
+/// and `/debug/events` output. Call this once at thread start; repeat
+/// calls are no-ops. Returns the thread's dense id.
+pub fn register_thread() -> u64 {
+    thread_id()
+}
+
+/// Microseconds since the shared observability epoch — the same time
+/// axis span timestamps use, so journal events and spans line up.
+pub(crate) fn now_us() -> u64 {
+    us(Instant::now().saturating_duration_since(epoch()))
+}
+
+/// The calling thread's dense id (assigning and registering it on
+/// first use), for the journal's per-thread shard selection.
+pub(crate) fn current_thread_id() -> u64 {
+    thread_id()
+}
+
 /// This thread's dense id, assigning (and registering the thread name)
 /// on first use.
 fn thread_id() -> u64 {
@@ -290,6 +314,18 @@ pub fn drain() -> Profile {
     let mut sink = sink().lock().expect("span sink lock");
     Profile {
         spans: std::mem::take(&mut sink.spans),
+        threads: sink.threads.clone(),
+    }
+}
+
+/// Copies every completed span collected so far **without** draining
+/// the sink — for live introspection (the `/debug/requests` timeline
+/// join) that must not steal spans from a concurrent profiling run.
+#[must_use]
+pub fn snapshot() -> Profile {
+    let sink = sink().lock().expect("span sink lock");
+    Profile {
+        spans: sink.spans.clone(),
         threads: sink.threads.clone(),
     }
 }

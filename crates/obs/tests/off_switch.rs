@@ -61,6 +61,28 @@ fn disabled_profiling_allocates_nothing_and_records_nothing() {
         dram_obs::drain().spans.is_empty(),
         "disabled span path must not record spans"
     );
+
+    // The journal sized 0 (never configured) must be just as free:
+    // every record/note/context call is a relaxed load and return.
+    assert!(!dram_obs::journal::enabled(), "journal must start sized 0");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        dram_obs::journal::record(dram_obs::journal::EventKind::Accept, i, 0, i);
+        dram_obs::journal::set_context(i, i);
+        dram_obs::journal::note(dram_obs::journal::EventKind::CacheHit, 0);
+        dram_obs::journal::note(dram_obs::journal::EventKind::FaultFire, i);
+        dram_obs::journal::set_context(0, 0);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "size-0 journal path must not touch the allocator"
+    );
+    assert!(
+        dram_obs::journal::snapshot().is_empty(),
+        "size-0 journal must record nothing"
+    );
 }
 
 /// A static name per branch so the loop body itself allocates nothing.

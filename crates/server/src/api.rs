@@ -72,6 +72,12 @@ pub fn handle(req: &Request, metrics: &Metrics) -> (Route, Response, CacheActivi
         Route::Sweep => with_body(req, sweep_handler),
         Route::Trace => trace_buffered(req, &mut activity),
         Route::Metrics => metrics_response(req, metrics),
+        // The debug family is served by the loopback-gated router in
+        // the server front end *before* requests reach this
+        // dispatcher. Reaching this arm means the caller bypassed the
+        // gate (direct library use), so answer exactly like the
+        // non-loopback refusal: a detail-free 404.
+        Route::Debug => Response::error(404, "not found"),
         Route::Other => match req.path.as_str() {
             "/healthz" | "/v1/presets" | "/metrics" => method_not_allowed("GET"),
             "/v1/evaluate" | "/v1/batch" | "/v1/pattern" | "/v1/sweep" | "/v1/trace" => {

@@ -3,7 +3,7 @@
 //! ```text
 //! dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]
 //!            [--deadline-ms MS] [--idle-ms MS] [--max-requests N]
-//!            [--log off|error|info|debug] [--profile FILE]
+//!            [--log off|error|info|debug] [--profile FILE] [--journal N]
 //!            [--shed-at N] [--faults SPEC]
 //! ```
 //!
@@ -15,6 +15,13 @@
 //! a Chrome-trace JSON (chrome://tracing, Perfetto) on shutdown; every
 //! request span carries its `x-request-id`, so one trace shows queue →
 //! worker → engine per request.
+//!
+//! `--journal N` sizes the flight-recorder event journal (default 16384
+//! events, `0` disables it entirely — the recording path then costs one
+//! relaxed atomic load). The journal backs the loopback-only `GET
+//! /debug/*` endpoints: recent lifecycle events, per-request timelines
+//! (`/debug/requests/<x-request-id>`), the live reactor connection
+//! table, and on-demand profiling windows (see docs/OBSERVABILITY.md).
 //!
 //! `--shed-at N` turns on adaptive load shedding: once the request queue
 //! holds N or more entries, expensive routes (`/v1/sweep`, `/v1/batch`)
@@ -33,6 +40,7 @@ struct Args {
     addr: String,
     config: ServerConfig,
     profile: Option<String>,
+    journal: usize,
     faults: Option<dram_faults::Plan>,
 }
 
@@ -44,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
             ..ServerConfig::default()
         },
         profile: None,
+        journal: 16_384,
         faults: None,
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad log level `{v}` (off|error|info|debug)"))?;
             }
             "--profile" => args.profile = Some(value_of("--profile")?),
+            "--journal" => {
+                let v = value_of("--journal")?;
+                args.journal = v
+                    .parse()
+                    .map_err(|_| format!("bad journal size `{v}`"))?;
+            }
             "--shed-at" => {
                 let v = value_of("--shed-at")?;
                 args.config.shed_at = Some(
@@ -142,11 +157,14 @@ fn usage() {
         "dram-serve — HTTP/JSON evaluation service for the DRAM energy model\n\n\
          usage:\n  dram-serve [--addr HOST:PORT] [--threads N] [--queue N] [--max-body BYTES]\n\
              [--deadline-ms MS] [--idle-ms MS] [--max-requests N]\n\
-             [--log off|error|info|debug] [--profile FILE]\n\
+             [--log off|error|info|debug] [--profile FILE] [--journal N]\n\
              [--shed-at N] [--faults SPEC]\n\n\
          defaults: --addr 127.0.0.1:7878 --threads 4 --queue 128 --max-body 1048576\n\
          \x20         --deadline-ms 15000 --idle-ms 60000 --max-requests 10000\n\
-         \x20         --log info (no shedding, no faults)\n\
+         \x20         --log info --journal 16384 (no shedding, no faults)\n\
+         journal:  --journal N sizes the flight recorder behind the loopback-only\n\
+         \x20         GET /debug/* endpoints (events, request timelines, reactor\n\
+         \x20         table, live profiling); 0 disables recording\n\
          keep-alive: connections persist across requests; --idle-ms bounds how long\n\
          \x20         one may sit idle, --max-requests how many requests it may carry\n\
          resilience: --shed-at N sheds /v1/sweep + /v1/batch with 503 once the queue\n\
@@ -154,7 +172,7 @@ fn usage() {
          \x20         deterministic fault plan, e.g. `seed=7;engine.worker=panic:p=0.05`\n\
          \x20         (see docs/RESILIENCE.md)\n\
          endpoints: GET /healthz, GET /v1/presets, POST /v1/evaluate, POST /v1/batch,\n\
-         POST /v1/pattern, POST /v1/sweep, GET /metrics (see docs/SERVER.md)"
+         POST /v1/pattern, POST /v1/sweep, GET /metrics, GET /debug/* (docs/SERVER.md)"
     );
 }
 
@@ -217,6 +235,7 @@ fn main() -> ExitCode {
     if args.profile.is_some() {
         dram_obs::set_enabled(true);
     }
+    dram_obs::journal::configure(args.journal);
 
     if let Some(plan) = &args.faults {
         dram_faults::arm(plan);

@@ -22,6 +22,7 @@
 //! | `POST /v1/sweep` | ±variation sensitivity ranking |
 //! | `POST /v1/trace` | streamed command trace → power-state energy report (chunked bodies stream; see `docs/TRACES.md`) |
 //! | `GET /metrics` | request counters, latency histogram, slow samples, cache stats |
+//! | `GET /debug/*` | loopback-only live introspection: flight-recorder events, per-request timelines, reactor connection table, on-demand profiling (see [`debug`]) |
 //!
 //! Every response (including 4xx and the backpressure 503) carries a
 //! unique `x-request-id` header; the same id labels the request's
@@ -51,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod debug;
 pub mod http;
 pub mod metrics;
 pub mod presets;

@@ -37,13 +37,17 @@ pub enum Route {
     Trace,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/*` — the loopback-only introspection family
+    /// (journal, per-request timelines, reactor table, on-demand
+    /// profiling). Excluded from slow-request sampling.
+    Debug,
     /// Anything else (404/405/parse failures).
     Other,
 }
 
 impl Route {
     /// All routes, in display order.
-    pub const ALL: [Route; 9] = [
+    pub const ALL: [Route; 10] = [
         Route::Healthz,
         Route::Presets,
         Route::Evaluate,
@@ -52,6 +56,7 @@ impl Route {
         Route::Sweep,
         Route::Trace,
         Route::Metrics,
+        Route::Debug,
         Route::Other,
     ];
 
@@ -67,6 +72,7 @@ impl Route {
             Route::Sweep => "sweep",
             Route::Trace => "trace",
             Route::Metrics => "metrics",
+            Route::Debug => "debug",
             Route::Other => "other",
         }
     }
@@ -93,6 +99,7 @@ impl Route {
             ("POST", "/v1/sweep") => Route::Sweep,
             ("POST", "/v1/trace") => Route::Trace,
             ("GET", "/metrics") => Route::Metrics,
+            ("GET", p) if p == "/debug" || p.starts_with("/debug/") => Route::Debug,
             _ => Route::Other,
         }
     }
@@ -266,6 +273,12 @@ impl Metrics {
     /// [`Metrics::record`] plus a slow-request sample offer.
     pub fn observe(&self, rec: &RequestRecord<'_>) {
         self.record(rec.route, rec.status, rec.handle);
+        if rec.route == Route::Debug {
+            // Introspection traffic observes the server; it must not
+            // perturb what operators see. Debug requests are counted
+            // (above) but never sampled into slow_requests.
+            return;
+        }
         self.slow[rec.route.index()].offer(SlowSample {
             id: rec.id.to_string(),
             status: rec.status,
@@ -471,6 +484,8 @@ impl Metrics {
             .collect();
 
         obj(vec![
+            ("uptime_seconds", self.uptime_seconds().into()),
+            ("version", env!("CARGO_PKG_VERSION").into()),
             ("requests_total", self.total().into()),
             ("requests_by_route", Value::Obj(routes)),
             (

@@ -56,10 +56,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::api::{self, CacheActivity};
+use crate::debug::{ConnInfo, ConnState, ConnTable};
 use crate::http::{self, Limits, ReadError, Response};
 use crate::metrics::{Metrics, RequestRecord, Route};
 use crate::reactor::{Epoll, EpollEvent, Wake, EPOLLET, EPOLLIN, EPOLLRDHUP};
 use crate::trace::{LogLevel, Logger, RequestId, RequestIdSource};
+use dram_obs::journal::{self, EventKind};
 
 /// Server construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +112,9 @@ impl Default for ServerConfig {
 /// requests it has already answered, and when it entered the queue.
 struct QueuedConn {
     stream: TcpStream,
+    /// Connection id (accept sequence number) — the `conn` field every
+    /// journal event and `/debug/reactor` row uses for this socket.
+    conn: u64,
     carry: Vec<u8>,
     served: u64,
     queued_at: Instant,
@@ -118,12 +123,14 @@ struct QueuedConn {
 /// A quiet keep-alive connection a worker hands back to the reactor.
 struct ReturnedConn {
     stream: TcpStream,
+    conn: u64,
     served: u64,
 }
 
 /// A connection parked in the reactor's epoll set.
 struct ParkedConn {
     stream: TcpStream,
+    conn: u64,
     served: u64,
     since: Instant,
 }
@@ -141,6 +148,10 @@ struct Shared {
     logger: Logger,
     shed_at: Option<usize>,
     max_requests_per_conn: u64,
+    /// Live per-connection telemetry behind `GET /debug/reactor`:
+    /// advisory rows updated at each lifecycle transition, never
+    /// consulted for ownership decisions.
+    conns: ConnTable,
     /// Quiet keep-alive connections handed back by workers, adopted by
     /// the reactor on its next loop turn (after a `wake` signal).
     returns: Mutex<Vec<ReturnedConn>>,
@@ -227,6 +238,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
         logger: Logger::new(config.log),
         shed_at: config.shed_at,
         max_requests_per_conn: config.max_requests_per_conn.max(1),
+        conns: ConnTable::default(),
         returns: Mutex::new(Vec::new()),
         wake,
         reactor_done: AtomicBool::new(false),
@@ -365,6 +377,10 @@ fn reactor_loop(
     queue_depth: usize,
     idle_timeout: Duration,
 ) {
+    // Name this thread in the obs dense-id table up front: the reactor
+    // opens no spans itself, so without this its journal events (and
+    // any Chrome trace rows) would belong to an anonymous thread.
+    dram_obs::register_thread();
     if let Err(e) = listener.set_nonblocking(true) {
         log_reactor_error(shared, "reactor_listener_nonblocking_failed", &e);
         // Degraded but not broken: accept() may block the loop between
@@ -414,6 +430,7 @@ fn reactor_loop(
                     // race the dispatch.
                     if let Some(conn) = parked.remove(&token) {
                         epoll.del(conn.stream.as_raw_fd());
+                        journal::record(EventKind::Wake, conn.conn, 0, conn.served);
                         dispatch_conn(conn, shared, queue_depth);
                     }
                 }
@@ -431,15 +448,19 @@ fn reactor_loop(
                 // Shutting down: the response promising keep-alive was
                 // already sent, but a server may close an idle
                 // connection at any time. Dropping closes it.
+                journal::record(EventKind::Close, conn.conn, 0, conn.served);
+                shared.conns.remove(conn.conn);
                 continue;
             }
-            park_conn(conn.stream, conn.served, epoll, shared, &mut parked, &mut next_token);
+            park_conn(conn.stream, conn.conn, conn.served, epoll, shared, &mut parked, &mut next_token);
         }
         let now = Instant::now();
         if let Some(deadline) = drain_deadline {
             if parked.is_empty() || now >= deadline {
                 for (_, conn) in parked.drain() {
                     epoll.del(conn.stream.as_raw_fd());
+                    journal::record(EventKind::Close, conn.conn, 0, conn.served);
+                    shared.conns.remove(conn.conn);
                 }
                 break;
             }
@@ -453,6 +474,8 @@ fn reactor_loop(
                 if let Some(conn) = parked.remove(&token) {
                     epoll.del(conn.stream.as_raw_fd());
                     shared.metrics.record_idle_closed();
+                    journal::record(EventKind::Close, conn.conn, 0, conn.served);
+                    shared.conns.remove(conn.conn);
                     if let Some(line) = shared.logger.line(LogLevel::Debug, "idle_closed") {
                         line.field("served", conn.served)
                             .field("idle_ms", now.duration_since(conn.since).as_millis())
@@ -481,13 +504,19 @@ fn accept_burst(
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.accepted.fetch_add(1, Ordering::SeqCst);
+                let conn = shared.accepted.fetch_add(1, Ordering::SeqCst) + 1;
+                journal::record(
+                    EventKind::Accept,
+                    conn,
+                    0,
+                    u64::from(stream.as_raw_fd().unsigned_abs()),
+                );
                 // Nagle would hold each small pipelined response until
                 // the previous one is ACKed — a 40 ms delayed-ACK stall
                 // per response. Responses are written whole, so there is
                 // nothing for Nagle to coalesce anyway.
                 let _ = stream.set_nodelay(true);
-                park_conn(stream, 0, epoll, shared, parked, next_token);
+                park_conn(stream, conn, 0, epoll, shared, parked, next_token);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -504,6 +533,7 @@ fn accept_burst(
 /// closed — rather than leaked outside the reactor's bookkeeping.
 fn park_conn(
     stream: TcpStream,
+    conn: u64,
     served: u64,
     epoll: &Epoll,
     shared: &Shared,
@@ -512,22 +542,40 @@ fn park_conn(
 ) {
     if let Err(e) = stream.set_nonblocking(true) {
         log_reactor_error(shared, "reactor_nonblocking_failed", &e);
+        journal::record(EventKind::Close, conn, 0, served);
+        shared.conns.remove(conn);
         return;
     }
     let token = *next_token;
     *next_token += 1;
     match epoll.add(stream.as_raw_fd(), token, CONN_EVENTS) {
         Ok(()) => {
+            shared.conns.upsert(
+                conn,
+                ConnInfo {
+                    fd: stream.as_raw_fd(),
+                    state: ConnState::Parked,
+                    since: Instant::now(),
+                    served,
+                    carry: 0,
+                },
+            );
+            journal::record(EventKind::Park, conn, 0, served);
             parked.insert(
                 token,
                 ParkedConn {
                     stream,
+                    conn,
                     served,
                     since: Instant::now(),
                 },
             );
         }
-        Err(e) => log_reactor_error(shared, "reactor_register_failed", &e),
+        Err(e) => {
+            log_reactor_error(shared, "reactor_register_failed", &e);
+            journal::record(EventKind::Close, conn, 0, served);
+            shared.conns.remove(conn);
+        }
     }
 }
 
@@ -541,7 +589,12 @@ fn log_reactor_error(shared: &Shared, event: &str, e: &io::Error) {
 /// Hands a readable connection to the worker pool, or answers 503
 /// inline when the queue is full (or the `server.queue` fault fires).
 fn dispatch_conn(conn: ParkedConn, shared: &Shared, queue_depth: usize) {
-    let ParkedConn { stream, served, .. } = conn;
+    let ParkedConn {
+        stream,
+        conn,
+        served,
+        ..
+    } = conn;
     // Fault site: a `reject` rule makes this dispatch behave as if the
     // queue were full — same 503 path, same accounting — so chaos runs
     // exercise backpressure without needing real load.
@@ -549,16 +602,21 @@ fn dispatch_conn(conn: ParkedConn, shared: &Shared, queue_depth: usize) {
     let mut queue = shared.lock_queue();
     if queue.len() >= queue_depth || injected_full {
         drop(queue);
-        reject_busy(stream, shared, queue_depth);
+        reject_busy(stream, conn, shared, queue_depth);
         return;
     }
     queue.push_back(QueuedConn {
         stream,
+        conn,
         carry: Vec::new(),
         served,
         queued_at: Instant::now(),
     });
+    let depth = queue.len();
     drop(queue);
+    shared.conns.transition(conn, ConnState::Queued, served, 0);
+    journal::record(EventKind::Dispatch, conn, 0, served);
+    journal::record(EventKind::QueueEnter, conn, 0, depth as u64);
     shared.available.notify_one();
 }
 
@@ -566,9 +624,10 @@ fn dispatch_conn(conn: ParkedConn, shared: &Shared, queue_depth: usize) {
 /// rejected client never costs worker time. The dispatch was triggered
 /// by readability, so one nonblocking read drains the request bytes
 /// already here and closing doesn't RST the response away.
-fn reject_busy(mut stream: TcpStream, shared: &Shared, queue_depth: usize) {
+fn reject_busy(mut stream: TcpStream, conn: u64, shared: &Shared, queue_depth: usize) {
     shared.metrics.record_rejected();
     let id = shared.ids.next_id();
+    journal::record(EventKind::Response, conn, id.seq, 503);
     let retry_after = shared.metrics.retry_after_secs();
     let mut scratch = [0u8; 8192];
     let _ = io::Read::read(&mut stream, &mut scratch);
@@ -585,6 +644,8 @@ fn reject_busy(mut stream: TcpStream, shared: &Shared, queue_depth: usize) {
             .field("write_ok", sent.is_ok())
             .emit();
     }
+    journal::record(EventKind::Close, conn, 0, 0);
+    shared.conns.remove(conn);
 }
 
 fn worker_loop(shared: &Shared, slot: usize) {
@@ -658,24 +719,42 @@ enum Verdict {
 /// their still-on-the-wire body ([`serve_trace_stream`]); chunked
 /// requests to any other route are drained into memory first (bounded
 /// by [`Limits::max_body`]) and served exactly like buffered ones.
-fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
+fn serve_connection(queued: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
     let QueuedConn {
         mut stream,
+        conn,
         mut carry,
         mut served,
         queued_at,
-    } = conn;
+    } = queued;
     // The reactor parks streams nonblocking; workers parse with
     // blocking reads under `read_bounded`'s timeout regime.
     if stream.set_nonblocking(false).is_err() {
+        journal::record(EventKind::Close, conn, 0, served);
+        shared.conns.remove(conn);
         return None;
     }
+    // The connected socket's peer, captured once per dispatch: the
+    // loopback gate for `/debug/*` keys on this, never on a header.
+    let peer = stream.peer_addr().ok();
     let mut queue_wait = queued_at.elapsed();
     shared.metrics.note_queue_wait(queue_wait);
+    journal::record(
+        EventKind::QueueExit,
+        conn,
+        0,
+        u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX),
+    );
+    shared.conns.transition(conn, ConnState::Active, served, carry.len());
     let mut first_of_dispatch = true;
     loop {
         let started = Instant::now();
         let id = shared.ids.next_id();
+        journal::record(EventKind::WorkerStart, conn, id.seq, served);
+        // Ambient attribution: engine-cache, rebuild and fault events
+        // recorded anywhere below this worker frame land on this
+        // (conn, request) pair without API threading.
+        journal::set_context(conn, id.seq);
         if first_of_dispatch {
             // Reactor-to-worker handoff time, attributed to the first
             // request of the dispatch. Manual because the interval
@@ -706,6 +785,7 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
                     started,
                     &mut request_span,
                     served,
+                    peer,
                 )
             }
             Ok(http::Inbound::Streaming {
@@ -743,6 +823,7 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
                                 started,
                                 &mut request_span,
                                 served,
+                                peer,
                             )
                         }
                         Err(e) => {
@@ -768,8 +849,13 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
                 Verdict::Close
             }
         };
+        journal::set_context(0, 0);
         match verdict {
-            Verdict::Close => return None,
+            Verdict::Close => {
+                journal::record(EventKind::Close, conn, 0, served);
+                shared.conns.remove(conn);
+                return None;
+            }
             Verdict::Keep(next) => {
                 served += 1;
                 carry = next;
@@ -780,8 +866,9 @@ fn serve_connection(conn: QueuedConn, shared: &Shared) -> Option<ReturnedConn> {
                     carry.drain(..2);
                 }
                 if carry.is_empty() {
-                    return Some(ReturnedConn { stream, served });
+                    return Some(ReturnedConn { stream, conn, served });
                 }
+                shared.conns.transition(conn, ConnState::Active, served, carry.len());
                 // A pipelined request is already (partially) buffered:
                 // keep the worker and serve it immediately, in order.
                 queue_wait = Duration::ZERO;
@@ -813,8 +900,9 @@ fn serve_buffered(
     started: Instant,
     request_span: &mut dram_obs::SpanGuard,
     served: u64,
+    peer: Option<SocketAddr>,
 ) -> Verdict {
-    let (route, response, cache) = handle_request(req, shared, id);
+    let (route, response, cache) = handle_request(req, shared, id, peer);
     let handle_time = started.elapsed();
     let keep = keep_decision(req, response.status, served, shared);
     request_span.add_arg("route", route.label());
@@ -823,6 +911,7 @@ fn serve_buffered(
         .with_header("x-request-id", &id.to_string())
         .with_keep_alive(keep);
     let sent = response.send_within(stream, shared.limits.io_timeout);
+    journal::note(EventKind::Response, u64::from(response.status));
     let rendered_id = id.to_string();
     shared.metrics.observe(&RequestRecord {
         id: &rendered_id,
@@ -903,6 +992,7 @@ fn serve_trace_stream(
         .with_header("x-request-id", &id.to_string())
         .with_keep_alive(keep);
     let sent = response.send_within(stream, shared.limits.io_timeout);
+    journal::note(EventKind::Response, u64::from(response.status));
     let rendered_id = id.to_string();
     shared.metrics.observe(&RequestRecord {
         id: &rendered_id,
@@ -975,6 +1065,7 @@ fn answer_protocol_error(
     let response =
         Response::error(e.status(), &e.message()).with_header("x-request-id", &id.to_string());
     let sent = response.send_within(stream, shared.limits.io_timeout);
+    journal::note(EventKind::Response, u64::from(e.status()));
     let rendered_id = id.to_string();
     shared.metrics.observe(&RequestRecord {
         id: &rendered_id,
@@ -1034,8 +1125,17 @@ fn handle_request(
     req: &http::Request,
     shared: &Shared,
     id: RequestId,
+    peer: Option<SocketAddr>,
 ) -> (Route, Response, CacheActivity) {
     let route = Route::classify(req.method.as_str(), req.path.as_str());
+    if route == Route::Debug {
+        // The loopback-gated introspection router. Short-circuited
+        // before shedding and before `api::handle`: debug requests must
+        // work exactly when the server is in trouble, and the gate
+        // needs the peer address only this front end knows.
+        let response = crate::debug::handle(req, peer, &shared.conns);
+        return (route, response, CacheActivity::default());
+    }
     if let Some(response) = shed_response(shared, route) {
         return (route, response, CacheActivity::default());
     }

@@ -43,6 +43,26 @@ impl fmt::Display for RequestId {
     }
 }
 
+impl RequestId {
+    /// Parses the rendered form back into an id
+    /// (`{unix_ms:x}-{seq:08x}`, as echoed in `x-request-id`).
+    ///
+    /// Returns `None` for anything that is not two hex fields joined
+    /// by a single `-`. Used by `GET /debug/requests/<id>` to resolve
+    /// the id a client captured from a response header.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let (ms, seq) = s.split_once('-')?;
+        if ms.is_empty() || seq.is_empty() {
+            return None;
+        }
+        Some(RequestId {
+            unix_ms: u64::from_str_radix(ms, 16).ok()?,
+            seq: u64::from_str_radix(seq, 16).ok()?,
+        })
+    }
+}
+
 /// Hands out [`RequestId`]s: one atomic counter, timestamps taken per
 /// call. One source per server; cloning the numbers is race-free because
 /// uniqueness rides on the counter, not the clock.

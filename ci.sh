@@ -281,6 +281,100 @@ if [[ $fast -eq 0 ]]; then
     || { echo "    trace-bench peak RSS delta ${trace_rss:-unknown} kB exceeds the 256 MiB bound"; exit 1; }
   trace_rate=$(sed -n 's|.*"mb_per_s":\([0-9.]*\).*|\1|p' BENCH_trace.json)
   echo "    BENCH_trace.json written (bit-identical, ${trace_rate:-?} MB/s, peak RSS delta ${trace_rss} kB)"
+
+  echo "==> shard-bench smoke (multi-process pool, writes BENCH_shard.json)"
+  # Boots real dram-serve children behind the in-process router, SIGKILLs
+  # them on a seeded schedule, and exits non-zero if any request is lost
+  # beyond the retry budget, any body diverges from the single-node
+  # canon, or the ring's cache-hit rate fails to beat random routing.
+  ./target/release/shard-bench --requests 120 --kills 2 --seed 7 > /dev/null
+  test -s BENCH_shard.json
+  grep -q '"invariants_hold":true' BENCH_shard.json \
+    || { echo "    BENCH_shard.json does not report invariants_hold"; exit 1; }
+  grep -q '"lost_requests":0' BENCH_shard.json \
+    || { echo "    shard run lost requests"; exit 1; }
+  shard_failovers=$(sed -n 's|.*"failovers":\([0-9]*\).*|\1|p' BENCH_shard.json)
+  [[ -n "$shard_failovers" && "$shard_failovers" -ge 1 ]] \
+    || { echo "    shard run recorded no failovers (got: ${shard_failovers:-none})"; exit 1; }
+  shard_gain=$(sed -n 's|.*"affinity_gain":\([0-9.]*\).*|\1|p' BENCH_shard.json)
+  awk -v g="${shard_gain:-0}" 'BEGIN { exit !(g > 0.05) }' \
+    || { echo "    ring routing shows no cache-affinity gain (got: ${shard_gain:-none})"; exit 1; }
+  echo "    BENCH_shard.json written ($shard_failovers failovers, affinity gain +$shard_gain, 0 lost)"
+
+  echo "==> dram-route smoke (3-node pool, byte-identity, SIGKILL failover, SIGTERM drain)"
+  # Black-box: the shipped binaries only. Boot three dram-serve nodes and
+  # a dram-route in front, prove routed bodies match a direct node hit,
+  # SIGKILL one node and keep getting 200s while the Prometheus scrape
+  # records the failovers, then drain the router cleanly with SIGTERM.
+  node_pids=()
+  node_ports=()
+  node_logs=()
+  for _ in 1 2 3; do
+    nlog=$(mktemp)
+    ./target/release/dram-serve --addr 127.0.0.1:0 --threads 2 --log off > "$nlog" &
+    node_pids+=($!)
+    node_logs+=("$nlog")
+  done
+  route_log=$(mktemp)
+  trap 'kill -9 "${node_pids[@]}" "${route_pid:-}" 2>/dev/null || true' EXIT
+  for nlog in "${node_logs[@]}"; do
+    nport=""
+    for _ in $(seq 1 100); do
+      nport=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$nlog")
+      [[ -n "$nport" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$nport" ]] || { echo "    a dram-serve node never reported its port"; exit 1; }
+    node_ports+=("$nport")
+  done
+  ./target/release/dram-route --addr 127.0.0.1:0 --probe-ms 100 --log off \
+    --node "127.0.0.1:${node_ports[0]}" --node "127.0.0.1:${node_ports[1]}" \
+    --node "127.0.0.1:${node_ports[2]}" > "$route_log" &
+  route_pid=$!
+  rport=""
+  for _ in $(seq 1 100); do
+    rport=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$route_log")
+    [[ -n "$rport" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$rport" ]] || { echo "    dram-route never reported its port"; exit 1; }
+  http() { # port method path body -> full reply on stdout
+    local port=$1 method=$2 path=$3 body=$4
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s %s HTTP/1.1\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+      "$method" "$path" "${#body}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  }
+  eval_body='{"preset":"ddr3_1g_x16_55nm"}'
+  direct=$(http "${node_ports[0]}" POST /v1/evaluate "$eval_body")
+  routed=$(http "$rport" POST /v1/evaluate "$eval_body")
+  [[ "${routed:0:12}" == "HTTP/1.1 200" ]] \
+    || { echo "    routed evaluate -> ${routed:0:12} (want 200)"; exit 1; }
+  [[ "${direct#*$'\r\n\r\n'}" == "${routed#*$'\r\n\r\n'}" ]] \
+    || { echo "    routed body diverges from the direct node hit"; exit 1; }
+  echo "    routed /v1/evaluate -> 200, byte-identical to the direct node"
+  kill -9 "${node_pids[0]}"
+  # 40 distinct keyless requests: the dead node owned ~a third of these
+  # slices, so the survivors must absorb them while every reply stays 200.
+  for i in $(seq 1 40); do
+    reply=$(http "$rport" GET "/v1/presets?i=$i" "")
+    [[ "${reply:0:12}" == "HTTP/1.1 200" ]] \
+      || { echo "    request $i after SIGKILL -> ${reply:0:12} (want 200)"; exit 1; }
+  done
+  prom=$(http "$rport" GET '/metrics?format=prometheus' "")
+  route_failovers=$(sed -n 's|^dram_route_failovers_total \([0-9]*\)$|\1|p' <<<"$prom")
+  [[ -n "$route_failovers" && "$route_failovers" -ge 1 ]] \
+    || { echo "    dram_route_failovers_total is ${route_failovers:-absent} (want >= 1)"; exit 1; }
+  echo "    SIGKILL node 1 -> 40/40 served, $route_failovers failovers in the scrape"
+  kill -TERM "$route_pid"
+  wait "$route_pid"
+  grep -q 'drained' "$route_log" || { echo "    dram-route did not report a clean drain"; exit 1; }
+  kill "${node_pids[1]}" "${node_pids[2]}" 2>/dev/null || true
+  wait "${node_pids[1]}" "${node_pids[2]}" 2>/dev/null || true
+  trap - EXIT
+  rm -f "$route_log" "${node_logs[@]}"
+  echo "    SIGTERM -> router drained cleanly"
 fi
 
 echo "==> ci.sh: all green"

@@ -32,7 +32,7 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
@@ -237,26 +237,142 @@ fn hash_logic_block<H: Hasher>(h: &mut H, b: &LogicBlock) {
     hash_f64(h, b.toggle_rate);
 }
 
+/// A [`Hasher`] with a pinned algorithm (64-bit FNV-1a) and pinned
+/// integer encodings (fixed-width little-endian; `usize`/`isize` widened
+/// to 64 bits). Unlike [`DefaultHasher`], whose keys are only guaranteed
+/// stable within one process, `StableHasher` produces the same digest
+/// for the same byte stream in every process, on every platform — the
+/// property [`content_key`] needs so a router and its backend pool agree
+/// on ring placement without exchanging hashes.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// FNV-1a offset basis.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a prime.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher(Self::OFFSET)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    // usize/isize are widened to 64 bits so 32- and 64-bit builds hash
+    // identically.
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Walks every field of a description into `h`, floats by bit pattern.
+fn hash_description<H: Hasher>(h: &mut H, desc: &DramDescription) {
+    desc.name.hash(h);
+    hash_floorplan(h, &desc.floorplan);
+    hash_signaling(h, &desc.signaling);
+    hash_technology(h, &desc.technology);
+    hash_electrical(h, &desc.electrical);
+    hash_spec(h, &desc.spec);
+    hash_timing(h, &desc.timing);
+    h.write_usize(desc.logic_blocks.len());
+    for b in &desc.logic_blocks {
+        hash_logic_block(h, b);
+    }
+}
+
+/// The description's *content key*: a cross-process-stable 64-bit digest
+/// over every field, with floats hashed by bit pattern. Two descriptions
+/// that compare equal key equal; the converse is enforced by structural
+/// comparison at cache-lookup time.
+///
+/// This is the shard-routing key: `dram-route` hashes it onto the
+/// consistent-hash ring and [`ModelCache`] buckets by it, so a given
+/// device always lands on the node whose model cache is hot for it. The
+/// algorithm (FNV-1a via [`StableHasher`], fixed field walk) is part of
+/// the on-the-wire contract — a silent change re-maps every ring slice —
+/// and is pinned by a golden-value test.
+#[must_use]
+pub fn content_key(desc: &DramDescription) -> u64 {
+    let mut h = StableHasher::new();
+    hash_description(&mut h, desc);
+    h.finish()
+}
+
 /// Content hash over every field of a description, with floats hashed by
 /// bit pattern. Two descriptions that compare equal hash equal; the
 /// converse is enforced by structural comparison at lookup time.
+///
+/// Since the router tier landed this is simply [`content_key`] — the
+/// cache and the shard ring must agree on keying, so both use the same
+/// stable digest (a `DefaultHasher` key would differ across processes
+/// and defeat cache affinity).
 #[must_use]
 pub fn content_hash(desc: &DramDescription) -> u64 {
-    // DefaultHasher::new() uses fixed keys: stable within a process,
-    // which is all the in-memory cache needs.
-    let mut h = DefaultHasher::new();
-    desc.name.hash(&mut h);
-    hash_floorplan(&mut h, &desc.floorplan);
-    hash_signaling(&mut h, &desc.signaling);
-    hash_technology(&mut h, &desc.technology);
-    hash_electrical(&mut h, &desc.electrical);
-    hash_spec(&mut h, &desc.spec);
-    hash_timing(&mut h, &desc.timing);
-    h.write_usize(desc.logic_blocks.len());
-    for b in &desc.logic_blocks {
-        hash_logic_block(&mut h, b);
-    }
-    h.finish()
+    content_key(desc)
 }
 
 /// Hit/miss counters of a [`ModelCache`].
@@ -1016,6 +1132,53 @@ mod tests {
             block.gates += 1;
         }
         assert_ne!(h0, content_hash(&d), "logic block");
+    }
+
+    /// The content key is the shard-routing contract: `dram-route`
+    /// places it on the consistent-hash ring, so a change to the
+    /// algorithm or the field walk silently re-maps every node's cache
+    /// slice. This golden value pins it; update it only with a deliberate
+    /// ring-migration story (see docs/SHARDING.md).
+    #[test]
+    fn content_key_is_stable_across_refactors() {
+        let key = content_key(&ddr3_1g_x16_55nm());
+        assert_eq!(
+            key, 0xc7ae_0617_96b3_bb24,
+            "content_key for the ddr3_1g_x16_55nm reference changed: \
+             this re-maps the whole shard ring (got {key:#018x})"
+        );
+        // The cache and the router must key identically, or routed
+        // requests would warm the wrong node's cache.
+        assert_eq!(key, content_hash(&ddr3_1g_x16_55nm()));
+    }
+
+    /// `StableHasher` must encode every integer width deterministically
+    /// and identically across usize widths (usize/isize widen to 64).
+    #[test]
+    fn stable_hasher_is_deterministic_and_width_stable() {
+        let digest = |f: &dyn Fn(&mut StableHasher)| {
+            let mut h = StableHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            digest(&|h| h.write(b"abc")),
+            digest(&|h| {
+                h.write_u8(b'a');
+                h.write_u8(b'b');
+                h.write_u8(b'c');
+            }),
+        );
+        assert_eq!(
+            digest(&|h| h.write_usize(7)),
+            digest(&|h| h.write_u64(7)),
+        );
+        assert_eq!(
+            digest(&|h| h.write_isize(-1)),
+            digest(&|h| h.write_u64(u64::MAX)),
+        );
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod reference;
 pub mod timing;
 pub mod voltage;
 
-pub use batch::{CacheStats, EngineSnapshot, EvalEngine, ModelCache};
+pub use batch::{content_key, CacheStats, EngineSnapshot, EvalEngine, ModelCache, StableHasher};
 pub use error::ModelError;
 pub use lowpower::{PowerState, TemperatureRange};
 pub use model::{

@@ -37,8 +37,9 @@
 //!          | site '=' action
 //! site    := 'http.read' | 'http.write' | 'engine.build'
 //!          | 'engine.worker' | 'server.queue' | 'server.worker'
+//!          | 'node.kill'
 //! action  := kind (':' param)*
-//! kind    := 'panic' | 'delay' | 'short' | 'reject'
+//! kind    := 'panic' | 'delay' | 'short' | 'reject' | 'kill'
 //! param   := 'p=' float                -- fire probability, default 1
 //!          | 'ms=' u64                 -- delay milliseconds, default 10
 //!          | 'burst=' u32              -- consecutive fires once
@@ -70,7 +71,7 @@ use dram_units::rng::SplitMix64;
 /// Every site the workspace can inject at, with the failure modes each
 /// supports. Central so the spec parser, the docs and `chaos-bench`
 /// cannot drift apart.
-pub const SITES: [(&str, &[Kind]); 6] = [
+pub const SITES: [(&str, &[Kind]); 7] = [
     // Socket reads in `dram_server::http` stall (delay) or arrive one
     // byte at a time (short).
     ("http.read", &[Kind::Delay, Kind::Short]),
@@ -85,6 +86,12 @@ pub const SITES: [(&str, &[Kind]); 6] = [
     ("server.queue", &[Kind::Reject]),
     // A server worker thread dies between connections (respawn path).
     ("server.worker", &[Kind::Panic]),
+    // A whole node process should die (SIGKILL). Tripped by the
+    // *orchestrator* — `shard-bench`'s kill scheduler — not by the node
+    // itself: the scheduler draws from this site's stream once per tick
+    // and kills a child process when it fires, so whole-node crash
+    // schedules are seeded and replayable like every other fault.
+    ("node.kill", &[Kind::Kill]),
 ];
 
 /// What an armed site does when its draw fires.
@@ -98,6 +105,9 @@ pub enum Kind {
     Short,
     /// Report the guarded resource as unavailable (queue full).
     Reject,
+    /// Kill a whole process (SIGKILL), fired by an orchestrator that
+    /// owns the victim — the process never sees the trip.
+    Kill,
 }
 
 impl Kind {
@@ -107,6 +117,7 @@ impl Kind {
             "delay" => Some(Kind::Delay),
             "short" => Some(Kind::Short),
             "reject" => Some(Kind::Reject),
+            "kill" => Some(Kind::Kill),
             _ => None,
         }
     }
@@ -119,6 +130,7 @@ impl Kind {
             Kind::Delay => "delay",
             Kind::Short => "short",
             Kind::Reject => "reject",
+            Kind::Kill => "kill",
         }
     }
 }
@@ -618,6 +630,27 @@ mod tests {
         disarm();
         assert_eq!(hit, Some(Injection { kind: Kind::Delay }));
         assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn node_kill_site_draws_like_any_other() {
+        let _x = exclusive();
+        // The orchestrator-owned site: `kill` parses, other kinds are
+        // rejected, and the seeded stream replays — a kill schedule is
+        // as deterministic as an in-process fault.
+        assert!(Plan::parse("node.kill=panic")
+            .expect_err("kill-only site")
+            .contains("does not support"));
+        let plan = Plan::parse("seed=11;node.kill=kill:p=0.4:times=3").expect("parses");
+        let run = || {
+            arm(&plan);
+            let fires: Vec<bool> = (0..32).map(|_| trip("node.kill").is_some()).collect();
+            disarm();
+            fires
+        };
+        let a = run();
+        assert_eq!(a, run(), "seeded kill schedule replays");
+        assert_eq!(a.iter().filter(|f| **f).count(), 3, "times budget holds");
     }
 
     #[test]

@@ -162,7 +162,12 @@ fn with_body(req: &Request, f: impl FnOnce(&Value) -> Response) -> Response {
 /// [`presets::NAMES`]) or `"description"` (description-language text).
 /// Errors are returned as the message for a 400 body, so batch items
 /// can carry them inline.
-fn resolve_description(body: &Value) -> Result<DramDescription, String> {
+///
+/// Public because the shard router keys requests exactly the way the
+/// cache does: resolve, then [`dram_core::batch::content_key`] — using
+/// the same resolver guarantees router placement and backend cache
+/// bucketing can never disagree.
+pub fn resolve_description(body: &Value) -> Result<DramDescription, String> {
     match (body.get("preset"), body.get("description")) {
         (Some(_), Some(_)) => Err("give either `preset` or `description`, not both".into()),
         (Some(p), None) => {

@@ -880,6 +880,7 @@ impl Response {
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Unknown",
         }

@@ -34,6 +34,12 @@
 //! requests are answered in order. See the connection-lifecycle section
 //! of `docs/SERVER.md` for the budgets and close rules.
 //!
+//! The crate also ships `dram-route` ([`router`]): a consistent-hash
+//! shard router that places each request's model-description content
+//! key on a ring of `dram-serve` nodes, with health probing, retries
+//! under the shared [`retry`] policy, optional hedging, and a federated
+//! `/metrics`. See `docs/SHARDING.md`.
+//!
 //! ## In-process quickstart
 //!
 //! ```
@@ -57,10 +63,16 @@ pub mod http;
 pub mod metrics;
 pub mod presets;
 mod reactor;
+pub mod retry;
+pub mod ring;
+pub mod router;
 mod server;
 pub mod trace;
 
 pub use http::{Limits, ReadError, Request, Response};
 pub use metrics::{Metrics, RequestRecord, Route, SlowSample};
+pub use retry::{RetryPolicy, RetrySchedule};
+pub use ring::Ring;
+pub use router::{route_serve, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use trace::{LogLevel, Logger, RequestId, RequestIdSource};

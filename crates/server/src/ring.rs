@@ -1,0 +1,240 @@
+//! The consistent-hash ring `dram-route` places content keys on.
+//!
+//! Each backend node is hashed onto a 64-bit ring at a bounded number
+//! of *virtual points* (replicas); a request's
+//! [`content_key`](dram_core::batch::content_key) is owned by the first
+//! node point at or clockwise after it. Virtual points smooth ownership
+//! (with `R` replicas per node the expected slice imbalance shrinks
+//! like `1/√R`), and consistency means membership changes move only the
+//! slices that touch the changed node — every other key keeps its
+//! owner, so the surviving nodes' model caches stay hot.
+//!
+//! Failover is the same walk: when a node is marked down, its keys fall
+//! through to the next *distinct* node clockwise ([`Ring::route`] skips
+//! down nodes), and when it comes back the walk finds it again — the
+//! ring itself never changes, so recovery re-absorbs exactly the slice
+//! that failed over.
+//!
+//! Point placement hashes `"{addr}#{replica}"` with the same pinned
+//! FNV-1a the content key uses ([`StableHasher`]), so a router restart
+//! — or two routers in front of the same pool — always rebuilds the
+//! identical ring.
+
+use std::hash::Hasher as _;
+
+use dram_core::batch::StableHasher;
+use dram_units::rng::SplitMix64;
+
+/// Hard ceiling on virtual points per node: bounds ring memory and
+/// rebuild cost however the flag is misconfigured.
+pub const MAX_REPLICAS: usize = 256;
+
+/// Default virtual points per node.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// An immutable consistent-hash ring over a fixed node list. Liveness
+/// is *not* stored here — callers pass the current up/down view to
+/// [`Ring::route`], so health flips never rebuild the ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, node index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+/// The pinned point-placement hash: FNV-1a of `"{addr}#{replica}"`,
+/// finalized through the SplitMix64 mixer. Raw FNV of short similar
+/// strings clusters badly on a 64-bit ring (one node can end up owning
+/// a few percent instead of its fair share); the mix step gives full
+/// avalanche while staying exactly as pinned and cross-process stable.
+fn point(addr: &str, replica: usize) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(addr.as_bytes());
+    h.write(b"#");
+    h.write_usize(replica);
+    SplitMix64::new(h.finish()).next_u64()
+}
+
+impl Ring {
+    /// Builds the ring for `nodes` with `replicas` virtual points each
+    /// (clamped to `1..=`[`MAX_REPLICAS`]). Ties on a point (vanishingly
+    /// rare) resolve by node order, deterministically.
+    #[must_use]
+    pub fn new(nodes: &[String], replicas: usize) -> Ring {
+        let replicas = replicas.clamp(1, MAX_REPLICAS);
+        let mut points = Vec::with_capacity(nodes.len() * replicas);
+        for (index, addr) in nodes.iter().enumerate() {
+            for replica in 0..replicas {
+                points.push((point(addr, replica), index));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            nodes: nodes.len(),
+        }
+    }
+
+    /// Number of nodes the ring was built over.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the ring has no nodes at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// The nodes that would serve `key`, in failover order: the owner
+    /// first, then each next distinct node clockwise. Every node appears
+    /// exactly once, so index `i` is the `i`-th choice after `i`
+    /// failures.
+    #[must_use]
+    pub fn successors(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes);
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self
+            .points
+            .partition_point(|&(p, _)| p < key)
+            // partition_point == len means the key is past the last
+            // point: wrap to the start of the ring.
+            % self.points.len();
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&node) {
+                order.push(node);
+                if order.len() == self.nodes {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The first *up* node that owns `key`, walking the failover order
+    /// against the caller's liveness view. `None` when every node is
+    /// down (the router answers 502). The second field reports how many
+    /// down nodes the walk skipped — each skip is a failover.
+    #[must_use]
+    pub fn route(&self, key: u64, up: &[bool]) -> Option<(usize, usize)> {
+        for (skipped, node) in self.successors(key).into_iter().enumerate() {
+            if up.get(node).copied().unwrap_or(false) {
+                return Some((node, skipped));
+            }
+        }
+        None
+    }
+
+    /// How many of the ring's points each node owns — the `/metrics`
+    /// ownership view (`dram_route_ring_points{node=…}`).
+    #[must_use]
+    pub fn ownership(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes];
+        for &(_, node) in &self.points {
+            counts[node] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_balanced() {
+        let a = Ring::new(&nodes(3), DEFAULT_REPLICAS);
+        let b = Ring::new(&nodes(3), DEFAULT_REPLICAS);
+        let up = [true, true, true];
+        let owners: Vec<usize> = (0..10_000)
+            .map(|i| a.route(key_of(i), &up).unwrap().0)
+            .collect();
+        let owners_b: Vec<usize> = (0..10_000)
+            .map(|i| b.route(key_of(i), &up).unwrap().0)
+            .collect();
+        assert_eq!(owners, owners_b, "same node list -> same ring");
+
+        let mut share = [0usize; 3];
+        for o in &owners {
+            share[*o] += 1;
+        }
+        for (node, count) in share.iter().enumerate() {
+            assert!(
+                (1500..=5200).contains(count),
+                "node {node} owns {count}/10000 keys — virtual points failed to balance"
+            );
+        }
+    }
+
+    /// A synthetic well-mixed key stream (the ring sees content keys,
+    /// already uniform).
+    fn key_of(i: u64) -> u64 {
+        dram_units::rng::SplitMix64::new(i).next_u64()
+    }
+
+    #[test]
+    fn down_node_moves_only_its_own_keys_to_successors() {
+        let ring = Ring::new(&nodes(4), DEFAULT_REPLICAS);
+        let all_up = [true; 4];
+        let mut down = all_up;
+        down[2] = false;
+        let mut moved = 0;
+        for i in 0..10_000 {
+            let key = key_of(i);
+            let (owner, skipped) = ring.route(key, &all_up).unwrap();
+            let (fallback, fallback_skipped) = ring.route(key, &down).unwrap();
+            if owner == 2 {
+                // Lost slice: must land on this key's first successor.
+                assert_ne!(fallback, 2);
+                assert_eq!(fallback, ring.successors(key)[1]);
+                assert_eq!(fallback_skipped, 1, "exactly one skip recorded");
+                moved += 1;
+            } else {
+                assert_eq!(owner, fallback, "unrelated keys must not move");
+                assert_eq!(skipped, 0);
+            }
+        }
+        assert!(moved > 1000, "node 2 owned {moved}/10000 keys");
+    }
+
+    #[test]
+    fn successors_list_every_node_once_and_route_survives_to_the_last() {
+        let ring = Ring::new(&nodes(5), 16);
+        let key = key_of(77);
+        let order = ring.successors(key);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+
+        // Only the last node in failover order is up: route finds it
+        // and counts four skips.
+        let mut up = [false; 5];
+        up[order[4]] = true;
+        assert_eq!(ring.route(key, &up), Some((order[4], 4)));
+        // Nobody up: 502 territory.
+        assert_eq!(ring.route(key, &[false; 5]), None);
+    }
+
+    #[test]
+    fn replica_bounds_are_enforced() {
+        let one = Ring::new(&nodes(2), 0);
+        assert_eq!(one.ownership(), vec![1, 1], "replicas clamp up to 1");
+        let capped = Ring::new(&nodes(2), 10_000);
+        assert_eq!(
+            capped.ownership(),
+            vec![MAX_REPLICAS, MAX_REPLICAS],
+            "replicas clamp down to MAX_REPLICAS"
+        );
+        let empty = Ring::new(&[], 8);
+        assert!(empty.is_empty());
+        assert_eq!(empty.route(1, &[]), None);
+    }
+}

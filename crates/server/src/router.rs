@@ -1,0 +1,1405 @@
+//! `dram-route` — a fault-tolerant shard router in front of a pool of
+//! `dram-serve` nodes.
+//!
+//! The router reads each request with the same hand-rolled HTTP/1.1
+//! parser the server uses, derives its **content key** (the request's
+//! model description through [`content_key`] — exactly the digest
+//! `ModelCache` buckets by) and forwards it to the node that owns that
+//! key on a consistent-hash [`Ring`]. A given device description
+//! therefore always lands on the same node, whose engine cache stays
+//! hot on a disjoint slice of the device space; membership changes move
+//! only the slices that touch the changed node (see `docs/SHARDING.md`).
+//!
+//! Fault tolerance, end to end:
+//!
+//! * **Health.** An active prober hits every node's `/healthz` on a
+//!   configurable interval; [`RouterConfig::down_after`] consecutive
+//!   failures mark a node down and its ring slice falls through to the
+//!   next distinct node clockwise. Forwarding failures count against
+//!   the same threshold (passive detection), and any success — probe or
+//!   proxied response — marks the node up again, re-absorbing its slice.
+//! * **Retries.** Retryable failures (connect refused, a `503` whose
+//!   `Retry-After` is honored, a timeout before any response head byte)
+//!   are retried against the next ring successor under the shared
+//!   [`RetryPolicy`] — the same backoff/jitter/hint rules
+//!   `examples/server_client.rs` proved. Once a single response byte
+//!   has been relayed the request is *not* retryable: a mid-body
+//!   upstream death poisons the client connection (`connection: close`
+//!   semantics, exactly like a handler failure on `dram-serve`).
+//! * **Hedging.** Optionally, when the owner has not produced a
+//!   response head within [`RouterConfig::hedge_after`], a second
+//!   attempt fires to the next ring successor and the first head wins.
+//! * **Observability.** `/healthz` and `/metrics` are served by the
+//!   router itself; `/metrics` federates the pool — per-node health,
+//!   ring ownership, retry/hedge/failover counters, and each backend's
+//!   own scrape aggregated under a bounded per-node timeout so one hung
+//!   node can never stall the router's exporter (last-known values are
+//!   served instead, marked stale).
+//!
+//! `GET /debug/*` is proxied but stays loopback-gated *at the router*:
+//! the hop to the backend is made from the router's own (loopback)
+//! address, so without the router-side gate any remote client would
+//! inherit loopback trust — the gate therefore applies to the client's
+//! peer address before forwarding, answering non-loopback peers the
+//! same detail-free 404 the backend would.
+//!
+//! The front end is deliberately thread-per-connection: a router
+//! connection is a long-lived byte relay, most of its life blocked on
+//! one of two sockets, which is the workload threads model well — the
+//! backend keeps the epoll reactor because it parks thousands of idle
+//! keep-alive connections, a shape the router's pooled upstream side
+//! already collapses down to a handful of streams.
+
+use std::collections::HashMap;
+use std::hash::Hasher as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dram_core::batch::{content_key, StableHasher};
+use dram_obs::journal::{self, EventKind};
+use dram_obs::PromWriter;
+use dram_units::json::{obj, Value};
+
+use crate::http::{self, HttpError, Inbound, Limits, ReadError, Request, Response};
+use crate::retry::RetryPolicy;
+use crate::ring::{Ring, DEFAULT_REPLICAS};
+use crate::trace::{LogLevel, Logger, RequestIdSource};
+
+/// Idle upstream keep-alive connections retained per node.
+const POOL_PER_NODE: usize = 8;
+
+/// Connect timeout for one upstream attempt (reads/writes then run
+/// under [`Limits::io_timeout`]).
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// Configuration for [`route_serve`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend `dram-serve` addresses (`host:port`). Ring order is the
+    /// list order; two routers given the same list build the same ring.
+    pub nodes: Vec<String>,
+    /// Virtual points per node on the ring (bounded by
+    /// [`crate::ring::MAX_REPLICAS`]).
+    pub replicas: usize,
+    /// Active `/healthz` probe interval.
+    pub probe_interval: Duration,
+    /// Consecutive failures (probe or forward) before a node is down.
+    pub down_after: u32,
+    /// Retry envelope for upstream attempts.
+    pub retry: RetryPolicy,
+    /// Seed for the per-request retry jitter streams.
+    pub retry_seed: u64,
+    /// Fire a hedged attempt to the next ring successor when the first
+    /// has produced no response head after this long. `None` disables.
+    pub hedge_after: Option<Duration>,
+    /// Route by seeded uniform choice instead of the ring — the
+    /// cache-affinity *baseline* `shard-bench` measures against. Never
+    /// what you want in production.
+    pub random_routing: bool,
+    /// Per-node budget for federating backend `/metrics` scrapes.
+    pub scrape_timeout: Duration,
+    /// HTTP limits for the client-facing side (and upstream I/O
+    /// timeouts).
+    pub limits: Limits,
+    /// Structured stderr log level.
+    pub log: LogLevel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            replicas: DEFAULT_REPLICAS,
+            probe_interval: Duration::from_millis(500),
+            down_after: 2,
+            retry: RetryPolicy::default(),
+            retry_seed: 0,
+            hedge_after: None,
+            random_routing: false,
+            scrape_timeout: Duration::from_millis(250),
+            limits: Limits::default(),
+            log: LogLevel::Error,
+        }
+    }
+}
+
+/// One backend node's runtime state.
+struct Node {
+    addr: String,
+    sockaddr: SocketAddr,
+    /// Routable right now? Starts `true`; the prober and forwarding
+    /// outcomes keep it honest.
+    up: AtomicBool,
+    /// Consecutive probe/forward failures (reset by any success).
+    failures: AtomicU32,
+    /// Requests forwarded to this node.
+    routed: AtomicU64,
+    /// Up→down transitions observed.
+    went_down: AtomicU64,
+    /// Idle keep-alive upstream connections.
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl Node {
+    /// A success (probe or forwarded response): reset failures, and
+    /// re-absorb the node if it was down.
+    fn mark_up(&self, shared: &Shared) {
+        self.failures.store(0, Ordering::Relaxed);
+        if !self.up.swap(true, Ordering::Relaxed) {
+            if let Some(line) = shared.log.line(LogLevel::Info, "node_up") {
+                line.field("node", &self.addr).emit();
+            }
+        }
+    }
+
+    /// A failure: count it, and past the threshold take the node out of
+    /// rotation (its ring slice falls through to successors).
+    fn mark_failure(&self, shared: &Shared) {
+        let failures = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= shared.config.down_after && self.up.swap(false, Ordering::Relaxed) {
+            self.went_down.fetch_add(1, Ordering::Relaxed);
+            // Drop pooled connections: they point at a dead process.
+            self.pool
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+            if let Some(line) = shared.log.line(LogLevel::Info, "node_down") {
+                line.field("node", &self.addr)
+                    .field("failures", failures)
+                    .emit();
+            }
+        }
+    }
+}
+
+/// Router-side counters, all relaxed atomics (exact counts matter, and
+/// every increment site is a single hot-path add).
+#[derive(Default)]
+struct RouterMetrics {
+    /// Client requests handled (locally answered + proxied).
+    requests: AtomicU64,
+    /// Requests answered by a backend through the proxy path.
+    proxied: AtomicU64,
+    /// Upstream attempts beyond the first, per the retry policy.
+    retries: AtomicU64,
+    /// Attempts served by a node other than the key's ring owner —
+    /// down-node skips at routing time plus mid-request switches.
+    failovers: AtomicU64,
+    /// Hedged (second, racing) attempts fired.
+    hedges: AtomicU64,
+    /// Hedges whose response won the race.
+    hedge_wins: AtomicU64,
+    /// Requests answered 502 because no node could produce a response.
+    bad_gateway: AtomicU64,
+    /// Client connections poisoned by a mid-body upstream failure.
+    poisoned: AtomicU64,
+    /// Backend scrapes that missed their timeout and served last-known
+    /// (stale) values instead.
+    stale_scrapes: AtomicU64,
+}
+
+/// A backend's last successful `/metrics` scrape.
+#[derive(Clone, Default)]
+struct Scrape {
+    requests_total: f64,
+    cache_hits: f64,
+    cache_misses: f64,
+    /// Whether the *latest* scrape attempt failed and these values are
+    /// from an earlier one.
+    stale: bool,
+}
+
+/// State shared by the accept loop, connection threads and the prober.
+struct Shared {
+    config: RouterConfig,
+    nodes: Vec<Node>,
+    ring: Ring,
+    metrics: RouterMetrics,
+    ids: RequestIdSource,
+    log: Logger,
+    started: Instant,
+    shutting_down: AtomicBool,
+    /// Live client connections (drain condition on shutdown).
+    active: AtomicUsize,
+    /// Accept sequence — conn ids for the journal.
+    conns: AtomicU64,
+    /// Per-request seed stream for retry jitter and random routing.
+    seeds: AtomicU64,
+    /// Last-known backend scrapes, by node index.
+    scrapes: Mutex<HashMap<usize, Scrape>>,
+}
+
+impl Shared {
+    fn up_view(&self) -> Vec<bool> {
+        self.nodes
+            .iter()
+            .map(|n| n.up.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn next_seed(&self) -> u64 {
+        self.config
+            .retry_seed
+            .wrapping_add(self.seeds.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A running router. Dropping the handle does *not* stop it; call
+/// [`RouterHandle::shutdown`].
+pub struct RouterHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    prober: Option<thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, waits for in-flight client connections to
+    /// drain, stops the prober, and returns how many requests were
+    /// proxied to backends over the router's lifetime.
+    pub fn shutdown(self) -> u64 {
+        let mut this = self;
+        this.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&this.local_addr, Duration::from_millis(250));
+        if let Some(h) = this.accept.take() {
+            let _ = h.join();
+        }
+        // Keep-alive client connections notice shutdown at their next
+        // request boundary; bound the wait regardless.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while this.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(h) = this.prober.take() {
+            let _ = h.join();
+        }
+        this.shared.metrics.proxied.load(Ordering::Relaxed)
+    }
+}
+
+/// Binds `addr` and starts the router described by `config`.
+///
+/// # Errors
+///
+/// Binding failures, an empty node list, and node addresses that do not
+/// resolve are all reported as `io::Error` before any thread starts.
+pub fn route_serve(addr: &str, config: RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.nodes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "router needs at least one --node",
+        ));
+    }
+    let mut nodes = Vec::with_capacity(config.nodes.len());
+    for addr in &config.nodes {
+        let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("node `{addr}` does not resolve"),
+            )
+        })?;
+        nodes.push(Node {
+            addr: addr.clone(),
+            sockaddr,
+            up: AtomicBool::new(true),
+            failures: AtomicU32::new(0),
+            routed: AtomicU64::new(0),
+            went_down: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        });
+    }
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let ring = Ring::new(&config.nodes, config.replicas);
+    let shared = Arc::new(Shared {
+        log: Logger::new(config.log),
+        ring,
+        nodes,
+        metrics: RouterMetrics::default(),
+        ids: RequestIdSource::new(),
+        started: Instant::now(),
+        shutting_down: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        conns: AtomicU64::new(0),
+        seeds: AtomicU64::new(0),
+        scrapes: Mutex::new(HashMap::new()),
+        config,
+    });
+
+    let prober = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("route-prober".into())
+            .spawn(move || prober_loop(&shared))
+            .expect("spawn prober")
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("route-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn accept loop")
+    };
+    Ok(RouterHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        prober: Some(prober),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn = shared.conns.fetch_add(1, Ordering::Relaxed) + 1;
+        journal::record(EventKind::Accept, conn, 0, 0);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let for_conn = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name(format!("route-conn-{conn}"))
+            .spawn(move || {
+                handle_conn(stream, conn, &for_conn);
+                for_conn.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Active health probing: `GET /healthz` per node per interval.
+fn prober_loop(shared: &Arc<Shared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        for node in &shared.nodes {
+            if probe(node, shared.config.probe_interval.min(CONNECT_TIMEOUT)) {
+                node.mark_up(shared);
+            } else {
+                node.mark_failure(shared);
+            }
+        }
+        // Sleep in slices so shutdown is prompt even with long
+        // intervals.
+        let deadline = Instant::now() + shared.config.probe_interval;
+        while Instant::now() < deadline && !shared.shutting_down.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn probe(node: &Node, timeout: Duration) -> bool {
+    let timeout = timeout.max(Duration::from_millis(50));
+    let Ok(mut conn) = TcpStream::connect_timeout(&node.sockaddr, timeout) else {
+        return false;
+    };
+    if conn.set_read_timeout(Some(timeout)).is_err()
+        || conn.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    if conn
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: dram-route\r\nconnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut buf = [0u8; 64];
+    let Ok(n) = conn.read(&mut buf) else {
+        return false;
+    };
+    buf[..n].starts_with(b"HTTP/1.1 200")
+}
+
+/// One client connection: parse → route → relay, keep-alive until a
+/// failure poisons it, the client closes, or shutdown begins.
+fn handle_conn(mut stream: TcpStream, conn: u64, shared: &Arc<Shared>) {
+    let peer = stream.peer_addr().ok();
+    let limits = shared.config.limits;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut served = 0u64;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let inbound = http::read_inbound_after(&mut stream, &limits, std::mem::take(&mut carry));
+        let mut request = match inbound {
+            Ok(Inbound::Buffered { request, leftover }) => {
+                carry = leftover;
+                request
+            }
+            Ok(Inbound::Streaming {
+                mut request,
+                mut body,
+            }) => {
+                // The router forwards buffered bodies with a
+                // content-length (simplest correct re-framing), so a
+                // streamed chunked body is bounded by max_body here.
+                // Huge streamed traces should hit a node directly.
+                let mut buffered = Vec::new();
+                let drained = loop {
+                    match body.read_chunk(&mut stream, &mut buffered) {
+                        Ok(true) if buffered.len() > limits.max_body => {
+                            break Err(HttpError::PayloadTooLarge)
+                        }
+                        Ok(true) => {}
+                        Ok(false) => break Ok(()),
+                        Err(e) => break Err(e),
+                    }
+                };
+                match drained {
+                    Ok(()) => {
+                        carry = body.take_leftover();
+                        request.body = buffered;
+                        request
+                    }
+                    Err(e) => {
+                        answer_local(
+                            &mut stream,
+                            shared,
+                            conn,
+                            Response::error(e.status(), &e.message()),
+                            false,
+                        );
+                        break;
+                    }
+                }
+            }
+            Err(ReadError::Closed) => break,
+            Err(ReadError::Http(HttpError::Timeout)) if served > 0 => {
+                // An idle keep-alive connection, not a stalled request:
+                // close quietly, as the reactor's idle sweep would.
+                break;
+            }
+            Err(ReadError::Http(e)) => {
+                answer_local(
+                    &mut stream,
+                    shared,
+                    conn,
+                    Response::error(e.status(), &e.message()),
+                    false,
+                );
+                break;
+            }
+        };
+        served += 1;
+        let request_seq = served;
+        journal::set_context(conn, request_seq);
+        journal::record(EventKind::WorkerStart, conn, request_seq, served - 1);
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+
+        let client_wants_keep_alive =
+            request.wants_keep_alive() && !shared.shutting_down.load(Ordering::SeqCst);
+
+        // Routes the router answers itself.
+        if request.path == "/healthz" && request.method == "GET" {
+            answer_local(&mut stream, shared, conn, healthz(shared), client_wants_keep_alive);
+            if client_wants_keep_alive {
+                continue;
+            }
+            break;
+        }
+        if request.path == "/metrics" && request.method == "GET" {
+            answer_local(
+                &mut stream,
+                shared,
+                conn,
+                federated_metrics(shared, &request),
+                client_wants_keep_alive,
+            );
+            if client_wants_keep_alive {
+                continue;
+            }
+            break;
+        }
+        // The debug family is loopback-gated *here*, against the
+        // client's peer — the backend only ever sees the router's own
+        // loopback address, so forwarding an ungated request would
+        // grant every remote client loopback trust.
+        if request.path.starts_with("/debug")
+            && !peer.is_some_and(|p| p.ip().is_loopback())
+        {
+            answer_local(
+                &mut stream,
+                shared,
+                conn,
+                Response::error(404, "not found"),
+                false,
+            );
+            break;
+        }
+
+        // Everything else is proxied to the key's owner.
+        journal::record(EventKind::Dispatch, conn, request_seq, 0);
+        match proxy(shared, &mut request, conn, request_seq, &mut stream, client_wants_keep_alive) {
+            ProxyEnd::KeepAlive => continue,
+            ProxyEnd::Close => break,
+        }
+    }
+    journal::record(EventKind::Close, conn, 0, served);
+}
+
+/// Sends a router-origin response (stamped with a fresh
+/// `x-request-id`), counting 502s. 4xx/5xx poison the connection like
+/// on `dram-serve`; the caller decides via `keep_alive` (pass `false`
+/// to close regardless).
+fn answer_local(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    conn: u64,
+    response: Response,
+    keep_alive: bool,
+) {
+    let id = shared.ids.next_id();
+    if response.status == 502 {
+        shared.metrics.bad_gateway.fetch_add(1, Ordering::Relaxed);
+    }
+    let keep = keep_alive && response.status < 400;
+    let response = response
+        .with_header("x-request-id", &id.to_string())
+        .with_keep_alive(keep);
+    journal::record(EventKind::Response, conn, 0, u64::from(response.status));
+    let _ = response.send_within(stream, shared.config.limits.io_timeout);
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let up = shared.up_view().iter().filter(|u| **u).count();
+    Response::json(
+        200,
+        obj(vec![
+            ("status", if up > 0 { "ok" } else { "degraded" }.into()),
+            ("nodes", (shared.nodes.len() as f64).into()),
+            ("nodes_up", (up as f64).into()),
+        ])
+        .to_string(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Routing and forwarding
+// ---------------------------------------------------------------------
+
+/// How a proxied exchange left the client connection.
+enum ProxyEnd {
+    KeepAlive,
+    Close,
+}
+
+/// The routing key for a request: the model-description content key
+/// when the body carries one (the cache-affinity contract), otherwise a
+/// stable digest of the request line and body so keyless routes still
+/// spread deterministically.
+fn routing_key(request: &Request) -> u64 {
+    if !request.body.is_empty() {
+        if let Ok(doc) = Value::parse(&String::from_utf8_lossy(&request.body)) {
+            if let Ok(desc) = crate::api::resolve_description(&doc) {
+                return content_key(&desc);
+            }
+        }
+    }
+    let mut h = StableHasher::new();
+    h.write(request.method.as_bytes());
+    h.write(request.path.as_bytes());
+    h.write(request.query.as_bytes());
+    h.write(&request.body);
+    h.finish()
+}
+
+/// What one upstream attempt produced before any relay decision.
+struct Upstream {
+    node: usize,
+    stream: TcpStream,
+    status: u16,
+    /// Raw header lines in arrival order (name, value).
+    headers: Vec<(String, String)>,
+    /// Body bytes over-read while finding the end of the head.
+    body_carry: Vec<u8>,
+    content_length: Option<usize>,
+    /// Upstream is willing to serve another request on this stream.
+    reusable: bool,
+    retry_after: Option<u64>,
+}
+
+/// A retryable attempt failure.
+enum AttemptError {
+    /// Connect refused / send failed / timeout or EOF before a complete
+    /// response head: the backend never committed to this request.
+    Transport,
+    /// Upstream said 503; its body was drained and the hint extracted.
+    Busy { hint: Option<Duration> },
+}
+
+/// Forwards `request`, retrying and hedging per config, and relays the
+/// winning response to `client`.
+fn proxy(
+    shared: &Arc<Shared>,
+    request: &mut Request,
+    conn: u64,
+    request_seq: u64,
+    client: &mut TcpStream,
+    client_wants_keep_alive: bool,
+) -> ProxyEnd {
+    let key = routing_key(request);
+    let mut schedule = shared.config.retry.schedule(shared.next_seed());
+    let mut order = candidate_order(shared, key);
+    loop {
+        let up_view = shared.up_view();
+        // First up candidate; skips are failovers (the owner lost its
+        // slice for this request).
+        let Some(position) = order.iter().position(|&n| up_view[n]) else {
+            // Nobody alive: 502, closing the connection (5xx poisons).
+            answer_local(
+                client,
+                shared,
+                conn,
+                Response::error(502, "no upstream node is available"),
+                false,
+            );
+            return ProxyEnd::Close;
+        };
+        if position > 0 {
+            shared
+                .metrics
+                .failovers
+                .fetch_add(position as u64, Ordering::Relaxed);
+        }
+        let target = order[position];
+        let backup = order
+            .iter()
+            .skip(position + 1)
+            .copied()
+            .find(|&n| up_view[n]);
+        let bytes = upstream_request_bytes(request, &shared.nodes[target].addr, client);
+
+        let outcome = attempt_racing(shared, target, backup, &bytes);
+        match outcome {
+            Ok(upstream) => {
+                shared.nodes[upstream.node].mark_up(shared);
+                shared.nodes[upstream.node]
+                    .routed
+                    .fetch_add(1, Ordering::Relaxed);
+                journal::record(
+                    EventKind::Response,
+                    conn,
+                    request_seq,
+                    u64::from(upstream.status),
+                );
+                return relay(shared, upstream, client, client_wants_keep_alive);
+            }
+            Err(AttemptError::Transport) => {
+                shared.nodes[target].mark_failure(shared);
+                match schedule.next_delay(None) {
+                    Some(wait) => {
+                        shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(wait);
+                        // Rotate the failed node to the back so the next
+                        // attempt goes to the successor (a failover).
+                        order.rotate_left(position + 1);
+                        shared.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        answer_local(
+                            client,
+                            shared,
+                            conn,
+                            Response::error(502, "upstream attempts exhausted"),
+                            false,
+                        );
+                        return ProxyEnd::Close;
+                    }
+                }
+            }
+            Err(AttemptError::Busy { hint }) => {
+                // The node answered — it is up, just shedding.
+                shared.nodes[target].mark_up(shared);
+                match schedule.next_delay(hint) {
+                    Some(wait) => {
+                        shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        thread::sleep(wait);
+                        order.rotate_left(position + 1);
+                        shared.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        answer_local(
+                            client,
+                            shared,
+                            conn,
+                            Response::error(503, "every upstream attempt was shed")
+                                .with_header("retry-after", &hint.map_or(1, |d| d.as_secs().max(1)).to_string()),
+                            false,
+                        );
+                        return ProxyEnd::Close;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The nodes to try for `key`, in order: ring successor order, or a
+/// seeded shuffle in the random-routing baseline.
+fn candidate_order(shared: &Arc<Shared>, key: u64) -> Vec<usize> {
+    if !shared.config.random_routing {
+        return shared.ring.successors(key);
+    }
+    let mut order: Vec<usize> = (0..shared.nodes.len()).collect();
+    let mut rng = dram_units::rng::SplitMix64::new(shared.next_seed() ^ key);
+    // Fisher–Yates with the workspace RNG: deterministic per seed.
+    for i in (1..order.len()).rev() {
+        let j = rng.range_usize(i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Serializes `request` for the upstream hop: identical method, target
+/// and body; hop-by-hop headers rewritten (`connection: keep-alive`,
+/// re-framed `content-length`), `x-forwarded-for` appended.
+fn upstream_request_bytes(request: &Request, node_addr: &str, client: &TcpStream) -> Vec<u8> {
+    let mut head = if request.query.is_empty() {
+        format!("{} {} HTTP/1.1\r\n", request.method, request.path)
+    } else {
+        format!(
+            "{} {}?{} HTTP/1.1\r\n",
+            request.method, request.path, request.query
+        )
+    };
+    for (name, value) in &request.headers {
+        match name.as_str() {
+            // Hop-by-hop or re-framed below.
+            "connection" | "content-length" | "transfer-encoding" | "expect" | "host"
+            | "x-forwarded-for" => {}
+            _ => {
+                head.push_str(name);
+                head.push_str(": ");
+                head.push_str(value);
+                head.push_str("\r\n");
+            }
+        }
+    }
+    head.push_str("host: ");
+    head.push_str(node_addr);
+    head.push_str("\r\n");
+    if let Ok(peer) = client.peer_addr() {
+        head.push_str("x-forwarded-for: ");
+        head.push_str(&peer.ip().to_string());
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n", request.body.len()));
+    head.push_str("connection: keep-alive\r\n\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// Runs one attempt, optionally racing a hedged second attempt against
+/// the next ring successor when the first produces no head in time.
+fn attempt_racing(
+    shared: &Arc<Shared>,
+    target: usize,
+    backup: Option<usize>,
+    bytes: &[u8],
+) -> Result<Upstream, AttemptError> {
+    let (Some(hedge_after), Some(backup)) = (shared.config.hedge_after, backup) else {
+        return attempt(shared, target, bytes);
+    };
+    let (tx, rx) = mpsc::channel();
+    let spawn_attempt = |node: usize| {
+        let shared = Arc::clone(shared);
+        let bytes = bytes.to_vec();
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let _ = tx.send((node, attempt(&shared, node, &bytes)));
+        });
+    };
+    spawn_attempt(target);
+    let first = match rx.recv_timeout(hedge_after) {
+        Ok(result) => Some(result),
+        Err(mpsc::RecvTimeoutError::Timeout) => None,
+        Err(mpsc::RecvTimeoutError::Disconnected) => return Err(AttemptError::Transport),
+    };
+    let Some((_, outcome)) = first else {
+        // The owner is slow: hedge to the successor, first head wins.
+        shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+        spawn_attempt(backup);
+        let mut last_err = AttemptError::Transport;
+        for _ in 0..2 {
+            match rx.recv_timeout(CONNECT_TIMEOUT + shared.config.limits.io_timeout) {
+                Ok((node, Ok(upstream))) => {
+                    if node == backup {
+                        shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(upstream);
+                }
+                Ok((_, Err(e))) => last_err = e,
+                Err(_) => break,
+            }
+        }
+        return Err(last_err);
+    };
+    outcome
+}
+
+/// One upstream attempt: pooled connection first (with a transparent
+/// one-shot fresh-connect retry when the pooled stream turns out to be
+/// stale), then a fresh connect.
+fn attempt(shared: &Arc<Shared>, target: usize, bytes: &[u8]) -> Result<Upstream, AttemptError> {
+    let node = &shared.nodes[target];
+    let pooled = node
+        .pool
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .pop();
+    if let Some(conn) = pooled {
+        // A pooled stream may have been closed by the backend (idle
+        // sweep, max-requests budget) after we checked it out; that is
+        // not a node failure, so fall through to a fresh connect.
+        if let Ok(upstream) = exchange(conn, target, bytes, &shared.config.limits) {
+            return finish_attempt(shared, upstream);
+        }
+    }
+    let conn = TcpStream::connect_timeout(&node.sockaddr, CONNECT_TIMEOUT)
+        .map_err(|_| AttemptError::Transport)?;
+    let _ = conn.set_nodelay(true);
+    let upstream = exchange(conn, target, bytes, &shared.config.limits)
+        .map_err(|_| AttemptError::Transport)?;
+    finish_attempt(shared, upstream)
+}
+
+/// Post-exchange classification: 503 is drained, pooled and surfaced
+/// as retryable-with-hint; anything else is the caller's response.
+fn finish_attempt(shared: &Arc<Shared>, mut upstream: Upstream) -> Result<Upstream, AttemptError> {
+    if upstream.status != 503 {
+        return Ok(upstream);
+    }
+    let hint = upstream.retry_after.map(Duration::from_secs);
+    // Drain the 503 body so the stream can go back to the pool.
+    if let Some(length) = upstream.content_length {
+        let mut remaining = length.saturating_sub(upstream.body_carry.len());
+        let mut sink = [0u8; 4096];
+        while remaining > 0 {
+            match upstream.stream.read(&mut sink[..remaining.min(4096)]) {
+                Ok(0) | Err(_) => {
+                    upstream.reusable = false;
+                    break;
+                }
+                Ok(n) => remaining -= n,
+            }
+        }
+        if upstream.reusable {
+            pool_return(shared, upstream.node, upstream.stream);
+        }
+    }
+    Err(AttemptError::Busy { hint })
+}
+
+/// Writes the request and reads a complete response head (plus any
+/// over-read body bytes). Any failure before that point is one `Err`,
+/// making the caller's retry decision trivial.
+fn exchange(
+    mut conn: TcpStream,
+    node: usize,
+    bytes: &[u8],
+    limits: &Limits,
+) -> Result<Upstream, ()> {
+    conn.set_read_timeout(Some(limits.io_timeout)).map_err(|_| ())?;
+    conn.set_write_timeout(Some(limits.io_timeout)).map_err(|_| ())?;
+    conn.write_all(bytes).and_then(|()| conn.flush()).map_err(|_| ())?;
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head {
+            return Err(());
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.read(&mut chunk) {
+            Ok(0) | Err(_) => return Err(()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let body_carry = buf.split_off(head_end + 4);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(())?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(())?;
+    let mut headers = Vec::new();
+    let mut content_length = None;
+    let mut reusable = true;
+    let mut retry_after = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(());
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        match name.as_str() {
+            "content-length" => content_length = value.parse::<usize>().ok(),
+            "connection" if http::header_has_token(&value, "close") => reusable = false,
+            "retry-after" => retry_after = value.parse::<u64>().ok(),
+            _ => {}
+        }
+        headers.push((name, value));
+    }
+    if content_length.is_none() {
+        // Without framing the only end-of-body signal is EOF.
+        reusable = false;
+    }
+    Ok(Upstream {
+        node,
+        stream: conn,
+        status,
+        headers,
+        body_carry,
+        content_length,
+        reusable,
+        retry_after,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Relays the upstream response to the client. The decision point is
+/// *before* the first relayed byte: once the head is on the wire the
+/// request is unretryable, and a mid-body upstream failure poisons the
+/// client connection (truncated body + close — never a spliced second
+/// response).
+fn relay(
+    shared: &Arc<Shared>,
+    mut upstream: Upstream,
+    client: &mut TcpStream,
+    client_wants_keep_alive: bool,
+) -> ProxyEnd {
+    // Same keep-alive rule as the backend: failures poison their own
+    // connection, and an unframed body can only end by EOF.
+    let keep_client = client_wants_keep_alive
+        && upstream.status < 400
+        && upstream.content_length.is_some();
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        upstream.status,
+        Response::reason(upstream.status)
+    );
+    for (name, value) in &upstream.headers {
+        if name == "connection" {
+            continue;
+        }
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_client {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+
+    let io_timeout = shared.config.limits.io_timeout;
+    if client.set_write_timeout(Some(io_timeout)).is_err()
+        || client.write_all(head.as_bytes()).is_err()
+    {
+        // The *client* went away; the upstream stream is still healthy
+        // but holds an unread body — drop it rather than desync the
+        // pool.
+        return ProxyEnd::Close;
+    }
+
+    // Relay the body: over-read carry first, then the socket.
+    let mut remaining = upstream.content_length;
+    let carry = std::mem::take(&mut upstream.body_carry);
+    let first = match remaining {
+        Some(len) => &carry[..carry.len().min(len)],
+        None => &carry[..],
+    };
+    if !first.is_empty() {
+        if client.write_all(first).is_err() {
+            return ProxyEnd::Close;
+        }
+        if let Some(r) = &mut remaining {
+            *r -= first.len();
+        }
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let want = match remaining {
+            Some(0) => break,
+            Some(r) => r.min(chunk.len()),
+            None => chunk.len(),
+        };
+        match upstream.stream.read(&mut chunk[..want]) {
+            Ok(0) if remaining.is_none() => break, // clean EOF ends an unframed body
+            Ok(0) | Err(_) => {
+                // Upstream died mid-body after bytes were relayed: the
+                // one unretryable failure. Poison the client connection.
+                shared.metrics.poisoned.fetch_add(1, Ordering::Relaxed);
+                shared.nodes[upstream.node].mark_failure(shared);
+                if let Some(line) = shared.log.line(LogLevel::Error, "poisoned") {
+                    line.field("node", &shared.nodes[upstream.node].addr)
+                        .field("missing_bytes", remaining.unwrap_or(0))
+                        .emit();
+                }
+                return ProxyEnd::Close;
+            }
+            Ok(n) => {
+                if client.write_all(&chunk[..n]).is_err() {
+                    return ProxyEnd::Close;
+                }
+                if let Some(r) = &mut remaining {
+                    *r -= n;
+                }
+            }
+        }
+    }
+    let _ = client.flush();
+    shared.metrics.proxied.fetch_add(1, Ordering::Relaxed);
+    if upstream.reusable {
+        pool_return(shared, upstream.node, upstream.stream);
+    }
+    if keep_client {
+        ProxyEnd::KeepAlive
+    } else {
+        ProxyEnd::Close
+    }
+}
+
+fn pool_return(shared: &Arc<Shared>, node: usize, stream: TcpStream) {
+    let mut pool = shared.nodes[node]
+        .pool
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if pool.len() < POOL_PER_NODE {
+        pool.push(stream);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Federated metrics
+// ---------------------------------------------------------------------
+
+/// Scrapes every backend's `/metrics?format=json` under the per-node
+/// timeout, updating the last-known cache. A node that misses the
+/// budget serves its previous values marked stale — one hung backend
+/// can never stall the router's own exporter.
+fn scrape_backends(shared: &Arc<Shared>) -> Vec<Option<Scrape>> {
+    let timeout = shared.config.scrape_timeout.max(Duration::from_millis(10));
+    let (tx, rx) = mpsc::channel();
+    for (index, node) in shared.nodes.iter().enumerate() {
+        let tx = tx.clone();
+        let sockaddr = node.sockaddr;
+        let _ = thread::Builder::new()
+            .name(format!("route-scrape-{index}"))
+            .spawn(move || {
+                let _ = tx.send((index, scrape_one(sockaddr, timeout)));
+            });
+    }
+    drop(tx);
+    let mut fresh: Vec<Option<Scrape>> = (0..shared.nodes.len()).map(|_| None).collect();
+    let deadline = Instant::now() + timeout + Duration::from_millis(50);
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok((index, scrape)) => {
+                fresh[index] = scrape;
+                if fresh.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+            Err(_) => break, // budget spent; stragglers serve stale
+        }
+    }
+    let mut cache = shared.scrapes.lock().unwrap_or_else(PoisonError::into_inner);
+    (0..shared.nodes.len())
+        .map(|index| match fresh[index].take() {
+            Some(scrape) => {
+                cache.insert(index, scrape.clone());
+                Some(scrape)
+            }
+            None => {
+                shared.metrics.stale_scrapes.fetch_add(1, Ordering::Relaxed);
+                cache.get_mut(&index).map(|last| {
+                    last.stale = true;
+                    last.clone()
+                })
+            }
+        })
+        .collect()
+}
+
+/// One backend scrape: bounded connect + read, JSON `/metrics` parse.
+fn scrape_one(sockaddr: SocketAddr, timeout: Duration) -> Option<Scrape> {
+    let mut conn = TcpStream::connect_timeout(&sockaddr, timeout).ok()?;
+    conn.set_read_timeout(Some(timeout)).ok()?;
+    conn.set_write_timeout(Some(timeout)).ok()?;
+    conn.write_all(
+        b"GET /metrics?format=json HTTP/1.1\r\nhost: dram-route\r\nconnection: close\r\n\r\n",
+    )
+    .ok()?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).ok()?;
+    let body = reply.split_once("\r\n\r\n")?.1;
+    let doc = Value::parse(body).ok()?;
+    let engine = doc.get("engine")?;
+    Some(Scrape {
+        requests_total: doc.get("requests_total").and_then(Value::as_f64)?,
+        cache_hits: engine.get("cache_hits").and_then(Value::as_f64)?,
+        cache_misses: engine.get("cache_misses").and_then(Value::as_f64)?,
+        stale: false,
+    })
+}
+
+/// `GET /metrics` on the router: own counters, per-node health and ring
+/// ownership, plus the federated backend scrape. `?format=prometheus`
+/// for text exposition, JSON otherwise.
+fn federated_metrics(shared: &Arc<Shared>, request: &Request) -> Response {
+    let prometheus = match request.query_param("format") {
+        Some("prometheus") => true,
+        Some("json") => false,
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("unknown metrics format `{other}`; use `json` or `prometheus`"),
+            )
+        }
+        None => {
+            let accept = request.headers.get("accept").map_or("", String::as_str);
+            accept.contains("text/plain") && !accept.contains("application/json")
+        }
+    };
+    let scrapes = scrape_backends(shared);
+    let ownership = shared.ring.ownership();
+    let m = &shared.metrics;
+    if prometheus {
+        let mut w = PromWriter::new();
+        w.counter(
+            "dram_route_requests_total",
+            "Client requests handled by the router.",
+            m.requests.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_proxied_total",
+            "Requests answered by a backend through the proxy path.",
+            m.proxied.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_retries_total",
+            "Upstream attempts beyond the first, per the retry policy.",
+            m.retries.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_failovers_total",
+            "Requests (or attempts) served off their ring owner.",
+            m.failovers.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_hedges_total",
+            "Hedged second attempts fired after the latency threshold.",
+            m.hedges.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_hedge_wins_total",
+            "Hedged attempts whose response won the race.",
+            m.hedge_wins.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_bad_gateway_total",
+            "Requests answered 502 with no backend response.",
+            m.bad_gateway.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_poisoned_total",
+            "Client connections poisoned by a mid-body upstream failure.",
+            m.poisoned.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "dram_route_stale_scrapes_total",
+            "Backend scrapes that missed the budget and served stale values.",
+            m.stale_scrapes.load(Ordering::Relaxed),
+        );
+        w.gauge(
+            "dram_route_uptime_seconds",
+            "Seconds since the router started.",
+            shared.started.elapsed().as_secs_f64(),
+        );
+        w.header("dram_route_node_up", "Node liveness (1 up, 0 down).", "gauge");
+        for node in &shared.nodes {
+            w.sample(
+                "dram_route_node_up",
+                &[("node", &node.addr)],
+                f64::from(u8::from(node.up.load(Ordering::Relaxed))),
+            );
+        }
+        w.header(
+            "dram_route_node_routed_total",
+            "Requests forwarded to this node.",
+            "counter",
+        );
+        for node in &shared.nodes {
+            w.sample(
+                "dram_route_node_routed_total",
+                &[("node", &node.addr)],
+                node.routed.load(Ordering::Relaxed) as f64,
+            );
+        }
+        w.header(
+            "dram_route_node_down_transitions_total",
+            "Times this node was marked down.",
+            "counter",
+        );
+        for node in &shared.nodes {
+            w.sample(
+                "dram_route_node_down_transitions_total",
+                &[("node", &node.addr)],
+                node.went_down.load(Ordering::Relaxed) as f64,
+            );
+        }
+        w.header(
+            "dram_route_ring_points",
+            "Virtual points this node owns on the consistent-hash ring.",
+            "gauge",
+        );
+        for (node, points) in shared.nodes.iter().zip(&ownership) {
+            w.sample(
+                "dram_route_ring_points",
+                &[("node", &node.addr)],
+                *points as f64,
+            );
+        }
+        w.header(
+            "dram_route_backend_requests_total",
+            "requests_total scraped from this backend (stale=1 if last scrape missed).",
+            "counter",
+        );
+        w.header(
+            "dram_route_backend_cache_hits_total",
+            "Engine cache hits scraped from this backend.",
+            "counter",
+        );
+        w.header(
+            "dram_route_backend_cache_misses_total",
+            "Engine cache misses scraped from this backend.",
+            "counter",
+        );
+        w.header(
+            "dram_route_backend_stale",
+            "Whether this backend's values are last-known (scrape missed).",
+            "gauge",
+        );
+        let mut hits = 0.0;
+        let mut misses = 0.0;
+        for (node, scrape) in shared.nodes.iter().zip(&scrapes) {
+            let labels = [("node", node.addr.as_str())];
+            if let Some(s) = scrape {
+                w.sample("dram_route_backend_requests_total", &labels, s.requests_total);
+                w.sample("dram_route_backend_cache_hits_total", &labels, s.cache_hits);
+                w.sample("dram_route_backend_cache_misses_total", &labels, s.cache_misses);
+                w.sample(
+                    "dram_route_backend_stale",
+                    &labels,
+                    f64::from(u8::from(s.stale)),
+                );
+                hits += s.cache_hits;
+                misses += s.cache_misses;
+            } else {
+                w.sample("dram_route_backend_stale", &labels, 1.0);
+            }
+        }
+        w.gauge(
+            "dram_route_backend_cache_hits_aggregate",
+            "Engine cache hits summed over every reachable backend.",
+            hits,
+        );
+        w.gauge(
+            "dram_route_backend_cache_misses_aggregate",
+            "Engine cache misses summed over every reachable backend.",
+            misses,
+        );
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body: w.finish().into_bytes(),
+            content_type: PromWriter::CONTENT_TYPE,
+            keep_alive: false,
+        }
+    } else {
+        let mut nodes = Vec::new();
+        let mut hits = 0.0;
+        let mut misses = 0.0;
+        for ((node, scrape), points) in shared.nodes.iter().zip(&scrapes).zip(&ownership) {
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("addr", node.addr.as_str().into()),
+                ("up", node.up.load(Ordering::Relaxed).into()),
+                ("ring_points", (*points as f64).into()),
+                ("routed", (node.routed.load(Ordering::Relaxed) as f64).into()),
+                (
+                    "down_transitions",
+                    (node.went_down.load(Ordering::Relaxed) as f64).into(),
+                ),
+            ];
+            match scrape {
+                Some(s) => {
+                    fields.push(("stale", s.stale.into()));
+                    fields.push(("requests_total", s.requests_total.into()));
+                    fields.push(("cache_hits", s.cache_hits.into()));
+                    fields.push(("cache_misses", s.cache_misses.into()));
+                    hits += s.cache_hits;
+                    misses += s.cache_misses;
+                }
+                None => fields.push(("stale", true.into())),
+            }
+            nodes.push(obj(fields));
+        }
+        let doc = obj(vec![
+            ("requests_total", (m.requests.load(Ordering::Relaxed) as f64).into()),
+            ("proxied_total", (m.proxied.load(Ordering::Relaxed) as f64).into()),
+            ("retries_total", (m.retries.load(Ordering::Relaxed) as f64).into()),
+            ("failovers_total", (m.failovers.load(Ordering::Relaxed) as f64).into()),
+            ("hedges_total", (m.hedges.load(Ordering::Relaxed) as f64).into()),
+            ("hedge_wins_total", (m.hedge_wins.load(Ordering::Relaxed) as f64).into()),
+            ("bad_gateway_total", (m.bad_gateway.load(Ordering::Relaxed) as f64).into()),
+            ("poisoned_total", (m.poisoned.load(Ordering::Relaxed) as f64).into()),
+            ("stale_scrapes_total", (m.stale_scrapes.load(Ordering::Relaxed) as f64).into()),
+            ("uptime_seconds", shared.started.elapsed().as_secs_f64().into()),
+            (
+                "backend_cache_hits_aggregate",
+                hits.into(),
+            ),
+            (
+                "backend_cache_misses_aggregate",
+                misses.into(),
+            ),
+            ("nodes", Value::Arr(nodes)),
+        ]);
+        Response::json(200, doc.to_string())
+    }
+}

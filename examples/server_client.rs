@@ -16,9 +16,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use dram_energy::server::retry::RetryPolicy;
 use dram_energy::server::{serve, ServerConfig};
 use dram_energy::units::json::Value;
-use dram_energy::units::rng::SplitMix64;
 
 /// One parsed reply: status, body, and the `Retry-After` seconds if the
 /// server sent the header.
@@ -61,44 +61,42 @@ fn http_once(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io:
     })
 }
 
-/// A client that retries 503s and transport errors with exponential
-/// backoff + jitter, honors `Retry-After`, and gives up after
-/// `max_attempts`. Everything else (2xx/4xx/5xx) is returned as-is —
-/// only "try again later" signals are worth retrying.
+/// A client that retries 503s and transport errors, honors
+/// `Retry-After`, and gives up when the budget is spent. Everything
+/// else (2xx/4xx/5xx) is returned as-is — only "try again later"
+/// signals are worth retrying. The backoff/jitter/hint rules live in
+/// `dram_server::retry`, the same policy module the shard router uses.
 struct RetryingClient {
     addr: SocketAddr,
-    max_attempts: u32,
-    base_backoff: Duration,
-    /// Ceiling on any single wait, so a pessimistic `Retry-After`
-    /// cannot stall the caller indefinitely.
-    max_backoff: Duration,
-    rng: SplitMix64,
+    policy: RetryPolicy,
+    seed: u64,
 }
 
 impl RetryingClient {
     fn new(addr: SocketAddr, seed: u64) -> Self {
         Self {
             addr,
-            max_attempts: 5,
-            base_backoff: Duration::from_millis(50),
-            max_backoff: Duration::from_millis(500),
-            rng: SplitMix64::new(seed),
+            policy: RetryPolicy::default(),
+            seed,
         }
     }
 
     fn call(&mut self, method: &str, path: &str, body: &str) -> Result<Reply, String> {
-        let mut backoff = self.base_backoff;
-        for attempt in 1..=self.max_attempts {
+        // One schedule per logical request; the seed advances so
+        // successive calls do not replay the same jitter.
+        self.seed = self.seed.wrapping_add(1);
+        let mut schedule = self.policy.schedule(self.seed);
+        loop {
+            let attempt = schedule.attempt();
             let outcome = http_once(self.addr, method, path, body);
-            let wait = match &outcome {
+            let hint = match &outcome {
                 Ok(r) if r.status == 503 => {
                     // The server's own estimate wins over our schedule.
-                    let hinted = r.retry_after.map(Duration::from_secs);
                     println!(
                         "  attempt {attempt}: 503 (retry-after: {}) — backing off",
                         r.retry_after.map_or("none".into(), |s| s.to_string()),
                     );
-                    hinted.unwrap_or(backoff)
+                    r.retry_after.map(Duration::from_secs)
                 }
                 Ok(r) => {
                     if attempt > 1 {
@@ -108,23 +106,19 @@ impl RetryingClient {
                 }
                 Err(e) => {
                     println!("  attempt {attempt}: transport error ({e}) — backing off");
-                    backoff
+                    None
                 }
             };
-            if attempt == self.max_attempts {
-                break;
+            match schedule.next_delay(hint) {
+                Some(wait) => std::thread::sleep(wait),
+                None => {
+                    return Err(format!(
+                        "{method} {path}: gave up after {} attempts",
+                        schedule.max_attempts()
+                    ))
+                }
             }
-            // Full jitter over [wait/2, wait], capped: desynchronizes a
-            // fleet of clients hammering the same recovering server.
-            let capped = wait.min(self.max_backoff);
-            let jittered = capped.mul_f64(0.5 + self.rng.next_f64() * 0.5);
-            std::thread::sleep(jittered);
-            backoff = (backoff * 2).min(self.max_backoff);
         }
-        Err(format!(
-            "{method} {path}: gave up after {} attempts",
-            self.max_attempts
-        ))
     }
 }
 
